@@ -1,0 +1,69 @@
+// Command batbench regenerates the paper's tables and figures from the
+// reproduced system and prints them as aligned text tables.
+//
+// Usage:
+//
+//	batbench -run all              # every artifact, paper order
+//	batbench -run fig5,table4     # selected artifacts
+//	batbench -run fig9 -requests 8000 -seed 7
+//	batbench -list                 # available artifact IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bat/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated artifact IDs, or 'all'")
+	requests := flag.Int("requests", 0, "requests per serving simulation (0 = default)")
+	seed := flag.Int64("seed", 0, "workload seed (0 = default)")
+	quick := flag.Bool("quick", false, "shrink every experiment for a fast smoke run")
+	format := flag.String("format", "text", "output format: text | markdown | csv")
+	list := flag.Bool("list", false, "list artifact IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Requests: *requests, Seed: *seed, Quick: *quick}
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "batbench: unknown artifact %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := runner(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "markdown":
+			fmt.Println(table.Markdown())
+		case "csv":
+			fmt.Print(table.CSV())
+		case "text":
+			fmt.Print(table.Format())
+			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		default:
+			fmt.Fprintf(os.Stderr, "batbench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command battrace generates a serving trace for one of the Table 1
+// workloads and prints either the raw requests (CSV) or a distribution
+// summary matching Figure 2.
+//
+// Usage:
+//
+//	battrace -dataset Industry -n 10000 -duration 3600 -summary
+//	battrace -dataset Books -n 1000 > trace.csv
+//	battrace -dataset Books -replay trace.csv -system BAT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"bat/internal/core"
+	"bat/internal/metrics"
+	"bat/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "Industry", "Games|Beauty|Books|Industry")
+	n := flag.Int("n", 10000, "requests to generate")
+	duration := flag.Float64("duration", 3600, "trace duration in seconds")
+	seed := flag.Int64("seed", 1, "generator seed")
+	summary := flag.Bool("summary", false, "print distribution summary instead of CSV")
+	replay := flag.String("replay", "", "replay a trace CSV through a serving simulation")
+	system := flag.String("system", "BAT", "RE|UP|IP|BAT (with -replay)")
+	flag.Parse()
+
+	var prof workload.Profile
+	found := false
+	for _, p := range workload.Profiles() {
+		if strings.EqualFold(p.Name, *dataset) {
+			prof, found = p, true
+		}
+	}
+	if !found {
+		log.Fatalf("battrace: unknown dataset %q", *dataset)
+	}
+	gen, err := workload.NewGenerator(prof, *seed)
+	if err != nil {
+		log.Fatalf("battrace: %v", err)
+	}
+
+	if *replay != "" {
+		replayTrace(prof, *replay, *system, *seed)
+		return
+	}
+
+	trace, err := gen.GenerateTrace(*n, *duration)
+	if err != nil {
+		log.Fatalf("battrace: %v", err)
+	}
+
+	if !*summary {
+		// The replayable on-disk format (workload.ReadTraceCSV reads it
+		// back); token counts re-derive from the profile and seed.
+		if err := trace.WriteCSV(os.Stdout); err != nil {
+			log.Fatalf("battrace: %v", err)
+		}
+		return
+	}
+
+	var userTok metrics.Digest
+	counts := map[workload.UserID]int{}
+	for _, r := range trace.Requests {
+		counts[r.User]++
+	}
+	for u := range counts {
+		userTok.Add(float64(gen.UserTokens(u)))
+	}
+	var freq metrics.Digest
+	inactive := 0
+	for _, c := range counts {
+		freq.Add(float64(c))
+		if c <= 2 {
+			inactive++
+		}
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "dataset=%s requests=%d duration=%.0fs distinct_users=%d\n",
+		prof.Name, len(trace.Requests), trace.Duration, len(counts))
+	fmt.Fprintf(w, "user tokens: mean=%.0f p50=%.0f p99=%.0f max=%.0f\n",
+		userTok.Mean(), userTok.P50(), userTok.P99(), userTok.Max())
+	fmt.Fprintf(w, "accesses/user: mean=%.2f p50=%.0f p99=%.0f; inactive(<=2)=%s\n",
+		freq.Mean(), freq.P50(), freq.P99(),
+		metrics.FormatPct(float64(inactive)/float64(len(counts))))
+	z := workload.NewZipf(prof.Items, prof.ItemZipfA)
+	fmt.Fprintf(w, "item popularity: top 1%%=%s top 10%%=%s of accesses\n",
+		metrics.FormatPct(z.MassOfTopFraction(0.01)), metrics.FormatPct(z.MassOfTopFraction(0.10)))
+}
+
+// replayTrace reads a persisted trace and drives one serving system with it.
+func replayTrace(prof workload.Profile, path, system string, seed int64) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("battrace: %v", err)
+	}
+	defer f.Close()
+	trace, err := workload.ReadTraceCSV(f, prof)
+	if err != nil {
+		log.Fatalf("battrace: %v", err)
+	}
+	var sys core.System
+	switch strings.ToUpper(system) {
+	case "RE":
+		sys = core.RE
+	case "UP":
+		sys = core.UP
+	case "IP":
+		sys = core.IP
+	case "BAT":
+		sys = core.BAT
+	default:
+		log.Fatalf("battrace: unknown system %q", system)
+	}
+	d, err := core.Build(sys, core.Options{
+		Profile:      prof,
+		Nodes:        4,
+		HostMemBytes: 12 << 30,
+		Seed:         seed,
+	})
+	if err != nil {
+		log.Fatalf("battrace: %v", err)
+	}
+	sim, err := d.NewSim()
+	if err != nil {
+		log.Fatalf("battrace: %v", err)
+	}
+	st, err := sim.RunThroughput(trace)
+	if err != nil {
+		log.Fatalf("battrace: %v", err)
+	}
+	fmt.Printf("replayed %d requests (%s on %s): QPS %.1f, hit rate %s, compute savings %s\n",
+		st.Requests, sys, prof.Name, st.QPS,
+		metrics.FormatPct(st.HitRate()), metrics.FormatPct(st.ComputeSavings()))
+	fmt.Printf("prefix mix: user %d / item %d / recompute %d; remote tokens %d\n",
+		st.UserPrefixCount, st.ItemPrefixCount, st.RecomputeCount, st.RemoteTokens)
+}

@@ -1,0 +1,16 @@
+// Package bat is a from-scratch Go reproduction of "BAT: Efficient
+// Generative Recommender Serving with Bipartite Attention" (ASPLOS 2026).
+//
+// The library lives under internal/: the Bipartite Attention mechanism
+// (internal/bipartite) on a pure-Go transformer (internal/model), the
+// disaggregated KV cache pool (internal/kvcache, internal/cachemeta), HRCS
+// item placement (internal/placement), hotness-aware prompt scheduling
+// (internal/scheduler), a virtual-time cluster simulator (internal/cluster),
+// workload and accuracy substrates (internal/workload, internal/ranking),
+// and one runner per paper table/figure (internal/experiments).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
+// The root package exists to host the benchmark harness (bench_test.go),
+// which regenerates every evaluation artifact under `go test -bench=.`.
+package bat

@@ -1,0 +1,49 @@
+// Accuracy: a miniature Table 3 — UP vs IP ranking quality across the three
+// constructed model variants, including the position-sensitive model's
+// degradation and its PIC recovery.
+//
+//	go run ./examples/accuracy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bat/internal/bipartite"
+	"bat/internal/ranking"
+)
+
+func main() {
+	ds, err := ranking.NewDataset(ranking.DatasetConfig{
+		Name: "beauty-mini", Items: 400, Users: 100, Clusters: 8, LatentDim: 8,
+		HistoryMin: 10, HistoryMax: 32, ItemAttrTokens: 2,
+		ClusterNoise: 0.15, Candidates: 50, HardNegatives: 6, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const nReq = 80
+
+	fmt.Printf("%-16s %-8s %-10s %-8s %-8s\n", "Model", "Strategy", "Recall@10", "MRR@10", "NDCG@10")
+	for _, v := range ranking.Variants() {
+		r, err := ranking.NewRanker(ds, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show := func(kind bipartite.PrefixKind, opts ranking.RankOpts) {
+			res, err := r.Evaluate(nReq, kind, opts, 6)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-16s %-8s %-10.4f %-8.4f %-8.4f\n",
+				res.Model, res.Strategy, res.Recall10, res.MRR10, res.NDCG10)
+		}
+		show(bipartite.UserPrefix, ranking.RankOpts{})
+		show(bipartite.ItemPrefix, ranking.RankOpts{})
+		if v.PosSensitive {
+			show(bipartite.ItemPrefix, ranking.RankOpts{PIC: true})
+		}
+	}
+	fmt.Println("\nposition-robust variants keep IP ≈ UP; the AbsPos variant degrades under")
+	fmt.Println("IP and position-independent caching (PIC) recovers most of the gap — Table 3's shape.")
+}

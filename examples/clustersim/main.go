@@ -1,0 +1,45 @@
+// Clustersim: serve the Books workload on a simulated 4-node cluster with
+// each of the paper's four systems and compare throughput, hit rate, and
+// compute savings — a single Figure 5/6 cell, end to end.
+//
+//	go run ./examples/clustersim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bat/internal/core"
+	"bat/internal/workload"
+)
+
+func main() {
+	const requests = 6000
+	fmt.Printf("workload: %s (%d users, %d items), 4 nodes, Qwen2-1.5B cost model\n\n",
+		workload.Books.Name, workload.Books.Users, workload.Books.Items)
+	fmt.Printf("%-6s %-8s %-9s %-9s %-18s %-14s\n",
+		"System", "QPS", "HitRate", "Savings", "Prefix(UP/IP/RE)", "UserCacheHits")
+	for _, sys := range core.Systems() {
+		d, err := core.Build(sys, core.Options{
+			Profile:      workload.Books,
+			Nodes:        4,
+			HostMemBytes: 12 << 30,
+			Seed:         11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := d.RunThroughput(requests, 3600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %-8.1f %-9s %-9s %-18s %-14s\n",
+			sys, st.QPS,
+			fmt.Sprintf("%.1f%%", st.HitRate()*100),
+			fmt.Sprintf("%.1f%%", st.ComputeSavings()*100),
+			fmt.Sprintf("%d/%d/%d", st.UserPrefixCount, st.ItemPrefixCount, st.RecomputeCount),
+			fmt.Sprintf("%d/%d", st.UserHits, st.UserLookups))
+	}
+	fmt.Println("\nBAT mixes both attention patterns per request and leads every baseline;")
+	fmt.Println("IP beats UP on Books because most users are too inactive for profile caching.")
+}

@@ -1,0 +1,3 @@
+module bat
+
+go 1.22

@@ -1,0 +1,38 @@
+package bipartite_test
+
+import (
+	"fmt"
+
+	"bat/internal/bipartite"
+	"bat/internal/model"
+)
+
+// Example demonstrates the core mechanism: the same prompt organized both
+// ways, with Item-as-prefix minting per-item caches a second request reuses.
+func Example() {
+	w := model.NewWeights(model.TinyGR(64), 1)
+	prompt := bipartite.Prompt{
+		User:  []int{10, 11, 12, 13},       // user profile tokens
+		Items: [][]int{{20, 21}, {30, 31}}, // two candidate items
+		Instr: []int{40, 41},               // instruction + discriminant
+	}
+
+	up, _ := bipartite.Build(bipartite.UserPrefix, prompt)
+	fmt.Printf("user-as-prefix: %d tokens, cacheable prefix %d\n", up.Len(), up.PrefixLen)
+
+	ip, _ := bipartite.Build(bipartite.ItemPrefix, prompt)
+	fmt.Printf("item-as-prefix: %d tokens, cacheable prefix %d\n", ip.Len(), ip.PrefixLen)
+
+	cold, _ := bipartite.Execute(w, ip, bipartite.CacheSet{})
+	fmt.Printf("cold run: computed %d, minted %d item caches\n",
+		cold.ComputedTokens, len(cold.NewItemCaches))
+
+	warm, _ := bipartite.Execute(w, ip, bipartite.CacheSet{Items: cold.NewItemCaches})
+	fmt.Printf("warm run: computed %d, reused %d\n", warm.ComputedTokens, warm.ReusedTokens)
+
+	// Output:
+	// user-as-prefix: 10 tokens, cacheable prefix 4
+	// item-as-prefix: 10 tokens, cacheable prefix 4
+	// cold run: computed 10, minted 2 item caches
+	// warm run: computed 6, reused 4
+}

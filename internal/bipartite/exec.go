@@ -1,0 +1,146 @@
+package bipartite
+
+import (
+	"fmt"
+
+	"bat/internal/model"
+	"bat/internal/tensor"
+)
+
+// ComputeItemCache precomputes one candidate item's KV cache. Because
+// Item-as-prefix items attend only to themselves and start at position 0,
+// this is a plain causal forward over the item's tokens in isolation — which
+// is exactly why the result is reusable across every user and request (§4.3).
+func ComputeItemCache(w *model.Weights, itemTokens []int) *model.KVCache {
+	return ComputeItemCacheAt(w, itemTokens, 0)
+}
+
+// ComputeItemCacheAt precomputes an item cache anchored at an arbitrary
+// start position — PIC serving anchors items at PICItemStart. The cache is
+// valid for any layout that assigns the item the same PosStart.
+func ComputeItemCacheAt(w *model.Weights, itemTokens []int, startPos int) *model.KVCache {
+	return ComputeItemCacheInto(w, itemTokens, startPos, model.NewKVCache(w.Config()))
+}
+
+// ComputeItemCacheInto is ComputeItemCacheAt with caller-provided storage —
+// pass an arena-backed cache (BlockArena.NewKVCache) to precompute item
+// prefixes into shared pages.
+func ComputeItemCacheInto(w *model.Weights, itemTokens []int, startPos int, cache *model.KVCache) *model.KVCache {
+	pos := make([]int, len(itemTokens))
+	for i := range pos {
+		pos[i] = startPos + i
+	}
+	w.Forward(itemTokens, pos, nil, cache)
+	return cache
+}
+
+// ComputeUserCache precomputes a user's profile KV cache for User-as-prefix
+// reuse across the user's own multi-turn requests.
+func ComputeUserCache(w *model.Weights, userTokens []int) *model.KVCache {
+	return ComputeItemCache(w, userTokens) // identical math: causal from position 0
+}
+
+// CacheSet carries the prefix caches available to Execute. Both fields are
+// optional; anything missing is recomputed.
+type CacheSet struct {
+	// User is the user-profile cache, consulted for UserPrefix layouts. It
+	// must cover exactly the layout's user segment.
+	User *model.KVCache
+	// Items maps candidate index (position in Prompt.Items) to that item's
+	// precomputed cache, consulted for ItemPrefix layouts.
+	Items map[int]*model.KVCache
+}
+
+// Run is the outcome of executing a layout.
+type Run struct {
+	Layout *Layout
+	// Hidden holds final hidden states for the computed (non-cached) tokens,
+	// i.e. layout tokens [Layout.Len()-ComputedTokens, Layout.Len()).
+	Hidden *tensor.Matrix
+	// Discriminant is the final hidden state of the discriminant token.
+	Discriminant []float32
+	// ReusedTokens counts prefix tokens served from cache; ComputedTokens
+	// counts tokens that went through the transformer in this call
+	// (including any item caches recomputed on a miss).
+	ReusedTokens, ComputedTokens int
+	// NewItemCaches holds per-candidate caches computed on a miss during an
+	// ItemPrefix run, for the caller to admit into its cache pool.
+	NewItemCaches map[int]*model.KVCache
+	// NewUserCache holds the user cache computed during a UserPrefix run
+	// that had no cache hit.
+	NewUserCache *model.KVCache
+}
+
+// Execute runs GR inference for a layout, reusing whatever caches contains.
+// Caller-supplied caches are never mutated.
+func Execute(w *model.Weights, l *Layout, caches CacheSet) (*Run, error) {
+	switch l.Kind {
+	case UserPrefix:
+		return executeUserPrefix(w, l, caches.User)
+	case ItemPrefix:
+		return executeItemPrefix(w, l, caches.Items)
+	default:
+		return nil, fmt.Errorf("bipartite: unknown layout kind %d", int(l.Kind))
+	}
+}
+
+func executeUserPrefix(w *model.Weights, l *Layout, userCache *model.KVCache) (*Run, error) {
+	run := &Run{Layout: l}
+	var ctx *model.KVCache
+	if userCache != nil {
+		if userCache.Len() != l.PrefixLen {
+			return nil, fmt.Errorf("bipartite: user cache covers %d tokens, layout prefix is %d", userCache.Len(), l.PrefixLen)
+		}
+		ctx = userCache.Clone()
+		run.ReusedTokens = l.PrefixLen
+	} else {
+		ctx = model.NewKVCache(w.Config())
+		if l.PrefixLen > 0 {
+			w.Forward(l.Tokens[:l.PrefixLen], l.Pos[:l.PrefixLen], l.Mask(), ctx)
+			run.ComputedTokens += l.PrefixLen
+			run.NewUserCache = ctx.Clone()
+		}
+	}
+	suffix := l.Tokens[l.PrefixLen:]
+	pos := l.Pos[l.PrefixLen:]
+	run.Hidden = w.Forward(suffix, pos, l.Mask(), ctx)
+	ctx.Release() // reclaim arena pages; no-op for contiguous storage
+	run.ComputedTokens += len(suffix)
+	run.Discriminant = run.Hidden.Row(run.Hidden.Rows - 1)
+	return run, nil
+}
+
+func executeItemPrefix(w *model.Weights, l *Layout, itemCaches map[int]*model.KVCache) (*Run, error) {
+	run := &Run{Layout: l}
+	parts := make([]*model.KVCache, 0, len(l.Segments))
+	for _, seg := range l.ItemSegments() {
+		if c, ok := itemCaches[seg.Item]; ok && c != nil {
+			if c.Len() != seg.Len {
+				return nil, fmt.Errorf("bipartite: item %d cache covers %d tokens, segment has %d", seg.Item, c.Len(), seg.Len)
+			}
+			parts = append(parts, c)
+			run.ReusedTokens += seg.Len
+			continue
+		}
+		// Recompute the miss with the layout's own anchor position so PIC
+		// layouts produce PIC-valid caches.
+		c := ComputeItemCacheAt(w, l.Tokens[seg.Start:seg.Start+seg.Len], seg.PosStart)
+		run.ComputedTokens += seg.Len
+		if run.NewItemCaches == nil {
+			run.NewItemCaches = make(map[int]*model.KVCache)
+		}
+		run.NewItemCaches[seg.Item] = c
+		parts = append(parts, c)
+	}
+	// Assemble the context: copies for contiguous caches, block sharing with
+	// copy-on-write for arena-backed ones — either way the stored caches
+	// stay untouched.
+	ctx := model.ConcatCaches(parts...)
+	suffix := l.Tokens[l.PrefixLen:]
+	pos := l.Pos[l.PrefixLen:]
+	run.Hidden = w.Forward(suffix, pos, l.Mask(), ctx)
+	ctx.Release() // reclaim arena pages; no-op for contiguous storage
+	run.ComputedTokens += len(suffix)
+	run.Discriminant = run.Hidden.Row(run.Hidden.Rows - 1)
+	return run, nil
+}

@@ -1,0 +1,173 @@
+// Package cachemeta implements the cache meta service (§5.1): a logically
+// centralized index of which KV cache worker holds each user/item entry,
+// plus the sliding-window hotness estimator the hotness-aware prompt
+// scheduler consults (§5.3).
+//
+// Hotness follows the paper's windowed-frequency design: each access bumps
+// an exponentially-decayed counter whose time constant is the window length,
+// so the estimate approximates "requests in the recent W seconds". The decay
+// is applied lazily on read/update, matching the paper's asynchronous
+// maintenance ("the cache meta service decays its sliding-window frequency
+// estimate ... asynchronously").
+package cachemeta
+
+import (
+	"math"
+	"sort"
+
+	"bat/internal/kvcache"
+)
+
+// WorkerID identifies a KV cache worker.
+type WorkerID int
+
+// freqState is one key's decayed access counter.
+type freqState struct {
+	count float64
+	last  float64 // time of last decay application
+}
+
+// Service is the meta service. It is not safe for concurrent use; the
+// discrete-event simulator and the single scheduler goroutine both access it
+// sequentially, and the HTTP server wraps it in its own lock.
+type Service struct {
+	window float64
+	index  map[kvcache.EntryKey]map[WorkerID]struct{}
+	freq   map[kvcache.EntryKey]*freqState
+}
+
+// New returns a meta service with the given hotness window in seconds.
+func New(windowSec float64) *Service {
+	if windowSec <= 0 {
+		windowSec = 300
+	}
+	return &Service{
+		window: windowSec,
+		index:  make(map[kvcache.EntryKey]map[WorkerID]struct{}),
+		freq:   make(map[kvcache.EntryKey]*freqState),
+	}
+}
+
+// Window returns the estimator window in seconds.
+func (s *Service) Window() float64 { return s.window }
+
+// Normalize converts a hotness estimate observed at time now into the
+// time-independent form count·e^(now/W). Because every entry decays at the
+// same exponential rate, normalized values compare correctly at any later
+// time without touching stored state — this is how the paper's
+// "asynchronously decayed" per-entry estimates are kept orderable inside
+// the cache worker's min-hotness heap. The exponent is clamped so traces
+// hundreds of windows long cannot overflow.
+func (s *Service) Normalize(hotness, now float64) float64 {
+	e := now / s.window
+	if e > 600 {
+		e = 600
+	}
+	return hotness * math.Exp(e)
+}
+
+// RecordAccess notes an access to key at time now (seconds) and returns the
+// refreshed hotness estimate.
+func (s *Service) RecordAccess(k kvcache.EntryKey, now float64) float64 {
+	st, ok := s.freq[k]
+	if !ok {
+		st = &freqState{last: now}
+		s.freq[k] = st
+	}
+	st.count = st.count*s.decay(now-st.last) + 1
+	st.last = now
+	return st.count
+}
+
+// Hotness returns the decayed access estimate at time now without recording
+// an access. Unknown keys are cold (0).
+func (s *Service) Hotness(k kvcache.EntryKey, now float64) float64 {
+	st, ok := s.freq[k]
+	if !ok {
+		return 0
+	}
+	return st.count * s.decay(now-st.last)
+}
+
+func (s *Service) decay(dt float64) float64 {
+	if dt <= 0 {
+		return 1
+	}
+	return math.Exp(-dt / s.window)
+}
+
+// RegisterEntry records that worker w holds key k's physical cache.
+func (s *Service) RegisterEntry(k kvcache.EntryKey, w WorkerID) {
+	locs, ok := s.index[k]
+	if !ok {
+		locs = make(map[WorkerID]struct{}, 1)
+		s.index[k] = locs
+	}
+	locs[w] = struct{}{}
+}
+
+// UnregisterEntry removes worker w from key k's locations (eviction path).
+func (s *Service) UnregisterEntry(k kvcache.EntryKey, w WorkerID) {
+	locs, ok := s.index[k]
+	if !ok {
+		return
+	}
+	delete(locs, w)
+	if len(locs) == 0 {
+		delete(s.index, k)
+	}
+}
+
+// HasEntry reports whether any worker holds k.
+func (s *Service) HasEntry(k kvcache.EntryKey) bool { return len(s.index[k]) > 0 }
+
+// Locations returns the workers holding k, in ascending ID order.
+func (s *Service) Locations(k kvcache.EntryKey) []WorkerID {
+	locs := s.index[k]
+	if len(locs) == 0 {
+		return nil
+	}
+	out := make([]WorkerID, 0, len(locs))
+	for w := range locs {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PickLocation chooses a worker to serve k from, preferring the requester's
+// local worker to avoid network transfer (the benefit HRCS replication buys).
+func (s *Service) PickLocation(k kvcache.EntryKey, local WorkerID) (WorkerID, bool) {
+	locs := s.index[k]
+	if len(locs) == 0 {
+		return 0, false
+	}
+	if _, ok := locs[local]; ok {
+		return local, true
+	}
+	// Deterministic remote choice: lowest ID. With HRCS, remote reads only
+	// happen for sharded (single-location) items anyway.
+	best, found := WorkerID(0), false
+	for w := range locs {
+		if !found || w < best {
+			best, found = w, true
+		}
+	}
+	return best, found
+}
+
+// EntryCount returns the number of indexed keys.
+func (s *Service) EntryCount() int { return len(s.index) }
+
+// PruneCold drops frequency state colder than minHotness at time now,
+// bounding estimator memory on long traces.
+func (s *Service) PruneCold(now, minHotness float64) int {
+	pruned := 0
+	for k, st := range s.freq {
+		if st.count*s.decay(now-st.last) < minHotness {
+			delete(s.freq, k)
+			pruned++
+		}
+	}
+	return pruned
+}

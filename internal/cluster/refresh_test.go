@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"testing"
+
+	"bat/internal/placement"
+	"bat/internal/scheduler"
+	"bat/internal/workload"
+)
+
+// burstProfile plants a cold-item hotspot in the middle of the trace.
+func burstProfile() workload.Profile {
+	p := tinyProfile()
+	p.Name = "tiny-burst"
+	p.Burst = &workload.Burst{
+		StartSec:  600,
+		EndSec:    1200,
+		FirstItem: 4000, // deep in the cold tail
+		Items:     20,
+		Share:     0.5,
+	}
+	return p
+}
+
+// hotHeadPlan caches only the hot head so burst items miss statically.
+func hotHeadPlan(t *testing.T) placement.Plan {
+	t.Helper()
+	plan := fullReplicatePlan(t, 4)
+	plan.ReplicatedItems = 1000
+	plan.ShardedItems = 0
+	return plan
+}
+
+func runBurst(t *testing.T, refresh bool) *Stats {
+	t.Helper()
+	g, err := workload.NewGenerator(burstProfile(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := hotHeadPlan(t)
+	cfg := baseConfig(scheduler.StaticItem{})
+	cfg.Plan = plan
+	cfg.StatsBucketSec = 300
+	if refresh {
+		cfg.Dynamic = placement.NewDynamicPlan(plan, 64)
+		cfg.RefreshIntervalSec = 120
+	}
+	sim, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := g.GenerateTrace(4000, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunThroughput(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestBurstRefreshRecoversHitRate: during the hotspot window, the background
+// refresh must recover a large part of the hit rate the static placement
+// loses to burst misses.
+func TestBurstRefreshRecoversHitRate(t *testing.T) {
+	static := runBurst(t, false)
+	refreshed := runBurst(t, true)
+
+	// Bucket 0-1 pre-burst, 2-3 in-burst, 4-5 post-burst (300s buckets).
+	burstHit := func(st *Stats) float64 {
+		if len(st.Buckets) < 4 {
+			t.Fatalf("only %d buckets", len(st.Buckets))
+		}
+		b := st.Buckets[3] // second burst bucket: refresh has had time to react
+		return b.HitRate()
+	}
+	preHit := static.Buckets[1].HitRate()
+	staticBurst := burstHit(static)
+	refreshedBurst := burstHit(refreshed)
+
+	if staticBurst >= preHit {
+		t.Fatalf("burst did not dent the static hit rate: pre %v, burst %v", preHit, staticBurst)
+	}
+	if refreshedBurst <= staticBurst+0.05 {
+		t.Fatalf("refresh did not recover hit rate: static %v, refreshed %v", staticBurst, refreshedBurst)
+	}
+	if refreshed.QPS <= static.QPS {
+		t.Fatalf("refresh QPS %v not above static %v", refreshed.QPS, static.QPS)
+	}
+}
+
+func TestDynamicPlanPromotionSemantics(t *testing.T) {
+	base := placement.Plan{Strategy: placement.HRCS, Workers: 4, Corpus: 10_000,
+		ReplicatedItems: 100, ShardedItems: 0, AvgItemBytes: 1000}
+	d := placement.NewDynamicPlan(base, 2)
+	if d.Lookup(5000, 0) != placement.LocMiss {
+		t.Fatal("cold item should miss before promotion")
+	}
+	if !d.Promote(5000) {
+		t.Fatal("promotion failed")
+	}
+	if d.Lookup(5000, 3) != placement.LocLocal {
+		t.Fatal("promoted item must be local everywhere")
+	}
+	if d.Promote(5000) {
+		t.Fatal("double promotion should be a no-op")
+	}
+	if d.Promote(50) {
+		t.Fatal("statically replicated item should not be promoted")
+	}
+	// FIFO eviction at capacity.
+	d.Promote(6000)
+	d.Promote(7000)
+	if d.Lookup(5000, 0) != placement.LocMiss {
+		t.Fatal("oldest promotion should have been evicted")
+	}
+	if d.PromotedCount() != 2 {
+		t.Fatalf("promoted count %d", d.PromotedCount())
+	}
+	// Memory accounting reserves the slack area.
+	if d.ItemBytesPerWorker() != base.ItemBytesPerWorker()+2*1000 {
+		t.Fatalf("dynamic bytes %d", d.ItemBytesPerWorker())
+	}
+	if d.CachedItems() != base.CachedItems()+2 {
+		t.Fatalf("cached items %d", d.CachedItems())
+	}
+}
+
+func TestStatsBucketsAccounting(t *testing.T) {
+	g := tinyGen(t)
+	cfg := baseConfig(scheduler.StaticUser{})
+	cfg.StatsBucketSec = 600
+	sim, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunThroughput(tinyTrace(t, g, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	var total, reused int64
+	for i, b := range st.Buckets {
+		if b.StartSec != float64(i)*600 {
+			t.Fatalf("bucket %d starts at %v", i, b.StartSec)
+		}
+		total += b.TotalTokens
+		reused += b.ReusedTokens
+	}
+	if total != st.TotalTokens || reused != st.ReusedTokens {
+		t.Fatalf("bucket sums (%d, %d) != stats (%d, %d)", total, reused, st.TotalTokens, st.ReusedTokens)
+	}
+}
+
+func TestBurstWorkloadShiftsCandidates(t *testing.T) {
+	g, err := workload.NewGenerator(burstProfile(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBurstBlock := func(items []workload.ItemID) int {
+		n := 0
+		for _, it := range items {
+			if it >= 4000 && it < 4020 {
+				n++
+			}
+		}
+		return n
+	}
+	before := inBurstBlock(g.CandidatesAt(1, 2, 100))
+	during := inBurstBlock(g.CandidatesAt(1, 2, 900))
+	if before != 0 {
+		t.Fatalf("burst items retrieved before the burst: %d", before)
+	}
+	if during < 5 {
+		t.Fatalf("burst captured only %d/20 slots at 50%% share", during)
+	}
+	// Candidates (no time) never sees the burst.
+	if inBurstBlock(g.Candidates(1, 2)) != 0 {
+		t.Fatal("time-free Candidates should ignore bursts")
+	}
+}
+
+// TestSlowTierRecoversEvictedUsers: with a spill tier, users evicted from
+// the DRAM pool are still served (at higher load cost) instead of
+// recomputed — the multi-tier extension.
+func TestSlowTierRecoversEvictedUsers(t *testing.T) {
+	g := tinyGen(t)
+	run := func(slowBytes int64) *Stats {
+		cfg := baseConfig(scheduler.StaticUser{})
+		cfg.HostMemBytes = 64 << 20 // starved DRAM pool: ~7 user slots per node
+		cfg.SlowTierBytes = slowBytes
+		sim, err := New(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.RunThroughput(tinyTrace(t, g, 3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	flat := run(0)
+	tiered := run(4 << 30)
+	if tiered.SlowTierTokens == 0 {
+		t.Fatal("no slow-tier hits recorded")
+	}
+	if tiered.HitRate() <= flat.HitRate() {
+		t.Fatalf("spill tier did not raise hit rate: %v vs %v", tiered.HitRate(), flat.HitRate())
+	}
+	if tiered.QPS <= flat.QPS {
+		t.Fatalf("spill tier did not raise throughput: %v vs %v", tiered.QPS, flat.QPS)
+	}
+	if flat.SlowTierTokens != 0 {
+		t.Fatal("flat run recorded slow-tier tokens")
+	}
+}
+
+// TestFindSLORate: the searched rate must sit at the SLO boundary — within
+// the SLO at the returned rate, beyond it slightly above.
+func TestFindSLORate(t *testing.T) {
+	g := tinyGen(t)
+	trace := tinyTrace(t, g, 1500)
+	factory := func() (*Sim, error) { return New(baseConfig(scheduler.Recompute{}), g) }
+	rate, err := FindSLORate(factory, trace, 0.2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatalf("rate %v", rate)
+	}
+	sim, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := sim.RunOpenLoop(trace, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Latency.P99() > 0.2 {
+		t.Fatalf("P99 %v at the returned rate violates the SLO", at.Latency.P99())
+	}
+	sim2, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := sim2.RunOpenLoop(trace, rate*1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if above.Latency.P99() <= 0.2 {
+		t.Fatalf("P99 %v well above the returned rate still meets the SLO", above.Latency.P99())
+	}
+}
+
+func TestFindSLORateValidation(t *testing.T) {
+	g := tinyGen(t)
+	trace := tinyTrace(t, g, 50)
+	if _, err := FindSLORate(func() (*Sim, error) { return New(baseConfig(scheduler.Recompute{}), g) }, trace, 0, 4); err == nil {
+		t.Fatal("zero SLO accepted")
+	}
+}
+
+func TestNodeBusyAccountingAndImbalance(t *testing.T) {
+	g := tinyGen(t)
+	sim, err := New(baseConfig(scheduler.Recompute{}), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunThroughput(tinyTrace(t, g, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.NodeBusySec) != 4 {
+		t.Fatalf("%d node entries", len(st.NodeBusySec))
+	}
+	var max float64
+	for _, b := range st.NodeBusySec {
+		if b <= 0 {
+			t.Fatal("idle node in a saturation run")
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if max != st.Makespan {
+		t.Fatalf("makespan %v != slowest node %v", st.Makespan, max)
+	}
+	// Imbalance is bounded by nodes-1 (everything on one node); the tiny
+	// profile's heavy user skew makes it legitimately large.
+	if im := st.LoadImbalance(); im < 0 || im > 3 {
+		t.Fatalf("implausible imbalance %v", im)
+	}
+	if (&Stats{}).LoadImbalance() != 0 {
+		t.Fatal("empty stats should report zero imbalance")
+	}
+}
+
+// TestGreedyOraclePolicyInSim: the clairvoyant-greedy policy consults real
+// cache state. Against a warm item pool it behaves like IP for cold users —
+// and, revealingly, it can trail simpler admission-friendly policies because
+// it never invests in warming user caches (§5.3's argument that per-request
+// greed is not enough).
+func TestGreedyOraclePolicyInSim(t *testing.T) {
+	g := tinyGen(t)
+	plan := fullReplicatePlan(t, 4)
+	run := func(p scheduler.Policy) *Stats {
+		cfg := baseConfig(p)
+		cfg.Plan = plan
+		sim, err := New(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.RunThroughput(tinyTrace(t, g, 2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	oracle := run(scheduler.GreedyOracle{})
+	ip := run(scheduler.StaticItem{})
+	if oracle.ItemPrefixCount == 0 {
+		t.Fatal("oracle never used item-as-prefix against a warm item pool")
+	}
+	if oracle.HitRate() <= 0.3 {
+		t.Fatalf("oracle hit rate %v suspiciously low", oracle.HitRate())
+	}
+	// The oracle can only improve on always-IP: it deviates to UP exactly
+	// when the user side is at least as warm.
+	if oracle.QPS < ip.QPS*0.99 {
+		t.Fatalf("oracle QPS %v below static IP %v", oracle.QPS, ip.QPS)
+	}
+}

@@ -1,0 +1,602 @@
+// Package cluster simulates a BAT serving cluster in virtual time: N nodes,
+// each pairing an inference worker (GPU modeled by the cost model) with a KV
+// cache worker (paged host-memory pool), joined by a network link, fed by a
+// central scheduler consulting the cache meta service — the architecture of
+// Figure 3.
+//
+// The simulation is trace-driven and deterministic. Two measurement modes
+// mirror the paper's methodology: saturation throughput (QPS over the
+// makespan of draining a trace, Figures 5/7/8/10/11 and Table 4) and
+// open-loop latency (P99 versus offered rate, Figure 9).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"bat/internal/bipartite"
+	"bat/internal/cachemeta"
+	"bat/internal/costmodel"
+	"bat/internal/kvcache"
+	"bat/internal/metrics"
+	"bat/internal/model"
+	"bat/internal/placement"
+	"bat/internal/scheduler"
+	"bat/internal/workload"
+)
+
+// Config describes one cluster deployment.
+type Config struct {
+	Nodes int
+	GPU   costmodel.GPU
+	Model model.Config
+	Link  costmodel.Link
+
+	// HostMemBytes is each node's KV cache budget (item area + user area).
+	HostMemBytes int64
+	// Plan is the static item placement; the zero Plan caches no items.
+	Plan placement.Plan
+	// Policy chooses each request's attention pattern.
+	Policy scheduler.Policy
+	// UserEvict selects the user area's replacement discipline.
+	UserEvict kvcache.EvictPolicy
+	// HotnessWindowSec configures the meta service estimator (default 300).
+	HotnessWindowSec float64
+	// PageBytes is the KV page size (default 256 KiB).
+	PageBytes int
+	// MaxBatchedTokens caps new tokens per inference batch (default 4000,
+	// the paper's SLO-derived limit). It bounds how much work a batch may
+	// aggregate ahead of a waiting request.
+	MaxBatchedTokens int
+
+	// Dynamic, when non-nil, overrides Plan with a promotion-capable
+	// placement maintained by the background refresh process (§5.2 step 3).
+	Dynamic *placement.DynamicPlan
+	// RefreshIntervalSec is how often the background process promotes the
+	// hottest recently-missed items into Dynamic's slack area (0 disables).
+	RefreshIntervalSec float64
+	// RefreshTopK bounds promotions per refresh (default 32).
+	RefreshTopK int
+
+	// StatsBucketSec, when positive, adds per-time-bucket hit-rate tracking
+	// to the run's Stats (used by the burst experiment).
+	StatsBucketSec float64
+
+	// SlowTierBytes, when positive, backs each node's user cache with a
+	// spill tier of that size on cheap local storage — the multi-tier
+	// extension the paper defers in §3.3's footnote. SlowTierGBps is its
+	// load bandwidth (default 3 GB/s, NVMe-class).
+	SlowTierBytes int64
+	SlowTierGBps  float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HotnessWindowSec == 0 {
+		c.HotnessWindowSec = 300
+	}
+	if c.PageBytes == 0 {
+		c.PageBytes = 256 * 1024
+	}
+	if c.MaxBatchedTokens == 0 {
+		c.MaxBatchedTokens = 4000
+	}
+	if c.RefreshTopK == 0 {
+		c.RefreshTopK = 32
+	}
+	if c.SlowTierGBps == 0 {
+		c.SlowTierGBps = 3
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster: need at least one node")
+	case c.HostMemBytes < 0:
+		return fmt.Errorf("cluster: negative host memory")
+	case c.Policy == nil:
+		return fmt.Errorf("cluster: nil scheduling policy")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	itemBytes := c.itemBytesPerWorker()
+	if itemBytes > c.HostMemBytes {
+		return fmt.Errorf("cluster: item placement needs %d bytes/node, host memory is %d (OOM)", itemBytes, c.HostMemBytes)
+	}
+	return nil
+}
+
+func (c Config) itemBytesPerWorker() int64 {
+	if c.Dynamic != nil {
+		return c.Dynamic.ItemBytesPerWorker()
+	}
+	return c.Plan.ItemBytesPerWorker()
+}
+
+// lookupItem resolves an item's residency through the dynamic plan when one
+// is configured.
+func (c Config) lookupItem(it workload.ItemID, node int) placement.Location {
+	if c.Dynamic != nil {
+		return c.Dynamic.Lookup(it, node)
+	}
+	return c.Plan.Lookup(it, node)
+}
+
+// Stats aggregates one simulation run.
+type Stats struct {
+	Requests int
+	// Makespan is the virtual time to drain the trace (seconds); QPS the
+	// resulting saturation throughput.
+	Makespan float64
+	QPS      float64
+
+	TotalTokens    int64
+	ReusedTokens   int64 // served from cache (any tier or remote)
+	ComputedTokens int64
+	RemoteTokens   int64 // reused tokens that crossed the network
+	SlowTierTokens int64 // reused tokens loaded from the spill tier
+	GPUTokens      int64 // reused tokens already resident in device memory
+
+	ComputedFLOPs  float64
+	RecomputeFLOPs float64 // reference: everything recomputed
+
+	UserPrefixCount, ItemPrefixCount, RecomputeCount int
+
+	UserHits, UserLookups int64
+
+	// Latency is populated by open-loop runs.
+	Latency metrics.Digest
+
+	// Buckets holds per-window token accounting when Config.StatsBucketSec
+	// is set (the burst experiment reads hit rate over time from these).
+	Buckets []Bucket
+
+	// NodeBusySec is each node's total service time; the spread between the
+	// slowest and the mean is the load imbalance that bends Fig. 11 away
+	// from perfectly linear scaling.
+	NodeBusySec []float64
+}
+
+// LoadImbalance returns max(NodeBusySec)/mean(NodeBusySec) - 1, or 0 when
+// per-node accounting is absent.
+func (s *Stats) LoadImbalance() float64 {
+	if len(s.NodeBusySec) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, b := range s.NodeBusySec {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	mean := sum / float64(len(s.NodeBusySec))
+	if mean == 0 {
+		return 0
+	}
+	return max/mean - 1
+}
+
+// Bucket aggregates token reuse within one StatsBucketSec window.
+type Bucket struct {
+	StartSec                  float64
+	TotalTokens, ReusedTokens int64
+}
+
+// HitRate is the bucket's reused-token fraction.
+func (b Bucket) HitRate() float64 {
+	if b.TotalTokens == 0 {
+		return 0
+	}
+	return float64(b.ReusedTokens) / float64(b.TotalTokens)
+}
+
+// HitRate is the paper's §6.2 metric: reused prefix tokens over total
+// prompt tokens.
+func (s *Stats) HitRate() float64 {
+	if s.TotalTokens == 0 {
+		return 0
+	}
+	return float64(s.ReusedTokens) / float64(s.TotalTokens)
+}
+
+// ComputeSavings is the fraction of recompute FLOPs avoided.
+func (s *Stats) ComputeSavings() float64 {
+	if s.RecomputeFLOPs == 0 {
+		return 0
+	}
+	return 1 - s.ComputedFLOPs/s.RecomputeFLOPs
+}
+
+// Sim is one configured cluster bound to a workload generator.
+type Sim struct {
+	cfg  Config
+	gen  *workload.Generator
+	meta *cachemeta.Service
+	// userPools[n] is node n's user cache area (host memory minus the item
+	// area). The item area is virtual: the placement plan answers residency.
+	userPools []*kvcache.Pool
+	// tiered wraps userPools with a spill tier when SlowTierBytes is set.
+	tiered []*kvcache.TieredPool
+
+	// Background item refresh state (nil when disabled).
+	itemMisses  map[workload.ItemID]int64
+	nextRefresh float64
+}
+
+// New builds a simulator. The item area is carved out of each node's host
+// memory first; the remainder becomes the user pool.
+func New(cfg Config, gen *workload.Generator) (*Sim, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	userBytes := cfg.HostMemBytes - cfg.itemBytesPerWorker()
+	s := &Sim{
+		cfg:       cfg,
+		gen:       gen,
+		meta:      cachemeta.New(cfg.HotnessWindowSec),
+		userPools: make([]*kvcache.Pool, cfg.Nodes),
+	}
+	for n := range s.userPools {
+		pool, err := kvcache.NewPool(userBytes, cfg.PageBytes, cfg.Model.KVBytesPerToken(), cfg.UserEvict)
+		if err != nil {
+			return nil, err
+		}
+		s.userPools[n] = pool
+		if cfg.SlowTierBytes > 0 {
+			slow, err := kvcache.NewPool(cfg.SlowTierBytes, cfg.PageBytes, cfg.Model.KVBytesPerToken(), kvcache.EvictLRU)
+			if err != nil {
+				return nil, err
+			}
+			s.tiered = append(s.tiered, kvcache.NewTieredPool(pool, slow))
+		}
+	}
+	if cfg.Dynamic != nil && cfg.RefreshIntervalSec > 0 {
+		s.itemMisses = make(map[workload.ItemID]int64)
+		s.nextRefresh = cfg.RefreshIntervalSec
+	}
+	return s, nil
+}
+
+// maybeRefresh runs the background item-cache update: at each interval
+// boundary the hottest recently-missed items are promoted into the dynamic
+// plan's replicated slack area, and the window's miss counters reset.
+func (s *Sim) maybeRefresh(now float64) {
+	if s.itemMisses == nil || now < s.nextRefresh {
+		return
+	}
+	type mc struct {
+		it workload.ItemID
+		n  int64
+	}
+	hot := make([]mc, 0, len(s.itemMisses))
+	for it, n := range s.itemMisses {
+		hot = append(hot, mc{it, n})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].n != hot[j].n {
+			return hot[i].n > hot[j].n
+		}
+		return hot[i].it < hot[j].it
+	})
+	for i := 0; i < len(hot) && i < s.cfg.RefreshTopK; i++ {
+		s.cfg.Dynamic.Promote(hot[i].it)
+	}
+	s.itemMisses = make(map[workload.ItemID]int64)
+	for s.nextRefresh <= now {
+		s.nextRefresh += s.cfg.RefreshIntervalSec
+	}
+}
+
+// UserPoolBytes returns the per-node user cache capacity after the item
+// area is carved out.
+func (s *Sim) UserPoolBytes() int64 { return s.userPools[0].CapacityBytes() }
+
+// nodeFor routes a request: user-sticky hashing keeps a user's cache local
+// while spreading the population across nodes.
+func (s *Sim) nodeFor(u workload.UserID) int {
+	return int(mix64(u+0x9e37) % uint64(s.cfg.Nodes))
+}
+
+// requestOutcome is the per-request serving result.
+type requestOutcome struct {
+	node        int
+	newTokens   int
+	ctxTokens   int // reused tokens forming the attention context
+	localReuse  int
+	gpuReuse    int // reused tokens already resident in device memory
+	slowReuse   int // reused tokens loaded from the spill tier
+	remoteReuse int
+	kind        bipartite.PrefixKind
+	recompute   bool
+}
+
+// serve resolves one request's cache decisions and token accounting at
+// virtual time now.
+func (s *Sim) serve(req workload.Request, now float64) requestOutcome {
+	gen := s.gen
+	node := s.nodeFor(req.User)
+	rt, items := gen.TokensFor(req)
+	userKey := kvcache.EntryKey{Kind: kvcache.UserEntry, ID: req.User}
+	pool := s.userPools[node]
+
+	// Pool entries carry normalized hotness (count·e^(t/W)) per page:
+	//   - normalization keeps stored minima comparable against this
+	//     request's fresh estimate without proactively decaying resident
+	//     entries (the paper's asynchronous decay);
+	//   - dividing by the entry's page count implements §5.3's objective of
+	//     maximizing access frequency per unit of cache space.
+	pages := pool.PagesFor(rt.UserTokens)
+	if pages == 0 {
+		pages = 1
+	}
+	hotness := s.meta.Normalize(s.meta.RecordAccess(userKey, now), now) / float64(pages)
+	userCached := pool.Contains(userKey)
+	if s.tiered != nil {
+		userCached = s.tiered[node].Contains(userKey)
+	}
+	minHot, haveMin := pool.MinHotness()
+	cachedItemTokens := 0
+	if ca, ok := s.cfg.Policy.(scheduler.CostAware); ok && ca.NeedsItemHitTokens() {
+		for _, it := range items {
+			if s.cfg.lookupItem(it, node) != placement.LocMiss {
+				cachedItemTokens += gen.ItemTokens(it)
+			}
+		}
+	}
+	ctx := scheduler.Context{
+		UserTokens:           rt.UserTokens,
+		ItemTokens:           rt.ItemTokens,
+		UserHotness:          hotness,
+		UserCached:           userCached,
+		MinCachedHotness:     minHot,
+		HaveMinCachedHotness: haveMin,
+		UserPoolHasSpace:     pool.FreeBytes() >= int64(pool.PagesFor(rt.UserTokens)*s.cfg.PageBytes),
+		CachedItemTokens:     cachedItemTokens,
+	}
+	dec := s.cfg.Policy.Decide(ctx)
+
+	out := requestOutcome{node: node, kind: dec.Kind, recompute: dec.Recompute}
+	switch {
+	case dec.Recompute:
+		out.newTokens = rt.Total()
+
+	case dec.Kind == bipartite.UserPrefix:
+		tokens, level := s.lookupUser(node, userKey)
+		switch level {
+		case kvcache.TierFast:
+			out.localReuse = tokens
+			out.newTokens = rt.Total() - tokens
+			s.updateUserHotness(node, userKey, hotness)
+		case kvcache.TierSlow:
+			out.slowReuse = tokens
+			out.newTokens = rt.Total() - tokens
+			s.updateUserHotness(node, userKey, hotness)
+		default:
+			out.newTokens = rt.Total()
+			if dec.AdmitUser {
+				if s.putUser(node, userKey, rt.UserTokens, hotness) {
+					s.meta.RegisterEntry(userKey, cachemeta.WorkerID(node))
+				}
+			}
+		}
+
+	default: // Item-as-prefix
+		out.newTokens = rt.UserTokens + rt.InstrTokens
+		for _, it := range items {
+			tok := gen.ItemTokens(it)
+			switch s.cfg.lookupItem(it, node) {
+			case placement.LocLocal:
+				if s.cfg.Plan.GPUResident(it) {
+					out.gpuReuse += tok
+				} else {
+					out.localReuse += tok
+				}
+			case placement.LocRemote:
+				out.remoteReuse += tok
+			default:
+				out.newTokens += tok
+				if s.itemMisses != nil {
+					s.itemMisses[it]++
+				}
+			}
+		}
+	}
+	out.ctxTokens = out.localReuse + out.gpuReuse + out.slowReuse + out.remoteReuse
+	return out
+}
+
+// lookupUser resolves the user cache through the spill tier when enabled.
+func (s *Sim) lookupUser(node int, k kvcache.EntryKey) (tokens int, level kvcache.TierLevel) {
+	if s.tiered != nil {
+		e, lvl := s.tiered[node].Lookup(k)
+		if lvl == kvcache.TierMiss {
+			return 0, kvcache.TierMiss
+		}
+		return e.Tokens, lvl
+	}
+	e, ok := s.userPools[node].Lookup(k)
+	if !ok {
+		return 0, kvcache.TierMiss
+	}
+	return e.Tokens, kvcache.TierFast
+}
+
+func (s *Sim) updateUserHotness(node int, k kvcache.EntryKey, hotness float64) {
+	if s.tiered != nil {
+		s.tiered[node].UpdateHotness(k, hotness)
+		return
+	}
+	s.userPools[node].UpdateHotness(k, hotness)
+}
+
+func (s *Sim) putUser(node int, k kvcache.EntryKey, tokens int, hotness float64) bool {
+	if s.tiered != nil {
+		_, ok := s.tiered[node].Put(k, tokens, hotness)
+		return ok
+	}
+	_, ok := s.userPools[node].Put(k, tokens, hotness)
+	return ok
+}
+
+// serviceTime converts an outcome into seconds of node occupancy: prefill
+// compute plus host KV loads plus any remote cache transfer (serialized, as
+// transfers gate the batch's attention context).
+func (s *Sim) serviceTime(out requestOutcome) float64 {
+	t := costmodel.PrefillTime(s.cfg.GPU, s.cfg.Model, out.newTokens, out.ctxTokens)
+	t += costmodel.KVLoadTime(s.cfg.GPU, s.cfg.Model, out.localReuse)
+	t += s.cfg.Link.TransferTime(s.cfg.Model, out.remoteReuse)
+	if out.slowReuse > 0 {
+		bytes := float64(out.slowReuse) * float64(s.cfg.Model.KVBytesPerToken())
+		t += bytes / (s.cfg.SlowTierGBps * 1e9)
+	}
+	return t
+}
+
+func (s *Sim) record(st *Stats, rt workload.RequestTokens, out requestOutcome, now float64) {
+	if s.cfg.StatsBucketSec > 0 {
+		idx := int(now / s.cfg.StatsBucketSec)
+		for len(st.Buckets) <= idx {
+			st.Buckets = append(st.Buckets, Bucket{StartSec: float64(len(st.Buckets)) * s.cfg.StatsBucketSec})
+		}
+		st.Buckets[idx].TotalTokens += int64(rt.Total())
+		st.Buckets[idx].ReusedTokens += int64(out.ctxTokens)
+	}
+	st.Requests++
+	st.TotalTokens += int64(rt.Total())
+	st.ReusedTokens += int64(out.ctxTokens)
+	st.ComputedTokens += int64(out.newTokens)
+	st.RemoteTokens += int64(out.remoteReuse)
+	st.SlowTierTokens += int64(out.slowReuse)
+	st.GPUTokens += int64(out.gpuReuse)
+	st.ComputedFLOPs += costmodel.PrefillFLOPs(s.cfg.Model, out.newTokens, out.ctxTokens)
+	st.RecomputeFLOPs += costmodel.PrefillFLOPs(s.cfg.Model, rt.Total(), 0)
+	switch {
+	case out.recompute:
+		st.RecomputeCount++
+	case out.kind == bipartite.UserPrefix:
+		st.UserPrefixCount++
+	default:
+		st.ItemPrefixCount++
+	}
+}
+
+// RunThroughput drains the trace at full load and reports saturation
+// throughput: every node processes its requests back to back; the makespan
+// is the slowest node's busy time. Cache temporal dynamics (hotness decay,
+// churn) follow the trace's own timestamps.
+func (s *Sim) RunThroughput(trace *workload.Trace) (*Stats, error) {
+	if len(trace.Requests) == 0 {
+		return nil, fmt.Errorf("cluster: empty trace")
+	}
+	st := &Stats{}
+	busy := make([]float64, s.cfg.Nodes)
+	for _, req := range trace.Requests {
+		s.maybeRefresh(req.Time)
+		rt, _ := s.gen.TokensFor(req)
+		out := s.serve(req, req.Time)
+		busy[out.node] += s.serviceTime(out)
+		s.record(st, rt, out, req.Time)
+	}
+	st.NodeBusySec = busy
+	for _, b := range busy {
+		if b > st.Makespan {
+			st.Makespan = b
+		}
+	}
+	if st.Makespan > 0 {
+		st.QPS = float64(st.Requests) / st.Makespan
+	}
+	s.fillPoolStats(st)
+	return st, nil
+}
+
+// RunOpenLoop replays the trace with arrivals rescaled to the offered rate
+// (requests/second) and measures end-to-end latency through each node's
+// FIFO inference queue with max-batched-tokens batching: a request's service
+// may be delayed while the worker drains earlier batches.
+func (s *Sim) RunOpenLoop(trace *workload.Trace, rate float64) (*Stats, error) {
+	if len(trace.Requests) == 0 {
+		return nil, fmt.Errorf("cluster: empty trace")
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("cluster: offered rate must be positive")
+	}
+	naturalRate := float64(len(trace.Requests)) / trace.Duration
+	scale := naturalRate / rate
+
+	// Pass 1: resolve cache decisions in global arrival order (cache state
+	// is shared and time-ordered), collecting each request's service demand.
+	type job struct {
+		arrival, svc float64
+		newTokens    int
+	}
+	perNode := make([][]job, s.cfg.Nodes)
+	st := &Stats{}
+	for _, req := range trace.Requests {
+		arrival := req.Time * scale
+		s.maybeRefresh(arrival)
+		rt, _ := s.gen.TokensFor(req)
+		out := s.serve(req, arrival)
+		perNode[out.node] = append(perNode[out.node], job{arrival, s.serviceTime(out), out.newTokens})
+		s.record(st, rt, out, arrival)
+	}
+
+	// Pass 2: per-node continuous batching. Each batch gathers the requests
+	// already queued when the worker frees up, capped at MaxBatchedTokens of
+	// new work; all members complete when the batch does.
+	var last float64
+	for _, jobs := range perNode {
+		free := 0.0
+		for i := 0; i < len(jobs); {
+			start := jobs[i].arrival
+			if free > start {
+				start = free
+			}
+			tokens, svc := 0, 0.0
+			j := i
+			for j < len(jobs) && jobs[j].arrival <= start && tokens+jobs[j].newTokens <= s.cfg.MaxBatchedTokens {
+				tokens += jobs[j].newTokens
+				svc += jobs[j].svc
+				j++
+			}
+			if j == i { // single request larger than the batch cap
+				svc = jobs[i].svc
+				j = i + 1
+			}
+			finish := start + svc
+			for k := i; k < j; k++ {
+				st.Latency.Add(finish - jobs[k].arrival)
+			}
+			if finish > last {
+				last = finish
+			}
+			free = finish
+			i = j
+		}
+	}
+	st.Makespan = last
+	if last > 0 {
+		st.QPS = float64(st.Requests) / last
+	}
+	s.fillPoolStats(st)
+	return st, nil
+}
+
+func (s *Sim) fillPoolStats(st *Stats) {
+	for _, p := range s.userPools {
+		st.UserHits += p.Hits
+		st.UserLookups += p.Hits + p.Misses
+	}
+}
+
+// mix64 is splitmix64's finalizer (node routing hash).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

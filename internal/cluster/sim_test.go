@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"testing"
+
+	"bat/internal/costmodel"
+	"bat/internal/kvcache"
+	"bat/internal/model"
+	"bat/internal/placement"
+	"bat/internal/scheduler"
+	"bat/internal/workload"
+)
+
+// tinyProfile is a scaled-down workload for fast simulation tests.
+func tinyProfile() workload.Profile {
+	p := workload.Games
+	p.Name = "tiny"
+	p.Users = 2_000
+	p.Items = 5_000
+	p.AvgUserTokens = 300
+	p.MaxUserTokens = 2_000
+	p.AvgItemTokens = 10
+	p.Candidates = 20
+	p.AffinitySetSize = 10
+	return p
+}
+
+func tinyGen(t *testing.T) *workload.Generator {
+	t.Helper()
+	g, err := workload.NewGenerator(tinyProfile(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func tinyTrace(t *testing.T, g *workload.Generator, n int) *workload.Trace {
+	t.Helper()
+	tr, err := g.GenerateTrace(n, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func baseConfig(policy scheduler.Policy) Config {
+	return Config{
+		Nodes:        4,
+		GPU:          costmodel.A100PCIe3,
+		Model:        model.Qwen2_1_5B,
+		Link:         costmodel.NewLink(100),
+		HostMemBytes: 2 << 30,
+		Policy:       policy,
+		UserEvict:    kvcache.EvictLRU,
+	}
+}
+
+func fullReplicatePlan(t *testing.T, workers int) placement.Plan {
+	t.Helper()
+	plan, err := placement.NewPlan(Replicate(), placement.Input{
+		Model:   model.Qwen2_1_5B,
+		Profile: tinyProfile(),
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// Replicate re-exports the strategy for test readability.
+func Replicate() placement.Strategy { return placement.Replicate }
+
+func TestConfigValidation(t *testing.T) {
+	g := tinyGen(t)
+	bad := baseConfig(scheduler.Recompute{})
+	bad.Nodes = 0
+	if _, err := New(bad, g); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	bad = baseConfig(nil)
+	if _, err := New(bad, g); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	bad = baseConfig(scheduler.Recompute{})
+	bad.HostMemBytes = 1 // item plan cannot fit
+	bad.Plan = fullReplicatePlan(t, 4)
+	if _, err := New(bad, g); err == nil {
+		t.Fatal("item-area OOM not detected")
+	}
+}
+
+func TestRecomputeBaseline(t *testing.T) {
+	g := tinyGen(t)
+	sim, err := New(baseConfig(scheduler.Recompute{}), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunThroughput(tinyTrace(t, g, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 500 {
+		t.Fatalf("requests = %d", st.Requests)
+	}
+	if st.ReusedTokens != 0 || st.HitRate() != 0 {
+		t.Fatalf("RE reused %d tokens", st.ReusedTokens)
+	}
+	if st.ComputeSavings() != 0 {
+		t.Fatalf("RE compute savings = %v", st.ComputeSavings())
+	}
+	if st.RecomputeCount != 500 {
+		t.Fatalf("recompute count = %d", st.RecomputeCount)
+	}
+	if st.QPS <= 0 || st.Makespan <= 0 {
+		t.Fatalf("QPS %v makespan %v", st.QPS, st.Makespan)
+	}
+	if st.ComputedTokens != st.TotalTokens {
+		t.Fatal("RE must compute every token")
+	}
+}
+
+func TestUserPrefixReuse(t *testing.T) {
+	g := tinyGen(t)
+	sim, err := New(baseConfig(scheduler.StaticUser{}), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunThroughput(tinyTrace(t, g, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReusedTokens == 0 {
+		t.Fatal("UP with session locality should reuse user prefixes")
+	}
+	if st.RemoteTokens != 0 {
+		t.Fatal("UP must not move caches across the network")
+	}
+	if st.UserPrefixCount != 2000 {
+		t.Fatalf("UP count = %d", st.UserPrefixCount)
+	}
+	if st.UserHits == 0 || st.UserHits >= st.UserLookups {
+		t.Fatalf("user hits %d / lookups %d", st.UserHits, st.UserLookups)
+	}
+	if st.ComputeSavings() <= 0 {
+		t.Fatal("UP should save compute vs RE")
+	}
+}
+
+func TestItemPrefixWithReplicatedItems(t *testing.T) {
+	g := tinyGen(t)
+	cfg := baseConfig(scheduler.StaticItem{})
+	cfg.Plan = fullReplicatePlan(t, cfg.Nodes)
+	sim, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunThroughput(tinyTrace(t, g, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ItemPrefixCount != 500 {
+		t.Fatalf("IP count = %d", st.ItemPrefixCount)
+	}
+	if st.RemoteTokens != 0 {
+		t.Fatal("fully replicated items must be local")
+	}
+	// All candidate tokens reused; user+instr computed.
+	if st.ReusedTokens == 0 {
+		t.Fatal("IP with replicated corpus should reuse item tokens")
+	}
+	hit := st.HitRate()
+	if hit < 0.2 || hit > 0.9 {
+		t.Fatalf("IP hit rate %v outside plausible item-token share", hit)
+	}
+}
+
+func TestHashShardingPaysNetwork(t *testing.T) {
+	g := tinyGen(t)
+	mkStats := func(strategy placement.Strategy, gbps float64) *Stats {
+		plan, err := placement.NewPlan(strategy, placement.Input{
+			Model:   model.Qwen2_1_5B,
+			Profile: tinyProfile(),
+			Workers: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := baseConfig(scheduler.StaticItem{})
+		cfg.Plan = plan
+		cfg.Link = costmodel.NewLink(gbps)
+		sim, err := New(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.RunThroughput(tinyTrace(t, g, 500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	hash := mkStats(placement.Hash, 10)
+	rep := mkStats(placement.Replicate, 10)
+	if hash.RemoteTokens == 0 {
+		t.Fatal("hash sharding should transfer remote caches")
+	}
+	if rep.RemoteTokens != 0 {
+		t.Fatal("replication should not transfer")
+	}
+	if hash.QPS >= rep.QPS {
+		t.Fatalf("hash (%0.1f QPS) should trail replicate (%0.1f QPS) on a slow network", hash.QPS, rep.QPS)
+	}
+	// Hit rates are comparable (both cache the corpus).
+	if hash.HitRate() < rep.HitRate()-0.05 {
+		t.Fatalf("hash hit rate %v far below replicate %v", hash.HitRate(), rep.HitRate())
+	}
+}
+
+func TestThroughputDeterminism(t *testing.T) {
+	g := tinyGen(t)
+	run := func() *Stats {
+		sim, err := New(baseConfig(scheduler.StaticUser{}), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.RunThroughput(tinyTrace(t, g, 800))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a.QPS != b.QPS || a.ReusedTokens != b.ReusedTokens || a.Makespan != b.Makespan {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestUserPoolBytesCarvesItemArea(t *testing.T) {
+	g := tinyGen(t)
+	cfg := baseConfig(scheduler.StaticItem{})
+	cfg.Plan = fullReplicatePlan(t, cfg.Nodes)
+	sim, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.HostMemBytes - cfg.Plan.ItemBytesPerWorker()
+	got := sim.UserPoolBytes()
+	if got > want || got < want-int64(256*1024) {
+		t.Fatalf("user pool %d, want ~%d", got, want)
+	}
+}
+
+func TestOpenLoopLatencyGrowsWithRate(t *testing.T) {
+	g := tinyGen(t)
+	trace := tinyTrace(t, g, 1500)
+
+	p99At := func(rate float64) float64 {
+		sim, err := New(baseConfig(scheduler.Recompute{}), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.RunOpenLoop(trace, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Latency.P99()
+	}
+	// Find saturation: throughput-mode QPS bounds the sustainable rate.
+	sim, err := New(baseConfig(scheduler.Recompute{}), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := sim.RunThroughput(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := p99At(sat.QPS * 0.3)
+	high := p99At(sat.QPS * 2.0)
+	if high <= low {
+		t.Fatalf("P99 at 2x saturation (%v) should exceed P99 at 0.3x (%v)", high, low)
+	}
+	if low <= 0 {
+		t.Fatalf("P99 at low rate = %v", low)
+	}
+}
+
+func TestOpenLoopRejectsBadRate(t *testing.T) {
+	g := tinyGen(t)
+	sim, err := New(baseConfig(scheduler.Recompute{}), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunOpenLoop(tinyTrace(t, g, 10), 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	g := tinyGen(t)
+	sim, err := New(baseConfig(scheduler.Recompute{}), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &workload.Trace{Profile: tinyProfile(), Duration: 10}
+	if _, err := sim.RunThroughput(empty); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := sim.RunOpenLoop(empty, 10); err == nil {
+		t.Fatal("empty trace accepted in open loop")
+	}
+}
+
+// TestHotnessAwareBeatsCacheAgnosticUnderPressure: with a small user pool,
+// the hotness-aware policy must save at least as much compute as the
+// cache-agnostic baseline — the Fig. 8 effect.
+func TestHotnessAwareBeatsCacheAgnosticUnderPressure(t *testing.T) {
+	g := tinyGen(t)
+	plan := fullReplicatePlan(t, 4)
+	run := func(policy scheduler.Policy, evict kvcache.EvictPolicy) *Stats {
+		cfg := baseConfig(policy)
+		cfg.Plan = plan
+		cfg.HostMemBytes = plan.ItemBytesPerWorker() + (64 << 20) // tiny user area
+		cfg.UserEvict = evict
+		sim, err := New(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.RunThroughput(tinyTrace(t, g, 3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	aware := run(scheduler.HotnessAware{}, kvcache.EvictMinHotness)
+	agnostic := run(scheduler.CacheAgnostic{}, kvcache.EvictLRU)
+	if aware.QPS < agnostic.QPS {
+		t.Fatalf("hotness-aware QPS %v below cache-agnostic %v under memory pressure",
+			aware.QPS, agnostic.QPS)
+	}
+	if aware.HitRate() < agnostic.HitRate() {
+		t.Fatalf("hotness-aware hit rate %v below cache-agnostic %v",
+			aware.HitRate(), agnostic.HitRate())
+	}
+}
+
+func TestStatsAccountingConsistency(t *testing.T) {
+	g := tinyGen(t)
+	cfg := baseConfig(scheduler.HotnessAware{})
+	cfg.Plan = fullReplicatePlan(t, cfg.Nodes)
+	sim, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunThroughput(tinyTrace(t, g, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReusedTokens+st.ComputedTokens != st.TotalTokens {
+		t.Fatalf("token accounting: %d reused + %d computed != %d total",
+			st.ReusedTokens, st.ComputedTokens, st.TotalTokens)
+	}
+	if st.UserPrefixCount+st.ItemPrefixCount+st.RecomputeCount != st.Requests {
+		t.Fatal("decision counts don't sum to requests")
+	}
+	if st.ComputedFLOPs > st.RecomputeFLOPs {
+		t.Fatal("caching made compute worse than recompute")
+	}
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"fmt"
+
+	"bat/internal/workload"
+)
+
+// FindSLORate binary-searches the highest offered rate (requests/second) at
+// which a system's P99 latency stays within sloSec — the quantity Figure 9's
+// "BAT sustains ~1.47× higher request rates" compares. Each probe replays
+// the trace through a fresh simulator (cache state must not leak between
+// offered loads), supplied by newSim.
+func FindSLORate(newSim func() (*Sim, error), trace *workload.Trace, sloSec float64, iters int) (float64, error) {
+	if sloSec <= 0 {
+		return 0, fmt.Errorf("cluster: SLO must be positive")
+	}
+	if iters <= 0 {
+		iters = 8
+	}
+	probe := func(rate float64) (bool, error) {
+		sim, err := newSim()
+		if err != nil {
+			return false, err
+		}
+		st, err := sim.RunOpenLoop(trace, rate)
+		if err != nil {
+			return false, err
+		}
+		return st.Latency.P99() <= sloSec, nil
+	}
+
+	// Establish a bracket: double until the SLO breaks.
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 30; i++ {
+		ok, err := probe(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	if lo == 0 {
+		// Even 1 req/s violates the SLO: search below it.
+		hi = 1
+	}
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		ok, err := probe(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

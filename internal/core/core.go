@@ -1,0 +1,335 @@
+// Package core assembles the BAT serving system and the paper's baselines
+// into named, runnable deployments: it wires a workload generator, an item
+// placement plan, a prompt-scheduling policy, and a simulated cluster into
+// each of the systems compared in the evaluation (RE, UP, IP, BAT, the
+// Fig. 7 placement baselines, the Fig. 8 scheduling baseline, and the
+// Table 4 ablation lattice).
+package core
+
+import (
+	"fmt"
+
+	"bat/internal/cluster"
+	"bat/internal/costmodel"
+	"bat/internal/kvcache"
+	"bat/internal/model"
+	"bat/internal/placement"
+	"bat/internal/scheduler"
+	"bat/internal/workload"
+)
+
+// System names an end-to-end serving configuration from §6.
+type System int
+
+const (
+	// RE is full recomputation: no prefix caching.
+	RE System = iota
+	// UP is User-as-prefix for every request with an LRU user cache — the
+	// conventional approach.
+	UP
+	// IP is Item-as-prefix for every request over the HRCS item pool.
+	IP
+	// BAT is the full system: Bipartite Attention, HRCS placement, and
+	// hotness-aware scheduling.
+	BAT
+	// BATReplicate is BAT with the item cache fully replicated per node
+	// (Fig. 7 baseline).
+	BATReplicate
+	// BATHash is BAT with the item cache hash-sharded, no replication
+	// (Fig. 7 baseline).
+	BATHash
+	// BATCacheAgnostic is BAT with the token-count-greedy scheduler
+	// (Fig. 8 baseline).
+	BATCacheAgnostic
+)
+
+// String implements fmt.Stringer.
+func (s System) String() string {
+	switch s {
+	case RE:
+		return "RE"
+	case UP:
+		return "UP"
+	case IP:
+		return "IP"
+	case BAT:
+		return "BAT"
+	case BATReplicate:
+		return "BAT-Replicate"
+	case BATHash:
+		return "BAT-Hash"
+	case BATCacheAgnostic:
+		return "BAT-CacheAgnostic"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Systems returns the four headline systems in paper order (Figs. 5/6).
+func Systems() []System { return []System{RE, UP, IP, BAT} }
+
+// Options configures a deployment. Zero fields take evaluation defaults
+// matching the paper's main testbed (§6.1).
+type Options struct {
+	Profile workload.Profile
+	Model   model.Config // default Qwen2-1.5B
+	Nodes   int          // default 4
+	GPU     costmodel.GPU
+	// LinkGbps is the inter-node network rate (default 100).
+	LinkGbps float64
+	// HostMemBytes is per-node KV cache memory (default 150 GB, Fig. 7).
+	HostMemBytes int64
+	// ItemBudgetFraction caps the item area's share of host memory for
+	// systems that cache items (default 0.7).
+	ItemBudgetFraction float64
+	// Alpha is HRCS's tolerable communication/computation ratio (default 0.05).
+	Alpha float64
+	// HotnessWindowSec is the frequency estimator window (default 300).
+	HotnessWindowSec float64
+	Seed             int64
+	// UserCacheBytesOverride, when positive, fixes the per-node user cache
+	// area regardless of the item plan (Fig. 8's sweep knob). Host memory is
+	// then item area + override.
+	UserCacheBytesOverride int64
+	// SlowTierBytes, when positive, backs each node's user cache with a
+	// spill tier on cheap storage (the §3.3 footnote extension);
+	// SlowTierGBps is its load bandwidth (0 = 3 GB/s default).
+	SlowTierBytes int64
+	SlowTierGBps  float64
+	// GPUItemBudgetBytes pins that many bytes of the hottest replicated
+	// items in device memory, eliminating their host-to-GPU load (§5.1
+	// names GPU memory as part of the pool; 0 disables).
+	GPUItemBudgetBytes int64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Model.Name == "" {
+		o.Model = model.Qwen2_1_5B
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 4
+	}
+	if o.GPU.Name == "" {
+		o.GPU = costmodel.A100PCIe3
+	}
+	if o.LinkGbps == 0 {
+		o.LinkGbps = 100
+	}
+	if o.HostMemBytes == 0 {
+		o.HostMemBytes = 150 << 30
+	}
+	if o.ItemBudgetFraction == 0 {
+		o.ItemBudgetFraction = 0.7
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	if o.HotnessWindowSec == 0 {
+		o.HotnessWindowSec = 300
+	}
+	if err := o.Profile.Validate(); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// Variant is the Table 4 ablation lattice: (A) Bipartite Attention,
+// (B) HRCS placement, (C) hotness-aware scheduling.
+type Variant struct {
+	Bipartite    bool // A
+	HRCS         bool // B
+	HotnessSched bool // C
+}
+
+// String renders the paper's ABC shorthand.
+func (v Variant) String() string {
+	if !v.Bipartite {
+		return "None"
+	}
+	s := "A"
+	if v.HRCS {
+		s += "B"
+	}
+	if v.HotnessSched {
+		s += "C"
+	}
+	return s
+}
+
+// variantFor maps a named system onto the ablation lattice plus extras.
+func variantFor(sys System) (v Variant, policy scheduler.Policy, evict kvcache.EvictPolicy, strat placement.Strategy, wantItems bool) {
+	switch sys {
+	case RE:
+		return Variant{}, scheduler.Recompute{}, kvcache.EvictLRU, placement.HRCS, false
+	case UP:
+		return Variant{}, scheduler.StaticUser{}, kvcache.EvictLRU, placement.HRCS, false
+	case IP:
+		return Variant{Bipartite: true, HRCS: true}, scheduler.StaticItem{}, kvcache.EvictLRU, placement.HRCS, true
+	case BAT:
+		return Variant{Bipartite: true, HRCS: true, HotnessSched: true}, scheduler.HotnessAware{}, kvcache.EvictMinHotness, placement.HRCS, true
+	case BATReplicate:
+		return Variant{Bipartite: true, HotnessSched: true}, scheduler.HotnessAware{}, kvcache.EvictMinHotness, placement.Replicate, true
+	case BATHash:
+		return Variant{Bipartite: true, HotnessSched: true}, scheduler.HotnessAware{}, kvcache.EvictMinHotness, placement.Hash, true
+	case BATCacheAgnostic:
+		return Variant{Bipartite: true, HRCS: true}, scheduler.CacheAgnostic{}, kvcache.EvictLRU, placement.HRCS, true
+	default:
+		return Variant{}, nil, kvcache.EvictLRU, placement.HRCS, false
+	}
+}
+
+// Deployment is a ready-to-run serving configuration.
+type Deployment struct {
+	System  System
+	Variant Variant
+	Options Options
+	Plan    placement.Plan
+	Gen     *workload.Generator
+	cluster cluster.Config
+}
+
+// Build assembles a named system over the options' workload.
+func Build(sys System, opt Options) (*Deployment, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	variant, policy, evict, strat, wantItems := variantFor(sys)
+	if policy == nil {
+		return nil, fmt.Errorf("core: unknown system %d", int(sys))
+	}
+	d, err := build(opt, policy, evict, strat, wantItems)
+	if err != nil {
+		return nil, fmt.Errorf("core: building %s: %w", sys, err)
+	}
+	d.System = sys
+	d.Variant = variant
+	return d, nil
+}
+
+// BuildVariant assembles a Table 4 ablation point. Without A the system is
+// plain UP. Without B the item cache is replicated, falling back to hash
+// sharding when the full corpus cannot be replicated within the budget —
+// exactly the paper's Books-1M footnote. Without C scheduling is
+// cache-agnostic with LRU user caching.
+func BuildVariant(v Variant, opt Options) (*Deployment, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if !v.Bipartite {
+		d, err := build(opt, scheduler.StaticUser{}, kvcache.EvictLRU, placement.HRCS, false)
+		if err != nil {
+			return nil, err
+		}
+		d.System = UP
+		d.Variant = v
+		return d, nil
+	}
+	var policy scheduler.Policy = scheduler.CacheAgnostic{}
+	evict := kvcache.EvictLRU
+	if v.HotnessSched {
+		policy = scheduler.HotnessAware{}
+		evict = kvcache.EvictMinHotness
+	}
+	strat := placement.Replicate
+	if v.HRCS {
+		strat = placement.HRCS
+	}
+	d, err := build(opt, policy, evict, strat, true)
+	if err != nil {
+		return nil, err
+	}
+	if !v.HRCS && d.Plan.ReplicationRatio < 1 {
+		// Replication OOMs at this corpus scale: adopt hash sharding.
+		d, err = build(opt, policy, evict, placement.Hash, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.System = BAT
+	d.Variant = v
+	return d, nil
+}
+
+func build(opt Options, policy scheduler.Policy, evict kvcache.EvictPolicy, strat placement.Strategy, wantItems bool) (*Deployment, error) {
+	gen, err := workload.NewGenerator(opt.Profile, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	link := costmodel.NewLink(opt.LinkGbps)
+	var plan placement.Plan
+	if wantItems {
+		est, err := costmodel.FitEstimator(opt.GPU, opt.Model)
+		if err != nil {
+			return nil, err
+		}
+		plan, err = placement.NewPlan(strat, placement.Input{
+			Est:                    est,
+			Link:                   link,
+			Model:                  opt.Model,
+			Profile:                opt.Profile,
+			Alpha:                  opt.Alpha,
+			Workers:                opt.Nodes,
+			PerWorkerItemBudget:    int64(opt.ItemBudgetFraction * float64(opt.HostMemBytes)),
+			PerWorkerGPUItemBudget: opt.GPUItemBudgetBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	hostMem := opt.HostMemBytes
+	if opt.UserCacheBytesOverride > 0 {
+		hostMem = plan.ItemBytesPerWorker() + opt.UserCacheBytesOverride
+	}
+	cc := cluster.Config{
+		Nodes:            opt.Nodes,
+		GPU:              opt.GPU,
+		Model:            opt.Model,
+		Link:             link,
+		HostMemBytes:     hostMem,
+		Plan:             plan,
+		Policy:           policy,
+		UserEvict:        evict,
+		HotnessWindowSec: opt.HotnessWindowSec,
+		SlowTierBytes:    opt.SlowTierBytes,
+		SlowTierGBps:     opt.SlowTierGBps,
+	}
+	return &Deployment{Options: opt, Plan: plan, Gen: gen, cluster: cc}, nil
+}
+
+// PolicyName returns the scheduling policy's name.
+func (d *Deployment) PolicyName() string { return d.cluster.Policy.Name() }
+
+// NewSim builds a fresh simulator for the deployment (empty cache state) —
+// the factory SLO-rate searches need, since cache contents must not leak
+// between probes at different offered loads.
+func (d *Deployment) NewSim() (*cluster.Sim, error) { return cluster.New(d.cluster, d.Gen) }
+
+// RunThroughput generates an n-request trace over durationSec of virtual
+// arrival time and measures saturation throughput.
+func (d *Deployment) RunThroughput(n int, durationSec float64) (*cluster.Stats, error) {
+	trace, err := d.Gen.GenerateTrace(n, durationSec)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := cluster.New(d.cluster, d.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunThroughput(trace)
+}
+
+// RunOpenLoop replays an n-request trace at the offered rate (requests/s)
+// and reports the latency distribution.
+func (d *Deployment) RunOpenLoop(n int, durationSec, rate float64) (*cluster.Stats, error) {
+	trace, err := d.Gen.GenerateTrace(n, durationSec)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := cluster.New(d.cluster, d.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunOpenLoop(trace, rate)
+}

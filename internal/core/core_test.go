@@ -1,0 +1,248 @@
+package core
+
+import (
+	"testing"
+
+	"bat/internal/cluster"
+	"bat/internal/placement"
+	"bat/internal/workload"
+)
+
+// testOptions shrinks the testbed so reduced-length traces recreate the
+// paper's memory pressure: 12 GB of KV memory per node instead of 150 GB,
+// scaled so the active user working set exceeds memory on Books/Industry
+// but fits on Games — the population effect behind the Fig. 5 orderings.
+func testOptions(prof workload.Profile) Options {
+	return Options{
+		Profile:      prof,
+		Nodes:        4,
+		HostMemBytes: 12 << 30,
+		Seed:         11,
+	}
+}
+
+func runQPS(t *testing.T, sys System, prof workload.Profile, n int) *cluster.Stats {
+	t.Helper()
+	d, err := Build(sys, testOptions(prof))
+	if err != nil {
+		t.Fatalf("%v: %v", sys, err)
+	}
+	st, err := d.RunThroughput(n, 3600)
+	if err != nil {
+		t.Fatalf("%v: %v", sys, err)
+	}
+	return st
+}
+
+func TestBuildAllSystems(t *testing.T) {
+	for _, sys := range []System{RE, UP, IP, BAT, BATReplicate, BATHash, BATCacheAgnostic} {
+		d, err := Build(sys, testOptions(workload.Books))
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		if d.System != sys {
+			t.Fatalf("system mismatch: %v vs %v", d.System, sys)
+		}
+	}
+}
+
+func TestBuildRejectsBadProfile(t *testing.T) {
+	opt := testOptions(workload.Books)
+	opt.Profile.Users = 0
+	if _, err := Build(BAT, opt); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestSystemStrings(t *testing.T) {
+	want := map[System]string{
+		RE: "RE", UP: "UP", IP: "IP", BAT: "BAT",
+		BATReplicate: "BAT-Replicate", BATHash: "BAT-Hash",
+		BATCacheAgnostic: "BAT-CacheAgnostic",
+	}
+	for sys, s := range want {
+		if sys.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(sys), sys.String(), s)
+		}
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	cases := map[string]Variant{
+		"None": {},
+		"A":    {Bipartite: true},
+		"AB":   {Bipartite: true, HRCS: true},
+		"AC":   {Bipartite: true, HotnessSched: true},
+		"ABC":  {Bipartite: true, HRCS: true, HotnessSched: true},
+	}
+	for want, v := range cases {
+		if v.String() != want {
+			t.Errorf("%+v.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+// TestHeadlineOrdering reproduces the Fig. 5 shape on Books: BAT is the best
+// system, RE the worst, and IP beats UP under user-cache pressure.
+func TestHeadlineOrdering(t *testing.T) {
+	const n = 6000
+	re := runQPS(t, RE, workload.Books, n)
+	up := runQPS(t, UP, workload.Books, n)
+	ip := runQPS(t, IP, workload.Books, n)
+	bat := runQPS(t, BAT, workload.Books, n)
+
+	if !(bat.QPS >= up.QPS && bat.QPS >= ip.QPS && bat.QPS >= re.QPS*0.999) {
+		t.Fatalf("BAT (%.1f) must lead: UP %.1f, IP %.1f, RE %.1f",
+			bat.QPS, up.QPS, ip.QPS, re.QPS)
+	}
+	if !(re.QPS <= up.QPS && re.QPS <= ip.QPS) {
+		t.Fatalf("RE (%.1f) should trail UP (%.1f) and IP (%.1f)", re.QPS, up.QPS, ip.QPS)
+	}
+	if ip.QPS <= up.QPS {
+		t.Fatalf("on Books, IP (%.1f) should beat UP (%.1f) — inactive users defeat user caching", ip.QPS, up.QPS)
+	}
+	if bat.HitRate() < up.HitRate() || bat.HitRate() < ip.HitRate() {
+		t.Fatalf("BAT hit rate %.3f below a baseline (UP %.3f, IP %.3f)",
+			bat.HitRate(), up.HitRate(), ip.HitRate())
+	}
+	if bat.ComputeSavings() <= 0.2 {
+		t.Fatalf("BAT compute savings %.3f; paper reports up to 58%%", bat.ComputeSavings())
+	}
+	// BAT actually mixes both attention patterns on Books.
+	if bat.UserPrefixCount == 0 || bat.ItemPrefixCount == 0 {
+		t.Fatalf("BAT should mix prefixes: UP %d, IP %d", bat.UserPrefixCount, bat.ItemPrefixCount)
+	}
+}
+
+// TestGamesFavorsUserPrefix reproduces the one Fig. 5 inversion: on Games,
+// frequent user re-access makes UP beat IP.
+func TestGamesFavorsUserPrefix(t *testing.T) {
+	const n = 8000
+	up := runQPS(t, UP, workload.Games, n)
+	ip := runQPS(t, IP, workload.Games, n)
+	bat := runQPS(t, BAT, workload.Games, n)
+	if up.QPS <= ip.QPS {
+		t.Fatalf("on Games, UP (%.1f) should beat IP (%.1f)", up.QPS, ip.QPS)
+	}
+	if bat.QPS < up.QPS*0.98 {
+		t.Fatalf("BAT (%.1f) should track the best baseline (UP %.1f) on Games", bat.QPS, up.QPS)
+	}
+}
+
+func TestVariantFallbackToHashOnOOM(t *testing.T) {
+	// Books-1M items cannot be fully replicated in 8 GB/node: the no-B
+	// variant must fall back to hash sharding (the paper's footnote).
+	opt := testOptions(workload.BooksX(1_000_000))
+	d, err := BuildVariant(Variant{Bipartite: true, HotnessSched: true}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Plan.Strategy != placement.Hash {
+		t.Fatalf("expected hash fallback, got %v", d.Plan.Strategy)
+	}
+	// A corpus that fits the item budget replicates fine.
+	small := testOptions(workload.BooksX(19_000))
+	d2, err := BuildVariant(Variant{Bipartite: true, HotnessSched: true}, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Plan.Strategy != placement.Replicate || d2.Plan.ReplicationRatio < 1 {
+		t.Fatalf("small corpus should fully replicate: %+v", d2.Plan)
+	}
+}
+
+func TestVariantNoneIsUP(t *testing.T) {
+	d, err := BuildVariant(Variant{}, testOptions(workload.Books))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PolicyName() != "UP" {
+		t.Fatalf("None variant policy = %s", d.PolicyName())
+	}
+	if d.Plan.CachedItems() != 0 {
+		t.Fatal("None variant should cache no items")
+	}
+}
+
+func TestUserCacheOverride(t *testing.T) {
+	opt := testOptions(workload.Books)
+	opt.UserCacheBytesOverride = 1 << 30
+	d, err := Build(BAT, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := cluster.New(clusterConfigOf(d), d.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sim.UserPoolBytes()
+	if got > 1<<30 || got < (1<<30)-(1<<20) {
+		t.Fatalf("user pool %d, want ~1GiB", got)
+	}
+}
+
+// clusterConfigOf exposes the private cluster config for white-box tests.
+func clusterConfigOf(d *Deployment) cluster.Config { return d.cluster }
+
+// TestAblationOrdering reproduces Table 4's qualitative structure on a
+// reduced Books workload: every variant with A beats None, and full ABC is
+// at least as good as the single-component variants.
+func TestAblationOrdering(t *testing.T) {
+	const n = 5000
+	// Keep the paper's corpus-to-memory ratio: Books' 280K items occupy
+	// ~77% of a node's KV memory on the real testbed; 19K items do the same
+	// against the shrunken 12 GB nodes.
+	run := func(v Variant) float64 {
+		d, err := BuildVariant(v, testOptions(workload.BooksX(19_000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := d.RunThroughput(n, 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.QPS
+	}
+	abc := run(Variant{Bipartite: true, HRCS: true, HotnessSched: true})
+	a := run(Variant{Bipartite: true})
+	none := run(Variant{})
+	if a <= none {
+		t.Fatalf("A (%.1f) should beat None (%.1f)", a, none)
+	}
+	if abc < a*0.98 {
+		t.Fatalf("ABC (%.1f) should be at least A (%.1f)", abc, a)
+	}
+}
+
+func TestSystemsList(t *testing.T) {
+	sys := Systems()
+	if len(sys) != 4 || sys[0] != RE || sys[3] != BAT {
+		t.Fatalf("Systems() = %v", sys)
+	}
+}
+
+func TestRunOpenLoopThroughCore(t *testing.T) {
+	d, err := Build(BAT, testOptions(workload.Games))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.RunOpenLoop(500, 600, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Latency.Count() != 500 {
+		t.Fatalf("latency samples %d", st.Latency.Count())
+	}
+	// NewSim gives fresh cache state each time.
+	s1, err := d.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := d.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("NewSim returned a shared simulator")
+	}
+}

@@ -1,0 +1,194 @@
+// Package costmodel provides the analytic performance substrate that stands
+// in for real GPUs: FLOP-derived prefill latency per model architecture,
+// KV-cache load times over PCIe, and network transfer times for the
+// disaggregated cache pool.
+//
+// The serving experiments compare cache policies, so what matters is the
+// paper's own modeling assumption (§5.2): prefill time is a regular,
+// deterministic function of new-token and context-token counts, fittable by
+// polynomial regression. This package supplies both the analytic ground
+// truth (calibrated to public A100 throughput) and the fitted estimator the
+// HRCS placement algorithm uses.
+package costmodel
+
+import (
+	"fmt"
+
+	"bat/internal/model"
+)
+
+// GPU describes a device's effective throughput for the latency model.
+type GPU struct {
+	Name string
+	// TFLOPS is sustained dense FP16 compute (peak derated for real kernel
+	// efficiency).
+	TFLOPS float64
+	// HostLoadGBps is host→device bandwidth for loading KV caches (PCIe).
+	HostLoadGBps float64
+}
+
+// A100PCIe4 models the paper's §3 motivation setup: a 40GB A100 behind
+// PCIe 4.0 (~20 GB/s effective). 312 TFLOPS peak FP16, derated to 50%.
+var A100PCIe4 = GPU{Name: "A100-PCIe4", TFLOPS: 156, HostLoadGBps: 20}
+
+// A100PCIe3 models the main 4-node testbed (§6.1): A100 on PCIe 3.0 x16.
+var A100PCIe3 = GPU{Name: "A100-PCIe3", TFLOPS: 156, HostLoadGBps: 12}
+
+// H20 models the 16-node production testbed nodes (§6.1/§6.6).
+var H20 = GPU{Name: "H20", TFLOPS: 74, HostLoadGBps: 25}
+
+// ParamFLOPsPerToken returns the dense-matmul FLOPs one token costs across
+// all transformer blocks (2 FLOPs per weight, attention excluded).
+func ParamFLOPsPerToken(cfg model.Config) float64 {
+	qDim := cfg.Heads * cfg.HeadDim
+	kvDim := cfg.KVHeads * cfg.HeadDim
+	perLayer := cfg.Hidden*qDim + // Wq
+		2*cfg.Hidden*kvDim + // Wk, Wv
+		qDim*cfg.Hidden + // Wo
+		3*cfg.Hidden*cfg.FFNDim // gate, up, down
+	return 2 * float64(perLayer) * float64(cfg.Layers)
+}
+
+// PrefillFLOPs returns the total FLOPs to prefill newTokens of fresh input
+// against ctxTokens of already-cached context (0 for full recomputation of
+// the whole sequence — then pass the sequence length as newTokens).
+func PrefillFLOPs(cfg model.Config, newTokens, ctxTokens int) float64 {
+	if newTokens <= 0 {
+		return 0
+	}
+	dense := ParamFLOPsPerToken(cfg) * float64(newTokens)
+	// Attention: each new token attends to ctx + its causal predecessors;
+	// score and value mixing cost 4*Heads*HeadDim FLOPs per key.
+	avgKeys := float64(ctxTokens) + float64(newTokens)/2
+	attn := 4 * float64(cfg.Heads*cfg.HeadDim) * avgKeys * float64(newTokens) * float64(cfg.Layers)
+	return dense + attn
+}
+
+// PrefillTime returns seconds to prefill on the given GPU.
+func PrefillTime(gpu GPU, cfg model.Config, newTokens, ctxTokens int) float64 {
+	return PrefillFLOPs(cfg, newTokens, ctxTokens) / (gpu.TFLOPS * 1e12)
+}
+
+// KVLoadTime returns seconds to load a cached prefix of the given token
+// count from host memory into the GPU.
+func KVLoadTime(gpu GPU, cfg model.Config, tokens int) float64 {
+	bytes := float64(tokens) * float64(cfg.KVBytesPerToken())
+	return bytes / (gpu.HostLoadGBps * 1e9)
+}
+
+// Link describes an inter-node network link.
+type Link struct {
+	Gbps       float64
+	LatencySec float64
+}
+
+// NewLink returns a link with the given line rate and a default 20µs
+// per-transfer latency (RDMA-class).
+func NewLink(gbps float64) Link { return Link{Gbps: gbps, LatencySec: 20e-6} }
+
+// TransferTime returns seconds to move a KV cache of the given token count
+// across the link.
+func (l Link) TransferTime(cfg model.Config, tokens int) float64 {
+	if tokens <= 0 {
+		return 0
+	}
+	bytes := float64(tokens) * float64(cfg.KVBytesPerToken())
+	return l.LatencySec + bytes*8/(l.Gbps*1e9)
+}
+
+// TokensPerSecond converts the link's line rate into token-centric
+// throughput for the given architecture — the quantity B in Algorithm 1.
+func (l Link) TokensPerSecond(cfg model.Config) float64 {
+	return l.Gbps * 1e9 / 8 / float64(cfg.KVBytesPerToken())
+}
+
+// Estimator is the paper's offline-fitted prefill-time model: a polynomial
+// t(new, ctx) = c0 + c1*new + c2*new*new + c3*new*ctx, fitted by least
+// squares over profiled samples. Algorithm 1 (HRCS) consumes this rather
+// than the analytic form, mirroring the production methodology.
+type Estimator struct {
+	c [4]float64
+}
+
+// FitEstimator profiles the analytic model for one GPU/architecture over a
+// grid of (new, ctx) shapes and fits the polynomial by normal equations.
+func FitEstimator(gpu GPU, cfg model.Config) (*Estimator, error) {
+	type sample struct {
+		newT, ctx int
+		t         float64
+	}
+	var samples []sample
+	for _, n := range []int{64, 256, 1024, 2048, 4096, 8192} {
+		for _, ctx := range []int{0, 256, 1024, 4096, 8192} {
+			samples = append(samples, sample{n, ctx, PrefillTime(gpu, cfg, n, ctx)})
+		}
+	}
+	// Least squares on features [1, new, new², new·ctx].
+	var ata [4][4]float64
+	var atb [4]float64
+	for _, s := range samples {
+		f := [4]float64{1, float64(s.newT), float64(s.newT) * float64(s.newT), float64(s.newT) * float64(s.ctx)}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				ata[i][j] += f[i] * f[j]
+			}
+			atb[i] += f[i] * s.t
+		}
+	}
+	coef, err := solve4(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: fitting %s on %s: %w", cfg.Name, gpu.Name, err)
+	}
+	return &Estimator{c: coef}, nil
+}
+
+// Predict returns estimated prefill seconds for the given shape.
+func (e *Estimator) Predict(newTokens, ctxTokens int) float64 {
+	n, c := float64(newTokens), float64(ctxTokens)
+	t := e.c[0] + e.c[1]*n + e.c[2]*n*n + e.c[3]*n*c
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// solve4 solves a 4x4 linear system by Gaussian elimination with partial
+// pivoting.
+func solve4(a [4][4]float64, b [4]float64) ([4]float64, error) {
+	for col := 0; col < 4; col++ {
+		pivot := col
+		for r := col + 1; r < 4; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(a[pivot][col]) < 1e-18 {
+			return [4]float64{}, fmt.Errorf("singular normal matrix")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < 4; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < 4; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [4]float64
+	for r := 3; r >= 0; r-- {
+		x[r] = b[r]
+		for c := r + 1; c < 4; c++ {
+			x[r] -= a[r][c] * x[c]
+		}
+		x[r] /= a[r][r]
+	}
+	return x, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

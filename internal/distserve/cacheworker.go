@@ -1,0 +1,184 @@
+// Package distserve realizes Figure 3's disaggregated serving architecture
+// as real networked processes: KV cache workers that store serialized KV
+// payloads under a byte budget, a cache meta service tracking locations and
+// hotness, and an inference frontend that schedules prompts, fetches prefix
+// caches over HTTP (the transfer-engine role), executes the GR model, and
+// writes fresh caches back.
+//
+// Every component is an http.Handler, so a deployment is N+2 ordinary HTTP
+// servers — in-process for tests (httptest), separate processes via
+// cmd/batdist.
+package distserve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// CacheWorker stores opaque KV payloads at user/item granularity with LRU
+// eviction under a byte budget — one node's share of the disaggregated pool.
+type CacheWorker struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[string]*cwEntry
+	lru      *list.List // front = most recent
+
+	hits, misses, puts, evictions int64
+}
+
+type cwEntry struct {
+	key  string
+	data []byte
+	elem *list.Element
+}
+
+// NewCacheWorker builds a worker with the given byte budget.
+func NewCacheWorker(capacityBytes int64) (*CacheWorker, error) {
+	if capacityBytes <= 0 {
+		return nil, fmt.Errorf("distserve: cache worker needs a positive capacity")
+	}
+	return &CacheWorker{
+		capacity: capacityBytes,
+		entries:  make(map[string]*cwEntry),
+		lru:      list.New(),
+	}, nil
+}
+
+// Put stores (or replaces) a payload, evicting LRU entries to fit. Payloads
+// larger than the whole budget are rejected.
+func (w *CacheWorker) Put(key string, data []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if int64(len(data)) > w.capacity {
+		return fmt.Errorf("distserve: payload %d bytes exceeds capacity %d", len(data), w.capacity)
+	}
+	if old, ok := w.entries[key]; ok {
+		w.used -= int64(len(old.data))
+		w.lru.Remove(old.elem)
+		delete(w.entries, key)
+	}
+	for w.used+int64(len(data)) > w.capacity {
+		back := w.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cwEntry)
+		w.lru.Remove(back)
+		delete(w.entries, victim.key)
+		w.used -= int64(len(victim.data))
+		w.evictions++
+	}
+	e := &cwEntry{key: key, data: data}
+	e.elem = w.lru.PushFront(e)
+	w.entries[key] = e
+	w.used += int64(len(data))
+	w.puts++
+	return nil
+}
+
+// Get fetches a payload, refreshing recency.
+func (w *CacheWorker) Get(key string) ([]byte, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.entries[key]
+	if !ok {
+		w.misses++
+		return nil, false
+	}
+	w.lru.MoveToFront(e.elem)
+	w.hits++
+	return e.data, true
+}
+
+// Delete removes a payload.
+func (w *CacheWorker) Delete(key string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.entries[key]
+	if !ok {
+		return false
+	}
+	w.lru.Remove(e.elem)
+	delete(w.entries, key)
+	w.used -= int64(len(e.data))
+	return true
+}
+
+// WorkerStats is the /stats payload.
+type WorkerStats struct {
+	Entries   int   `json:"entries"`
+	UsedBytes int64 `json:"used_bytes"`
+	Capacity  int64 `json:"capacity_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the worker.
+func (w *CacheWorker) Stats() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WorkerStats{
+		Entries: len(w.entries), UsedBytes: w.used, Capacity: w.capacity,
+		Hits: w.hits, Misses: w.misses, Puts: w.puts, Evictions: w.evictions,
+	}
+}
+
+// Handler exposes the worker:
+//
+//	PUT    /kv/{key}   store payload (request body)
+//	GET    /kv/{key}   fetch payload (404 on miss)
+//	DELETE /kv/{key}
+//	GET    /stats
+func (w *CacheWorker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/kv/", func(rw http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, "/kv/")
+		if key == "" {
+			http.Error(rw, "missing key", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodPut:
+			data, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(rw, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := w.Put(key, data); err != nil {
+				http.Error(rw, err.Error(), http.StatusInsufficientStorage)
+				return
+			}
+			rw.WriteHeader(http.StatusNoContent)
+		case http.MethodGet:
+			data, ok := w.Get(key)
+			if !ok {
+				http.Error(rw, "miss", http.StatusNotFound)
+				return
+			}
+			rw.Header().Set("Content-Type", "application/octet-stream")
+			if _, err := rw.Write(data); err != nil {
+				return // client went away
+			}
+		case http.MethodDelete:
+			w.Delete(key)
+			rw.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(rw, "unsupported method", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/stats", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(rw).Encode(w.Stats()); err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

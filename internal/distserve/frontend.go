@@ -1,0 +1,357 @@
+package distserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+
+	"bat/internal/bipartite"
+	"bat/internal/model"
+	"bat/internal/ranking"
+	"bat/internal/scheduler"
+)
+
+// FrontendConfig wires an inference frontend to its cluster.
+type FrontendConfig struct {
+	Dataset *ranking.Dataset
+	Variant ranking.ModelVariant
+	// MetaURL is the cache meta service's base URL.
+	MetaURL string
+	// CacheWorkers are the cache workers' base URLs; slice index is the
+	// worker ID used with the meta service.
+	CacheWorkers []string
+	// Policy decides each request's attention pattern (default hotness-aware).
+	Policy scheduler.Policy
+	// TopK is the returned ranking length (default 10).
+	TopK int
+	// Client issues the HTTP calls (default http.DefaultClient).
+	Client *http.Client
+}
+
+// Frontend is the inference worker + prompt scheduler of Figure 3: it owns
+// the model replica, consults the meta service, moves KV payloads to and
+// from cache workers, and executes Bipartite Attention.
+type Frontend struct {
+	cfg    FrontendConfig
+	ranker *ranking.Ranker
+
+	mu                           sync.Mutex
+	requests                     int64
+	userPrefix, itemPrefix       int64
+	reusedTokens, computedTokens int64
+	fetchErrors                  int64
+}
+
+// NewFrontend builds a frontend.
+func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("distserve: nil dataset")
+	}
+	if cfg.MetaURL == "" || len(cfg.CacheWorkers) == 0 {
+		return nil, fmt.Errorf("distserve: frontend needs a meta URL and at least one cache worker")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = scheduler.HotnessAware{}
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = 10
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	r, err := ranking.NewRanker(cfg.Dataset, cfg.Variant)
+	if err != nil {
+		return nil, err
+	}
+	return &Frontend{cfg: cfg, ranker: r}, nil
+}
+
+// userWorker and itemWorker shard entries across cache workers.
+func (f *Frontend) userWorker(u int) int {
+	return int(mix(uint64(u)) % uint64(len(f.cfg.CacheWorkers)))
+}
+
+func (f *Frontend) itemWorker(i int) int {
+	return int(mix(uint64(i)^0x1234) % uint64(len(f.cfg.CacheWorkers)))
+}
+
+// RankRequest / RankResponse mirror the single-process server's API.
+type RankRequest struct {
+	UserID       int   `json:"user_id"`
+	CandidateIDs []int `json:"candidate_ids"`
+}
+
+// RankResponse is the frontend's reply.
+type RankResponse struct {
+	Ranking        []int  `json:"ranking"`
+	Prefix         string `json:"prefix"`
+	ReusedTokens   int    `json:"reused_tokens"`
+	ComputedTokens int    `json:"computed_tokens"`
+}
+
+// Rank serves one request end to end through the disaggregated pool.
+func (f *Frontend) Rank(req RankRequest) (*RankResponse, error) {
+	ds := f.cfg.Dataset
+	if req.UserID < 0 || req.UserID >= len(ds.UserHistory) {
+		return nil, fmt.Errorf("distserve: unknown user %d", req.UserID)
+	}
+	if len(req.CandidateIDs) == 0 {
+		return nil, fmt.Errorf("distserve: empty candidate set")
+	}
+	for _, it := range req.CandidateIDs {
+		if it < 0 || it >= len(ds.ItemTokens) {
+			return nil, fmt.Errorf("distserve: unknown item %d", it)
+		}
+	}
+
+	hotness := f.metaAccess("user", uint64(req.UserID))
+	userTokens := len(ds.UserHistory[req.UserID])
+	itemTokens := 0
+	for _, it := range req.CandidateIDs {
+		itemTokens += len(ds.ItemTokens[it])
+	}
+	userLocs := f.metaLocate("user", uint64(req.UserID))
+	dec := f.cfg.Policy.Decide(scheduler.Context{
+		UserTokens:  userTokens,
+		ItemTokens:  itemTokens,
+		UserHotness: hotness,
+		UserCached:  len(userLocs) > 0,
+		// The disaggregated pool evicts internally; the frontend treats it
+		// as always admitting (cache workers apply their own budgets).
+		UserPoolHasSpace: true,
+	})
+
+	kind := dec.Kind
+	if dec.Recompute {
+		kind = bipartite.UserPrefix
+	}
+	var caches bipartite.CacheSet
+	if !dec.Recompute {
+		if kind == bipartite.UserPrefix && len(userLocs) > 0 {
+			if c := f.fetchCache(userLocs[0], fmt.Sprintf("user/%d", req.UserID)); c != nil {
+				caches.User = c
+			}
+		}
+		if kind == bipartite.ItemPrefix {
+			caches.Items = make(map[int]*model.KVCache, len(req.CandidateIDs))
+			for slot, it := range req.CandidateIDs {
+				if c := f.fetchCache(f.itemWorker(it), fmt.Sprintf("item/%d", it)); c != nil {
+					caches.Items[slot] = c
+				}
+			}
+		}
+	}
+
+	evalReq := ranking.EvalRequest{User: req.UserID, Candidates: req.CandidateIDs}
+	ranked, run, err := f.ranker.Rank(evalReq, kind, ranking.RankOpts{Caches: caches})
+	if err != nil {
+		return nil, err
+	}
+
+	// Write back freshly computed caches (the scheduler's background cache
+	// write path).
+	if !dec.Recompute {
+		if run.NewUserCache != nil && dec.AdmitUser {
+			f.storeCache(f.userWorker(req.UserID), "user", uint64(req.UserID), run.NewUserCache)
+		}
+		for slot, c := range run.NewItemCaches {
+			it := req.CandidateIDs[slot]
+			f.storeCache(f.itemWorker(it), "item", uint64(it), c)
+		}
+	}
+
+	f.mu.Lock()
+	f.requests++
+	if kind == bipartite.UserPrefix {
+		f.userPrefix++
+	} else {
+		f.itemPrefix++
+	}
+	f.reusedTokens += int64(run.ReusedTokens)
+	f.computedTokens += int64(run.ComputedTokens)
+	f.mu.Unlock()
+
+	k := f.cfg.TopK
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	top := make([]int, k)
+	for i := 0; i < k; i++ {
+		top[i] = req.CandidateIDs[ranked[i]]
+	}
+	return &RankResponse{
+		Ranking:        top,
+		Prefix:         kind.String(),
+		ReusedTokens:   run.ReusedTokens,
+		ComputedTokens: run.ComputedTokens,
+	}, nil
+}
+
+// metaAccess records an access; network failures degrade to cold (0).
+func (f *Frontend) metaAccess(kind string, id uint64) float64 {
+	body, err := json.Marshal(EntryRef{Kind: kind, ID: id})
+	if err != nil {
+		return 0
+	}
+	resp, err := f.cfg.Client.Post(f.cfg.MetaURL+"/v1/access", "application/json", bytes.NewReader(body))
+	if err != nil {
+		f.noteFetchError()
+		return 0
+	}
+	defer resp.Body.Close()
+	var out AccessResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil {
+		return 0
+	}
+	return out.Hotness
+}
+
+// metaLocate resolves an entry's workers; failures degrade to "not cached".
+func (f *Frontend) metaLocate(kind string, id uint64) []int {
+	u := fmt.Sprintf("%s/v1/locate?kind=%s&id=%d", f.cfg.MetaURL, url.QueryEscape(kind), id)
+	resp, err := f.cfg.Client.Get(u)
+	if err != nil {
+		f.noteFetchError()
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var out LocateResponse
+	if json.NewDecoder(resp.Body).Decode(&out) != nil {
+		return nil
+	}
+	return out.Workers
+}
+
+// fetchCache pulls and decodes one KV payload; any failure is a miss (the
+// request recomputes, never errors).
+func (f *Frontend) fetchCache(worker int, key string) *model.KVCache {
+	if worker < 0 || worker >= len(f.cfg.CacheWorkers) {
+		return nil
+	}
+	resp, err := f.cfg.Client.Get(f.cfg.CacheWorkers[worker] + "/kv/" + key)
+	if err != nil {
+		f.noteFetchError()
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		f.noteFetchError()
+		return nil
+	}
+	c := model.NewKVCache(f.ranker.W.Config())
+	if err := c.UnmarshalBinary(data); err != nil {
+		f.noteFetchError()
+		return nil
+	}
+	return c
+}
+
+// storeCache writes a payload and registers its location; failures are
+// silent (the cache is an optimization).
+func (f *Frontend) storeCache(worker int, kind string, id uint64, c *model.KVCache) {
+	data, err := c.MarshalBinary()
+	if err != nil {
+		return
+	}
+	key := fmt.Sprintf("%s/%d", kind, id)
+	req, err := http.NewRequest(http.MethodPut, f.cfg.CacheWorkers[worker]+"/kv/"+key, bytes.NewReader(data))
+	if err != nil {
+		return
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		f.noteFetchError()
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return
+	}
+	body, err := json.Marshal(RegisterRequest{EntryRef: EntryRef{Kind: kind, ID: id}, Worker: worker})
+	if err != nil {
+		return
+	}
+	if mresp, err := f.cfg.Client.Post(f.cfg.MetaURL+"/v1/register", "application/json", bytes.NewReader(body)); err == nil {
+		mresp.Body.Close()
+	}
+}
+
+func (f *Frontend) noteFetchError() {
+	f.mu.Lock()
+	f.fetchErrors++
+	f.mu.Unlock()
+}
+
+// FrontendStats is the /v1/stats payload.
+type FrontendStats struct {
+	Requests       int64   `json:"requests"`
+	UserPrefix     int64   `json:"user_prefix_requests"`
+	ItemPrefix     int64   `json:"item_prefix_requests"`
+	ReusedTokens   int64   `json:"reused_tokens"`
+	ComputedTokens int64   `json:"computed_tokens"`
+	TokenHitRate   float64 `json:"token_hit_rate"`
+	FetchErrors    int64   `json:"fetch_errors"`
+}
+
+// Stats snapshots the frontend.
+func (f *Frontend) Stats() FrontendStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FrontendStats{
+		Requests: f.requests, UserPrefix: f.userPrefix, ItemPrefix: f.itemPrefix,
+		ReusedTokens: f.reusedTokens, ComputedTokens: f.computedTokens,
+		FetchErrors: f.fetchErrors,
+	}
+	if total := st.ReusedTokens + st.ComputedTokens; total > 0 {
+		st.TokenHitRate = float64(st.ReusedTokens) / float64(total)
+	}
+	return st
+}
+
+// Handler exposes the frontend API: POST /v1/rank, GET /v1/stats, /healthz.
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/rank", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req RankRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := f.Rank(req)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(rw, resp)
+	})
+	mux.HandleFunc("/v1/stats", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, f.Stats())
+	})
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+	return mux
+}
+
+// mix is splitmix64's finalizer.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,161 @@
+package distserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"bat/internal/cachemeta"
+	"bat/internal/kvcache"
+)
+
+// MetaServer wraps the cache meta service (index + hotness) behind HTTP —
+// the logically centralized process of §5.1.
+type MetaServer struct {
+	mu    sync.Mutex
+	svc   *cachemeta.Service
+	start time.Time
+	now   func() time.Time
+}
+
+// NewMetaServer builds a meta server with the given hotness window.
+func NewMetaServer(windowSec float64, now func() time.Time) *MetaServer {
+	if now == nil {
+		now = time.Now
+	}
+	return &MetaServer{svc: cachemeta.New(windowSec), start: now(), now: now}
+}
+
+func (m *MetaServer) seconds() float64 { return m.now().Sub(m.start).Seconds() }
+
+// metaKey converts wire fields to a cache key.
+func metaKey(kind string, id uint64) (kvcache.EntryKey, error) {
+	switch kind {
+	case "user":
+		return kvcache.EntryKey{Kind: kvcache.UserEntry, ID: id}, nil
+	case "item":
+		return kvcache.EntryKey{Kind: kvcache.ItemEntry, ID: id}, nil
+	default:
+		return kvcache.EntryKey{}, fmt.Errorf("distserve: unknown entry kind %q", kind)
+	}
+}
+
+// EntryRef identifies one cache entry on the wire.
+type EntryRef struct {
+	Kind string `json:"kind"` // "user" | "item"
+	ID   uint64 `json:"id"`
+}
+
+// RegisterRequest binds an entry to a worker index.
+type RegisterRequest struct {
+	EntryRef
+	Worker int `json:"worker"`
+}
+
+// AccessResponse returns the refreshed hotness estimate.
+type AccessResponse struct {
+	Hotness float64 `json:"hotness"`
+}
+
+// LocateResponse lists the workers holding an entry.
+type LocateResponse struct {
+	Workers []int `json:"workers"`
+}
+
+// Handler exposes the meta service:
+//
+//	POST /v1/access     {kind,id}         -> {hotness}
+//	POST /v1/register   {kind,id,worker}
+//	POST /v1/unregister {kind,id,worker}
+//	GET  /v1/locate?kind=user&id=5        -> {workers:[...]}
+func (m *MetaServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/access", func(rw http.ResponseWriter, r *http.Request) {
+		var req EntryRef
+		if !decodeJSON(rw, r, &req) {
+			return
+		}
+		key, err := metaKey(req.Kind, req.ID)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		m.mu.Lock()
+		h := m.svc.RecordAccess(key, m.seconds())
+		m.mu.Unlock()
+		writeJSON(rw, AccessResponse{Hotness: h})
+	})
+	mux.HandleFunc("/v1/register", func(rw http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !decodeJSON(rw, r, &req) {
+			return
+		}
+		key, err := metaKey(req.Kind, req.ID)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		m.mu.Lock()
+		m.svc.RegisterEntry(key, cachemeta.WorkerID(req.Worker))
+		m.mu.Unlock()
+		rw.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/v1/unregister", func(rw http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !decodeJSON(rw, r, &req) {
+			return
+		}
+		key, err := metaKey(req.Kind, req.ID)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		m.mu.Lock()
+		m.svc.UnregisterEntry(key, cachemeta.WorkerID(req.Worker))
+		m.mu.Unlock()
+		rw.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/v1/locate", func(rw http.ResponseWriter, r *http.Request) {
+		kind := r.URL.Query().Get("kind")
+		var id uint64
+		if _, err := fmt.Sscanf(r.URL.Query().Get("id"), "%d", &id); err != nil {
+			http.Error(rw, "bad id", http.StatusBadRequest)
+			return
+		}
+		key, err := metaKey(kind, id)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		m.mu.Lock()
+		locs := m.svc.Locations(key)
+		m.mu.Unlock()
+		resp := LocateResponse{Workers: make([]int, len(locs))}
+		for i, w := range locs {
+			resp.Workers[i] = int(w)
+		}
+		writeJSON(rw, resp)
+	})
+	return mux
+}
+
+func decodeJSON(rw http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(rw http.ResponseWriter, v interface{}) {
+	rw.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(rw).Encode(v); err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bat/internal/costmodel"
+	"bat/internal/metrics"
+	"bat/internal/model"
+	"bat/internal/workload"
+)
+
+// Fig2aLatency regenerates Figure 2(a): per-request compute latency of
+// recomputation versus loading a prefix cache over PCIe, for the three
+// models across sequence lengths 512–8192, against the 100ms SLO.
+func Fig2aLatency(Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig2a",
+		Title:  "Latency: recompute vs prefix-cache load (A100, PCIe 4.0)",
+		Header: []string{"Model", "SeqLen", "Recompute", "PrefixLoad", "WithinSLO(100ms)"},
+	}
+	gpu := costmodel.A100PCIe4
+	for _, cfg := range model.PaperModels() {
+		for _, seq := range []int{512, 1024, 2048, 4096, 8192} {
+			recompute := costmodel.PrefillTime(gpu, cfg, seq, 0)
+			load := costmodel.KVLoadTime(gpu, cfg, seq)
+			within := "yes"
+			if recompute > 0.1 {
+				within = "no"
+			}
+			t.AddRow(cfg.Name, fmt.Sprintf("%d", seq), ms(recompute), ms(load), within)
+		}
+	}
+	t.Notes = append(t.Notes, "prefix load is one to two orders of magnitude cheaper than recomputation at long sequence lengths")
+	return t, nil
+}
+
+func industryTrace(o Options) (*workload.Generator, *workload.Trace, error) {
+	gen, err := workload.NewGenerator(workload.Industry, o.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := 30000
+	if o.Quick {
+		n = 4000
+	}
+	trace, err := gen.GenerateTrace(n, 3600)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gen, trace, nil
+}
+
+// Fig2bUserTokenCDF regenerates Figure 2(b): the CDF of user profile token
+// counts on the Industry trace.
+func Fig2bUserTokenCDF(o Options) (*Table, error) {
+	o = o.withDefaults()
+	gen, trace, err := industryTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	var cdf metrics.CDF
+	seen := map[workload.UserID]bool{}
+	below := 0
+	for _, r := range trace.Requests {
+		if seen[r.User] {
+			continue
+		}
+		seen[r.User] = true
+		tok := gen.UserTokens(r.User)
+		cdf.Add(float64(tok))
+		if tok < 1000 {
+			below++
+		}
+	}
+	t := &Table{
+		ID:     "fig2b",
+		Title:  "CDF of user profile token counts (Industry trace)",
+		Header: []string{"UserTokens<=", "CDF"},
+	}
+	for _, p := range cdf.Points(10) {
+		t.AddRow(fmt.Sprintf("%.0f", p[0]), pct(p[1]))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"%s of users have fewer profile tokens than one request's ~1000 candidate tokens (paper: ~36%%)",
+		pct(float64(below)/float64(cdf.Count()))))
+	return t, nil
+}
+
+// Fig2cUserFreqCDF regenerates Figure 2(c): the CDF of per-user hourly
+// access counts, showing the inactive-majority.
+func Fig2cUserFreqCDF(o Options) (*Table, error) {
+	o = o.withDefaults()
+	_, trace, err := industryTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[workload.UserID]int{}
+	for _, r := range trace.Requests {
+		counts[r.User]++
+	}
+	hist := map[int]int{}
+	atMostTwo := 0
+	for _, c := range counts {
+		bucket := c
+		if bucket > 8 {
+			bucket = 9
+		}
+		hist[bucket]++
+		if c <= 2 {
+			atMostTwo++
+		}
+	}
+	t := &Table{
+		ID:     "fig2c",
+		Title:  "CDF of user access frequency per hour (Industry trace)",
+		Header: []string{"Accesses/hour", "Users", "CDF"},
+	}
+	cum := 0
+	for _, k := range sortedKeys(hist) {
+		cum += hist[k]
+		label := fmt.Sprintf("%d", k)
+		if k == 9 {
+			label = ">8"
+		}
+		t.AddRow(label, fmt.Sprintf("%d", hist[k]), pct(float64(cum)/float64(len(counts))))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"%s of users access the system at most twice per hour (paper: majority inactive, >55%% once)",
+		pct(float64(atMostTwo)/float64(len(counts)))))
+	return t, nil
+}
+
+// Fig2dItemFreqCDF regenerates Figure 2(d): cumulative access share versus
+// item popularity rank.
+func Fig2dItemFreqCDF(o Options) (*Table, error) {
+	o = o.withDefaults()
+	gen, trace, err := industryTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[workload.ItemID]int{}
+	total := 0
+	// Sample candidates from a slice of the trace (each request retrieves
+	// 100 items; a subset is plenty for the distribution).
+	step := len(trace.Requests)/2000 + 1
+	for i := 0; i < len(trace.Requests); i += step {
+		r := trace.Requests[i]
+		for _, it := range gen.Candidates(uint64(r.Index), r.User) {
+			counts[it]++
+			total++
+		}
+	}
+	// Cumulative access share of the top q% of the corpus by popularity
+	// rank — the paper's Figure 2(d) axis. IDs are popularity ranks.
+	corpus := float64(workload.Industry.Items)
+	t := &Table{
+		ID:     "fig2d",
+		Title:  "CDF of item access frequency by popularity rank (Industry trace)",
+		Header: []string{"TopItems%", "AccessShare"},
+	}
+	marks := []float64{0.001, 0.01, 0.05, 0.10, 0.20, 0.50, 1.00}
+	var top10 float64
+	for _, mark := range marks {
+		cum := 0
+		limit := workload.ItemID(mark * corpus)
+		for id, n := range counts {
+			if id < limit {
+				cum += n
+			}
+		}
+		share := float64(cum) / float64(total)
+		t.AddRow(pct(mark), pct(share))
+		if mark == 0.10 {
+			top10 = share
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"top 10%% of items receive %s of accesses (paper: ~90%%)", pct(top10)))
+	return t, nil
+}
+
+// Table1Datasets regenerates Table 1 and cross-checks the generators'
+// empirical token averages against the configured ones.
+func Table1Datasets(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "table1",
+		Title:  "Dataset profiles (Table 1)",
+		Header: []string{"Dataset", "Users", "Items", "AvgUserTok", "AvgItemTok", "MeasuredUserTok", "MeasuredItemTok"},
+	}
+	for _, prof := range workload.Profiles() {
+		gen, err := workload.NewGenerator(prof, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var uSum, iSum float64
+		const n = 5000
+		for k := 0; k < n; k++ {
+			uSum += float64(gen.UserTokens(workload.UserID(k)))
+			iSum += float64(gen.ItemTokens(workload.ItemID(k)))
+		}
+		t.AddRow(prof.Name,
+			fmt.Sprintf("%d", prof.Users), fmt.Sprintf("%d", prof.Items),
+			fmt.Sprintf("%d", prof.AvgUserTokens), fmt.Sprintf("%d", prof.AvgItemTokens),
+			f1(uSum/n), f1(iSum/n))
+	}
+	return t, nil
+}
+
+// Table2Models regenerates Table 2: model architectures and per-token KV
+// cache size.
+func Table2Models(Options) (*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Model architectures (Table 2)",
+		Header: []string{"Model", "KVHeads", "HeadDim", "Layers", "KVBytes/Token"},
+	}
+	for _, cfg := range model.PaperModels() {
+		t.AddRow(cfg.Name,
+			fmt.Sprintf("%d", cfg.KVHeads), fmt.Sprintf("%d", cfg.HeadDim),
+			fmt.Sprintf("%d", cfg.Layers), fmt.Sprintf("%d", cfg.KVBytesPerToken()))
+	}
+	return t, nil
+}
+
+// Fig4FreqConsistency regenerates Figure 4: the similarity of a user's
+// request frequency across consecutive sliding windows,
+// 1 - |f(t)-f(t-δ)| / (f(t)+f(t-δ)), for 5-minute and 60-minute windows.
+func Fig4FreqConsistency(o Options) (*Table, error) {
+	o = o.withDefaults()
+	gen, err := workload.NewGenerator(workload.Industry, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	n := 40000
+	if o.Quick {
+		n = 6000
+	}
+	// Four hours of trace: enough for consecutive 60-minute windows.
+	trace, err := gen.GenerateTrace(n, 4*3600)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Consistency of user access frequency across consecutive windows",
+		Header: []string{"Window", "MeanSimilarity", "P50", "P90", "UsersMeasured"},
+	}
+	for _, windowSec := range []float64{300, 3600} {
+		var dig metrics.Digest
+		users := windowSimilarities(trace, windowSec, &dig)
+		label := "5min"
+		if windowSec == 3600 {
+			label = "60min"
+		}
+		t.AddRow(label, f2(dig.Mean()), f2(dig.P50()), f2(dig.Quantile(0.9)), fmt.Sprintf("%d", users))
+	}
+	t.Notes = append(t.Notes, "high similarity justifies using the current window frequency as the near-future estimate (§5.3)")
+	return t, nil
+}
+
+// windowSimilarities computes per-user similarity between consecutive
+// non-empty window frequencies and returns the number of users measured.
+func windowSimilarities(trace *workload.Trace, windowSec float64, dig *metrics.Digest) int {
+	perUser := map[workload.UserID]map[int]float64{}
+	for _, r := range trace.Requests {
+		w := int(r.Time / windowSec)
+		m, ok := perUser[r.User]
+		if !ok {
+			m = map[int]float64{}
+			perUser[r.User] = m
+		}
+		m[w]++
+	}
+	users := 0
+	nWindows := int(math.Ceil(trace.Duration / windowSec))
+	for _, m := range perUser {
+		if len(m) < 2 {
+			continue // a single active window has no consecutive pair
+		}
+		var sum float64
+		var pairs int
+		for w := 1; w < nWindows; w++ {
+			a, b := m[w-1], m[w]
+			if a == 0 || b == 0 {
+				// The paper's estimate concerns users the scheduler is
+				// actively tracking: compare consecutive windows in which
+				// the user issued requests.
+				continue
+			}
+			sum += 1 - math.Abs(a-b)/(a+b)
+			pairs++
+		}
+		if pairs > 0 {
+			dig.Add(sum / float64(pairs))
+			users++
+		}
+	}
+	return users
+}
+
+// sortSlice sorts s with the given ordering.
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}

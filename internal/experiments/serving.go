@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bat/internal/cluster"
+	"bat/internal/core"
+	"bat/internal/model"
+	"bat/internal/workload"
+)
+
+// mainTestbed returns the reduced-scale analogue of the §6.1 4-node A100
+// testbed (see the package comment for the scaling rationale).
+func mainTestbed(prof workload.Profile, cfg model.Config, seed int64) core.Options {
+	return core.Options{
+		Profile:      prof,
+		Model:        cfg,
+		Nodes:        4,
+		HostMemBytes: 12 << 30,
+		Seed:         seed,
+	}
+}
+
+func servingModels(o Options) []model.Config {
+	if o.Quick {
+		return []model.Config{model.Qwen2_1_5B}
+	}
+	return model.PaperModels()
+}
+
+func servingProfiles(o Options) []workload.Profile {
+	if o.Quick {
+		return []workload.Profile{workload.Games, workload.Books}
+	}
+	return workload.Profiles()
+}
+
+// requestsFor sizes a trace for a profile: the Industry population is an
+// order of magnitude larger than the others, so its trace is denser —
+// keeping the cache-reuse distance beyond the scaled pools the way 10^8
+// daily users keep it beyond 150 GB nodes.
+func requestsFor(o Options, prof workload.Profile) int {
+	if strings.HasPrefix(prof.Name, "Industry") {
+		return o.Requests * 2
+	}
+	return o.Requests
+}
+
+// runSystems executes the four headline systems on one dataset/model cell.
+func runSystems(o Options, prof workload.Profile, cfg model.Config) (map[core.System]*cluster.Stats, error) {
+	out := make(map[core.System]*cluster.Stats, 4)
+	for _, sys := range core.Systems() {
+		d, err := core.Build(sys, mainTestbed(prof, cfg, o.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s/%s: %w", sys, prof.Name, cfg.Name, err)
+		}
+		st, err := d.RunThroughput(requestsFor(o, prof), 3600)
+		if err != nil {
+			return nil, err
+		}
+		out[sys] = st
+	}
+	return out, nil
+}
+
+// Fig5QPS regenerates Figure 5: serving throughput of RE/UP/IP/BAT across
+// the four datasets and three models.
+func Fig5QPS(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig5",
+		Title:  "System QPS across datasets and models (Figure 5)",
+		Header: []string{"Dataset", "Model", "RE", "UP", "IP", "BAT", "BAT/UP", "BAT/RE"},
+	}
+	for _, prof := range servingProfiles(o) {
+		for _, cfg := range servingModels(o) {
+			stats, err := runSystems(o, prof, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(prof.Name, cfg.Name,
+				f1(stats[core.RE].QPS), f1(stats[core.UP].QPS),
+				f1(stats[core.IP].QPS), f1(stats[core.BAT].QPS),
+				f2(stats[core.BAT].QPS/stats[core.UP].QPS),
+				f2(stats[core.BAT].QPS/stats[core.RE].QPS))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: BAT up to 1.6x over UP and 2.3x over RE; UP beats IP only on Games")
+	return t, nil
+}
+
+// Fig6HitRate regenerates Figure 6: cache hit rate (reused prefix tokens /
+// total prompt tokens) on the same grid.
+func Fig6HitRate(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Cache hit rate across datasets and models (Figure 6)",
+		Header: []string{"Dataset", "Model", "RE", "UP", "IP", "BAT", "BAT ComputeSavings"},
+	}
+	for _, prof := range servingProfiles(o) {
+		for _, cfg := range servingModels(o) {
+			stats, err := runSystems(o, prof, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(prof.Name, cfg.Name,
+				pct(stats[core.RE].HitRate()), pct(stats[core.UP].HitRate()),
+				pct(stats[core.IP].HitRate()), pct(stats[core.BAT].HitRate()),
+				pct(stats[core.BAT].ComputeSavings()))
+		}
+	}
+	t.Notes = append(t.Notes, "paper: BAT reaches up to 58% hit rate / compute savings")
+	return t, nil
+}
+
+// Fig7Placement regenerates Figure 7: HRCS vs full replication vs hash
+// sharding under 10 and 100 Gbps networks (Books, Qwen2-1.5B).
+func Fig7Placement(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Impact of HRCS item cache placement (Books-scaled, Qwen2-1.5B)",
+		Header: []string{"Network", "System", "QPS", "HitRate", "RemoteTokens%", "ItemArea/Node"},
+	}
+	// The paper's Books corpus occupies ~77% of a node's KV memory, so full
+	// replication fits but starves the user cache; 21K items reproduce that
+	// ratio against the scaled 12 GB nodes.
+	prof := workload.BooksX(21_000)
+	for _, gbps := range []float64{10, 100} {
+		for _, sys := range []core.System{core.BAT, core.BATReplicate, core.BATHash} {
+			opt := mainTestbed(prof, model.Qwen2_1_5B, o.Seed)
+			opt.ItemBudgetFraction = 0.85
+			opt.LinkGbps = gbps
+			d, err := core.Build(sys, opt)
+			if err != nil {
+				return nil, err
+			}
+			st, err := d.RunThroughput(o.Requests, 3600)
+			if err != nil {
+				return nil, err
+			}
+			remotePct := 0.0
+			if st.ReusedTokens > 0 {
+				remotePct = float64(st.RemoteTokens) / float64(st.ReusedTokens)
+			}
+			t.AddRow(fmt.Sprintf("%gGbps", gbps), sys.String(),
+				f1(st.QPS), pct(st.HitRate()), pct(remotePct),
+				fmt.Sprintf("%.1fGB", float64(d.Plan.ItemBytesPerWorker())/(1<<30)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: BAT beats Replicate by 10%/16% (10/100Gbps); Hash has the best hit rate but pays ~31% communication at 10Gbps")
+	return t, nil
+}
+
+// Fig8Scheduling regenerates Figure 8: hotness-aware vs cache-agnostic
+// scheduling while sweeping the user cache size (item cache fixed).
+func Fig8Scheduling(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig8",
+		Title:  "Impact of hotness-aware prompt scheduling (Books, Qwen2-1.5B)",
+		Header: []string{"UserCache/Node", "System", "QPS", "HitRate"},
+	}
+	// The paper sweeps 25–100 GB on 150 GB nodes; scaled to the 12 GB
+	// testbed that is 2–8 GB.
+	sizes := []int64{2 << 30, 4 << 30, 6 << 30, 8 << 30}
+	if o.Quick {
+		sizes = []int64{2 << 30, 8 << 30}
+	}
+	for _, userBytes := range sizes {
+		for _, sys := range []core.System{core.BAT, core.BATCacheAgnostic} {
+			opt := mainTestbed(workload.Books, model.Qwen2_1_5B, o.Seed)
+			opt.UserCacheBytesOverride = userBytes
+			d, err := core.Build(sys, opt)
+			if err != nil {
+				return nil, err
+			}
+			st, err := d.RunThroughput(o.Requests, 3600)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%dGB", userBytes>>30), sys.String(), f1(st.QPS), pct(st.HitRate()))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: the cache-agnostic baseline collapses when the user cache is small; BAT sustains throughput by diverting cold users to Item-as-prefix")
+	return t, nil
+}
+
+// Table4Ablation regenerates Table 4: the ABC ablation on Books-280K-scale
+// and Books-1M-scale corpora. Corpus sizes are scaled to keep the paper's
+// corpus-bytes to node-memory ratios (280K items ≈ 0.77x node memory;
+// 1M items ≈ 2.7x) against the 12 GB reduced nodes.
+func Table4Ablation(o Options) (*Table, error) {
+	o = o.withDefaults()
+	variants := []core.Variant{
+		{Bipartite: true, HRCS: true, HotnessSched: true}, // ABC
+		{Bipartite: true, HRCS: true},                     // AB
+		{Bipartite: true, HotnessSched: true},             // AC
+		{Bipartite: true},                                 // A
+		{},                                                // None
+	}
+	datasets := []struct {
+		label string
+		prof  workload.Profile
+	}{
+		{"Books-280K(scaled)", workload.BooksX(21_000)},
+		{"Books-1M(scaled)", workload.BooksX(75_000)},
+	}
+	t := &Table{
+		ID:     "table4",
+		Title:  "Ablation study, throughput in QPS (Table 4)",
+		Header: []string{"Dataset", "ABC", "AB", "AC", "A", "None"},
+	}
+	for _, ds := range datasets {
+		row := []string{ds.label}
+		for _, v := range variants {
+			opt := mainTestbed(ds.prof, model.Qwen2_1_5B, o.Seed)
+			opt.ItemBudgetFraction = 0.8
+			d, err := core.BuildVariant(v, opt)
+			if err != nil {
+				return nil, fmt.Errorf("variant %s on %s: %w", v, ds.label, err)
+			}
+			st, err := d.RunThroughput(o.Requests, 3600)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(st.QPS))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper (Books-280K): ABC 128, AB 128, AC 115, A 102, None 83; (Books-1M): ABC 126, AB 106, AC 125, A 105, None 83",
+		"without B the item cache is replicated, falling back to hash sharding when the corpus cannot replicate (the 1M case)")
+	return t, nil
+}

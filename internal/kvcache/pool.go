@@ -1,0 +1,295 @@
+// Package kvcache implements the KV cache worker's memory pool (§5.1): paged
+// storage accounted at user/item granularity, with the two eviction
+// disciplines the paper's systems use — plain LRU (the baseline cache from
+// Mooncake-style serving) and min-hotness replacement (what the
+// hotness-aware scheduler's admission rule needs).
+//
+// The pool tracks token counts and page accounting, not tensor payloads: the
+// cluster simulator needs capacity behaviour, while the real-model serving
+// path (internal/server) keeps payloads in model.KVCache values alongside.
+package kvcache
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+)
+
+// EntryKind distinguishes the two cache populations BAT manages separately.
+type EntryKind uint8
+
+const (
+	// UserEntry is a user-profile prefix cache.
+	UserEntry EntryKind = iota
+	// ItemEntry is a single item's prefix cache.
+	ItemEntry
+)
+
+// String implements fmt.Stringer.
+func (k EntryKind) String() string {
+	if k == UserEntry {
+		return "user"
+	}
+	return "item"
+}
+
+// EntryKey identifies one logical cache entry.
+type EntryKey struct {
+	Kind EntryKind
+	ID   uint64
+}
+
+// Entry is one user's or item's cached prefix.
+type Entry struct {
+	Key    EntryKey
+	Tokens int
+	Pages  int
+	// Hotness is the sliding-window frequency estimate maintained by the
+	// cache meta service; the min-hotness policy evicts the coldest entry.
+	Hotness float64
+	// Pinned entries are placement-managed (the HRCS item area) and exempt
+	// from eviction.
+	Pinned bool
+
+	lruElem  *list.Element
+	heapIdx  int
+	resident bool
+}
+
+// EvictPolicy selects the replacement discipline for unpinned entries.
+type EvictPolicy uint8
+
+const (
+	// EvictLRU evicts the least recently used entry.
+	EvictLRU EvictPolicy = iota
+	// EvictMinHotness evicts the entry with the lowest hotness estimate.
+	EvictMinHotness
+)
+
+// Pool is one cache worker's paged memory.
+type Pool struct {
+	pageBytes     int
+	bytesPerToken int
+	capacityPages int
+	usedPages     int
+	policy        EvictPolicy
+
+	entries map[EntryKey]*Entry
+	lru     *list.List // front = most recent
+	hotHeap entryHeap
+
+	// OnEvict, when set, observes each capacity-evicted entry — the spill
+	// hook a slower tier uses to absorb victims (see TieredPool).
+	OnEvict func(*Entry)
+
+	// Stats accumulate over the pool's lifetime.
+	Hits, Misses, Evictions, Rejections int64
+}
+
+// NewPool builds a pool of capacityBytes split into pageBytes pages, storing
+// entries whose size is tokens*bytesPerToken.
+func NewPool(capacityBytes int64, pageBytes, bytesPerToken int, policy EvictPolicy) (*Pool, error) {
+	if capacityBytes < 0 || pageBytes <= 0 || bytesPerToken <= 0 {
+		return nil, fmt.Errorf("kvcache: invalid pool geometry (capacity %d, page %d, token %d)", capacityBytes, pageBytes, bytesPerToken)
+	}
+	return &Pool{
+		pageBytes:     pageBytes,
+		bytesPerToken: bytesPerToken,
+		capacityPages: int(capacityBytes / int64(pageBytes)),
+		policy:        policy,
+		entries:       make(map[EntryKey]*Entry),
+		lru:           list.New(),
+	}, nil
+}
+
+// PagesFor returns how many pages an entry of the given token count needs.
+func (p *Pool) PagesFor(tokens int) int {
+	bytes := tokens * p.bytesPerToken
+	return (bytes + p.pageBytes - 1) / p.pageBytes
+}
+
+// CapacityBytes returns the pool's total size.
+func (p *Pool) CapacityBytes() int64 { return int64(p.capacityPages) * int64(p.pageBytes) }
+
+// UsedBytes returns the bytes held by resident entries (page-rounded).
+func (p *Pool) UsedBytes() int64 { return int64(p.usedPages) * int64(p.pageBytes) }
+
+// FreeBytes returns remaining capacity.
+func (p *Pool) FreeBytes() int64 { return p.CapacityBytes() - p.UsedBytes() }
+
+// Len returns the number of resident entries.
+func (p *Pool) Len() int { return len(p.entries) }
+
+// Lookup finds an entry, recording a hit or miss and refreshing recency.
+func (p *Pool) Lookup(k EntryKey) (*Entry, bool) {
+	e, ok := p.entries[k]
+	if !ok {
+		p.Misses++
+		return nil, false
+	}
+	p.Hits++
+	if e.lruElem != nil {
+		p.lru.MoveToFront(e.lruElem)
+	}
+	return e, true
+}
+
+// Contains reports residency without touching stats or recency.
+func (p *Pool) Contains(k EntryKey) bool {
+	_, ok := p.entries[k]
+	return ok
+}
+
+// MinHotness returns the lowest hotness among unpinned resident entries;
+// ok is false when there are none. This is the threshold the hotness-aware
+// scheduler compares incoming users against (§5.3).
+func (p *Pool) MinHotness() (float64, bool) {
+	switch p.policy {
+	case EvictMinHotness:
+		if len(p.hotHeap) == 0 {
+			return 0, false
+		}
+		return p.hotHeap[0].Hotness, true
+	default:
+		min, found := 0.0, false
+		for e := p.lru.Back(); e != nil; e = e.Prev() {
+			ent := e.Value.(*Entry)
+			if !found || ent.Hotness < min {
+				min, found = ent.Hotness, true
+			}
+		}
+		return min, found
+	}
+}
+
+// Put inserts (or refreshes) an entry, evicting unpinned entries as needed.
+// It reports the entry and whether it is resident afterwards; insertion fails
+// (a rejection) when the entry cannot fit even after evicting everything
+// evictable, or when pinned space plus this entry exceeds capacity.
+func (p *Pool) Put(k EntryKey, tokens int, hotness float64) (*Entry, bool) {
+	return p.put(k, tokens, hotness, false)
+}
+
+// PutPinned inserts a placement-managed entry exempt from eviction — the
+// HRCS item area uses this for replicated and sharded items.
+func (p *Pool) PutPinned(k EntryKey, tokens int, hotness float64) (*Entry, bool) {
+	return p.put(k, tokens, hotness, true)
+}
+
+func (p *Pool) put(k EntryKey, tokens int, hotness float64, pinned bool) (*Entry, bool) {
+	if tokens <= 0 {
+		return nil, false
+	}
+	if old, ok := p.entries[k]; ok {
+		old.Hotness = hotness
+		p.fixHeap(old)
+		if old.lruElem != nil {
+			p.lru.MoveToFront(old.lruElem)
+		}
+		return old, true
+	}
+	need := p.PagesFor(tokens)
+	if need > p.capacityPages {
+		p.Rejections++
+		return nil, false
+	}
+	for p.usedPages+need > p.capacityPages {
+		if !p.evictOne() {
+			p.Rejections++
+			return nil, false
+		}
+	}
+	e := &Entry{Key: k, Tokens: tokens, Pages: need, Hotness: hotness, Pinned: pinned, resident: true, heapIdx: -1}
+	p.entries[k] = e
+	p.usedPages += need
+	if !pinned {
+		if p.policy == EvictMinHotness {
+			heap.Push(&p.hotHeap, e)
+		} else {
+			e.lruElem = p.lru.PushFront(e)
+		}
+	}
+	return e, true
+}
+
+// evictOne removes one unpinned victim under the pool's policy.
+func (p *Pool) evictOne() bool {
+	var victim *Entry
+	switch p.policy {
+	case EvictMinHotness:
+		if len(p.hotHeap) == 0 {
+			return false
+		}
+		victim = p.hotHeap[0]
+	default:
+		back := p.lru.Back()
+		if back == nil {
+			return false
+		}
+		victim = back.Value.(*Entry)
+	}
+	p.remove(victim)
+	p.Evictions++
+	if p.OnEvict != nil {
+		p.OnEvict(victim)
+	}
+	return true
+}
+
+// Remove deletes an entry regardless of pinning (placement refresh path).
+func (p *Pool) Remove(k EntryKey) bool {
+	e, ok := p.entries[k]
+	if !ok {
+		return false
+	}
+	p.remove(e)
+	return true
+}
+
+func (p *Pool) remove(e *Entry) {
+	delete(p.entries, e.Key)
+	p.usedPages -= e.Pages
+	if e.lruElem != nil {
+		p.lru.Remove(e.lruElem)
+		e.lruElem = nil
+	}
+	if e.heapIdx >= 0 {
+		heap.Remove(&p.hotHeap, e.heapIdx)
+	}
+	e.resident = false
+}
+
+// UpdateHotness refreshes an entry's hotness estimate (the meta service's
+// asynchronous decay path) and restores heap order.
+func (p *Pool) UpdateHotness(k EntryKey, hotness float64) bool {
+	e, ok := p.entries[k]
+	if !ok {
+		return false
+	}
+	e.Hotness = hotness
+	p.fixHeap(e)
+	return true
+}
+
+func (p *Pool) fixHeap(e *Entry) {
+	if e.heapIdx >= 0 {
+		heap.Fix(&p.hotHeap, e.heapIdx)
+	}
+}
+
+// entryHeap is a min-heap over hotness.
+type entryHeap []*Entry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].Hotness < h[j].Hotness }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *entryHeap) Push(x interface{}) { e := x.(*Entry); e.heapIdx = len(*h); *h = append(*h, e) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.heapIdx = -1
+	*h = old[:n-1]
+	return e
+}

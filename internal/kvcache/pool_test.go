@@ -1,0 +1,268 @@
+package kvcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustPool(t *testing.T, capacity int64, policy EvictPolicy) *Pool {
+	t.Helper()
+	// 1 KiB pages, 10 bytes per token: a 10-token entry needs 1 page.
+	p, err := NewPool(capacity, 1024, 10, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func uk(id uint64) EntryKey { return EntryKey{Kind: UserEntry, ID: id} }
+func ik(id uint64) EntryKey { return EntryKey{Kind: ItemEntry, ID: id} }
+
+func TestNewPoolRejectsBadGeometry(t *testing.T) {
+	if _, err := NewPool(-1, 1024, 10, EvictLRU); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, err := NewPool(1024, 0, 10, EvictLRU); err == nil {
+		t.Fatal("zero page size accepted")
+	}
+	if _, err := NewPool(1024, 64, 0, EvictLRU); err == nil {
+		t.Fatal("zero bytes/token accepted")
+	}
+}
+
+func TestPagesFor(t *testing.T) {
+	p := mustPool(t, 10*1024, EvictLRU)
+	cases := [][2]int{{1, 1}, {102, 1}, {103, 2}, {205, 3}}
+	for _, c := range cases {
+		if got := p.PagesFor(c[0]); got != c[1] {
+			t.Errorf("PagesFor(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestPutLookupHitMiss(t *testing.T) {
+	p := mustPool(t, 10*1024, EvictLRU)
+	if _, ok := p.Lookup(uk(1)); ok {
+		t.Fatal("lookup on empty pool hit")
+	}
+	if _, ok := p.Put(uk(1), 100, 1.0); !ok {
+		t.Fatal("put failed")
+	}
+	e, ok := p.Lookup(uk(1))
+	if !ok || e.Tokens != 100 {
+		t.Fatalf("lookup after put: %v %v", e, ok)
+	}
+	if p.Hits != 1 || p.Misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d", p.Hits, p.Misses)
+	}
+}
+
+func TestUserAndItemKeysDistinct(t *testing.T) {
+	p := mustPool(t, 10*1024, EvictLRU)
+	p.Put(uk(7), 10, 0)
+	if p.Contains(ik(7)) {
+		t.Fatal("user and item keys must not collide")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	p := mustPool(t, 3*1024, EvictLRU) // room for 3 one-page entries
+	p.Put(uk(1), 100, 0)
+	p.Put(uk(2), 100, 0)
+	p.Put(uk(3), 100, 0)
+	p.Lookup(uk(1)) // refresh 1; victim order now 2, 3, 1
+	p.Put(uk(4), 100, 0)
+	if p.Contains(uk(2)) {
+		t.Fatal("LRU should have evicted entry 2")
+	}
+	for _, id := range []uint64{1, 3, 4} {
+		if !p.Contains(uk(id)) {
+			t.Fatalf("entry %d missing", id)
+		}
+	}
+	if p.Evictions != 1 {
+		t.Fatalf("evictions = %d", p.Evictions)
+	}
+}
+
+func TestMinHotnessEviction(t *testing.T) {
+	p := mustPool(t, 3*1024, EvictMinHotness)
+	p.Put(uk(1), 100, 5.0)
+	p.Put(uk(2), 100, 1.0)
+	p.Put(uk(3), 100, 3.0)
+	if min, ok := p.MinHotness(); !ok || min != 1.0 {
+		t.Fatalf("MinHotness = %v %v", min, ok)
+	}
+	p.Put(uk(4), 100, 4.0)
+	if p.Contains(uk(2)) {
+		t.Fatal("coldest entry should have been evicted")
+	}
+	if min, ok := p.MinHotness(); !ok || min != 3.0 {
+		t.Fatalf("MinHotness after eviction = %v %v", min, ok)
+	}
+}
+
+func TestUpdateHotnessReordersHeap(t *testing.T) {
+	p := mustPool(t, 2*1024, EvictMinHotness)
+	p.Put(uk(1), 100, 1.0)
+	p.Put(uk(2), 100, 2.0)
+	if !p.UpdateHotness(uk(1), 10.0) {
+		t.Fatal("update failed")
+	}
+	p.Put(uk(3), 100, 5.0) // should evict 2 (hotness 2), not 1 (now 10)
+	if p.Contains(uk(2)) || !p.Contains(uk(1)) {
+		t.Fatal("UpdateHotness did not reorder eviction")
+	}
+	if p.UpdateHotness(uk(99), 1) {
+		t.Fatal("updating absent entry should fail")
+	}
+}
+
+func TestPinnedEntriesSurviveEviction(t *testing.T) {
+	p := mustPool(t, 2*1024, EvictLRU)
+	p.PutPinned(ik(1), 100, 0)
+	p.Put(uk(1), 100, 0)
+	// Pool full; inserting forces eviction of the unpinned user, never the
+	// pinned item.
+	p.Put(uk(2), 100, 0)
+	if !p.Contains(ik(1)) {
+		t.Fatal("pinned entry evicted")
+	}
+	if p.Contains(uk(1)) {
+		t.Fatal("unpinned entry should have been the victim")
+	}
+}
+
+func TestPutRejectsWhenOnlyPinnedRemain(t *testing.T) {
+	p := mustPool(t, 2*1024, EvictLRU)
+	p.PutPinned(ik(1), 100, 0)
+	p.PutPinned(ik(2), 100, 0)
+	if _, ok := p.Put(uk(1), 100, 0); ok {
+		t.Fatal("put should fail when pinned entries fill the pool")
+	}
+	if p.Rejections != 1 {
+		t.Fatalf("rejections = %d", p.Rejections)
+	}
+}
+
+func TestPutRejectsOversizedEntry(t *testing.T) {
+	p := mustPool(t, 2*1024, EvictLRU)
+	p.Put(uk(1), 100, 0)
+	if _, ok := p.Put(uk(2), 10_000, 0); ok {
+		t.Fatal("oversized entry accepted")
+	}
+	// Existing content untouched.
+	if !p.Contains(uk(1)) {
+		t.Fatal("rejection must not disturb resident entries")
+	}
+}
+
+func TestPutZeroTokensRejected(t *testing.T) {
+	p := mustPool(t, 1024, EvictLRU)
+	if _, ok := p.Put(uk(1), 0, 0); ok {
+		t.Fatal("zero-token entry accepted")
+	}
+}
+
+func TestPutExistingRefreshes(t *testing.T) {
+	p := mustPool(t, 3*1024, EvictLRU)
+	p.Put(uk(1), 100, 1)
+	p.Put(uk(2), 100, 1)
+	p.Put(uk(1), 100, 9) // refresh recency and hotness
+	p.Put(uk(3), 100, 1)
+	p.Put(uk(4), 100, 1) // evicts LRU = 2
+	if p.Contains(uk(2)) || !p.Contains(uk(1)) {
+		t.Fatal("refresh did not update recency")
+	}
+	e, _ := p.Lookup(uk(1))
+	if e.Hotness != 9 {
+		t.Fatalf("hotness not refreshed: %v", e.Hotness)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	p := mustPool(t, 2*1024, EvictLRU)
+	p.PutPinned(ik(1), 100, 0)
+	if !p.Remove(ik(1)) {
+		t.Fatal("remove failed")
+	}
+	if p.Remove(ik(1)) {
+		t.Fatal("double remove succeeded")
+	}
+	if p.UsedBytes() != 0 {
+		t.Fatalf("used bytes %d after remove", p.UsedBytes())
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	p := mustPool(t, 10*1024, EvictLRU)
+	p.Put(uk(1), 150, 0) // 1500 bytes -> 2 pages
+	if p.UsedBytes() != 2048 {
+		t.Fatalf("used = %d, want 2048", p.UsedBytes())
+	}
+	if p.FreeBytes() != 10*1024-2048 {
+		t.Fatalf("free = %d", p.FreeBytes())
+	}
+	if p.CapacityBytes() != 10*1024 {
+		t.Fatalf("capacity = %d", p.CapacityBytes())
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+// TestPoolInvariantProperty: under arbitrary operation sequences the pool
+// never exceeds capacity and accounting stays consistent.
+func TestPoolInvariantProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p, err := NewPool(8*1024, 1024, 10, EvictMinHotness)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			id := uint64(op % 37)
+			switch op % 4 {
+			case 0:
+				p.Put(uk(id), int(op%300)+1, float64(op%7))
+			case 1:
+				p.Lookup(uk(id))
+			case 2:
+				p.UpdateHotness(uk(id), float64(op%11))
+			case 3:
+				p.Remove(uk(id))
+			}
+			if p.UsedBytes() > p.CapacityBytes() {
+				return false
+			}
+			var pages int
+			for _, e := range p.entries {
+				pages += e.Pages
+			}
+			if pages != p.usedPages {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinHotnessLRUFallback(t *testing.T) {
+	p := mustPool(t, 4*1024, EvictLRU)
+	if _, ok := p.MinHotness(); ok {
+		t.Fatal("empty pool should have no min hotness")
+	}
+	p.Put(uk(1), 100, 3)
+	p.Put(uk(2), 100, 1)
+	if min, ok := p.MinHotness(); !ok || min != 1 {
+		t.Fatalf("MinHotness = %v %v", min, ok)
+	}
+}
+
+func TestEntryKindString(t *testing.T) {
+	if UserEntry.String() != "user" || ItemEntry.String() != "item" {
+		t.Fatal("EntryKind.String mismatch")
+	}
+}

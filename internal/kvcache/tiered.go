@@ -1,0 +1,95 @@
+package kvcache
+
+// TieredPool layers a fast tier (host DRAM) over a slow spill tier (cheap
+// local storage) — the multi-tier extension the paper defers in §3.3's
+// footnote ("Utilizing cheap local/remote storage can achieve a larger
+// cost-effective storage space ... we leave this for our future
+// exploration"). Fast-tier victims spill to the slow tier instead of being
+// dropped; slow-tier hits promote back to the fast tier. The caller charges
+// slow hits their higher load cost (see cluster.Config.SlowTier*).
+type TieredPool struct {
+	Fast, Slow *Pool
+
+	// SlowHits counts lookups served from the spill tier.
+	SlowHits int64
+}
+
+// TierLevel reports where a lookup was served from.
+type TierLevel int
+
+const (
+	// TierMiss means neither tier holds the entry.
+	TierMiss TierLevel = iota
+	// TierFast is a DRAM hit.
+	TierFast
+	// TierSlow is a spill-tier hit (promoted back to fast).
+	TierSlow
+)
+
+// String implements fmt.Stringer.
+func (l TierLevel) String() string {
+	switch l {
+	case TierFast:
+		return "fast"
+	case TierSlow:
+		return "slow"
+	default:
+		return "miss"
+	}
+}
+
+// NewTieredPool wires two pools together: fast-tier evictions spill into
+// slow. Both pools must exist; the slow tier typically uses plain LRU.
+func NewTieredPool(fast, slow *Pool) *TieredPool {
+	t := &TieredPool{Fast: fast, Slow: slow}
+	fast.OnEvict = func(e *Entry) {
+		// Spilled entries keep their hotness; the slow tier applies its own
+		// replacement among spilled victims.
+		slow.Put(e.Key, e.Tokens, e.Hotness)
+	}
+	return t
+}
+
+// Lookup checks the fast tier, then the slow tier. A slow hit is promoted
+// back to the fast tier (possibly spilling someone else down).
+func (t *TieredPool) Lookup(k EntryKey) (*Entry, TierLevel) {
+	if e, ok := t.Fast.Lookup(k); ok {
+		return e, TierFast
+	}
+	e, ok := t.Slow.Lookup(k)
+	if !ok {
+		return nil, TierMiss
+	}
+	t.SlowHits++
+	t.Slow.Remove(k)
+	if promoted, ok := t.Fast.Put(k, e.Tokens, e.Hotness); ok {
+		return promoted, TierSlow
+	}
+	// Promotion failed (pinned-full fast tier): serve from slow in place.
+	if back, ok := t.Slow.Put(k, e.Tokens, e.Hotness); ok {
+		return back, TierSlow
+	}
+	return e, TierSlow
+}
+
+// Contains reports residency in either tier without touching stats.
+func (t *TieredPool) Contains(k EntryKey) bool {
+	return t.Fast.Contains(k) || t.Slow.Contains(k)
+}
+
+// Put inserts into the fast tier (evictions spill down automatically).
+func (t *TieredPool) Put(k EntryKey, tokens int, hotness float64) (*Entry, bool) {
+	return t.Fast.Put(k, tokens, hotness)
+}
+
+// UpdateHotness refreshes whichever tier holds the entry.
+func (t *TieredPool) UpdateHotness(k EntryKey, hotness float64) bool {
+	if t.Fast.UpdateHotness(k, hotness) {
+		return true
+	}
+	return t.Slow.UpdateHotness(k, hotness)
+}
+
+// MinHotness reports the fast tier's admission threshold: the slow tier
+// absorbs evictions, so admission competes for DRAM only.
+func (t *TieredPool) MinHotness() (float64, bool) { return t.Fast.MinHotness() }

@@ -1,0 +1,100 @@
+package kvcache
+
+import "testing"
+
+func mustTiered(t *testing.T, fastCap, slowCap int64) *TieredPool {
+	t.Helper()
+	fast, err := NewPool(fastCap, 1024, 10, EvictLRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewPool(slowCap, 1024, 10, EvictLRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTieredPool(fast, slow)
+}
+
+func TestTieredSpillOnEviction(t *testing.T) {
+	tp := mustTiered(t, 2*1024, 4*1024)
+	tp.Put(uk(1), 100, 1)
+	tp.Put(uk(2), 100, 1)
+	tp.Put(uk(3), 100, 1) // evicts 1 from fast -> spills to slow
+	if tp.Fast.Contains(uk(1)) {
+		t.Fatal("entry 1 still in fast tier")
+	}
+	if !tp.Slow.Contains(uk(1)) {
+		t.Fatal("eviction did not spill to slow tier")
+	}
+	if !tp.Contains(uk(1)) {
+		t.Fatal("Contains should cover both tiers")
+	}
+}
+
+func TestTieredSlowHitPromotes(t *testing.T) {
+	tp := mustTiered(t, 2*1024, 4*1024)
+	tp.Put(uk(1), 100, 1)
+	tp.Put(uk(2), 100, 1)
+	tp.Put(uk(3), 100, 1) // 1 spills
+	e, lvl := tp.Lookup(uk(1))
+	if lvl != TierSlow || e == nil {
+		t.Fatalf("lookup level %v", lvl)
+	}
+	if tp.SlowHits != 1 {
+		t.Fatalf("slow hits %d", tp.SlowHits)
+	}
+	// Promoted back: next lookup is fast, and the displaced entry spilled.
+	if _, lvl := tp.Lookup(uk(1)); lvl != TierFast {
+		t.Fatalf("post-promotion level %v", lvl)
+	}
+	if tp.Slow.Contains(uk(1)) {
+		t.Fatal("promoted entry still in slow tier")
+	}
+	if !tp.Slow.Contains(uk(2)) {
+		t.Fatal("displaced entry did not spill")
+	}
+}
+
+func TestTieredMiss(t *testing.T) {
+	tp := mustTiered(t, 1024, 1024)
+	if e, lvl := tp.Lookup(uk(9)); lvl != TierMiss || e != nil {
+		t.Fatalf("expected miss, got %v", lvl)
+	}
+}
+
+func TestTieredSlowTierAlsoBounded(t *testing.T) {
+	tp := mustTiered(t, 1024, 2*1024)
+	for id := uint64(1); id <= 6; id++ {
+		tp.Put(uk(id), 100, 1)
+	}
+	// Fast holds 1 entry, slow holds 2; the rest fell off the end.
+	total := tp.Fast.Len() + tp.Slow.Len()
+	if total != 3 {
+		t.Fatalf("%d entries across tiers, want 3", total)
+	}
+	if tp.Contains(uk(1)) {
+		t.Fatal("oldest entry should be gone entirely")
+	}
+}
+
+func TestTieredUpdateHotness(t *testing.T) {
+	tp := mustTiered(t, 2*1024, 2*1024)
+	tp.Put(uk(1), 100, 1)
+	tp.Put(uk(2), 100, 1)
+	tp.Put(uk(3), 100, 1) // 1 in slow now
+	if !tp.UpdateHotness(uk(1), 9) {
+		t.Fatal("slow-tier hotness update failed")
+	}
+	if !tp.UpdateHotness(uk(3), 9) {
+		t.Fatal("fast-tier hotness update failed")
+	}
+	if tp.UpdateHotness(uk(99), 1) {
+		t.Fatal("absent entry updated")
+	}
+}
+
+func TestTierLevelString(t *testing.T) {
+	if TierMiss.String() != "miss" || TierFast.String() != "fast" || TierSlow.String() != "slow" {
+		t.Fatal("TierLevel strings")
+	}
+}

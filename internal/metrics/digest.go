@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Digest collects scalar samples and reports order statistics. It stores all
+// samples; experiment runs are bounded (≤ a few hundred thousand requests) so
+// exactness beats sketching here.
+type Digest struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add records one sample.
+func (d *Digest) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+	d.sum += v
+}
+
+// Count returns the number of samples.
+func (d *Digest) Count() int { return len(d.samples) }
+
+// Sum returns the sample total.
+func (d *Digest) Sum() float64 { return d.sum }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (d *Digest) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.samples))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using nearest-rank
+// interpolation; 0 with no samples.
+func (d *Digest) Quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+	if q <= 0 {
+		return d.samples[0]
+	}
+	if q >= 1 {
+		return d.samples[len(d.samples)-1]
+	}
+	pos := q * float64(len(d.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return d.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+}
+
+// P50 returns the median.
+func (d *Digest) P50() float64 { return d.Quantile(0.50) }
+
+// P99 returns the 99th percentile — the paper's serving SLO statistic.
+func (d *Digest) P99() float64 { return d.Quantile(0.99) }
+
+// Max returns the largest sample, or 0 with no samples.
+func (d *Digest) Max() float64 { return d.Quantile(1) }
+
+// CDF is an empirical cumulative distribution over float64 values, used to
+// regenerate the paper's Figure 2 (b)–(d) trace-distribution plots.
+type CDF struct {
+	values []float64
+	sorted bool
+}
+
+// Add records one value.
+func (c *CDF) Add(v float64) {
+	c.values = append(c.values, v)
+	c.sorted = false
+}
+
+// At returns the fraction of values ≤ x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.values) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	idx := sort.SearchFloat64s(c.values, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.values))
+}
+
+// Points samples the CDF at n evenly spaced quantiles and returns
+// (value, cumulative-fraction) pairs suitable for plotting.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.values) == 0 || n <= 0 {
+		return nil
+	}
+	c.ensureSorted()
+	out := make([][2]float64, 0, n)
+	for i := 1; i <= n; i++ {
+		frac := float64(i) / float64(n)
+		idx := int(frac*float64(len(c.values))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, [2]float64{c.values[idx], frac})
+	}
+	return out
+}
+
+// Count returns the number of recorded values.
+func (c *CDF) Count() int { return len(c.values) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.values)
+		c.sorted = true
+	}
+}
+
+// FormatPct renders a fraction as a percentage string with one decimal.
+func FormatPct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

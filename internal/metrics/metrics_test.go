@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankEvalPerfectRanking(t *testing.T) {
+	e := NewRankEval(10)
+	e.Observe([]int{7, 1, 2}, 7)
+	if e.Recall() != 1 || e.MRR() != 1 || e.NDCG() != 1 {
+		t.Fatalf("rank-1 hit: recall=%v mrr=%v ndcg=%v", e.Recall(), e.MRR(), e.NDCG())
+	}
+}
+
+func TestRankEvalRankTwo(t *testing.T) {
+	e := NewRankEval(10)
+	e.Observe([]int{1, 7, 2}, 7)
+	if e.Recall() != 1 {
+		t.Fatalf("recall = %v", e.Recall())
+	}
+	if math.Abs(e.MRR()-0.5) > 1e-12 {
+		t.Fatalf("MRR = %v, want 0.5", e.MRR())
+	}
+	want := 1 / math.Log2(3)
+	if math.Abs(e.NDCG()-want) > 1e-12 {
+		t.Fatalf("NDCG = %v, want %v", e.NDCG(), want)
+	}
+}
+
+func TestRankEvalMiss(t *testing.T) {
+	e := NewRankEval(2)
+	e.Observe([]int{1, 2, 7}, 7) // truth at rank 3 > K=2
+	if e.Recall() != 0 || e.MRR() != 0 || e.NDCG() != 0 {
+		t.Fatal("beyond-cutoff hit should score 0")
+	}
+	e.Observe([]int{1, 2}, 9) // truth absent entirely
+	if e.Recall() != 0 {
+		t.Fatal("absent truth should score 0")
+	}
+	if e.Count() != 2 {
+		t.Fatalf("count = %d", e.Count())
+	}
+}
+
+func TestRankEvalAverages(t *testing.T) {
+	e := NewRankEval(5)
+	e.Observe([]int{7}, 7)    // hit rank 1
+	e.Observe([]int{1, 2}, 9) // miss
+	if e.Recall() != 0.5 {
+		t.Fatalf("recall = %v", e.Recall())
+	}
+}
+
+func TestRankEvalEmptyIsZero(t *testing.T) {
+	e := NewRankEval(5)
+	if e.Recall() != 0 || e.MRR() != 0 || e.NDCG() != 0 || e.Count() != 0 {
+		t.Fatal("empty evaluator should report zeros")
+	}
+}
+
+// Property: Recall >= NDCG >= MRR always (with one relevant item,
+// 1 >= 1/log2(r+1) >= 1/r for r >= 1).
+func TestRankMetricOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewRankEval(10)
+		for i := 0; i < 50; i++ {
+			n := rng.Intn(20) + 1
+			ranked := rng.Perm(n)
+			e.Observe(ranked, rng.Intn(n+2)) // sometimes absent
+		}
+		return e.Recall() >= e.NDCG() && e.NDCG() >= e.MRR()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigestQuantiles(t *testing.T) {
+	var d Digest
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	if d.Count() != 100 || d.Sum() != 5050 {
+		t.Fatalf("count %d sum %v", d.Count(), d.Sum())
+	}
+	if d.Mean() != 50.5 {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	if got := d.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := d.Max(); got != 100 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := d.P50(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := d.P99(); got < 99 || got > 100 {
+		t.Fatalf("p99 = %v", got)
+	}
+}
+
+func TestDigestAddAfterQuantile(t *testing.T) {
+	var d Digest
+	d.Add(5)
+	_ = d.P50()
+	d.Add(1) // must re-sort
+	if d.Quantile(0) != 1 {
+		t.Fatal("digest did not re-sort after Add")
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	var d Digest
+	if d.Mean() != 0 || d.P99() != 0 || d.Max() != 0 {
+		t.Fatal("empty digest should report zeros")
+	}
+}
+
+func TestDigestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		var d Digest
+		for _, v := range raw {
+			if math.IsNaN(float64(v)) {
+				continue
+			}
+			d.Add(float64(v))
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := d.Quantile(q)
+			if d.Count() > 0 && v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{1, 2, 2, 3} {
+		c.Add(v)
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 10; i++ {
+		c.Add(float64(i))
+	}
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[4][0] != 10 || pts[4][1] != 1 {
+		t.Fatalf("last point = %v", pts[4])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] {
+			t.Fatal("CDF points must be non-decreasing")
+		}
+	}
+	if c.Points(0) != nil {
+		t.Fatal("Points(0) should be nil")
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.At(5) != 0 || c.Points(3) != nil || c.Count() != 0 {
+		t.Fatal("empty CDF should report zeros")
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := FormatPct(0.583); got != "58.3%" {
+		t.Fatalf("FormatPct = %q", got)
+	}
+}

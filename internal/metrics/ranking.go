@@ -1,0 +1,60 @@
+// Package metrics provides the evaluation measures used in the paper's
+// experiments: ranking quality (Recall@k, MRR@k, NDCG@k from §6.3), latency
+// percentile digests (Fig. 9), and empirical CDFs (Fig. 2).
+package metrics
+
+import "math"
+
+// RankEval accumulates ranking-quality metrics over requests. Each Observe
+// call scores one ranked candidate list against a single ground-truth item,
+// matching the paper's LlamaRec-style evaluation where exactly one positive
+// appears among the retrieved candidates.
+type RankEval struct {
+	K      int
+	n      int
+	recall float64
+	mrr    float64
+	ndcg   float64
+}
+
+// NewRankEval returns an evaluator for cutoff k.
+func NewRankEval(k int) *RankEval { return &RankEval{K: k} }
+
+// Observe records one request: ranked is the candidate list in descending
+// score order, truth the ground-truth candidate. With a single relevant item,
+// NDCG@k reduces to 1/log2(rank+1) and MRR@k to 1/rank within the cutoff.
+func (e *RankEval) Observe(ranked []int, truth int) {
+	e.n++
+	rank := -1
+	for i, c := range ranked {
+		if c == truth {
+			rank = i + 1
+			break
+		}
+	}
+	if rank < 0 || rank > e.K {
+		return
+	}
+	e.recall++
+	e.mrr += 1 / float64(rank)
+	e.ndcg += 1 / math.Log2(float64(rank)+1)
+}
+
+// Count returns the number of observed requests.
+func (e *RankEval) Count() int { return e.n }
+
+// Recall returns Recall@K over all observed requests.
+func (e *RankEval) Recall() float64 { return e.ratio(e.recall) }
+
+// MRR returns MRR@K.
+func (e *RankEval) MRR() float64 { return e.ratio(e.mrr) }
+
+// NDCG returns NDCG@K.
+func (e *RankEval) NDCG() float64 { return e.ratio(e.ndcg) }
+
+func (e *RankEval) ratio(sum float64) float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return sum / float64(e.n)
+}

@@ -1,0 +1,263 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"bat/internal/tensor"
+)
+
+func newArena(t *testing.T, blockTokens int) *BlockArena {
+	t.Helper()
+	a, err := NewBlockArena(TinyGR(128), blockTokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewBlockArenaValidation(t *testing.T) {
+	if _, err := NewBlockArena(TinyGR(16), 0); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	bad := TinyGR(16)
+	bad.Layers = 0
+	if _, err := NewBlockArena(bad, 4); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestPagedForwardMatchesFlat: the paged backend must be bit-identical to
+// contiguous storage through the full forward pass.
+func TestPagedForwardMatchesFlat(t *testing.T) {
+	w := tinyWeights(t, 128)
+	rng := rand.New(rand.NewSource(3))
+	toks := randTokens(rng, 19, 128) // deliberately not block-aligned
+	pos := seqPos(19)
+
+	flat := NewKVCache(w.Config())
+	hFlat := w.Forward(toks, pos, nil, flat)
+
+	arena := newArena(t, 4)
+	paged := arena.NewKVCache()
+	hPaged := w.Forward(toks, pos, nil, paged)
+
+	if d := tensor.MaxAbsDiff(hFlat.Data, hPaged.Data); d != 0 {
+		t.Fatalf("paged forward deviates by %v", d)
+	}
+	// And a cached suffix over each matches too.
+	suffix := []int{5, 6, 7}
+	spos := []int{19, 20, 21}
+	s1 := w.Forward(suffix, spos, nil, flat)
+	s2 := w.Forward(suffix, spos, nil, paged)
+	if d := tensor.MaxAbsDiff(s1.Data, s2.Data); d != 0 {
+		t.Fatalf("paged suffix deviates by %v", d)
+	}
+}
+
+// TestPagedConcatSharesAlignedBlocks: block-aligned caches concatenate with
+// zero copying — the PagedAttention prefix-sharing property.
+func TestPagedConcatSharesAlignedBlocks(t *testing.T) {
+	w := tinyWeights(t, 128)
+	arena := newArena(t, 4)
+	rng := rand.New(rand.NewSource(4))
+
+	// Two caches of exactly 8 tokens (2 blocks each).
+	a := arena.NewKVCache()
+	w.Forward(randTokens(rng, 8, 128), seqPos(8), nil, a)
+	b := arena.NewKVCache()
+	w.Forward(randTokens(rng, 8, 128), seqPos(8), nil, b)
+
+	before := arena.Stats()
+	merged := ConcatCaches(a, b)
+	after := arena.Stats()
+	if merged.Len() != 16 {
+		t.Fatalf("merged %d tokens", merged.Len())
+	}
+	if after.BlocksAllocated != before.BlocksAllocated {
+		t.Fatalf("aligned concat allocated %d new blocks", after.BlocksAllocated-before.BlocksAllocated)
+	}
+	if after.ShareEvents <= before.ShareEvents {
+		t.Fatal("no share events recorded")
+	}
+	// The merged cache reads the same content as its sources.
+	for tok := 0; tok < 8; tok++ {
+		if d := tensor.MaxAbsDiff(merged.layerK(0, tok, 0), a.layerK(0, tok, 0)); d != 0 {
+			t.Fatalf("merged token %d deviates", tok)
+		}
+		if d := tensor.MaxAbsDiff(merged.layerK(0, 8+tok, 0), b.layerK(0, tok, 0)); d != 0 {
+			t.Fatalf("merged token %d (from b) deviates", tok)
+		}
+	}
+}
+
+// TestPagedCopyOnWrite: appending to a cache that shares blocks must not
+// disturb the sharer.
+func TestPagedCopyOnWrite(t *testing.T) {
+	w := tinyWeights(t, 128)
+	arena := newArena(t, 4)
+	rng := rand.New(rand.NewSource(5))
+	toks := randTokens(rng, 6, 128) // 1.5 blocks
+
+	orig := arena.NewKVCache()
+	w.Forward(toks, seqPos(6), nil, orig)
+	snapshot := orig.layerK(0, 5, 0)
+	want := append([]float32(nil), snapshot...)
+
+	clone := orig.Clone()
+	// Appending through the clone lands in token slots 6, 7 of the shared
+	// half-full block: CoW must isolate the write.
+	w.Forward([]int{9, 10}, []int{6, 7}, nil, clone)
+
+	if d := tensor.MaxAbsDiff(orig.layerK(0, 5, 0), want); d != 0 {
+		t.Fatalf("append through clone disturbed the original by %v", d)
+	}
+	if clone.Len() != 8 || orig.Len() != 6 {
+		t.Fatalf("lengths %d/%d", clone.Len(), orig.Len())
+	}
+	// Clone content for the shared prefix matches the original.
+	for tok := 0; tok < 6; tok++ {
+		if d := tensor.MaxAbsDiff(clone.layerK(1, tok, 1), orig.layerK(1, tok, 1)); d != 0 {
+			t.Fatalf("clone prefix token %d deviates", tok)
+		}
+	}
+}
+
+// TestPagedReleaseRecyclesBlocks: Release returns pages to the free list and
+// subsequent caches reuse them.
+func TestPagedReleaseRecyclesBlocks(t *testing.T) {
+	w := tinyWeights(t, 128)
+	arena := newArena(t, 4)
+	rng := rand.New(rand.NewSource(6))
+
+	c1 := arena.NewKVCache()
+	w.Forward(randTokens(rng, 12, 128), seqPos(12), nil, c1)
+	allocated := arena.Stats().BlocksAllocated
+	c1.Release()
+	if got := arena.Stats().BlocksFree; got != allocated {
+		t.Fatalf("%d free blocks after release, want %d", got, allocated)
+	}
+	c2 := arena.NewKVCache()
+	w.Forward(randTokens(rng, 12, 128), seqPos(12), nil, c2)
+	if arena.Stats().BlocksAllocated != allocated {
+		t.Fatal("released blocks were not recycled")
+	}
+}
+
+func TestPagedTruncateDecrefs(t *testing.T) {
+	w := tinyWeights(t, 128)
+	arena := newArena(t, 4)
+	rng := rand.New(rand.NewSource(7))
+	c := arena.NewKVCache()
+	toks := randTokens(rng, 12, 128)
+	w.Forward(toks, seqPos(12), nil, c)
+	c.Truncate(5) // keeps blocks 0,1; frees block 2
+	if got := arena.Stats().BlocksFree; got != 1 {
+		t.Fatalf("%d free blocks after truncate, want 1", got)
+	}
+	// Recompute the dropped suffix: identical to the original.
+	flat := NewKVCache(w.Config())
+	w.Forward(toks, seqPos(12), nil, flat)
+	w.Forward(toks[5:], seqPos(12)[5:], nil, c)
+	for tok := 0; tok < 12; tok++ {
+		if d := tensor.MaxAbsDiff(c.layerK(1, tok, 0), flat.layerK(1, tok, 0)); d != 0 {
+			t.Fatalf("token %d deviates after truncate+recompute", tok)
+		}
+	}
+}
+
+// TestPagedCrossArenaConcatCopies: caches from different arenas (or mixed
+// with flat caches) still concatenate correctly, by copying.
+func TestPagedCrossArenaConcatCopies(t *testing.T) {
+	w := tinyWeights(t, 128)
+	arenaA := newArena(t, 4)
+	arenaB := newArena(t, 8)
+	rng := rand.New(rand.NewSource(8))
+	toksA := randTokens(rng, 5, 128)
+	toksB := randTokens(rng, 7, 128)
+
+	a := arenaA.NewKVCache()
+	w.Forward(toksA, seqPos(5), nil, a)
+	b := arenaB.NewKVCache()
+	w.Forward(toksB, seqPos(7), nil, b)
+	flat := NewKVCache(w.Config())
+	w.Forward(toksA, seqPos(5), nil, flat)
+
+	merged := ConcatCaches(a, b, flat)
+	if merged.Len() != 17 {
+		t.Fatalf("merged %d tokens", merged.Len())
+	}
+	// Reference: all-flat concat.
+	fa := NewKVCache(w.Config())
+	w.Forward(toksA, seqPos(5), nil, fa)
+	fb := NewKVCache(w.Config())
+	w.Forward(toksB, seqPos(7), nil, fb)
+	ref := ConcatCaches(fa, fb, fa.Clone())
+	for tok := 0; tok < 17; tok++ {
+		if d := tensor.MaxAbsDiff(merged.layerK(1, tok, 1), ref.layerK(1, tok, 1)); d != 0 {
+			t.Fatalf("token %d deviates in cross-arena concat", tok)
+		}
+	}
+}
+
+// TestPagedMarshalRoundTrip: serialization works from paged storage too.
+func TestPagedMarshalRoundTrip(t *testing.T) {
+	w := tinyWeights(t, 128)
+	arena := newArena(t, 4)
+	rng := rand.New(rand.NewSource(9))
+	toks := randTokens(rng, 9, 128)
+	paged := arena.NewKVCache()
+	w.Forward(toks, seqPos(9), nil, paged)
+
+	data, err := paged.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewKVCache(w.Config())
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	suffix := []int{1, 2}
+	spos := []int{9, 10}
+	h1 := w.Forward(suffix, spos, nil, paged)
+	h2 := w.Forward(suffix, spos, nil, restored)
+	if d := tensor.MaxAbsDiff(h1.Data, h2.Data); d != 0 {
+		t.Fatalf("restored paged cache deviates by %v", d)
+	}
+}
+
+// TestPagedExecutePath: the bipartite-style flow — per-item caches,
+// concat, suffix — works end to end on paged storage with sharing.
+func TestPagedBlockAlignedItemSharing(t *testing.T) {
+	w := tinyWeights(t, 128)
+	arena := newArena(t, 4)
+	rng := rand.New(rand.NewSource(10))
+
+	// Four items of exactly one block each, precomputed once.
+	var items []*KVCache
+	for i := 0; i < 4; i++ {
+		c := arena.NewKVCache()
+		w.Forward(randTokens(rng, 4, 128), seqPos(4), nil, c)
+		items = append(items, c)
+	}
+	allocated := arena.Stats().BlocksAllocated
+
+	// Ten "requests" each assemble a context from the shared items.
+	for r := 0; r < 10; r++ {
+		ctx := ConcatCaches(items...)
+		if ctx.Len() != 16 {
+			t.Fatalf("context %d tokens", ctx.Len())
+		}
+		w.Forward([]int{1, 2}, []int{16, 17}, nil, ctx) // suffix CoWs one block at most
+		ctx.Release()
+	}
+	// Steady state: contexts recycle; the arena never grows past the items
+	// plus a couple of scratch blocks.
+	if got := arena.Stats().BlocksAllocated; got > allocated+3 {
+		t.Fatalf("arena grew to %d blocks from %d; sharing is not working", got, allocated)
+	}
+	// Source items are intact after all that sharing.
+	if items[0].Len() != 4 {
+		t.Fatal("source item cache disturbed")
+	}
+}

@@ -1,0 +1,178 @@
+package model
+
+import "fmt"
+
+// KVCache stores per-layer key/value vectors for a processed token prefix.
+// Keys carry their rotary position embedding, so a cache entry is only valid
+// for reuse when the reusing prompt assigns the same position IDs to the
+// cached tokens — the invariant Bipartite Attention's shared-start position
+// design exists to satisfy.
+//
+// Two storage backends exist behind the same type: contiguous per-layer
+// slices (NewKVCache) and fixed-size pages in a shared BlockArena
+// (BlockArena.NewKVCache) — the PagedAttention-compatible organization §5.1
+// prescribes for the cache workers, with copy-free sharing of block-aligned
+// prefixes.
+type KVCache struct {
+	cfg   Config
+	store kvStore
+	n     int // cached token count
+}
+
+// kvStore is the storage backend contract. Token indices are global; layers
+// advance independently during a forward pass (layer-major appends) but are
+// level again at every public-API boundary.
+type kvStore interface {
+	appendToken(layer int, k, v []float32)
+	layerK(layer, t, h int) []float32
+	layerV(layer, t, h int) []float32
+	truncate(n int)
+	clone() kvStore
+	// appendFrom bulk-appends tokens tokens from src (sharing storage when
+	// the backend can).
+	appendFrom(src kvStore, tokens int)
+	// layerData returns contiguous copies (or views) of layer l's keys and
+	// values covering n tokens, for serialization.
+	layerData(l, n int) (k, v []float32)
+	release()
+}
+
+// NewKVCache returns an empty cache with contiguous storage.
+func NewKVCache(cfg Config) *KVCache {
+	return &KVCache{cfg: cfg, store: newFlatStore(cfg)}
+}
+
+// Len returns the number of cached tokens.
+func (c *KVCache) Len() int { return c.n }
+
+// Config returns the architecture the cache was built for.
+func (c *KVCache) Config() Config { return c.cfg }
+
+func (c *KVCache) stride() int { return c.cfg.KVHeads * c.cfg.HeadDim }
+
+// layerK returns the key vector of token t, kv-head h at the given layer.
+func (c *KVCache) layerK(layer, t, h int) []float32 { return c.store.layerK(layer, t, h) }
+
+func (c *KVCache) layerV(layer, t, h int) []float32 { return c.store.layerV(layer, t, h) }
+
+// appendToken adds one token's K/V rows for a single layer. The forward pass
+// calls this layer by layer; external callers use Forward which keeps layers
+// in sync.
+func (c *KVCache) appendToken(layer int, k, v []float32) {
+	if len(k) != c.stride() || len(v) != c.stride() {
+		panic(fmt.Sprintf("model: kv append stride mismatch: %d vs %d", len(k), c.stride()))
+	}
+	c.store.appendToken(layer, k, v)
+	if layer == c.cfg.Layers-1 {
+		c.n++
+	}
+}
+
+// Clone returns a deep copy of the cache (paged clones share blocks
+// copy-on-write where possible).
+func (c *KVCache) Clone() *KVCache {
+	return &KVCache{cfg: c.cfg, store: c.store.clone(), n: c.n}
+}
+
+// Truncate discards cached tokens beyond the first n. It is how a serving
+// engine drops suffix tokens that are "computed and discarded" (§4.2) after a
+// request completes, keeping only the reusable prefix.
+func (c *KVCache) Truncate(n int) {
+	if n < 0 || n > c.n {
+		panic(fmt.Sprintf("model: truncate %d out of range [0,%d]", n, c.n))
+	}
+	c.store.truncate(n)
+	c.n = n
+}
+
+// Release returns paged storage to its arena. The cache must not be used
+// afterwards. Contiguous caches are garbage-collected as usual; Release is a
+// no-op for them.
+func (c *KVCache) Release() {
+	c.store.release()
+	c.n = 0
+}
+
+// ConcatCaches builds a new cache whose token axis is the concatenation of
+// the inputs, in order. All inputs must share an architecture. This is the
+// operation that assembles an Item-as-prefix context from independently
+// precomputed per-item caches. When every input lives in the same
+// BlockArena, block-aligned content is shared by reference instead of
+// copied — PagedAttention's prefix-sharing.
+func ConcatCaches(caches ...*KVCache) *KVCache {
+	if len(caches) == 0 {
+		panic("model: ConcatCaches needs at least one cache")
+	}
+	cfg := caches[0].cfg
+	var out *KVCache
+	if ps, ok := caches[0].store.(*pagedStore); ok {
+		out = ps.arena.NewKVCache()
+	} else {
+		out = NewKVCache(cfg)
+	}
+	for _, in := range caches {
+		if in.cfg.Name != cfg.Name || in.stride() != out.stride() || in.cfg.Layers != cfg.Layers {
+			panic(fmt.Sprintf("model: ConcatCaches architecture mismatch: %s vs %s", in.cfg.Name, cfg.Name))
+		}
+		out.store.appendFrom(in.store, in.n)
+		out.n += in.n
+	}
+	return out
+}
+
+// flatStore is the contiguous backend: one slice per layer.
+type flatStore struct {
+	cfg  Config
+	k, v [][]float32
+}
+
+func newFlatStore(cfg Config) *flatStore {
+	return &flatStore{cfg: cfg, k: make([][]float32, cfg.Layers), v: make([][]float32, cfg.Layers)}
+}
+
+func (s *flatStore) stride() int { return s.cfg.KVHeads * s.cfg.HeadDim }
+
+func (s *flatStore) appendToken(layer int, k, v []float32) {
+	s.k[layer] = append(s.k[layer], k...)
+	s.v[layer] = append(s.v[layer], v...)
+}
+
+func (s *flatStore) layerK(layer, t, h int) []float32 {
+	off := t*s.stride() + h*s.cfg.HeadDim
+	return s.k[layer][off : off+s.cfg.HeadDim]
+}
+
+func (s *flatStore) layerV(layer, t, h int) []float32 {
+	off := t*s.stride() + h*s.cfg.HeadDim
+	return s.v[layer][off : off+s.cfg.HeadDim]
+}
+
+func (s *flatStore) truncate(n int) {
+	for l := range s.k {
+		s.k[l] = s.k[l][:n*s.stride()]
+		s.v[l] = s.v[l][:n*s.stride()]
+	}
+}
+
+func (s *flatStore) clone() kvStore {
+	out := newFlatStore(s.cfg)
+	for l := range s.k {
+		out.k[l] = append([]float32(nil), s.k[l]...)
+		out.v[l] = append([]float32(nil), s.v[l]...)
+	}
+	return out
+}
+
+func (s *flatStore) appendFrom(src kvStore, tokens int) {
+	for l := 0; l < s.cfg.Layers; l++ {
+		k, v := src.layerData(l, tokens)
+		s.k[l] = append(s.k[l], k...)
+		s.v[l] = append(s.v[l], v...)
+	}
+}
+
+func (s *flatStore) layerData(l, n int) (k, v []float32) {
+	return s.k[l][:n*s.stride()], s.v[l][:n*s.stride()]
+}
+
+func (s *flatStore) release() {}

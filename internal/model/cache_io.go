@@ -1,0 +1,90 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// KV cache wire format, the payload the disaggregated cache pool's transfer
+// engine moves between workers (§5.1). Layout (little endian):
+//
+//	magic  uint32  'BKV1'
+//	layers uint32
+//	kvh    uint32
+//	hdim   uint32
+//	tokens uint32
+//	data   float32[layers][tokens*kvh*hdim]  keys, then values, per layer
+const cacheMagic = 0x424b5631
+
+// MarshalBinary serializes the cache for network transfer or spill.
+func (c *KVCache) MarshalBinary() ([]byte, error) {
+	stride := c.stride()
+	size := 20 + c.cfg.Layers*c.n*stride*2*4
+	buf := make([]byte, 0, size)
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], cacheMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(c.cfg.Layers))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(c.cfg.KVHeads))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(c.cfg.HeadDim))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(c.n))
+	buf = append(buf, hdr[:]...)
+	var scratch [4]byte
+	appendF32 := func(vals []float32) {
+		for _, v := range vals {
+			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(v))
+			buf = append(buf, scratch[:]...)
+		}
+	}
+	for l := 0; l < c.cfg.Layers; l++ {
+		k, v := c.store.layerData(l, c.n)
+		appendF32(k)
+		appendF32(v)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a cache serialized by MarshalBinary. The receiver
+// must have been built (NewKVCache) for a matching architecture; existing
+// contents are replaced.
+func (c *KVCache) UnmarshalBinary(data []byte) error {
+	if len(data) < 20 {
+		return fmt.Errorf("model: kv payload truncated (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != cacheMagic {
+		return fmt.Errorf("model: bad kv payload magic")
+	}
+	layers := int(binary.LittleEndian.Uint32(data[4:]))
+	kvh := int(binary.LittleEndian.Uint32(data[8:]))
+	hdim := int(binary.LittleEndian.Uint32(data[12:]))
+	tokens := int(binary.LittleEndian.Uint32(data[16:]))
+	if layers != c.cfg.Layers || kvh != c.cfg.KVHeads || hdim != c.cfg.HeadDim {
+		return fmt.Errorf("model: kv payload for L=%d H=%d D=%d, cache expects L=%d H=%d D=%d",
+			layers, kvh, hdim, c.cfg.Layers, c.cfg.KVHeads, c.cfg.HeadDim)
+	}
+	stride := c.stride()
+	want := 20 + layers*tokens*stride*2*4
+	if len(data) != want {
+		return fmt.Errorf("model: kv payload is %d bytes, want %d", len(data), want)
+	}
+	off := 20
+	readF32 := func(n int) []float32 {
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+		}
+		return out
+	}
+	// Decoded payloads land in contiguous storage; arena-backed receivers
+	// release their pages first.
+	c.store.release()
+	fs := newFlatStore(c.cfg)
+	for l := 0; l < layers; l++ {
+		fs.k[l] = readF32(tokens * stride)
+		fs.v[l] = readF32(tokens * stride)
+	}
+	c.store = fs
+	c.n = tokens
+	return nil
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"bat/internal/tensor"
+)
+
+func TestKVCacheMarshalRoundTrip(t *testing.T) {
+	w := tinyWeights(t, 128)
+	rng := rand.New(rand.NewSource(1))
+	toks := randTokens(rng, 10, 128)
+	cache := NewKVCache(w.Config())
+	w.Forward(toks, seqPos(10), nil, cache)
+
+	data, err := cache.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewKVCache(w.Config())
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 10 {
+		t.Fatalf("restored %d tokens", restored.Len())
+	}
+	// A suffix served from the restored cache must match the original.
+	suffix := []int{5, 6}
+	pos := []int{10, 11}
+	h1 := w.Forward(suffix, pos, nil, cache.Clone())
+	h2 := w.Forward(suffix, pos, nil, restored)
+	if d := tensor.MaxAbsDiff(h1.Data, h2.Data); d != 0 {
+		t.Fatalf("restored cache deviates by %v", d)
+	}
+}
+
+func TestKVCacheMarshalEmpty(t *testing.T) {
+	c := NewKVCache(TinyGR(16))
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewKVCache(TinyGR(16))
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty cache restored %d tokens", out.Len())
+	}
+}
+
+func TestKVCacheUnmarshalRejectsGarbage(t *testing.T) {
+	c := NewKVCache(TinyGR(16))
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		make([]byte, 20), // zero magic
+	}
+	for i, data := range cases {
+		if err := c.UnmarshalBinary(data); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestKVCacheUnmarshalRejectsArchMismatch(t *testing.T) {
+	a := NewKVCache(TinyGR(16))
+	w := NewWeights(TinyGR(16), 1)
+	w.Forward([]int{1, 2}, seqPos(2), nil, a)
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := Config{Name: "other", Layers: 1, Heads: 2, KVHeads: 2, HeadDim: 4, Hidden: 8, FFNDim: 8, Vocab: 16}
+	b := NewKVCache(other)
+	if err := b.UnmarshalBinary(data); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+	// Truncated body.
+	if err := NewKVCache(TinyGR(16)).UnmarshalBinary(data[:len(data)-4]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package model
+
+import (
+	"fmt"
+
+	"bat/internal/tensor"
+)
+
+// NewZeroWeights builds a transformer whose projection matrices are all zero
+// (every norm weight is 1, the FFN is a no-op, attention mixes nothing).
+// It is the starting point for analytically constructed models — see
+// internal/ranking, which plants embeddings and attention projections to
+// obtain a transformer whose ranking behaviour is understood exactly.
+func NewZeroWeights(cfg Config) *Weights {
+	w := NewWeights(cfg, 0)
+	w.embed.Zero()
+	if w.posEmbed != nil {
+		w.posEmbed.Zero()
+	}
+	for l := range w.layers {
+		lw := &w.layers[l]
+		lw.wq.Zero()
+		lw.wk.Zero()
+		lw.wv.Zero()
+		lw.wo.Zero()
+		lw.wGate.Zero()
+		lw.wUp.Zero()
+		lw.wDown.Zero()
+	}
+	return w
+}
+
+// SetAttention replaces layer l's attention projections. Matrix shapes must
+// match the architecture (Hidden x Heads*HeadDim for wq, Hidden x
+// KVHeads*HeadDim for wk/wv, Heads*HeadDim x Hidden for wo).
+func (w *Weights) SetAttention(l int, wq, wk, wv, wo *tensor.Matrix) {
+	cfg := w.cfg
+	qDim, kvDim := cfg.Heads*cfg.HeadDim, cfg.KVHeads*cfg.HeadDim
+	check := func(name string, m *tensor.Matrix, rows, cols int) {
+		if m.Rows != rows || m.Cols != cols {
+			panic(fmt.Sprintf("model: %s shape %dx%d, want %dx%d", name, m.Rows, m.Cols, rows, cols))
+		}
+	}
+	check("wq", wq, cfg.Hidden, qDim)
+	check("wk", wk, cfg.Hidden, kvDim)
+	check("wv", wv, cfg.Hidden, kvDim)
+	check("wo", wo, qDim, cfg.Hidden)
+	lw := &w.layers[l]
+	lw.wq = wq.Clone()
+	lw.wk = wk.Clone()
+	lw.wv = wv.Clone()
+	lw.wo = wo.Clone()
+}
+
+// SetPositionEmbedding overwrites the learned absolute position embedding at
+// one position (AbsPos configs only).
+func (w *Weights) SetPositionEmbedding(pos int, vec []float32) {
+	if w.posEmbed == nil {
+		panic("model: SetPositionEmbedding on a config without AbsPos")
+	}
+	if len(vec) != w.cfg.Hidden {
+		panic(fmt.Sprintf("model: position embedding length %d != hidden %d", len(vec), w.cfg.Hidden))
+	}
+	copy(w.posEmbed.Row(pos), vec)
+}

@@ -1,0 +1,100 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"bat/internal/tensor"
+)
+
+func tinyHSTU(vocab int) Config {
+	c := TinyGR(vocab)
+	c.Name = "TinyHSTU"
+	c.Attn = AttnHSTU
+	return c
+}
+
+func TestHSTUForwardDiffersFromSoftmax(t *testing.T) {
+	toks := []int{1, 2, 3, 4, 5}
+	pos := seqPos(5)
+	soft := NewWeights(TinyGR(64), 7)
+	hstuCfg := tinyHSTU(64)
+	hstu := NewWeights(hstuCfg, 7) // same seed, same parameters
+	h1 := soft.Forward(toks, pos, nil, nil)
+	h2 := hstu.Forward(toks, pos, nil, nil)
+	if tensor.MaxAbsDiff(h1.Data, h2.Data) == 0 {
+		t.Fatal("HSTU attention should change outputs")
+	}
+}
+
+// TestHSTUPrefixCacheEquivalence: the paper's prefix-caching algebra must be
+// exact for the HSTU family too.
+func TestHSTUPrefixCacheEquivalence(t *testing.T) {
+	w := NewWeights(tinyHSTU(128), 9)
+	rng := rand.New(rand.NewSource(4))
+	toks := randTokens(rng, 20, 128)
+	pos := seqPos(20)
+	full := w.Forward(toks, pos, nil, NewKVCache(w.Config()))
+	cache := NewKVCache(w.Config())
+	w.Forward(toks[:12], pos[:12], nil, cache)
+	suffix := w.Forward(toks[12:], pos[12:], nil, cache)
+	want := full.Data[12*w.Config().Hidden:]
+	if d := tensor.MaxAbsDiff(suffix.Data, want); d != 0 {
+		t.Fatalf("HSTU cached suffix deviates by %v", d)
+	}
+}
+
+// TestHSTUMaskIsolation: a fully-masked token has no influence under HSTU
+// weighting either.
+func TestHSTUMaskIsolation(t *testing.T) {
+	w := NewWeights(tinyHSTU(128), 11)
+	rng := rand.New(rand.NewSource(5))
+	toks := randTokens(rng, 8, 128)
+	mask := MaskFunc(func(q, k int) bool { return k != 2 })
+	h1 := w.Forward(toks, seqPos(8), mask, nil)
+	toks2 := append([]int(nil), toks...)
+	toks2[2] = (toks2[2] + 1) % 128
+	h2 := w.Forward(toks2, seqPos(8), mask, nil)
+	hid := w.Config().Hidden
+	for i := 0; i < 8; i++ {
+		if i == 2 {
+			continue
+		}
+		if d := tensor.MaxAbsDiff(h1.Data[i*hid:(i+1)*hid], h2.Data[i*hid:(i+1)*hid]); d != 0 {
+			t.Fatalf("masked token influenced token %d by %v", i, d)
+		}
+	}
+}
+
+// TestHSTUBlockSegmentInvariance: HSTU weighting normalizes by the visible
+// context size, so two mask-isolated segments computed jointly must match
+// independent computation — the property Item-as-prefix needs on HSTU.
+func TestHSTUBlockSegmentInvariance(t *testing.T) {
+	w := NewWeights(tinyHSTU(128), 13)
+	rng := rand.New(rand.NewSource(6))
+	segA := randTokens(rng, 4, 128)
+	segB := randTokens(rng, 5, 128)
+
+	ca := NewKVCache(w.Config())
+	ha := w.Forward(segA, seqPos(4), nil, ca)
+
+	joint := append(append([]int(nil), segA...), segB...)
+	pos := append(seqPos(4), seqPos(5)...)
+	mask := MaskFunc(func(q, k int) bool { return (q < 4) == (k < 4) })
+	hj := w.Forward(joint, pos, mask, NewKVCache(w.Config()))
+
+	if d := tensor.MaxAbsDiff(ha.Data, hj.Data[:4*w.Config().Hidden]); d > 1e-6 {
+		t.Fatalf("segment A computed jointly deviates by %v", d)
+	}
+}
+
+func TestHSTUNoNaNWithAllMasked(t *testing.T) {
+	w := NewWeights(tinyHSTU(32), 3)
+	mask := MaskFunc(func(q, k int) bool { return false })
+	h := w.Forward([]int{1, 2}, seqPos(2), mask, nil)
+	for _, v := range h.Data {
+		if v != v {
+			t.Fatal("NaN under all-masked HSTU attention")
+		}
+	}
+}

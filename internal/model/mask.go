@@ -1,0 +1,24 @@
+package model
+
+// Mask decides which attention edges are allowed. Indices are absolute
+// positions in the full context (prefix cache tokens first, then the tokens
+// being computed), so a mask describes the whole prompt layout regardless of
+// how much of it came from cache.
+type Mask interface {
+	// Allowed reports whether the query token at absolute index q may attend
+	// to the key token at absolute index k. Forward never asks about k > q;
+	// attention is always causal in the token axis on top of the mask.
+	Allowed(q, k int) bool
+}
+
+// CausalMask allows every causal edge — plain left-to-right attention.
+type CausalMask struct{}
+
+// Allowed implements Mask.
+func (CausalMask) Allowed(q, k int) bool { return true }
+
+// MaskFunc adapts a function to the Mask interface.
+type MaskFunc func(q, k int) bool
+
+// Allowed implements Mask.
+func (f MaskFunc) Allowed(q, k int) bool { return f(q, k) }

@@ -1,0 +1,125 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bat/internal/tensor"
+)
+
+// layerWeights holds one transformer block's parameters.
+type layerWeights struct {
+	attnNorm []float32
+	wq       *tensor.Matrix // Hidden x Heads*HeadDim
+	wk       *tensor.Matrix // Hidden x KVHeads*HeadDim
+	wv       *tensor.Matrix // Hidden x KVHeads*HeadDim
+	wo       *tensor.Matrix // Heads*HeadDim x Hidden
+	ffnNorm  []float32
+	wGate    *tensor.Matrix // Hidden x FFNDim
+	wUp      *tensor.Matrix // Hidden x FFNDim
+	wDown    *tensor.Matrix // FFNDim x Hidden
+}
+
+// Weights is a fully materialized transformer. The output projection is tied
+// to the embedding table, as in the paper's logit formulation z = W_out h.
+type Weights struct {
+	cfg       Config
+	embed     *tensor.Matrix // Vocab x Hidden, tied with the output head
+	posEmbed  *tensor.Matrix // MaxPos x Hidden when cfg.AbsPos
+	layers    []layerWeights
+	finalNorm []float32
+}
+
+// NewWeights builds a transformer with deterministic seeded Gaussian
+// initialization. It panics on an invalid config (programmer error).
+func NewWeights(cfg Config, seed int64) *Weights {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	std := float32(1 / math.Sqrt(float64(cfg.Hidden)))
+	randMat := func(r, c int) *tensor.Matrix {
+		m := tensor.NewMatrix(r, c)
+		for i := range m.Data {
+			m.Data[i] = float32(rng.NormFloat64()) * std
+		}
+		return m
+	}
+	ones := func(n int) []float32 {
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = 1
+		}
+		return v
+	}
+	w := &Weights{
+		cfg:       cfg,
+		embed:     randMat(cfg.Vocab, cfg.Hidden),
+		layers:    make([]layerWeights, cfg.Layers),
+		finalNorm: ones(cfg.Hidden),
+	}
+	if cfg.AbsPos {
+		w.posEmbed = randMat(cfg.MaxPos, cfg.Hidden)
+	}
+	qDim := cfg.Heads * cfg.HeadDim
+	kvDim := cfg.KVHeads * cfg.HeadDim
+	for l := range w.layers {
+		w.layers[l] = layerWeights{
+			attnNorm: ones(cfg.Hidden),
+			wq:       randMat(cfg.Hidden, qDim),
+			wk:       randMat(cfg.Hidden, kvDim),
+			wv:       randMat(cfg.Hidden, kvDim),
+			wo:       randMat(qDim, cfg.Hidden),
+			ffnNorm:  ones(cfg.Hidden),
+			wGate:    randMat(cfg.Hidden, cfg.FFNDim),
+			wUp:      randMat(cfg.Hidden, cfg.FFNDim),
+			wDown:    randMat(cfg.FFNDim, cfg.Hidden),
+		}
+	}
+	return w
+}
+
+// Config returns the architecture.
+func (w *Weights) Config() Config { return w.cfg }
+
+// SetEmbedding overwrites the embedding row for a token. The ranking package
+// uses this to plant item/attribute latent vectors so the constructed model
+// genuinely ranks (see internal/ranking).
+func (w *Weights) SetEmbedding(token int, vec []float32) {
+	if token < 0 || token >= w.cfg.Vocab {
+		panic(fmt.Sprintf("model: token %d outside vocab %d", token, w.cfg.Vocab))
+	}
+	if len(vec) != w.cfg.Hidden {
+		panic(fmt.Sprintf("model: embedding length %d != hidden %d", len(vec), w.cfg.Hidden))
+	}
+	copy(w.embed.Row(token), vec)
+}
+
+// Embedding returns a copy of a token's embedding row.
+func (w *Weights) Embedding(token int) []float32 {
+	return append([]float32(nil), w.embed.Row(token)...)
+}
+
+// Logits projects a final hidden state onto the full vocabulary.
+func (w *Weights) Logits(h []float32) []float32 {
+	out := make([]float32, w.cfg.Vocab)
+	for v := 0; v < w.cfg.Vocab; v++ {
+		out[v] = tensor.Dot(h, w.embed.Row(v))
+	}
+	return out
+}
+
+// LogitsFor projects a final hidden state onto only the given token IDs —
+// the candidate identifier tokens in the paper's scoring rule. Much cheaper
+// than a full vocabulary projection when scoring ~100 candidates.
+func (w *Weights) LogitsFor(h []float32, ids []int) []float32 {
+	out := make([]float32, len(ids))
+	for i, id := range ids {
+		if id < 0 || id >= w.cfg.Vocab {
+			panic(fmt.Sprintf("model: token %d outside vocab %d", id, w.cfg.Vocab))
+		}
+		out[i] = tensor.Dot(h, w.embed.Row(id))
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package placement
+
+import "bat/internal/workload"
+
+// DynamicPlan augments a static placement with a bounded promotion area:
+// the background refresh process of §5.2 ("there are some burst hotspots
+// that should be recommended to most users; we update these items in the
+// replicate area") promotes ad-hoc hot items into a replicated slack region
+// on every worker, evicting the oldest promotion FIFO-style when full.
+//
+// Promotions are replicated (burst items are, by definition, headed to most
+// users), so a promoted item is Local everywhere.
+type DynamicPlan struct {
+	Base Plan
+	// Slack is the promotion area's capacity in items per worker.
+	Slack int
+
+	promoted map[workload.ItemID]struct{}
+	order    []workload.ItemID // FIFO of live promotions
+}
+
+// NewDynamicPlan wraps a static plan with a promotion area of slackItems.
+func NewDynamicPlan(base Plan, slackItems int) *DynamicPlan {
+	if slackItems < 0 {
+		slackItems = 0
+	}
+	return &DynamicPlan{
+		Base:     base,
+		Slack:    slackItems,
+		promoted: make(map[workload.ItemID]struct{}, slackItems),
+	}
+}
+
+// Lookup consults the promotion area before the static plan.
+func (d *DynamicPlan) Lookup(it workload.ItemID, local int) Location {
+	if _, ok := d.promoted[it]; ok {
+		return LocLocal
+	}
+	return d.Base.Lookup(it, local)
+}
+
+// Promote replicates a burst item, evicting the oldest promotion when the
+// slack area is full. Items the static plan already serves locally
+// everywhere are skipped. It reports whether a promotion happened.
+func (d *DynamicPlan) Promote(it workload.ItemID) bool {
+	if d.Slack == 0 {
+		return false
+	}
+	if _, ok := d.promoted[it]; ok {
+		return false
+	}
+	if int64(it) < int64(d.Base.ReplicatedItems) {
+		return false // already replicated statically
+	}
+	for len(d.order) >= d.Slack {
+		victim := d.order[0]
+		d.order = d.order[1:]
+		delete(d.promoted, victim)
+	}
+	d.promoted[it] = struct{}{}
+	d.order = append(d.order, it)
+	return true
+}
+
+// PromotedCount returns the number of live promotions.
+func (d *DynamicPlan) PromotedCount() int { return len(d.promoted) }
+
+// ItemBytesPerWorker accounts the static area plus the full slack region
+// (reserved up front, like the paper's offline allocation).
+func (d *DynamicPlan) ItemBytesPerWorker() int64 {
+	return d.Base.ItemBytesPerWorker() + int64(d.Slack)*d.Base.AvgItemBytes
+}
+
+// CachedItems returns distinct cached items, static plus promoted.
+func (d *DynamicPlan) CachedItems() int { return d.Base.CachedItems() + len(d.promoted) }

@@ -1,0 +1,42 @@
+package placement_test
+
+import (
+	"fmt"
+
+	"bat/internal/costmodel"
+	"bat/internal/model"
+	"bat/internal/placement"
+	"bat/internal/workload"
+)
+
+// Example runs Algorithm 1 end to end for a 4-node cluster on the Books
+// corpus and classifies a few item accesses.
+func Example() {
+	est, err := costmodel.FitEstimator(costmodel.A100PCIe3, model.Qwen2_1_5B)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	plan, err := placement.NewPlan(placement.HRCS, placement.Input{
+		Est:     est,
+		Link:    costmodel.NewLink(100),
+		Model:   model.Qwen2_1_5B,
+		Profile: workload.Books,
+		Alpha:   0.05,
+		Workers: 4,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("replicated hottest %d of %d items (R_max %.2f)\n",
+		plan.ReplicatedItems, plan.Corpus, plan.MaxCommRatio)
+	fmt.Printf("hottest item from any node: %v\n", plan.Lookup(0, 3))
+	tail := workload.ItemID(plan.Corpus - 1)
+	fmt.Printf("coldest item from its holder: %v\n", plan.Lookup(tail, plan.ShardWorker(tail)))
+
+	// Output:
+	// replicated hottest 898 of 280000 items (R_max 0.34)
+	// hottest item from any node: local
+	// coldest item from its holder: local
+}

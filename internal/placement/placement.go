@@ -1,0 +1,361 @@
+// Package placement implements the hot-replicated cold-sharded (HRCS) item
+// cache placement of §5.2 / Algorithm 1, plus the paper's two baselines:
+// full replication (BAT-Replicate) and hash sharding (BAT-Hash).
+//
+// Because item IDs are popularity ranks (see workload), a plan is a compact
+// virtual description — "the hottest R items are replicated everywhere, the
+// next S are sharded by hash" — and residency questions are answered in O(1)
+// without materializing per-item entries, which keeps 100M-item corpora
+// tractable.
+package placement
+
+import (
+	"fmt"
+
+	"bat/internal/costmodel"
+	"bat/internal/model"
+	"bat/internal/workload"
+)
+
+// Strategy names an item-placement policy.
+type Strategy int
+
+const (
+	// HRCS is the paper's hot-replicated cold-sharded placement.
+	HRCS Strategy = iota
+	// Replicate copies the item cache onto every worker (BAT-Replicate).
+	Replicate
+	// Hash shards the item cache across workers round-robin (BAT-Hash).
+	Hash
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case HRCS:
+		return "hrcs"
+	case Replicate:
+		return "replicate"
+	case Hash:
+		return "hash"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Location classifies where an item's KV cache can be served from.
+type Location int
+
+const (
+	// LocLocal means the requesting node holds the cache.
+	LocLocal Location = iota
+	// LocRemote means another node holds it; a network transfer is needed.
+	LocRemote
+	// LocMiss means no node caches it; the item must be recomputed.
+	LocMiss
+)
+
+// String implements fmt.Stringer.
+func (l Location) String() string {
+	switch l {
+	case LocLocal:
+		return "local"
+	case LocRemote:
+		return "remote"
+	default:
+		return "miss"
+	}
+}
+
+// Plan is a resolved item placement.
+type Plan struct {
+	Strategy Strategy
+	Workers  int
+	Corpus   int
+	// ReplicatedItems R: the hottest R items (IDs 0..R-1) live on every
+	// worker. ShardedItems S: items R..R+S-1 are hash-sharded. Items beyond
+	// R+S are uncached (recomputed on use).
+	ReplicatedItems int
+	ShardedItems    int
+	// ReplicationRatio is Algorithm 1's output r = R / corpus.
+	ReplicationRatio float64
+	// MaxCommRatio is Algorithm 1's R_max (before memory clamping).
+	MaxCommRatio float64
+	// AvgItemBytes is the per-item KV footprint used for budgeting.
+	AvgItemBytes int64
+	// GPUResidentItems pins the hottest G (≤ ReplicatedItems) replicated
+	// items in device memory, where serving them costs no host-to-GPU load.
+	// §5.1 names GPU memory as part of each worker's pool; the paper
+	// evaluates CPU only, so this is the reproduction's extension knob.
+	GPUResidentItems int
+}
+
+// GPUBytesPerWorker returns the device memory the GPU-resident area uses.
+func (p Plan) GPUBytesPerWorker() int64 {
+	return int64(p.GPUResidentItems) * p.AvgItemBytes
+}
+
+// GPUResident reports whether the item is served straight from device memory.
+func (p Plan) GPUResident(it workload.ItemID) bool {
+	return int64(it) < int64(p.GPUResidentItems)
+}
+
+// Lookup classifies item it as seen from worker local.
+func (p Plan) Lookup(it workload.ItemID, local int) Location {
+	id := int64(it)
+	switch {
+	case id < int64(p.ReplicatedItems):
+		return LocLocal
+	case id < int64(p.ReplicatedItems)+int64(p.ShardedItems):
+		if p.ShardWorker(it) == local {
+			return LocLocal
+		}
+		return LocRemote
+	default:
+		return LocMiss
+	}
+}
+
+// ShardWorker returns the worker holding a sharded item.
+func (p Plan) ShardWorker(it workload.ItemID) int {
+	return int(mix64(uint64(it)) % uint64(p.Workers))
+}
+
+// ItemBytesPerWorker returns the per-worker memory the plan's item area
+// consumes: all replicated items plus this worker's shard.
+func (p Plan) ItemBytesPerWorker() int64 {
+	if p.Workers <= 0 {
+		return 0 // the zero Plan places nothing
+	}
+	shardPer := (int64(p.ShardedItems) + int64(p.Workers) - 1) / int64(p.Workers)
+	return (int64(p.ReplicatedItems) + shardPer) * p.AvgItemBytes
+}
+
+// CachedItems returns how many distinct items the plan keeps cached.
+func (p Plan) CachedItems() int { return p.ReplicatedItems + p.ShardedItems }
+
+// Input gathers what Algorithm 1 and the baselines need.
+type Input struct {
+	Est     *costmodel.Estimator // offline-fitted prefill estimator
+	Link    costmodel.Link       // inter-node network
+	Model   model.Config
+	Profile workload.Profile
+	// Alpha is the tolerable communication-over-computation ratio (α).
+	Alpha   float64
+	Workers int
+	// PerWorkerItemBudget caps each worker's item-cache bytes; 0 means
+	// unlimited (memory is checked by the caller).
+	PerWorkerItemBudget int64
+	// PerWorkerGPUItemBudget pins that many bytes of the hottest replicated
+	// items in device memory (0 disables the GPU-resident area).
+	PerWorkerGPUItemBudget int64
+}
+
+func (in Input) validate() error {
+	switch {
+	case in.Workers <= 0:
+		return fmt.Errorf("placement: need at least one worker")
+	case in.Alpha < 0:
+		return fmt.Errorf("placement: alpha must be non-negative")
+	case in.PerWorkerItemBudget < 0:
+		return fmt.Errorf("placement: negative item budget")
+	case in.PerWorkerGPUItemBudget < 0:
+		return fmt.Errorf("placement: negative GPU item budget")
+	}
+	if err := in.Profile.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (in Input) avgItemBytes() int64 {
+	return int64(in.Profile.AvgItemTokens) * int64(in.Model.KVBytesPerToken())
+}
+
+// NewPlan builds a plan for the given strategy.
+func NewPlan(strategy Strategy, in Input) (Plan, error) {
+	if err := in.validate(); err != nil {
+		return Plan{}, err
+	}
+	switch strategy {
+	case HRCS:
+		return hrcsPlan(in)
+	case Replicate:
+		return replicatePlan(in), nil
+	case Hash:
+		return hashPlan(in), nil
+	default:
+		return Plan{}, fmt.Errorf("placement: unknown strategy %d", int(strategy))
+	}
+}
+
+// hrcsPlan is Algorithm 1 with the analytic popularity CDF, followed by the
+// memory clamp: replication wins the budget first (it is what removes
+// network IO), then sharding fills the remainder.
+func hrcsPlan(in Input) (Plan, error) {
+	if in.Est == nil {
+		return Plan{}, fmt.Errorf("placement: HRCS requires a prefill estimator")
+	}
+	prof := in.Profile
+	// Step 1: maximum allowed communication ratio.
+	t := in.Est.Predict(prof.AvgUserTokens+prof.InstrTokens, prof.Candidates*prof.AvgItemTokens)
+	tMax := in.Alpha * t
+	b := in.Link.TokensPerSecond(in.Model)
+	n := float64(in.Workers)
+	rMax := 0.0
+	if in.Workers > 1 {
+		rMax = tMax * b * (n - 1) / (float64(prof.Candidates) * float64(prof.AvgItemTokens) * n)
+	} else {
+		rMax = 1 // single worker: everything is local anyway
+	}
+	if rMax > 1 {
+		rMax = 1
+	}
+
+	// Step 2: scan the popularity CDF until it covers 1 - R_max of accesses.
+	zipf := workload.NewZipf(prof.Items, prof.ItemZipfA)
+	replicated := ranksCoveringMass(zipf, prof.Items, 1-rMax)
+
+	plan := Plan{
+		Strategy:     HRCS,
+		Workers:      in.Workers,
+		Corpus:       prof.Items,
+		MaxCommRatio: rMax,
+		AvgItemBytes: in.avgItemBytes(),
+	}
+
+	// Step 3: place within the memory budget. Replication wins the budget
+	// first (it is what removes network IO); sharding fills the remainder.
+	sharded := int64(prof.Items - replicated)
+	if in.PerWorkerItemBudget > 0 {
+		budgetItems := in.PerWorkerItemBudget / plan.AvgItemBytes
+		if int64(replicated) > budgetItems {
+			replicated = int(budgetItems)
+		}
+		remaining := budgetItems - int64(replicated) // per-worker shard slots
+		sharded = int64(prof.Items - replicated)
+		if shardCap := remaining * int64(in.Workers); sharded > shardCap {
+			sharded = shardCap
+		}
+	}
+	plan.ReplicatedItems = replicated
+	plan.ShardedItems = int(sharded)
+	plan.ReplicationRatio = float64(replicated) / float64(prof.Items)
+	plan.GPUResidentItems = gpuResident(in, replicated)
+	return plan, nil
+}
+
+// gpuResident sizes the device-memory area: the hottest replicated items up
+// to the GPU budget.
+func gpuResident(in Input, replicated int) int {
+	if in.PerWorkerGPUItemBudget <= 0 {
+		return 0
+	}
+	g := in.PerWorkerGPUItemBudget / in.avgItemBytes()
+	if g > int64(replicated) {
+		g = int64(replicated)
+	}
+	return int(g)
+}
+
+func replicatePlan(in Input) Plan {
+	plan := Plan{
+		Strategy:     Replicate,
+		Workers:      in.Workers,
+		Corpus:       in.Profile.Items,
+		AvgItemBytes: in.avgItemBytes(),
+	}
+	replicated := int64(in.Profile.Items)
+	if in.PerWorkerItemBudget > 0 {
+		if limit := in.PerWorkerItemBudget / plan.AvgItemBytes; replicated > limit {
+			replicated = limit
+		}
+	}
+	plan.ReplicatedItems = int(replicated)
+	plan.ReplicationRatio = float64(replicated) / float64(in.Profile.Items)
+	plan.MaxCommRatio = 0
+	plan.GPUResidentItems = gpuResident(in, int(replicated))
+	return plan
+}
+
+func hashPlan(in Input) Plan {
+	plan := Plan{
+		Strategy:     Hash,
+		Workers:      in.Workers,
+		Corpus:       in.Profile.Items,
+		AvgItemBytes: in.avgItemBytes(),
+	}
+	sharded := int64(in.Profile.Items)
+	if in.PerWorkerItemBudget > 0 {
+		if limit := in.PerWorkerItemBudget / plan.AvgItemBytes * int64(in.Workers); sharded > limit {
+			sharded = limit
+		}
+	}
+	plan.ShardedItems = int(sharded)
+	plan.MaxCommRatio = float64(in.Workers-1) / float64(in.Workers)
+	return plan
+}
+
+// ranksCoveringMass returns the smallest number of top ranks whose combined
+// access mass reaches the target fraction.
+func ranksCoveringMass(z *workload.Zipf, corpus int, mass float64) int {
+	if mass <= 0 {
+		return 0
+	}
+	if mass >= 1 {
+		return corpus
+	}
+	// Binary search on the analytic CDF.
+	lo, hi := 0, corpus
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.MassOfTopFraction(float64(mid)/float64(corpus)) >= mass {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ReplicationRatioFromFrequencies is the literal Algorithm 1 CDF loop over a
+// materialized, descending-sorted frequency distribution; it exists to
+// cross-check the analytic path and for callers with measured frequencies.
+// freqs must sum to ~1.
+func ReplicationRatioFromFrequencies(freqs []float64, rMax float64) float64 {
+	if len(freqs) == 0 {
+		return 0
+	}
+	if rMax <= 0 {
+		return 1
+	}
+	cdf := 0.0
+	for i, f := range freqs {
+		cdf += f
+		if cdf >= 1-rMax {
+			return float64(i+1) / float64(len(freqs))
+		}
+	}
+	return 1
+}
+
+// ExpectedAccessSplit returns the analytic probability that a popularity-
+// sampled item access is local, remote, or a miss under the plan, as seen
+// from one worker.
+func (p Plan) ExpectedAccessSplit(z *workload.Zipf) (local, remote, miss float64) {
+	repMass := z.MassOfTopFraction(float64(p.ReplicatedItems) / float64(p.Corpus))
+	cachedMass := z.MassOfTopFraction(float64(p.ReplicatedItems+p.ShardedItems) / float64(p.Corpus))
+	shardMass := cachedMass - repMass
+	local = repMass + shardMass/float64(p.Workers)
+	remote = shardMass * float64(p.Workers-1) / float64(p.Workers)
+	miss = 1 - cachedMass
+	return local, remote, miss
+}
+
+// mix64 is splitmix64's finalizer, used to shard items evenly.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

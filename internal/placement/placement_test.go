@@ -1,0 +1,329 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"bat/internal/costmodel"
+	"bat/internal/model"
+	"bat/internal/workload"
+)
+
+func testInput(t *testing.T) Input {
+	t.Helper()
+	est, err := costmodel.FitEstimator(costmodel.A100PCIe3, model.Qwen2_1_5B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Input{
+		Est:     est,
+		Link:    costmodel.NewLink(100),
+		Model:   model.Qwen2_1_5B,
+		Profile: workload.Books,
+		Alpha:   0.05,
+		Workers: 4,
+	}
+}
+
+func TestHRCSPlanBasics(t *testing.T) {
+	in := testInput(t)
+	plan, err := NewPlan(HRCS, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != HRCS || plan.Workers != 4 || plan.Corpus != workload.Books.Items {
+		t.Fatalf("plan metadata: %+v", plan)
+	}
+	if plan.ReplicatedItems <= 0 {
+		t.Fatal("HRCS should replicate some hot items")
+	}
+	if plan.ReplicatedItems >= plan.Corpus {
+		t.Fatal("HRCS should not replicate the whole corpus under a finite alpha")
+	}
+	if plan.ReplicatedItems+plan.ShardedItems != plan.Corpus {
+		t.Fatalf("unbudgeted HRCS should cache the whole corpus: R=%d S=%d corpus=%d",
+			plan.ReplicatedItems, plan.ShardedItems, plan.Corpus)
+	}
+	if plan.ReplicationRatio <= 0 || plan.ReplicationRatio >= 1 {
+		t.Fatalf("replication ratio %v", plan.ReplicationRatio)
+	}
+}
+
+// TestHRCSSlowNetworkReplicatesMore: with a slower network, fewer remote
+// accesses are tolerable, so the replicated area must grow.
+func TestHRCSSlowNetworkReplicatesMore(t *testing.T) {
+	in := testInput(t)
+	fast, err := NewPlan(HRCS, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Link = costmodel.NewLink(10)
+	slow, err := NewPlan(HRCS, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.ReplicatedItems <= fast.ReplicatedItems {
+		t.Fatalf("10Gbps replicated %d items, 100Gbps %d; slow network should replicate more",
+			slow.ReplicatedItems, fast.ReplicatedItems)
+	}
+	if slow.MaxCommRatio >= fast.MaxCommRatio {
+		t.Fatal("R_max should shrink with bandwidth")
+	}
+}
+
+// TestHRCSAlphaSweep: a larger tolerated communication ratio shrinks the
+// replicated area (the ablation's knob).
+func TestHRCSAlphaSweep(t *testing.T) {
+	in := testInput(t)
+	prev := -1
+	for _, alpha := range []float64{0.01, 0.05, 0.2, 1.0} {
+		in.Alpha = alpha
+		plan, err := NewPlan(HRCS, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && plan.ReplicatedItems > prev {
+			t.Fatalf("alpha %v replicated %d items, more than smaller alpha's %d",
+				alpha, plan.ReplicatedItems, prev)
+		}
+		prev = plan.ReplicatedItems
+	}
+}
+
+func TestHRCSSingleWorkerReplicatesNothingRemote(t *testing.T) {
+	in := testInput(t)
+	in.Workers = 1
+	plan, err := NewPlan(HRCS, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one worker R_max = 1: no need to replicate for communication.
+	local, remote, miss := plan.ExpectedAccessSplit(workload.NewZipf(plan.Corpus, in.Profile.ItemZipfA))
+	if remote != 0 {
+		t.Fatalf("single worker has remote fraction %v", remote)
+	}
+	if math.Abs(local+miss-1) > 1e-9 {
+		t.Fatalf("split doesn't sum to 1: %v + %v", local, miss)
+	}
+}
+
+func TestHRCSBudgetClamp(t *testing.T) {
+	in := testInput(t)
+	itemBytes := int64(in.Profile.AvgItemTokens) * int64(in.Model.KVBytesPerToken())
+	in.PerWorkerItemBudget = 1000 * itemBytes // room for 1000 items per worker
+	plan, err := NewPlan(HRCS, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.ItemBytesPerWorker(); got > in.PerWorkerItemBudget+itemBytes {
+		t.Fatalf("plan uses %d bytes/worker, budget %d", got, in.PerWorkerItemBudget)
+	}
+	if plan.CachedItems() >= plan.Corpus {
+		t.Fatal("budgeted plan should not cache the whole corpus")
+	}
+}
+
+func TestReplicatePlan(t *testing.T) {
+	in := testInput(t)
+	plan, err := NewPlan(Replicate, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ReplicatedItems != in.Profile.Items || plan.ShardedItems != 0 {
+		t.Fatalf("replicate plan: %+v", plan)
+	}
+	// Every access is local.
+	local, remote, miss := plan.ExpectedAccessSplit(workload.NewZipf(plan.Corpus, in.Profile.ItemZipfA))
+	if local < 0.999 || remote != 0 || miss > 0.001 {
+		t.Fatalf("replicate split: %v %v %v", local, remote, miss)
+	}
+	// Per-worker memory is the whole corpus — the cost the paper calls out.
+	want := int64(plan.Corpus) * plan.AvgItemBytes
+	if plan.ItemBytesPerWorker() != want {
+		t.Fatalf("bytes/worker %d, want %d", plan.ItemBytesPerWorker(), want)
+	}
+}
+
+func TestReplicateBudgetTruncatesToHottest(t *testing.T) {
+	in := testInput(t)
+	in.PerWorkerItemBudget = 500 * (int64(in.Profile.AvgItemTokens) * int64(in.Model.KVBytesPerToken()))
+	plan, err := NewPlan(Replicate, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ReplicatedItems != 500 {
+		t.Fatalf("replicated %d, want 500", plan.ReplicatedItems)
+	}
+	if plan.Lookup(0, 0) != LocLocal || plan.Lookup(500, 0) != LocMiss {
+		t.Fatal("budgeted replicate should keep hottest and miss the rest")
+	}
+}
+
+func TestHashPlan(t *testing.T) {
+	in := testInput(t)
+	plan, err := NewPlan(Hash, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ReplicatedItems != 0 || plan.ShardedItems != in.Profile.Items {
+		t.Fatalf("hash plan: %+v", plan)
+	}
+	// ~1/4 of accesses are local, 3/4 remote.
+	local, remote, miss := plan.ExpectedAccessSplit(workload.NewZipf(plan.Corpus, in.Profile.ItemZipfA))
+	if math.Abs(local-0.25) > 0.01 || math.Abs(remote-0.75) > 0.01 || miss > 1e-9 {
+		t.Fatalf("hash split: %v %v %v", local, remote, miss)
+	}
+	// Memory per worker is ~corpus/4.
+	want := (int64(plan.Corpus) + 3) / 4 * plan.AvgItemBytes
+	if plan.ItemBytesPerWorker() != want {
+		t.Fatalf("bytes/worker %d, want %d", plan.ItemBytesPerWorker(), want)
+	}
+}
+
+// TestMemoryOrdering: the paper's Fig. 7 premise — HRCS leaves more room for
+// user cache than full replication, while avoiding Hash's network traffic.
+func TestMemoryAndTrafficOrdering(t *testing.T) {
+	in := testInput(t)
+	hrcs, _ := NewPlan(HRCS, in)
+	rep, _ := NewPlan(Replicate, in)
+	hash, _ := NewPlan(Hash, in)
+	if !(hash.ItemBytesPerWorker() < hrcs.ItemBytesPerWorker() && hrcs.ItemBytesPerWorker() < rep.ItemBytesPerWorker()) {
+		t.Fatalf("memory ordering violated: hash %d, hrcs %d, rep %d",
+			hash.ItemBytesPerWorker(), hrcs.ItemBytesPerWorker(), rep.ItemBytesPerWorker())
+	}
+	z := workload.NewZipf(in.Profile.Items, in.Profile.ItemZipfA)
+	_, remHRCS, _ := hrcs.ExpectedAccessSplit(z)
+	_, remRep, _ := rep.ExpectedAccessSplit(z)
+	_, remHash, _ := hash.ExpectedAccessSplit(z)
+	if !(remRep <= remHRCS && remHRCS < remHash) {
+		t.Fatalf("traffic ordering violated: rep %v, hrcs %v, hash %v", remRep, remHRCS, remHash)
+	}
+	// HRCS must keep remote traffic within the Algorithm 1 bound.
+	if remHRCS > hrcs.MaxCommRatio+1e-9 {
+		t.Fatalf("HRCS remote fraction %v exceeds R_max %v", remHRCS, hrcs.MaxCommRatio)
+	}
+}
+
+func TestLookupClassification(t *testing.T) {
+	plan := Plan{Strategy: HRCS, Workers: 4, Corpus: 1000, ReplicatedItems: 10, ShardedItems: 100, AvgItemBytes: 1}
+	if plan.Lookup(5, 2) != LocLocal {
+		t.Fatal("replicated item must be local everywhere")
+	}
+	it := workload.ItemID(50)
+	holder := plan.ShardWorker(it)
+	if plan.Lookup(it, holder) != LocLocal {
+		t.Fatal("sharded item local on its holder")
+	}
+	if plan.Lookup(it, (holder+1)%4) != LocRemote {
+		t.Fatal("sharded item remote elsewhere")
+	}
+	if plan.Lookup(500, 0) != LocMiss {
+		t.Fatal("uncached item must miss")
+	}
+}
+
+func TestShardWorkerBalanced(t *testing.T) {
+	plan := Plan{Workers: 4, Corpus: 100000, ShardedItems: 100000, AvgItemBytes: 1}
+	counts := make([]int, 4)
+	for it := 0; it < 100000; it++ {
+		counts[plan.ShardWorker(workload.ItemID(it))]++
+	}
+	for w, c := range counts {
+		if c < 23000 || c > 27000 {
+			t.Fatalf("worker %d holds %d of 100000 sharded items", w, c)
+		}
+	}
+}
+
+func TestReplicationRatioFromFrequenciesMatchesAnalytic(t *testing.T) {
+	// Materialize a small Zipf frequency table and compare the literal
+	// Algorithm 1 loop with the analytic binary search.
+	const n = 10_000
+	a := 1.08
+	freqs := make([]float64, n)
+	var sum float64
+	for i := range freqs {
+		freqs[i] = math.Pow(float64(i+1), -a)
+		sum += freqs[i]
+	}
+	for i := range freqs {
+		freqs[i] /= sum
+	}
+	z := workload.NewZipf(n, a)
+	for _, rMax := range []float64{0.05, 0.2, 0.5} {
+		literal := ReplicationRatioFromFrequencies(freqs, rMax)
+		analytic := float64(ranksCoveringMass(z, n, 1-rMax)) / float64(n)
+		if math.Abs(literal-analytic) > 0.05 {
+			t.Errorf("rMax %v: literal %v vs analytic %v", rMax, literal, analytic)
+		}
+	}
+}
+
+func TestReplicationRatioEdgeCases(t *testing.T) {
+	if ReplicationRatioFromFrequencies(nil, 0.5) != 0 {
+		t.Fatal("empty distribution")
+	}
+	if ReplicationRatioFromFrequencies([]float64{1}, 0) != 1 {
+		t.Fatal("zero tolerance should replicate everything")
+	}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	in := testInput(t)
+	in.Workers = 0
+	if _, err := NewPlan(HRCS, in); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	in = testInput(t)
+	in.Est = nil
+	if _, err := NewPlan(HRCS, in); err == nil {
+		t.Fatal("HRCS without estimator accepted")
+	}
+	in = testInput(t)
+	in.Alpha = -1
+	if _, err := NewPlan(HRCS, in); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+}
+
+func TestStrategyAndLocationStrings(t *testing.T) {
+	if HRCS.String() != "hrcs" || Replicate.String() != "replicate" || Hash.String() != "hash" {
+		t.Fatal("Strategy strings")
+	}
+	if LocLocal.String() != "local" || LocRemote.String() != "remote" || LocMiss.String() != "miss" {
+		t.Fatal("Location strings")
+	}
+}
+
+func TestGPUResidentSizing(t *testing.T) {
+	in := testInput(t)
+	itemBytes := int64(in.Profile.AvgItemTokens) * int64(in.Model.KVBytesPerToken())
+	in.PerWorkerGPUItemBudget = 500 * itemBytes
+	plan, err := NewPlan(HRCS, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.GPUResidentItems != 500 {
+		t.Fatalf("GPU items %d, want 500", plan.GPUResidentItems)
+	}
+	if plan.GPUBytesPerWorker() != 500*itemBytes {
+		t.Fatalf("GPU bytes %d", plan.GPUBytesPerWorker())
+	}
+	if !plan.GPUResident(10) || plan.GPUResident(500) {
+		t.Fatal("GPUResident boundary wrong")
+	}
+	// GPU area never exceeds the replicated set.
+	in.PerWorkerGPUItemBudget = int64(in.Profile.Items+1000) * itemBytes
+	plan2, err := NewPlan(HRCS, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.GPUResidentItems > plan2.ReplicatedItems {
+		t.Fatalf("GPU items %d exceed replicated %d", plan2.GPUResidentItems, plan2.ReplicatedItems)
+	}
+	// Negative budget rejected.
+	in.PerWorkerGPUItemBudget = -1
+	if _, err := NewPlan(HRCS, in); err == nil {
+		t.Fatal("negative GPU budget accepted")
+	}
+}

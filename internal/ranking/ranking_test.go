@@ -1,0 +1,379 @@
+package ranking
+
+import (
+	"math"
+	"testing"
+
+	"bat/internal/bipartite"
+	"bat/internal/model"
+	"bat/internal/tensor"
+)
+
+func testDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := NewDataset(DatasetConfig{
+		Name: "test", Items: 120, Users: 60, Clusters: 6, LatentDim: 8,
+		HistoryMin: 8, HistoryMax: 20, ItemAttrTokens: 2,
+		ClusterNoise: 0.15, Candidates: 20, HardNegatives: 4, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDatasetConfigValidation(t *testing.T) {
+	base := DatasetConfig{
+		Name: "x", Items: 100, Users: 10, Clusters: 4, LatentDim: 8,
+		HistoryMin: 2, HistoryMax: 4, Candidates: 20, HardNegatives: 2,
+	}
+	muts := []func(*DatasetConfig){
+		func(c *DatasetConfig) { c.Items = 10 }, // smaller than candidates
+		func(c *DatasetConfig) { c.Users = 0 },
+		func(c *DatasetConfig) { c.LatentDim = 1 },
+		func(c *DatasetConfig) { c.HistoryMax = 1 },
+		func(c *DatasetConfig) { c.HardNegatives = 20 },
+	}
+	for i, mut := range muts {
+		cfg := base
+		mut(&cfg)
+		if _, err := NewDataset(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDatasetStructure(t *testing.T) {
+	ds := testDataset(t)
+	if len(ds.ItemLatent) != 120 || len(ds.UserHistory) != 60 {
+		t.Fatal("dataset sizes wrong")
+	}
+	// Latents are unit norm.
+	for i, v := range ds.ItemLatent {
+		if math.Abs(float64(tensor.Dot(v, v))-1) > 1e-5 {
+			t.Fatalf("item %d latent norm %v", i, tensor.Dot(v, v))
+		}
+	}
+	// Vocabulary ranges are disjoint and dense.
+	if ds.InteractionToken(0) != 120 || ds.CandidateToken(5) != 5 {
+		t.Fatal("token layout wrong")
+	}
+	if ds.DiscriminantToken() >= ds.VocabSize() {
+		t.Fatal("discriminant outside vocab")
+	}
+	// Item tokens: identifier + 2 attributes.
+	if len(ds.ItemTokens[3]) != 3 || ds.ItemTokens[3][0] != 3 {
+		t.Fatalf("item tokens %v", ds.ItemTokens[3])
+	}
+	// Histories are dominated by the user's own cluster.
+	inCluster := 0
+	total := 0
+	for u, hist := range ds.UserHistory {
+		for _, it := range hist {
+			total++
+			if ds.ItemCluster[it] == ds.UserCluster[u] {
+				inCluster++
+			}
+		}
+	}
+	if frac := float64(inCluster) / float64(total); frac < 0.7 {
+		t.Fatalf("only %v of history in-cluster", frac)
+	}
+}
+
+func TestSampleRequest(t *testing.T) {
+	ds := testDataset(t)
+	req := ds.SampleRequest(3, 4)
+	if len(req.Candidates) != 20 {
+		t.Fatalf("%d candidates", len(req.Candidates))
+	}
+	seen := map[int]bool{}
+	for _, c := range req.Candidates {
+		if seen[c] {
+			t.Fatal("duplicate candidate")
+		}
+		seen[c] = true
+	}
+	truth := req.Candidates[req.Truth]
+	if ds.ItemCluster[truth] != ds.UserCluster[3] {
+		t.Fatal("truth should come from the user's interest cluster")
+	}
+}
+
+func TestBuildModelRejectsWideLatent(t *testing.T) {
+	ds := testDataset(t)
+	ds.LatentDim = 31
+	if _, err := BuildModel(ds, VariantBase); err == nil {
+		t.Fatal("latent collision accepted")
+	}
+}
+
+// TestConstructedModelRanks: the construction must genuinely rank — far
+// above the chance rate of a random scorer.
+func TestConstructedModelRanks(t *testing.T) {
+	ds := testDataset(t)
+	r, err := NewRanker(ds, VariantBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Evaluate(60, bipartite.UserPrefix, RankOpts{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chance Recall@10 with 20 candidates is 0.5; require clear skill.
+	if res.Recall10 < 0.8 {
+		t.Fatalf("Recall@10 = %v; construction is not ranking", res.Recall10)
+	}
+	if res.MRR10 < 0.25 {
+		t.Fatalf("MRR@10 = %v", res.MRR10)
+	}
+	if !(res.Recall10 >= res.NDCG10 && res.NDCG10 >= res.MRR10) {
+		t.Fatalf("metric ordering violated: %+v", res)
+	}
+	if res.Recall5 > res.Recall10 {
+		t.Fatal("Recall@5 cannot exceed Recall@10")
+	}
+}
+
+// TestUPvsIPParityForRoPEModel is Table 3's headline: for position-robust
+// models, Item-as-prefix matches User-as-prefix quality.
+func TestUPvsIPParityForRoPEModel(t *testing.T) {
+	ds := testDataset(t)
+	for _, v := range []ModelVariant{VariantBase, VariantSharp} {
+		r, err := NewRanker(ds, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		up, err := r.Evaluate(60, bipartite.UserPrefix, RankOpts{}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip, err := r.Evaluate(60, bipartite.ItemPrefix, RankOpts{}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(up.Recall10 - ip.Recall10); d > 0.08 {
+			t.Errorf("%s: UP/IP Recall@10 gap %v (UP %v, IP %v)", v.Name, d, up.Recall10, ip.Recall10)
+		}
+		if d := math.Abs(up.NDCG10 - ip.NDCG10); d > 0.08 {
+			t.Errorf("%s: UP/IP NDCG@10 gap %v", v.Name, d)
+		}
+	}
+}
+
+// TestAbsPosModelDegradesUnderIPAndPICRecovers reproduces Table 3's
+// degradation cases and the CacheBlend-style recovery (§6.3).
+func TestAbsPosModelDegradesUnderIPAndPICRecovers(t *testing.T) {
+	// A larger candidate set than the shared fixture: degradation shows up
+	// when cross-cluster candidates can intrude into the top-10.
+	ds, err := NewDataset(DatasetConfig{
+		Name: "abspos", Items: 240, Users: 60, Clusters: 6, LatentDim: 8,
+		HistoryMin: 8, HistoryMax: 20, ItemAttrTokens: 2,
+		ClusterNoise: 0.15, Candidates: 60, HardNegatives: 4, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRanker(ds, VariantAbsPos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := r.Evaluate(60, bipartite.UserPrefix, RankOpts{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := r.Evaluate(60, bipartite.ItemPrefix, RankOpts{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pic, err := r.Evaluate(60, bipartite.ItemPrefix, RankOpts{PIC: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UP quality must stay comparable to the position-robust model's on the
+	// same evaluation set (the bias concentrates attention on the earliest
+	// history, which costs a little but must not break ranking).
+	baseRanker, err := NewRanker(ds, VariantBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseUP, err := baseRanker.Evaluate(60, bipartite.UserPrefix, RankOpts{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Recall10 < baseUP.Recall10-0.15 {
+		t.Fatalf("AbsPos UP Recall@10 = %v far below base model's %v", up.Recall10, baseUP.Recall10)
+	}
+	if ip.Recall10 >= up.Recall10-0.05 {
+		t.Fatalf("AbsPos IP Recall@10 %v should clearly trail UP %v", ip.Recall10, up.Recall10)
+	}
+	if pic.Recall10 <= ip.Recall10 {
+		t.Fatalf("PIC Recall@10 %v should improve on plain IP %v", pic.Recall10, ip.Recall10)
+	}
+	if pic.Strategy != "IP+PIC" || ip.Strategy != "IP" || up.Strategy != "UP" {
+		t.Fatal("strategy labels wrong")
+	}
+}
+
+// TestRankWithItemCachesMatchesCold ties ranking quality to the serving
+// mechanism: scoring from precomputed item caches must return the exact
+// ranking of full recomputation.
+func TestRankWithItemCachesMatchesCold(t *testing.T) {
+	ds := testDataset(t)
+	r, err := NewRanker(ds, VariantBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ds.SampleRequest(7, 4)
+	cold, run, err := r.Rank(req, bipartite.ItemPrefix, RankOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.NewItemCaches) != len(req.Candidates) {
+		t.Fatalf("cold run produced %d caches", len(run.NewItemCaches))
+	}
+	warm, warmRun, err := r.Rank(req, bipartite.ItemPrefix, RankOpts{
+		Caches: bipartite.CacheSet{Items: run.NewItemCaches},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRun.ReusedTokens == 0 {
+		t.Fatal("warm run reused nothing")
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("warm ranking diverged at %d: %v vs %v", i, cold, warm)
+		}
+	}
+}
+
+// TestItemCachesSharedAcrossModelCallsPreservePermutation: permuting the
+// candidate order must not change which items rank on top.
+func TestRankingPermutationInvariance(t *testing.T) {
+	ds := testDataset(t)
+	r, err := NewRanker(ds, VariantBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ds.SampleRequest(9, 4)
+	rank1, _, err := r.Rank(req, bipartite.ItemPrefix, RankOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotate the candidate list.
+	perm := append(append([]int(nil), req.Candidates[5:]...), req.Candidates[:5]...)
+	req2 := EvalRequest{User: req.User, Candidates: perm}
+	rank2, _, err := r.Rank(req2, bipartite.ItemPrefix, RankOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare top-5 item IDs.
+	for i := 0; i < 5; i++ {
+		if req.Candidates[rank1[i]] != perm[rank2[i]] {
+			t.Fatalf("top-%d changed under permutation: %d vs %d",
+				i, req.Candidates[rank1[i]], perm[rank2[i]])
+		}
+	}
+}
+
+func TestVariantsList(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 3 {
+		t.Fatalf("%d variants", len(vs))
+	}
+	sensitive := 0
+	for _, v := range vs {
+		if v.PosSensitive {
+			sensitive++
+		}
+	}
+	if sensitive != 1 {
+		t.Fatalf("%d position-sensitive variants, want 1", sensitive)
+	}
+}
+
+func TestModelConfigUsesTiedHead(t *testing.T) {
+	ds := testDataset(t)
+	w, err := BuildModel(ds, VariantBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Config().Vocab != ds.VocabSize() {
+		t.Fatal("vocab mismatch")
+	}
+	// A candidate's embedding must be its planted latent.
+	got := w.Embedding(ds.CandidateToken(4))
+	for k := 0; k < ds.LatentDim; k++ {
+		if got[k] != ds.ItemLatent[4][k] {
+			t.Fatal("candidate embedding not planted")
+		}
+	}
+	if got[userFlagDim] != 0 {
+		t.Fatal("candidate token must not carry the user flag")
+	}
+	inter := w.Embedding(ds.InteractionToken(4))
+	if inter[userFlagDim] != 1 {
+		t.Fatal("interaction token must carry the user flag")
+	}
+	_ = model.CausalMask{} // keep the model import for the doc reference
+}
+
+// TestRankMultiQuality: the per-item-discriminant readout must rank with
+// comparable skill to the single-discriminant path.
+func TestRankMultiQuality(t *testing.T) {
+	ds := testDataset(t)
+	r, err := NewRanker(ds, VariantBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	reqs := ds.EvalRequests(40, 4)
+	for _, req := range reqs {
+		ranked, run, err := r.RankMulti(req, bipartite.UserPrefix, RankOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Layout.DiscriminantIndices() == nil {
+			t.Fatal("not a multi-disc layout")
+		}
+		for i := 0; i < 10 && i < len(ranked); i++ {
+			if ranked[i] == req.Truth {
+				hits++
+				break
+			}
+		}
+	}
+	if recall := float64(hits) / float64(len(reqs)); recall < 0.7 {
+		t.Fatalf("multi-disc Recall@10 = %v", recall)
+	}
+}
+
+// TestRankMultiItemCacheReuse: multi-disc IP serving reuses item caches and
+// returns the exact cold ranking.
+func TestRankMultiItemCacheReuse(t *testing.T) {
+	ds := testDataset(t)
+	r, err := NewRanker(ds, VariantBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ds.SampleRequest(3, 4)
+	cold, run, err := r.RankMulti(req, bipartite.ItemPrefix, RankOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmRun, err := r.RankMulti(req, bipartite.ItemPrefix, RankOpts{
+		Caches: bipartite.CacheSet{Items: run.NewItemCaches},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRun.ReusedTokens == 0 {
+		t.Fatal("no cache reuse")
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("warm multi-disc ranking diverged: %v vs %v", cold, warm)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package ranking
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bat/internal/tensor"
+)
+
+// Retriever is the linear-recurrence retrieval model the paper places ahead
+// of the GR ranking stage (§6.1, following "Linear recurrent units for
+// sequential recommendation"): the user state is an exponentially decayed
+// sum of history-item latents,
+//
+//	h_u = Σ_k λ^(n-k) · latent(hist_k),
+//
+// and candidates are the top-C corpus items by dot(h_u, latent(item)).
+// Ranking evaluation then follows the paper's protocol (§6.3, after
+// LlamaRec): only requests whose ground truth survives retrieval are scored.
+type Retriever struct {
+	ds *Dataset
+	// Decay is the recurrence factor λ in (0, 1]; 1 weights all history
+	// equally, smaller values emphasize recent interactions.
+	Decay float64
+
+	rng *rand.Rand // truth sampling for RetrievalEvalSet, seeded from the dataset
+}
+
+// NewRetriever builds a retriever over the dataset's item corpus.
+func NewRetriever(ds *Dataset, decay float64) (*Retriever, error) {
+	if decay <= 0 || decay > 1 {
+		return nil, fmt.Errorf("ranking: retrieval decay %v outside (0,1]", decay)
+	}
+	return &Retriever{ds: ds, Decay: decay, rng: rand.New(rand.NewSource(ds.seed ^ 0x72657472))}, nil
+}
+
+// UserState returns the decayed-sum latent state for user u.
+func (r *Retriever) UserState(u int) []float32 {
+	hist := r.ds.UserHistory[u]
+	state := make([]float32, r.ds.LatentDim)
+	w := float32(1)
+	for k := len(hist) - 1; k >= 0; k-- {
+		latent := r.ds.ItemLatent[hist[k]]
+		for d := range state {
+			state[d] += w * latent[d]
+		}
+		w *= float32(r.Decay)
+	}
+	return state
+}
+
+// Retrieve returns the top-c corpus items for user u by state-latent dot
+// product, excluding the user's own history (already-consumed items are not
+// re-recommended).
+func (r *Retriever) Retrieve(u, c int) []int {
+	state := r.UserState(u)
+	inHistory := make(map[int]bool, len(r.ds.UserHistory[u]))
+	for _, it := range r.ds.UserHistory[u] {
+		inHistory[it] = true
+	}
+	scores := make([]float32, len(r.ds.ItemLatent))
+	for it, latent := range r.ds.ItemLatent {
+		if inHistory[it] {
+			scores[it] = tensor.NegInf
+			continue
+		}
+		scores[it] = tensor.Dot(state, latent)
+	}
+	return tensor.TopK(scores, c)
+}
+
+// RetrievalRequest builds an evaluation request for user u from the
+// retriever's candidate set. ok is false when the ground-truth item does not
+// survive retrieval — the paper's protocol drops such requests.
+func (r *Retriever) RetrievalRequest(u, c int, truth int) (EvalRequest, bool) {
+	cands := r.Retrieve(u, c)
+	truthIdx := -1
+	for i, it := range cands {
+		if it == truth {
+			truthIdx = i
+			break
+		}
+	}
+	if truthIdx < 0 {
+		return EvalRequest{}, false
+	}
+	return EvalRequest{User: u, Candidates: cands, Truth: truthIdx}, true
+}
+
+// RetrievalEvalSet draws up to n post-retrieval evaluation requests: for
+// each user (round-robin) a held-out in-cluster truth is sampled and kept
+// only if retrieval surfaces it among the top c. It also reports the
+// retrieval hit rate (fraction of sampled truths surviving retrieval).
+func (r *Retriever) RetrievalEvalSet(n, c int) ([]EvalRequest, float64) {
+	reqs := make([]EvalRequest, 0, n)
+	tried, kept := 0, 0
+	users := len(r.ds.UserHistory)
+	for i := 0; kept < n && tried < 20*n; i++ {
+		u := i % users
+		truth := r.sampleTruth(u)
+		tried++
+		req, ok := r.RetrievalRequest(u, c, truth)
+		if !ok {
+			continue
+		}
+		kept++
+		reqs = append(reqs, req)
+	}
+	if tried == 0 {
+		return reqs, 0
+	}
+	return reqs, float64(kept) / float64(tried)
+}
+
+// sampleTruth draws a held-out item from the user's interest cluster.
+func (r *Retriever) sampleTruth(u int) int {
+	ds := r.ds
+	inHistory := make(map[int]bool, len(ds.UserHistory[u]))
+	for _, it := range ds.UserHistory[u] {
+		inHistory[it] = true
+	}
+	truth := ds.randItemInClusterWith(r.rng, ds.UserCluster[u])
+	for tries := 0; inHistory[truth] && tries < 50; tries++ {
+		truth = ds.randItemInClusterWith(r.rng, ds.UserCluster[u])
+	}
+	return truth
+}

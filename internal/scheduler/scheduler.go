@@ -1,0 +1,155 @@
+// Package scheduler implements prompt scheduling: the per-request choice
+// between User-as-prefix and Item-as-prefix attention (§5.3). It provides
+// the paper's hotness-aware policy, the cache-agnostic greedy baseline, and
+// the static policies used as evaluation baselines (RE, UP, IP).
+package scheduler
+
+import "bat/internal/bipartite"
+
+// Context is the cache state the scheduler sees for one request, assembled
+// from the cache meta service and the serving node's user pool.
+type Context struct {
+	// UserTokens and ItemTokens are the request's prompt composition
+	// (τ_u(r) and τ_i(r) in the paper's decision rule).
+	UserTokens, ItemTokens int
+	// UserHotness is the sliding-window frequency estimate f_u(r).
+	UserHotness float64
+	// UserCached reports whether this user's prefix is already resident.
+	UserCached bool
+	// MinCachedHotness is min_{p∈C_u} f_p over cached user pages, valid only
+	// when HaveMinCachedHotness is true (the pool may be empty).
+	MinCachedHotness     float64
+	HaveMinCachedHotness bool
+	// UserPoolHasSpace reports whether the user area can admit this user's
+	// prefix without evicting anything.
+	UserPoolHasSpace bool
+	// CachedItemTokens is how many of this request's candidate tokens are
+	// resident anywhere in the item pool (local or remote). Populated only
+	// for policies implementing CostAware — it costs a per-candidate lookup.
+	CachedItemTokens int
+}
+
+// CostAware marks policies that need Context.CachedItemTokens resolved
+// before deciding (an extra O(candidates) placement lookup per request).
+type CostAware interface {
+	NeedsItemHitTokens() bool
+}
+
+// Decision is the scheduler's output for one request.
+type Decision struct {
+	// Kind is the chosen prompt organization.
+	Kind bipartite.PrefixKind
+	// Recompute disables prefix caching entirely (the RE baseline).
+	Recompute bool
+	// AdmitUser requests that the user's prefix be (re)admitted to the user
+	// cache after computation.
+	AdmitUser bool
+}
+
+// Policy decides the attention pattern for each request.
+type Policy interface {
+	Name() string
+	Decide(Context) Decision
+}
+
+// Recompute is the RE baseline: no prefix caching.
+type Recompute struct{}
+
+// Name implements Policy.
+func (Recompute) Name() string { return "RE" }
+
+// Decide implements Policy.
+func (Recompute) Decide(Context) Decision {
+	return Decision{Kind: bipartite.UserPrefix, Recompute: true}
+}
+
+// StaticUser is the UP baseline: User-as-prefix for every request, LRU-style
+// unconditional admission — the conventional approach in existing GR systems.
+type StaticUser struct{}
+
+// Name implements Policy.
+func (StaticUser) Name() string { return "UP" }
+
+// Decide implements Policy.
+func (StaticUser) Decide(Context) Decision {
+	return Decision{Kind: bipartite.UserPrefix, AdmitUser: true}
+}
+
+// StaticItem is the IP baseline: Item-as-prefix for every request.
+type StaticItem struct{}
+
+// Name implements Policy.
+func (StaticItem) Name() string { return "IP" }
+
+// Decide implements Policy.
+func (StaticItem) Decide(Context) Decision {
+	return Decision{Kind: bipartite.ItemPrefix}
+}
+
+// CacheAgnostic is the strawman of §5.3: pick whichever side has more
+// tokens, ignoring cache state, and always admit chosen users.
+type CacheAgnostic struct{}
+
+// Name implements Policy.
+func (CacheAgnostic) Name() string { return "cache-agnostic" }
+
+// Decide implements Policy.
+func (CacheAgnostic) Decide(c Context) Decision {
+	if c.UserTokens >= c.ItemTokens {
+		return Decision{Kind: bipartite.UserPrefix, AdmitUser: true}
+	}
+	return Decision{Kind: bipartite.ItemPrefix}
+}
+
+// GreedyOracle is a clairvoyant-greedy upper-bound baseline: it inspects the
+// true cache state of both sides and picks whichever prefix minimizes this
+// request's computed tokens. It is "oracle" about the present but myopic
+// about the future — it performs no admission control, so comparing it with
+// the hotness-aware policy isolates how much of BAT's win comes from cache
+// retention decisions rather than per-request cost minimization.
+type GreedyOracle struct{}
+
+// Name implements Policy.
+func (GreedyOracle) Name() string { return "greedy-oracle" }
+
+// NeedsItemHitTokens implements CostAware.
+func (GreedyOracle) NeedsItemHitTokens() bool { return true }
+
+// Decide implements Policy.
+func (GreedyOracle) Decide(c Context) Decision {
+	userSaved := 0
+	if c.UserCached {
+		userSaved = c.UserTokens
+	}
+	if userSaved >= c.CachedItemTokens {
+		return Decision{Kind: bipartite.UserPrefix, AdmitUser: true}
+	}
+	return Decision{Kind: bipartite.ItemPrefix}
+}
+
+// HotnessAware is the paper's policy (§5.3):
+//
+//	prefix(r) = user  if τ_u(r) ≥ τ_i(r) ∧ f_u(r) > min_{p∈C_u} f_p
+//	            item  otherwise
+//
+// A resident user cache is always used when the user side is at least as
+// large (the access itself keeps the entry hot); and when the user area has
+// free space the admission threshold is vacuous.
+type HotnessAware struct{}
+
+// Name implements Policy.
+func (HotnessAware) Name() string { return "hotness-aware" }
+
+// Decide implements Policy.
+func (HotnessAware) Decide(c Context) Decision {
+	if c.UserTokens < c.ItemTokens {
+		return Decision{Kind: bipartite.ItemPrefix}
+	}
+	if c.UserCached {
+		return Decision{Kind: bipartite.UserPrefix, AdmitUser: true}
+	}
+	if c.UserPoolHasSpace || !c.HaveMinCachedHotness || c.UserHotness > c.MinCachedHotness {
+		return Decision{Kind: bipartite.UserPrefix, AdmitUser: true}
+	}
+	return Decision{Kind: bipartite.ItemPrefix}
+}

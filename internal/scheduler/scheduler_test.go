@@ -1,0 +1,154 @@
+package scheduler
+
+import (
+	"testing"
+
+	"bat/internal/bipartite"
+)
+
+func TestPolicyNames(t *testing.T) {
+	cases := map[string]Policy{
+		"RE":             Recompute{},
+		"UP":             StaticUser{},
+		"IP":             StaticItem{},
+		"cache-agnostic": CacheAgnostic{},
+		"hotness-aware":  HotnessAware{},
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("%T.Name() = %q, want %q", p, p.Name(), want)
+		}
+	}
+}
+
+func TestRecompute(t *testing.T) {
+	d := Recompute{}.Decide(Context{UserTokens: 5000, ItemTokens: 1000})
+	if !d.Recompute || d.AdmitUser {
+		t.Fatalf("RE decision: %+v", d)
+	}
+}
+
+func TestStaticPolicies(t *testing.T) {
+	up := StaticUser{}.Decide(Context{UserTokens: 10, ItemTokens: 1000})
+	if up.Kind != bipartite.UserPrefix || !up.AdmitUser || up.Recompute {
+		t.Fatalf("UP decision: %+v", up)
+	}
+	ip := StaticItem{}.Decide(Context{UserTokens: 5000, ItemTokens: 10})
+	if ip.Kind != bipartite.ItemPrefix || ip.AdmitUser {
+		t.Fatalf("IP decision: %+v", ip)
+	}
+}
+
+func TestCacheAgnosticPicksLargerSide(t *testing.T) {
+	big := CacheAgnostic{}.Decide(Context{UserTokens: 2000, ItemTokens: 1000})
+	if big.Kind != bipartite.UserPrefix || !big.AdmitUser {
+		t.Fatalf("long user: %+v", big)
+	}
+	small := CacheAgnostic{}.Decide(Context{UserTokens: 500, ItemTokens: 1000})
+	if small.Kind != bipartite.ItemPrefix {
+		t.Fatalf("short user: %+v", small)
+	}
+	// Cache state must be ignored.
+	ignored := CacheAgnostic{}.Decide(Context{
+		UserTokens: 2000, ItemTokens: 1000,
+		HaveMinCachedHotness: true, MinCachedHotness: 100, UserHotness: 0,
+	})
+	if ignored.Kind != bipartite.UserPrefix {
+		t.Fatal("cache-agnostic policy must not consult hotness")
+	}
+}
+
+func TestHotnessAwareShortUserGoesItem(t *testing.T) {
+	// §5.3: fewer user tokens than item tokens → Item-as-prefix directly,
+	// even for a very hot user.
+	d := HotnessAware{}.Decide(Context{
+		UserTokens: 800, ItemTokens: 1000, UserHotness: 50,
+		UserPoolHasSpace: true,
+	})
+	if d.Kind != bipartite.ItemPrefix {
+		t.Fatalf("short hot user: %+v", d)
+	}
+}
+
+func TestHotnessAwareAdmissionThreshold(t *testing.T) {
+	base := Context{
+		UserTokens: 2000, ItemTokens: 1000,
+		HaveMinCachedHotness: true, MinCachedHotness: 3,
+	}
+	cold := base
+	cold.UserHotness = 1
+	if d := (HotnessAware{}).Decide(cold); d.Kind != bipartite.ItemPrefix {
+		t.Fatalf("cold user should fall back to item prefix: %+v", d)
+	}
+	hot := base
+	hot.UserHotness = 5
+	d := HotnessAware{}.Decide(hot)
+	if d.Kind != bipartite.UserPrefix || !d.AdmitUser {
+		t.Fatalf("hot user should replace coldest cached user: %+v", d)
+	}
+}
+
+func TestHotnessAwareResidentUserServed(t *testing.T) {
+	// A resident cache is used regardless of the admission threshold.
+	d := HotnessAware{}.Decide(Context{
+		UserTokens: 2000, ItemTokens: 1000, UserCached: true,
+		HaveMinCachedHotness: true, MinCachedHotness: 100, UserHotness: 0.1,
+	})
+	if d.Kind != bipartite.UserPrefix || !d.AdmitUser {
+		t.Fatalf("resident user: %+v", d)
+	}
+}
+
+func TestHotnessAwareFreeSpaceAdmits(t *testing.T) {
+	d := HotnessAware{}.Decide(Context{
+		UserTokens: 2000, ItemTokens: 1000, UserHotness: 0.1,
+		UserPoolHasSpace:     true,
+		HaveMinCachedHotness: true, MinCachedHotness: 100,
+	})
+	if d.Kind != bipartite.UserPrefix {
+		t.Fatalf("free space should admit: %+v", d)
+	}
+}
+
+func TestHotnessAwareEmptyPoolAdmits(t *testing.T) {
+	d := HotnessAware{}.Decide(Context{
+		UserTokens: 2000, ItemTokens: 1000, UserHotness: 0.1,
+	})
+	if d.Kind != bipartite.UserPrefix || !d.AdmitUser {
+		t.Fatalf("empty pool should admit: %+v", d)
+	}
+}
+
+func TestGreedyOracle(t *testing.T) {
+	var p Policy = GreedyOracle{}
+	if p.Name() != "greedy-oracle" {
+		t.Fatalf("name %q", p.Name())
+	}
+	ca, ok := p.(CostAware)
+	if !ok || !ca.NeedsItemHitTokens() {
+		t.Fatal("oracle must request item hit tokens")
+	}
+	// Cached user beats a half-cached item set.
+	d := GreedyOracle{}.Decide(Context{UserTokens: 1500, ItemTokens: 1000, UserCached: true, CachedItemTokens: 700})
+	if d.Kind != bipartite.UserPrefix || !d.AdmitUser {
+		t.Fatalf("cached user: %+v", d)
+	}
+	// Uncached user loses to any cached items.
+	d = GreedyOracle{}.Decide(Context{UserTokens: 1500, ItemTokens: 1000, CachedItemTokens: 10})
+	if d.Kind != bipartite.ItemPrefix {
+		t.Fatalf("uncached user: %+v", d)
+	}
+	// Total cold start warms the user cache.
+	d = GreedyOracle{}.Decide(Context{UserTokens: 1500, ItemTokens: 1000})
+	if d.Kind != bipartite.UserPrefix || !d.AdmitUser {
+		t.Fatalf("cold start: %+v", d)
+	}
+}
+
+func TestNonCostAwarePolicies(t *testing.T) {
+	for _, p := range []Policy{Recompute{}, StaticUser{}, StaticItem{}, CacheAgnostic{}, HotnessAware{}} {
+		if _, ok := p.(CostAware); ok {
+			t.Fatalf("%s should not be cost-aware", p.Name())
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package server exposes the BAT serving mechanism as a real HTTP service:
+// an executable transformer (internal/ranking's constructed GR), an
+// in-process disaggregated cache holding per-item and per-user KV tensors,
+// a hotness-aware prefix decision per request, and a JSON API. It is the
+// end-to-end runnable demonstration that the mechanisms the simulator
+// accounts for actually serve requests.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"bat/internal/bipartite"
+	"bat/internal/cachemeta"
+	"bat/internal/kvcache"
+	"bat/internal/model"
+	"bat/internal/ranking"
+	"bat/internal/scheduler"
+)
+
+// Config assembles a server.
+type Config struct {
+	Dataset *ranking.Dataset
+	Variant ranking.ModelVariant
+	// MaxUserCaches caps the user-cache entries held in memory (default 256).
+	MaxUserCaches int
+	// HotnessWindowSec configures the frequency estimator (default 300).
+	HotnessWindowSec float64
+	// PrecomputeItems builds every item's KV cache at startup (the paper's
+	// offline item-cache initialization); otherwise items are cached on
+	// first use.
+	PrecomputeItems bool
+	// TopK is the ranked-list length returned (default 10).
+	TopK int
+	// Policy decides the prefix; nil means hotness-aware.
+	Policy scheduler.Policy
+	// MultiDisc serves with the §4.2 multi-discriminant extension: one
+	// discriminant token per candidate instead of a single shared one.
+	MultiDisc bool
+	// PageTokens, when positive, stores every cached prefix in a shared
+	// PagedAttention-style BlockArena with pages of that many tokens, so
+	// concurrent contexts share block-aligned prefix pages copy-free.
+	PageTokens int
+	// Now supplies time (injectable for tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Server is the ranking service.
+type Server struct {
+	cfg    Config
+	ranker *ranking.Ranker
+	arena  *model.BlockArena // nil unless cfg.PageTokens > 0
+
+	mu         sync.Mutex
+	itemCaches map[int]*model.KVCache
+	userCaches map[int]*model.KVCache
+	userLRU    []int // oldest first; small cap keeps O(n) fine
+	meta       *cachemeta.Service
+	start      time.Time
+
+	requests, userPrefix, itemPrefix int64
+	reusedTokens, computedTokens     int64
+}
+
+// New builds a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("server: nil dataset")
+	}
+	if cfg.MaxUserCaches == 0 {
+		cfg.MaxUserCaches = 256
+	}
+	if cfg.HotnessWindowSec == 0 {
+		cfg.HotnessWindowSec = 300
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = 10
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = scheduler.HotnessAware{}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	r, err := ranking.NewRanker(cfg.Dataset, cfg.Variant)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		ranker:     r,
+		itemCaches: make(map[int]*model.KVCache),
+		userCaches: make(map[int]*model.KVCache),
+		meta:       cachemeta.New(cfg.HotnessWindowSec),
+		start:      cfg.Now(),
+	}
+	if cfg.PageTokens > 0 {
+		arena, err := model.NewBlockArena(r.W.Config(), cfg.PageTokens)
+		if err != nil {
+			return nil, err
+		}
+		s.arena = arena
+	}
+	if cfg.PrecomputeItems {
+		for i, toks := range cfg.Dataset.ItemTokens {
+			s.itemCaches[i] = bipartite.ComputeItemCacheInto(r.W, toks, 0, s.newStorage())
+		}
+	}
+	return s, nil
+}
+
+// newStorage allocates an empty cache in the configured backend.
+func (s *Server) newStorage() *model.KVCache {
+	if s.arena != nil {
+		return s.arena.NewKVCache()
+	}
+	return model.NewKVCache(s.ranker.W.Config())
+}
+
+// admitCache re-homes a freshly computed cache into the arena when paging is
+// enabled, so stored prefixes live in shared pages.
+func (s *Server) admitCache(c *model.KVCache) *model.KVCache {
+	if s.arena == nil {
+		return c
+	}
+	return s.arena.Adopt(c)
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/rank   {"user_id": u, "candidate_ids": [...]}
+//	GET  /v1/stats
+//	GET  /healthz
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/rank", s.handleRank)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// RankRequest is the /v1/rank payload.
+type RankRequest struct {
+	UserID       int   `json:"user_id"`
+	CandidateIDs []int `json:"candidate_ids"`
+}
+
+// RankResponse is the /v1/rank reply.
+type RankResponse struct {
+	// Ranking lists the top-K candidate item IDs, best first.
+	Ranking []int `json:"ranking"`
+	// Prefix reports which attention pattern served the request.
+	Prefix string `json:"prefix"`
+	// ReusedTokens and ComputedTokens account this request's prefill work.
+	ReusedTokens   int `json:"reused_tokens"`
+	ComputedTokens int `json:"computed_tokens"`
+}
+
+// StatsResponse is the /v1/stats reply.
+type StatsResponse struct {
+	Requests         int64   `json:"requests"`
+	UserPrefix       int64   `json:"user_prefix_requests"`
+	ItemPrefix       int64   `json:"item_prefix_requests"`
+	ReusedTokens     int64   `json:"reused_tokens"`
+	ComputedTokens   int64   `json:"computed_tokens"`
+	TokenHitRate     float64 `json:"token_hit_rate"`
+	ItemCacheEntries int     `json:"item_cache_entries"`
+	UserCacheEntries int     `json:"user_cache_entries"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req RankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.Rank(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Rank serves one ranking request (the API handler's core, callable
+// directly by examples and tests).
+func (s *Server) Rank(req RankRequest) (*RankResponse, error) {
+	ds := s.cfg.Dataset
+	if req.UserID < 0 || req.UserID >= len(ds.UserHistory) {
+		return nil, fmt.Errorf("server: unknown user %d", req.UserID)
+	}
+	if len(req.CandidateIDs) == 0 {
+		return nil, fmt.Errorf("server: empty candidate set")
+	}
+	for _, it := range req.CandidateIDs {
+		if it < 0 || it >= len(ds.ItemTokens) {
+			return nil, fmt.Errorf("server: unknown item %d", it)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	now := s.cfg.Now().Sub(s.start).Seconds()
+	userKey := kvcache.EntryKey{Kind: kvcache.UserEntry, ID: uint64(req.UserID)}
+	hotness := s.meta.RecordAccess(userKey, now)
+
+	userTokens := len(ds.UserHistory[req.UserID])
+	itemTokens := 0
+	for _, it := range req.CandidateIDs {
+		itemTokens += len(ds.ItemTokens[it])
+	}
+	_, cached := s.userCaches[req.UserID]
+	dec := s.cfg.Policy.Decide(scheduler.Context{
+		UserTokens:           userTokens,
+		ItemTokens:           itemTokens,
+		UserHotness:          hotness,
+		UserCached:           cached,
+		UserPoolHasSpace:     len(s.userCaches) < s.cfg.MaxUserCaches,
+		MinCachedHotness:     s.minUserHotness(now),
+		HaveMinCachedHotness: len(s.userCaches) > 0,
+	})
+
+	evalReq := ranking.EvalRequest{User: req.UserID, Candidates: req.CandidateIDs}
+	var caches bipartite.CacheSet
+	kind := dec.Kind
+	if dec.Recompute {
+		kind = bipartite.UserPrefix
+	} else if kind == bipartite.UserPrefix {
+		caches.User = s.userCaches[req.UserID]
+	} else {
+		caches.Items = make(map[int]*model.KVCache, len(req.CandidateIDs))
+		for slot, it := range req.CandidateIDs {
+			if c, ok := s.itemCaches[it]; ok {
+				caches.Items[slot] = c
+			}
+		}
+	}
+	rank := s.ranker.Rank
+	if s.cfg.MultiDisc {
+		rank = s.ranker.RankMulti
+	}
+	ranked, run, err := rank(evalReq, kind, ranking.RankOpts{Caches: caches})
+	if err != nil {
+		return nil, err
+	}
+
+	// Admit new caches.
+	if !dec.Recompute {
+		if run.NewUserCache != nil && dec.AdmitUser {
+			s.admitUser(req.UserID, s.admitCache(run.NewUserCache))
+		}
+		for slot, c := range run.NewItemCaches {
+			s.itemCaches[req.CandidateIDs[slot]] = s.admitCache(c)
+		}
+	}
+
+	s.requests++
+	if kind == bipartite.UserPrefix {
+		s.userPrefix++
+	} else {
+		s.itemPrefix++
+	}
+	s.reusedTokens += int64(run.ReusedTokens)
+	s.computedTokens += int64(run.ComputedTokens)
+
+	k := s.cfg.TopK
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	top := make([]int, k)
+	for i := 0; i < k; i++ {
+		top[i] = req.CandidateIDs[ranked[i]]
+	}
+	return &RankResponse{
+		Ranking:        top,
+		Prefix:         kind.String(),
+		ReusedTokens:   run.ReusedTokens,
+		ComputedTokens: run.ComputedTokens,
+	}, nil
+}
+
+// admitUser stores a user cache, evicting the least recently admitted when
+// over capacity.
+func (s *Server) admitUser(u int, c *model.KVCache) {
+	if _, ok := s.userCaches[u]; !ok {
+		s.userLRU = append(s.userLRU, u)
+	}
+	s.userCaches[u] = c
+	for len(s.userCaches) > s.cfg.MaxUserCaches && len(s.userLRU) > 0 {
+		victim := s.userLRU[0]
+		s.userLRU = s.userLRU[1:]
+		if old, ok := s.userCaches[victim]; ok {
+			old.Release() // return arena pages; no-op for contiguous storage
+		}
+		delete(s.userCaches, victim)
+	}
+}
+
+func (s *Server) minUserHotness(now float64) float64 {
+	min := 0.0
+	first := true
+	for u := range s.userCaches {
+		h := s.meta.Hotness(kvcache.EntryKey{Kind: kvcache.UserEntry, ID: uint64(u)}, now)
+		if first || h < min {
+			min, first = h, false
+		}
+	}
+	return min
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	total := s.reusedTokens + s.computedTokens
+	resp := StatsResponse{
+		Requests:         s.requests,
+		UserPrefix:       s.userPrefix,
+		ItemPrefix:       s.itemPrefix,
+		ReusedTokens:     s.reusedTokens,
+		ComputedTokens:   s.computedTokens,
+		ItemCacheEntries: len(s.itemCaches),
+		UserCacheEntries: len(s.userCaches),
+	}
+	s.mu.Unlock()
+	if total > 0 {
+		resp.TokenHitRate = float64(resp.ReusedTokens) / float64(total)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,443 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bat/internal/ranking"
+	"bat/internal/scheduler"
+)
+
+func testDataset(t *testing.T) *ranking.Dataset {
+	t.Helper()
+	ds, err := ranking.NewDataset(ranking.DatasetConfig{
+		Name: "srv", Items: 80, Users: 30, Clusters: 5, LatentDim: 8,
+		HistoryMin: 6, HistoryMax: 14, ItemAttrTokens: 1,
+		ClusterNoise: 0.15, Candidates: 12, HardNegatives: 3, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func newTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{Dataset: testDataset(t), Variant: ranking.VariantBase}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postRank(t *testing.T, ts *httptest.Server, req RankRequest) (*RankResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var out RankResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp.StatusCode
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, nil).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestRankEndToEnd(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := RankRequest{UserID: 2, CandidateIDs: []int{1, 5, 9, 13, 17, 21, 25, 29, 33, 37, 41, 45}}
+	out, code := postRank(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Ranking) != 10 {
+		t.Fatalf("ranking length %d", len(out.Ranking))
+	}
+	seen := map[int]bool{}
+	valid := map[int]bool{}
+	for _, c := range req.CandidateIDs {
+		valid[c] = true
+	}
+	for _, it := range out.Ranking {
+		if !valid[it] || seen[it] {
+			t.Fatalf("bad ranking entry %d", it)
+		}
+		seen[it] = true
+	}
+	if out.ComputedTokens <= 0 {
+		t.Fatal("no compute accounted")
+	}
+}
+
+func TestRankRejectsBadRequests(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, nil).Handler())
+	defer ts.Close()
+	if _, code := postRank(t, ts, RankRequest{UserID: 999, CandidateIDs: []int{1}}); code != http.StatusBadRequest {
+		t.Fatalf("unknown user: status %d", code)
+	}
+	if _, code := postRank(t, ts, RankRequest{UserID: 1}); code != http.StatusBadRequest {
+		t.Fatalf("empty candidates: status %d", code)
+	}
+	if _, code := postRank(t, ts, RankRequest{UserID: 1, CandidateIDs: []int{10_000}}); code != http.StatusBadRequest {
+		t.Fatalf("unknown item: status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/rank", "application/json", bytes.NewReader([]byte("{bad")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+	getResp, err := http.Get(ts.URL + "/v1/rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET rank: status %d", getResp.StatusCode)
+	}
+}
+
+// TestItemCacheWarmsAcrossUsers: the same candidate set served to two
+// different users must reuse item caches on the second request.
+func TestItemCacheWarmsAcrossUsers(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Policy = scheduler.StaticItem{}
+	})
+	cands := []int{2, 6, 10, 14, 18, 22}
+	first, err := s.Rank(RankRequest{UserID: 0, CandidateIDs: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ReusedTokens != 0 {
+		t.Fatalf("cold request reused %d tokens", first.ReusedTokens)
+	}
+	second, err := s.Rank(RankRequest{UserID: 1, CandidateIDs: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ReusedTokens == 0 {
+		t.Fatal("second user did not reuse item caches")
+	}
+	if second.Prefix != "item-as-prefix" {
+		t.Fatalf("prefix %q", second.Prefix)
+	}
+}
+
+// TestUserCacheWarmsAcrossTurns: a returning user's second request reuses
+// their profile cache under the UP policy.
+func TestUserCacheWarmsAcrossTurns(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Policy = scheduler.StaticUser{}
+	})
+	cands := []int{1, 3, 5, 7}
+	first, err := s.Rank(RankRequest{UserID: 4, CandidateIDs: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Rank(RankRequest{UserID: 4, CandidateIDs: []int{2, 4, 6, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ReusedTokens != len(s.cfg.Dataset.UserHistory[4]) {
+		t.Fatalf("reused %d, want the %d-token profile", second.ReusedTokens, len(s.cfg.Dataset.UserHistory[4]))
+	}
+	if first.Prefix != "user-as-prefix" || second.Prefix != "user-as-prefix" {
+		t.Fatal("UP policy must serve user-as-prefix")
+	}
+}
+
+// TestRankingStableAcrossCacheStates: the ranked list for identical input
+// must be identical cold and warm.
+func TestRankingStableAcrossCacheStates(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Policy = scheduler.StaticItem{} })
+	req := RankRequest{UserID: 7, CandidateIDs: []int{0, 4, 8, 12, 16, 20, 24, 28}}
+	cold, err := s.Rank(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Rank(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.Ranking {
+		if cold.Ranking[i] != warm.Ranking[i] {
+			t.Fatalf("ranking changed with cache state: %v vs %v", cold.Ranking, warm.Ranking)
+		}
+	}
+}
+
+func TestPrecomputeItems(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.PrecomputeItems = true
+		c.Policy = scheduler.StaticItem{}
+	})
+	if len(s.itemCaches) != 80 {
+		t.Fatalf("%d precomputed item caches", len(s.itemCaches))
+	}
+	out, err := s.Rank(RankRequest{UserID: 0, CandidateIDs: []int{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ReusedTokens == 0 {
+		t.Fatal("precomputed items not reused on the first request")
+	}
+}
+
+func TestUserCacheEviction(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Policy = scheduler.StaticUser{}
+		c.MaxUserCaches = 2
+	})
+	for u := 0; u < 4; u++ {
+		if _, err := s.Rank(RankRequest{UserID: u, CandidateIDs: []int{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.userCaches) > 2 {
+		t.Fatalf("%d user caches, cap 2", len(s.userCaches))
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, err := s.Rank(RankRequest{UserID: 0, CandidateIDs: []int{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 || st.ComputedTokens == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.UserPrefix+st.ItemPrefix != st.Requests {
+		t.Fatal("prefix counts don't sum")
+	}
+}
+
+// TestHotnessPolicySwitchesPrefix: with a hot, long-history user the
+// hotness-aware policy serves user-as-prefix; a cold user with a large
+// candidate set goes item-as-prefix.
+func TestHotnessPolicySwitchesPrefix(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := newTestServer(t, func(c *Config) {
+		c.Now = func() time.Time { return now }
+	})
+	ds := s.cfg.Dataset
+	// Pick the user with the longest history and a user with a short one.
+	longest, shortest := 0, 0
+	for u := range ds.UserHistory {
+		if len(ds.UserHistory[u]) > len(ds.UserHistory[longest]) {
+			longest = u
+		}
+		if len(ds.UserHistory[u]) < len(ds.UserHistory[shortest]) {
+			shortest = u
+		}
+	}
+	smallSet := []int{1, 2}                                    // fewer item tokens than any history
+	bigSet := []int{0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22} // more than the shortest history
+	long, err := s.Rank(RankRequest{UserID: longest, CandidateIDs: smallSet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Prefix != "user-as-prefix" {
+		t.Fatalf("hot long user served %s", long.Prefix)
+	}
+	short, err := s.Rank(RankRequest{UserID: shortest, CandidateIDs: bigSet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Prefix != "item-as-prefix" {
+		t.Fatalf("short user with big candidate set served %s", short.Prefix)
+	}
+}
+
+// TestMultiDiscServing: the per-item-discriminant mode serves valid rankings
+// and still reuses item caches across users.
+func TestMultiDiscServing(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.MultiDisc = true
+		c.Policy = scheduler.StaticItem{}
+	})
+	cands := []int{3, 7, 11, 15, 19, 23}
+	first, err := s.Rank(RankRequest{UserID: 2, CandidateIDs: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Ranking) != 6 {
+		t.Fatalf("ranking length %d", len(first.Ranking))
+	}
+	second, err := s.Rank(RankRequest{UserID: 9, CandidateIDs: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ReusedTokens == 0 {
+		t.Fatal("multi-disc serving did not reuse item caches")
+	}
+}
+
+// TestPagedServing: with a BlockArena behind the caches, serving stays
+// byte-identical to flat storage and the arena reaches a steady page count.
+func TestPagedServing(t *testing.T) {
+	flat := newTestServer(t, func(c *Config) { c.Policy = scheduler.StaticItem{} })
+	paged := newTestServer(t, func(c *Config) {
+		c.Policy = scheduler.StaticItem{}
+		c.PageTokens = 2 // item token counts are small; tiny pages share more
+	})
+	if paged.arena == nil {
+		t.Fatal("arena not created")
+	}
+	cands := []int{1, 3, 5, 7, 9, 11}
+	var lastFlat, lastPaged *RankResponse
+	for turn := 0; turn < 5; turn++ {
+		var err error
+		lastFlat, err = flat.Rank(RankRequest{UserID: turn, CandidateIDs: cands})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastPaged, err = paged.Rank(RankRequest{UserID: turn, CandidateIDs: cands})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range lastFlat.Ranking {
+			if lastFlat.Ranking[i] != lastPaged.Ranking[i] {
+				t.Fatalf("turn %d: paged ranking diverged", turn)
+			}
+		}
+		if lastPaged.ReusedTokens != lastFlat.ReusedTokens {
+			t.Fatalf("turn %d: reuse accounting differs (%d vs %d)",
+				turn, lastPaged.ReusedTokens, lastFlat.ReusedTokens)
+		}
+	}
+	st := paged.arena.Stats()
+	if st.ShareEvents == 0 {
+		t.Fatal("no page sharing during paged serving")
+	}
+	before := st.BlocksAllocated
+	if _, err := paged.Rank(RankRequest{UserID: 9, CandidateIDs: cands}); err != nil {
+		t.Fatal(err)
+	}
+	if grew := paged.arena.Stats().BlocksAllocated - before; grew > 6 {
+		t.Fatalf("steady-state request allocated %d new blocks", grew)
+	}
+}
+
+// TestPagedUserEvictionReleasesPages: evicted user caches hand pages back.
+func TestPagedUserEvictionReleasesPages(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Policy = scheduler.StaticUser{}
+		c.MaxUserCaches = 2
+		c.PageTokens = 2
+	})
+	for u := 0; u < 6; u++ {
+		if _, err := s.Rank(RankRequest{UserID: u, CandidateIDs: []int{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.arena.Stats().BlocksFree == 0 {
+		t.Fatal("evictions returned no pages to the arena")
+	}
+}
+
+// TestConcurrentRanking hammers the server from many goroutines; run with
+// -race this doubles as the data-race check for the shared cache maps.
+func TestConcurrentRanking(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const workers = 8
+	const perWorker = 10
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < perWorker; i++ {
+				req := RankRequest{
+					UserID:       (w*perWorker + i) % 30,
+					CandidateIDs: []int{1 + i, 11 + i, 21 + i, 31 + i},
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/rank", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var st StatsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != workers*perWorker {
+		t.Fatalf("served %d requests, want %d", st.Requests, workers*perWorker)
+	}
+}

@@ -1,0 +1,268 @@
+// Package tensor provides the small dense float32 linear-algebra kernel the
+// transformer in internal/model is built on: matrices, matmul, softmax,
+// normalization, activations, and rotary position embedding.
+//
+// Everything is row-major float32 and allocation-explicit so callers can
+// reuse buffers across forward passes.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols) as a matrix without copying.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets all elements to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul computes dst = a @ b. dst must be a.Rows x b.Cols; a.Cols must equal
+// b.Rows. dst may not alias a or b.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)@(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	n, k, p := a.Rows, a.Cols, b.Cols
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*p : (i+1)*p]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*p : (kk+1)*p]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT computes dst = a @ bᵀ, i.e. dst[i][j] = dot(a.Row(i), b.Row(j)).
+// dst must be a.Rows x b.Rows; a.Cols must equal b.Cols.
+func MatMulT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch (%dx%d)@(%dx%d)T->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = Dot(arow, b.Row(j))
+		}
+	}
+}
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AddInPlace adds src into dst elementwise.
+func AddInPlace(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: add length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Scale multiplies every element of v by s.
+func Scale(v []float32, s float32) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Softmax normalizes v in place into a probability distribution, using the
+// max-subtraction trick for numerical stability. Entries equal to
+// NegInf are treated as fully masked and receive probability 0; if every
+// entry is masked the result is all zeros.
+func Softmax(v []float32) {
+	maxv := float32(math.Inf(-1))
+	for _, x := range v {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	if math.IsInf(float64(maxv), -1) {
+		for i := range v {
+			v[i] = 0
+		}
+		return
+	}
+	var sum float32
+	for i, x := range v {
+		e := float32(math.Exp(float64(x - maxv)))
+		v[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / sum
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// NegInf is the additive-mask value that fully blocks an attention edge.
+var NegInf = float32(math.Inf(-1))
+
+// RMSNorm writes RMS-normalized src scaled by weight into dst.
+// dst, src, and weight must share a length. dst may alias src.
+func RMSNorm(dst, src, weight []float32, eps float32) {
+	if len(dst) != len(src) || len(src) != len(weight) {
+		panic("tensor: rmsnorm length mismatch")
+	}
+	var ss float64
+	for _, v := range src {
+		ss += float64(v) * float64(v)
+	}
+	inv := float32(1 / math.Sqrt(ss/float64(len(src))+float64(eps)))
+	for i, v := range src {
+		dst[i] = v * inv * weight[i]
+	}
+}
+
+// SiLU applies x*sigmoid(x) elementwise in place.
+func SiLU(v []float32) {
+	for i, x := range v {
+		v[i] = x / (1 + float32(math.Exp(float64(-x))))
+	}
+}
+
+// RotateRoPE applies rotary position embedding for position pos to a head
+// vector of even length, in place, using the given frequency base (10000 in
+// the paper's models). Pairs are (v[2i], v[2i+1]).
+func RotateRoPE(v []float32, pos int, base float64) {
+	d := len(v)
+	if d%2 != 0 {
+		panic("tensor: RoPE head dim must be even")
+	}
+	for i := 0; i < d/2; i++ {
+		theta := float64(pos) * math.Pow(base, -2*float64(i)/float64(d))
+		sin, cos := math.Sincos(theta)
+		a, b := v[2*i], v[2*i+1]
+		v[2*i] = a*float32(cos) - b*float32(sin)
+		v[2*i+1] = a*float32(sin) + b*float32(cos)
+	}
+}
+
+// ArgMax returns the index of the largest element; -1 for empty input.
+func ArgMax(v []float32) int {
+	best, bestV := -1, float32(math.Inf(-1))
+	for i, x := range v {
+		if x > bestV {
+			best, bestV = i, x
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k largest elements of v in descending
+// order of value, breaking ties by lower index. k is clamped to len(v).
+func TopK(v []float32, k int) []int {
+	if k > len(v) {
+		k = len(v)
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Selection via a small insertion-sorted window: candidate lists here are
+	// ~100 entries, so O(n*k) beats heap overhead.
+	idx := make([]int, 0, k)
+	for i := range v {
+		pos := len(idx)
+		for pos > 0 {
+			j := idx[pos-1]
+			if v[j] > v[i] || (v[j] == v[i] && j < i) {
+				break
+			}
+			pos--
+		}
+		if pos < k {
+			if len(idx) < k {
+				idx = append(idx, 0)
+			}
+			copy(idx[pos+1:], idx[pos:len(idx)-1])
+			idx[pos] = i
+		}
+	}
+	return idx
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between a
+// and b, which must have equal length.
+func MaxAbsDiff(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: MaxAbsDiff length mismatch")
+	}
+	var m float32
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

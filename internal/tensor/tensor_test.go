@@ -1,0 +1,345 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float32) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d not zero: %v", i, v)
+		}
+	}
+}
+
+func TestFromSliceSharesStorage(t *testing.T) {
+	data := []float32{1, 2, 3, 4}
+	m := FromSlice(2, 2, data)
+	m.Set(0, 1, 9)
+	if data[1] != 9 {
+		t.Fatal("FromSlice should not copy")
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 3, []float32{1, 2})
+}
+
+func TestRowIsView(t *testing.T) {
+	m := NewMatrix(2, 3)
+	r := m.Row(1)
+	r[2] = 7
+	if m.At(1, 2) != 7 {
+		t.Fatal("Row should return a view")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 5)
+	c := m.Clone()
+	c.Set(0, 0, 1)
+	if m.At(0, 0) != 5 {
+		t.Fatal("Clone should copy storage")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	dst := NewMatrix(2, 2)
+	MatMul(dst, a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if dst.Data[i] != w {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(2, 2))
+}
+
+func TestMatMulTMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 5)
+	b := NewMatrix(3, 5)
+	for i := range a.Data {
+		a.Data[i] = rng.Float32() - 0.5
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Float32() - 0.5
+	}
+	bt := NewMatrix(5, 3)
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	want := NewMatrix(4, 3)
+	MatMul(want, a, bt)
+	got := NewMatrix(4, 3)
+	MatMulT(got, a, b)
+	if d := MaxAbsDiff(got.Data, want.Data); d > 1e-5 {
+		t.Fatalf("MatMulT deviates from transpose matmul by %v", d)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float32{1, 2, 3}, []float32{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	v := []float32{1, 2, 3, 4}
+	Softmax(v)
+	var sum float32
+	for _, x := range v {
+		sum += x
+	}
+	if !almostEqual(sum, 1, 1e-5) {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			t.Fatal("softmax should preserve order")
+		}
+	}
+}
+
+func TestSoftmaxMaskedEntries(t *testing.T) {
+	v := []float32{1, NegInf, 2}
+	Softmax(v)
+	if v[1] != 0 {
+		t.Fatalf("masked entry got probability %v", v[1])
+	}
+	if !almostEqual(v[0]+v[2], 1, 1e-5) {
+		t.Fatalf("unmasked probabilities sum to %v", v[0]+v[2])
+	}
+}
+
+func TestSoftmaxAllMasked(t *testing.T) {
+	v := []float32{NegInf, NegInf}
+	Softmax(v)
+	if v[0] != 0 || v[1] != 0 {
+		t.Fatalf("fully-masked softmax should be zeros, got %v", v)
+	}
+}
+
+func TestSoftmaxLargeValuesStable(t *testing.T) {
+	v := []float32{1000, 1001}
+	Softmax(v)
+	for _, x := range v {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			t.Fatalf("softmax not stable: %v", v)
+		}
+	}
+}
+
+func TestRMSNormUnitOutput(t *testing.T) {
+	src := []float32{3, 4}
+	w := []float32{1, 1}
+	dst := make([]float32, 2)
+	RMSNorm(dst, src, w, 0)
+	// rms = sqrt((9+16)/2) = sqrt(12.5)
+	rms := float32(math.Sqrt(12.5))
+	if !almostEqual(dst[0], 3/rms, 1e-5) || !almostEqual(dst[1], 4/rms, 1e-5) {
+		t.Fatalf("RMSNorm = %v", dst)
+	}
+}
+
+func TestRMSNormInPlace(t *testing.T) {
+	v := []float32{1, 2, 3}
+	w := []float32{2, 2, 2}
+	want := make([]float32, 3)
+	RMSNorm(want, v, w, 1e-6)
+	RMSNorm(v, v, w, 1e-6)
+	if MaxAbsDiff(v, want) != 0 {
+		t.Fatal("RMSNorm must support aliased dst/src")
+	}
+}
+
+func TestSiLU(t *testing.T) {
+	v := []float32{0}
+	SiLU(v)
+	if v[0] != 0 {
+		t.Fatalf("SiLU(0) = %v", v[0])
+	}
+	v = []float32{10}
+	SiLU(v)
+	if !almostEqual(v[0], 10, 1e-2) {
+		t.Fatalf("SiLU(10) = %v, want ~10", v[0])
+	}
+}
+
+func TestRoPEPositionZeroIsIdentity(t *testing.T) {
+	v := []float32{1, 2, 3, 4}
+	orig := append([]float32(nil), v...)
+	RotateRoPE(v, 0, 10000)
+	if MaxAbsDiff(v, orig) > 1e-6 {
+		t.Fatalf("RoPE at pos 0 changed vector: %v", v)
+	}
+}
+
+func TestRoPEPreservesNorm(t *testing.T) {
+	v := []float32{1, 2, 3, 4, 5, 6}
+	before := Dot(v, v)
+	RotateRoPE(v, 17, 10000)
+	after := Dot(v, v)
+	if !almostEqual(before, after, 1e-3) {
+		t.Fatalf("RoPE changed norm: %v -> %v", before, after)
+	}
+}
+
+// TestRoPERelativeProperty checks the defining property of rotary embeddings:
+// dot(RoPE(q,m), RoPE(k,n)) depends only on (m-n) for 2D pairs.
+func TestRoPERelativeProperty(t *testing.T) {
+	q := []float32{0.3, -0.7}
+	k := []float32{0.5, 0.2}
+	dotAt := func(m, n int) float32 {
+		qq := append([]float32(nil), q...)
+		kk := append([]float32(nil), k...)
+		RotateRoPE(qq, m, 10000)
+		RotateRoPE(kk, n, 10000)
+		return Dot(qq, kk)
+	}
+	if !almostEqual(dotAt(5, 3), dotAt(12, 10), 1e-5) {
+		t.Fatalf("RoPE dot not relative: %v vs %v", dotAt(5, 3), dotAt(12, 10))
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax([]float32{1, 5, 3}); got != 1 {
+		t.Fatalf("ArgMax = %d", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Fatalf("ArgMax(nil) = %d", got)
+	}
+}
+
+func TestTopKOrderAndTies(t *testing.T) {
+	v := []float32{1, 3, 3, 0, 5}
+	got := TopK(v, 3)
+	want := []int{4, 1, 2}
+	if len(got) != 3 {
+		t.Fatalf("TopK len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopKClamped(t *testing.T) {
+	got := TopK([]float32{2, 1}, 10)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("TopK clamped = %v", got)
+	}
+	if TopK([]float32{1}, 0) != nil {
+		t.Fatal("TopK k=0 should be nil")
+	}
+}
+
+func TestTopKPropertyMatchesSort(t *testing.T) {
+	f := func(raw []int8, kk uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]float32, len(raw))
+		for i, r := range raw {
+			v[i] = float32(r)
+		}
+		k := int(kk)%len(v) + 1
+		got := TopK(v, k)
+		if len(got) != k {
+			return false
+		}
+		// Each returned value must be >= every non-returned value,
+		// and returned values are non-increasing.
+		in := make(map[int]bool, k)
+		for i, idx := range got {
+			in[idx] = true
+			if i > 0 && v[got[i-1]] < v[idx] {
+				return false
+			}
+		}
+		minSel := v[got[k-1]]
+		for i, x := range v {
+			if !in[i] && x > minSel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddInPlaceAndScale(t *testing.T) {
+	dst := []float32{1, 2}
+	AddInPlace(dst, []float32{3, 4})
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("AddInPlace = %v", dst)
+	}
+	Scale(dst, 0.5)
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("Scale = %v", dst)
+	}
+}
+
+func TestMatMulAssociativityProperty(t *testing.T) {
+	// (A@B)@C == A@(B@C) within float tolerance, a sanity property for the
+	// kernel used across every transformer layer.
+	rng := rand.New(rand.NewSource(42))
+	mk := func(r, c int) *Matrix {
+		m := NewMatrix(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.Float32() - 0.5
+		}
+		return m
+	}
+	a, b, c := mk(3, 4), mk(4, 5), mk(5, 2)
+	ab := NewMatrix(3, 5)
+	MatMul(ab, a, b)
+	abc1 := NewMatrix(3, 2)
+	MatMul(abc1, ab, c)
+	bc := NewMatrix(4, 2)
+	MatMul(bc, b, c)
+	abc2 := NewMatrix(3, 2)
+	MatMul(abc2, a, bc)
+	if d := MaxAbsDiff(abc1.Data, abc2.Data); d > 1e-4 {
+		t.Fatalf("associativity violated by %v", d)
+	}
+}

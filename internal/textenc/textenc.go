@@ -1,0 +1,116 @@
+// Package textenc implements the pre-encoding stage of the serving pipeline
+// (§5.1: "The user profile, item description, and system instructions are
+// pre-encoded into tokens and stored"): a deterministic word-level tokenizer
+// with hashed out-of-vocabulary buckets, and a synthetic catalog generator
+// whose item descriptions encode to the Table 1 token-count statistics.
+package textenc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vocab is a word-level vocabulary. Known words get dense IDs in
+// registration order; unknown words hash into a fixed bucket range, the
+// standard trick for unbounded production vocabularies.
+type Vocab struct {
+	words      map[string]int
+	list       []string
+	unkBuckets int
+}
+
+// NewVocab builds an empty vocabulary with the given OOV bucket count.
+func NewVocab(unkBuckets int) (*Vocab, error) {
+	if unkBuckets <= 0 {
+		return nil, fmt.Errorf("textenc: need at least one OOV bucket")
+	}
+	return &Vocab{words: make(map[string]int), unkBuckets: unkBuckets}, nil
+}
+
+// Add registers a word (idempotently) and returns its token ID.
+func (v *Vocab) Add(word string) int {
+	w := Normalize(word)
+	if id, ok := v.words[w]; ok {
+		return id
+	}
+	id := v.unkBuckets + len(v.list)
+	v.words[w] = id
+	v.list = append(v.list, w)
+	return id
+}
+
+// Token returns the word's ID: its dense ID if registered, otherwise a
+// stable OOV bucket in [0, unkBuckets).
+func (v *Vocab) Token(word string) int {
+	w := Normalize(word)
+	if id, ok := v.words[w]; ok {
+		return id
+	}
+	return int(hashWord(w) % uint64(v.unkBuckets))
+}
+
+// Known reports whether the word is registered.
+func (v *Vocab) Known(word string) bool {
+	_, ok := v.words[Normalize(word)]
+	return ok
+}
+
+// Word reverses a dense token ID; OOV buckets are not reversible.
+func (v *Vocab) Word(id int) (string, bool) {
+	idx := id - v.unkBuckets
+	if idx < 0 || idx >= len(v.list) {
+		return "", false
+	}
+	return v.list[idx], true
+}
+
+// Size returns the total token space: OOV buckets plus registered words.
+func (v *Vocab) Size() int { return v.unkBuckets + len(v.list) }
+
+// Encode tokenizes text: normalization, whitespace split, one token per
+// word.
+func (v *Vocab) Encode(text string) []int {
+	fields := Fields(text)
+	out := make([]int, len(fields))
+	for i, w := range fields {
+		out[i] = v.Token(w)
+	}
+	return out
+}
+
+// EncodeAdding is Encode but registers unseen words first — the offline
+// vocabulary-building pass.
+func (v *Vocab) EncodeAdding(text string) []int {
+	fields := Fields(text)
+	out := make([]int, len(fields))
+	for i, w := range fields {
+		out[i] = v.Add(w)
+	}
+	return out
+}
+
+// Normalize lowercases a word and strips surrounding punctuation.
+func Normalize(word string) string {
+	return strings.Trim(strings.ToLower(word), ".,;:!?()[]{}\"'—–-")
+}
+
+// Fields splits text into normalized non-empty words.
+func Fields(text string) []string {
+	var out []string
+	for _, f := range strings.Fields(text) {
+		if w := Normalize(f); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// hashWord is FNV-1a.
+func hashWord(w string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(w); i++ {
+		h ^= uint64(w[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,184 @@
+package textenc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVocabValidation(t *testing.T) {
+	if _, err := NewVocab(0); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+}
+
+func TestVocabAddAndToken(t *testing.T) {
+	v, err := NewVocab(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := v.Add("Wireless")
+	if id < 16 {
+		t.Fatalf("dense ID %d collides with OOV buckets", id)
+	}
+	if v.Add("wireless") != id {
+		t.Fatal("Add must be idempotent under normalization")
+	}
+	if v.Token("WIRELESS.") != id {
+		t.Fatal("Token must normalize")
+	}
+	if w, ok := v.Word(id); !ok || w != "wireless" {
+		t.Fatalf("Word(%d) = %q, %v", id, w, ok)
+	}
+	if !v.Known("wireless") || v.Known("absent") {
+		t.Fatal("Known wrong")
+	}
+}
+
+func TestVocabOOVStableAndBucketed(t *testing.T) {
+	v, err := NewVocab(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := v.Token("neverseen")
+	if a < 0 || a >= 8 {
+		t.Fatalf("OOV token %d outside buckets", a)
+	}
+	if v.Token("neverseen") != a {
+		t.Fatal("OOV token not stable")
+	}
+	if _, ok := v.Word(a); ok {
+		t.Fatal("OOV bucket should not reverse")
+	}
+}
+
+func TestEncodeMatchesFields(t *testing.T) {
+	v, err := NewVocab(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := "Premium, Wireless Headphones!"
+	ids := v.EncodeAdding(text)
+	if len(ids) != 3 {
+		t.Fatalf("%d tokens", len(ids))
+	}
+	again := v.Encode(text)
+	for i := range ids {
+		if ids[i] != again[i] {
+			t.Fatal("Encode after EncodeAdding differs")
+		}
+	}
+	if v.Size() != 4+3 {
+		t.Fatalf("size %d", v.Size())
+	}
+}
+
+func TestNormalizeAndFields(t *testing.T) {
+	if Normalize("--Hello!?") != "hello" {
+		t.Fatalf("Normalize = %q", Normalize("--Hello!?"))
+	}
+	fields := Fields("  One, two!  — three ")
+	if len(fields) != 3 || fields[0] != "one" || fields[2] != "three" {
+		t.Fatalf("Fields = %v", fields)
+	}
+}
+
+func TestVocabEncodeProperty(t *testing.T) {
+	v, err := NewVocab(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(words []string) bool {
+		for _, w := range words {
+			ids := v.Encode(w)
+			for _, id := range ids {
+				if id < 0 || id >= v.Size() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogDeterministicAndShared(t *testing.T) {
+	c := NewCatalog(7, 2)
+	if c.ItemText(5) != c.ItemText(5) {
+		t.Fatal("item text not deterministic")
+	}
+	if c.ItemText(5) == c.ItemText(6) {
+		t.Fatal("distinct items share text")
+	}
+	other := NewCatalog(8, 2)
+	if c.ItemText(5) == other.ItemText(5) {
+		t.Fatal("different seeds should differ")
+	}
+	// Category is stable and drawn from the fixed list.
+	if c.Category(5) != c.Category(5) {
+		t.Fatal("category unstable")
+	}
+}
+
+// TestCatalogTokenCountsMatchTable1: extraAttrWords calibrates encoded
+// description length onto the Table 1 averages.
+func TestCatalogTokenCountsMatchTable1(t *testing.T) {
+	cases := []struct {
+		dataset string
+		extra   int
+		want    int // Table 1 "Ave. Item Token Num."
+	}{
+		{"Industry", 1, 10},
+		{"Games", 2, 11},
+		{"Books", 6, 15},
+		{"Beauty", 9, 18},
+	}
+	for _, tc := range cases {
+		c := NewCatalog(3, tc.extra)
+		v, err := c.BuildVocab(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		const n = 500
+		for it := uint64(0); it < n; it++ {
+			total += len(v.Encode(c.ItemText(it)))
+		}
+		avg := float64(total) / n
+		if avg < float64(tc.want)-1.5 || avg > float64(tc.want)+1.5 {
+			t.Errorf("%s: avg encoded length %.1f, want ~%d", tc.dataset, avg, tc.want)
+		}
+	}
+}
+
+func TestCatalogVocabClosed(t *testing.T) {
+	c := NewCatalog(3, 4)
+	v, err := c.BuildVocab(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every catalog word must be known (no OOV at serving time).
+	for it := uint64(0); it < 200; it++ {
+		for _, w := range Fields(c.ItemText(it)) {
+			if !v.Known(w) {
+				t.Fatalf("catalog word %q not in vocab", w)
+			}
+		}
+	}
+	// User text contains the numeric user ID, which hashes to OOV — by
+	// design (IDs are unbounded).
+	ids := v.Encode(c.UserText(42, []uint64{1, 2}))
+	if len(ids) == 0 {
+		t.Fatal("user text encoded to nothing")
+	}
+}
+
+func TestUserTextReflectsHistory(t *testing.T) {
+	c := NewCatalog(3, 0)
+	short := c.UserText(1, []uint64{1})
+	long := c.UserText(1, []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	if len(Fields(long)) <= len(Fields(short)) {
+		t.Fatal("longer history should produce more tokens")
+	}
+}

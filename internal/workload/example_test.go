@@ -1,0 +1,41 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"bat/internal/workload"
+)
+
+// Example generates a slice of the Industry workload and inspects the
+// distributional facts the serving experiments rely on.
+func Example() {
+	gen, err := workload.NewGenerator(workload.Industry, 11)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	trace, err := gen.GenerateTrace(5000, 3600)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	counts := map[workload.UserID]int{}
+	for _, r := range trace.Requests {
+		counts[r.User]++
+	}
+	once := 0
+	for _, c := range counts {
+		if c == 1 {
+			once++
+		}
+	}
+	fmt.Printf("requests: %d, distinct users: %v\n", len(trace.Requests), len(counts) > 1000)
+	fmt.Printf("a majority-inactive tail exists: %v\n", float64(once)/float64(len(counts)) > 0.3)
+
+	z := workload.NewZipf(workload.Industry.Items, workload.Industry.ItemZipfA)
+	fmt.Printf("top 10%% of items hold ~%.0f%% of accesses\n", z.MassOfTopFraction(0.1)*100)
+	// Output:
+	// requests: 5000, distinct users: true
+	// a majority-inactive tail exists: true
+	// top 10% of items hold ~90% of accesses
+}

@@ -1,0 +1,28 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTraceCSV: the parser must never panic and must only accept inputs
+// that round-trip sanely.
+func FuzzReadTraceCSV(f *testing.F) {
+	f.Add("# profile=Games duration=60\nindex,time_sec,user_id\n0,1.5,7\n")
+	f.Add("# profile=Games duration=banana\n")
+	f.Add("")
+	f.Add("0,1.5\n")
+	f.Add("# profile=Books duration=60\n0,1.5,7\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadTraceCSV(strings.NewReader(input), Games)
+		if err != nil {
+			return
+		}
+		if tr.Duration <= 0 {
+			t.Fatalf("accepted trace with duration %v", tr.Duration)
+		}
+		for _, r := range tr.Requests {
+			_ = r // requests parsed without panicking is the property
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// UserID identifies a user; lower IDs are more active (ID = activity rank-1).
+type UserID = uint64
+
+// ItemID identifies an item; lower IDs are more popular (ID = popularity
+// rank-1). Rank-ordered IDs cost no generality for serving experiments and
+// make placement policies directly testable.
+type ItemID = uint64
+
+// Hash-stream salts: each derived quantity draws from its own hash stream so
+// distributions stay independent.
+const (
+	saltUserTokens  = 0x75746f6b | 1
+	saltItemTokens  = 0x69746f6b | 3
+	saltAffinity    = 0x61666669 | 5
+	saltCandidate   = 0x63616e64 | 7
+	saltCandidateB  = 0x63616e62 | 9
+	saltGroundTruth = 0x67747275 | 11
+)
+
+// Generator derives all lazy workload state for a profile and seed.
+type Generator struct {
+	prof     Profile
+	seed     uint64
+	userZipf *Zipf
+	itemZipf *Zipf
+	lnMu     float64 // log-normal location for user token lengths
+}
+
+// NewGenerator validates the profile and builds its samplers.
+func NewGenerator(prof Profile, seed int64) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	sigma := prof.UserTokenSigma
+	return &Generator{
+		prof:     prof,
+		seed:     uint64(seed),
+		userZipf: NewZipf(prof.Users, prof.UserZipfA),
+		itemZipf: NewZipf(prof.Items, prof.ItemZipfA),
+		lnMu:     math.Log(float64(prof.AvgUserTokens)) - sigma*sigma/2,
+	}, nil
+}
+
+// Profile returns the generator's dataset profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// UserTokens returns user u's profile token count: log-normal with the
+// profile's mean and shape, clamped to [32, MaxUserTokens]. Deterministic in
+// (seed, u).
+func (g *Generator) UserTokens(u UserID) int {
+	z := gauss(hash3(g.seed, saltUserTokens, u), hash3(g.seed, saltUserTokens+1, u))
+	n := int(math.Exp(g.lnMu + g.prof.UserTokenSigma*z))
+	if n < 32 {
+		n = 32
+	}
+	if n > g.prof.MaxUserTokens {
+		n = g.prof.MaxUserTokens
+	}
+	return n
+}
+
+// ItemTokens returns item it's description token count: uniform within ±30%
+// of the profile average, at least 1. Deterministic in (seed, it).
+func (g *Generator) ItemTokens(it ItemID) int {
+	u := uniform01(hash3(g.seed, saltItemTokens, it))
+	n := int(math.Round(float64(g.prof.AvgItemTokens) * (0.7 + 0.6*u)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SampleUser maps a uniform variate to a user by activity skew.
+func (g *Generator) SampleUser(u float64) UserID { return UserID(g.userZipf.Rank(u) - 1) }
+
+// SampleItem maps a uniform variate to an item by popularity skew.
+func (g *Generator) SampleItem(u float64) ItemID { return ItemID(g.itemZipf.Rank(u) - 1) }
+
+// AffinityItem returns the k-th item of user u's stable interest set.
+func (g *Generator) AffinityItem(u UserID, k int) ItemID {
+	return g.SampleItem(uniform01(hash3(g.seed^saltAffinity, u, uint64(k))))
+}
+
+// Candidates reproduces the retrieval stage for one request: it returns
+// prof.Candidates distinct items, a blend of the user's stable interest set
+// (AffinityShare) and globally popular items — the paper's "real-time item
+// retrieval" whose per-request variability defeats intra-user item caching
+// while popular items recur across users (§3.3, §4.1). Deterministic in
+// (seed, reqIdx, u).
+func (g *Generator) Candidates(reqIdx uint64, u UserID) []ItemID {
+	return g.CandidatesAt(reqIdx, u, -1)
+}
+
+// CandidatesAt is Candidates with retrieval-time awareness: while the
+// profile's burst (if any) is active at time t, the burst block captures its
+// configured share of candidate slots.
+func (g *Generator) CandidatesAt(reqIdx uint64, u UserID, t float64) []ItemID {
+	c := g.prof.Candidates
+	burst := g.prof.Burst
+	out := make([]ItemID, 0, c)
+	seen := make(map[ItemID]struct{}, c)
+	for slot := 0; len(out) < c; slot++ {
+		h := hash3(g.seed^saltCandidate, reqIdx, uint64(slot))
+		var it ItemID
+		hb := hash3(g.seed^saltCandidateB, reqIdx, uint64(slot))
+		switch {
+		case burst.Active(t) && uniform01(hash3(g.seed^saltGroundTruth, reqIdx, uint64(slot))) < burst.Share:
+			it = burst.FirstItem + ItemID(hb%uint64(burst.Items))
+		case uniform01(h) < g.prof.AffinityShare:
+			it = g.AffinityItem(u, int(hb%uint64(g.prof.AffinitySetSize)))
+		default:
+			it = g.SampleItem(uniform01(hash3(g.seed^saltCandidateB, reqIdx, uint64(slot)+1)))
+		}
+		if _, dup := seen[it]; dup {
+			continue
+		}
+		seen[it] = struct{}{}
+		out = append(out, it)
+	}
+	return out
+}
+
+// Request is one ranking query: a user hitting the system at a point in
+// time. Candidates and token counts are re-derived on demand to keep traces
+// compact (a 100-candidate list per request would dominate memory).
+type Request struct {
+	Index int
+	Time  float64 // seconds from trace start
+	User  UserID
+}
+
+// Trace is a time-ordered request log.
+type Trace struct {
+	Profile  Profile
+	Requests []Request
+	Duration float64 // seconds
+}
+
+// GenerateTrace produces n requests over the given duration. Users arrive in
+// sessions: a Zipf-activity-sampled user starts a session at a uniform time
+// and issues a geometric number of requests separated by exponential think
+// times — yielding the paper's observed temporal locality (Fig. 4) and
+// heavy inactive tail (Fig. 2c).
+func (g *Generator) GenerateTrace(n int, durationSec float64) (*Trace, error) {
+	if n <= 0 || durationSec <= 0 {
+		return nil, fmt.Errorf("workload: trace needs positive request count and duration")
+	}
+	rng := rand.New(rand.NewSource(int64(g.seed) ^ 0x7472616365))
+	reqs := make([]Request, 0, n)
+	pExtra := 1 / g.prof.AvgSessionRequests
+	for len(reqs) < n {
+		u := g.SampleUser(rng.Float64())
+		t := rng.Float64() * durationSec
+		// Geometric session length with mean AvgSessionRequests.
+		sess := 1
+		if pExtra < 1 {
+			sess += int(math.Log(rng.Float64()) / math.Log(1-pExtra))
+		}
+		for k := 0; k < sess && len(reqs) < n; k++ {
+			if t >= durationSec {
+				break
+			}
+			reqs = append(reqs, Request{Time: t, User: u})
+			t += rng.ExpFloat64() * g.prof.SessionGapSec
+		}
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Time < reqs[j].Time })
+	for i := range reqs {
+		reqs[i].Index = i
+	}
+	return &Trace{Profile: g.prof, Requests: reqs, Duration: durationSec}, nil
+}
+
+// RequestTokens summarizes one request's prompt composition.
+type RequestTokens struct {
+	UserTokens  int
+	ItemTokens  int // total across candidates
+	InstrTokens int
+}
+
+// Total returns the full prompt length.
+func (r RequestTokens) Total() int { return r.UserTokens + r.ItemTokens + r.InstrTokens }
+
+// TokensFor computes a request's prompt composition, re-deriving candidate
+// lengths.
+func (g *Generator) TokensFor(req Request) (RequestTokens, []ItemID) {
+	items := g.CandidatesAt(uint64(req.Index), req.User, req.Time)
+	rt := RequestTokens{
+		UserTokens:  g.UserTokens(req.User),
+		InstrTokens: g.prof.InstrTokens,
+	}
+	for _, it := range items {
+		rt.ItemTokens += g.ItemTokens(it)
+	}
+	return rt, items
+}

@@ -1,0 +1,219 @@
+// Package workload synthesizes the recommendation serving workloads the
+// paper evaluates on: the three Amazon datasets and the Industry trace
+// (Table 1), with Zipf-skewed item popularity, heavy-tailed user activity,
+// log-normal user profile lengths, session-structured arrivals, and a
+// retrieval substrate that assembles 100-candidate sets per request.
+//
+// Entity state is lazy: a user's token count or an item's length is derived
+// deterministically from its ID and the generator seed, so a 100M-item
+// corpus costs memory only for entities actually touched.
+package workload
+
+import "fmt"
+
+// Profile describes a dataset/workload in the terms of Table 1 plus the
+// distribution parameters the paper reports from its traces (§3.3, Fig. 2).
+type Profile struct {
+	Name  string
+	Users int // user population
+	Items int // item corpus size
+
+	AvgUserTokens int // Table 1 "Ave. User Token Num."
+	AvgItemTokens int // Table 1 "Ave. Item Token Num."
+
+	// UserTokenSigma is the log-normal shape of profile lengths (Fig. 2b).
+	UserTokenSigma float64
+	// MaxUserTokens caps profiles so prompts stay under ~8K tokens (§6.2).
+	MaxUserTokens int
+
+	// ItemZipfA is the popularity exponent: ~1.08 puts ≈90% of accesses on
+	// the top 10% of items (Fig. 2d).
+	ItemZipfA float64
+	// UserZipfA is the user-activity exponent (Fig. 2c: most users inactive).
+	UserZipfA float64
+
+	// Candidates is the retrieved candidate count per request (100 in §3.3).
+	Candidates int
+	// InstrTokens is the instruction suffix length, discriminant included.
+	InstrTokens int
+
+	// AffinityShare is the fraction of candidates drawn from the user's
+	// stable interest set rather than global popularity.
+	AffinityShare float64
+	// AffinitySetSize is the size of that per-user interest set.
+	AffinitySetSize int
+
+	// AvgSessionRequests is the mean requests per user session; SessionGapSec
+	// the mean think time between a session's consecutive requests.
+	AvgSessionRequests float64
+	SessionGapSec      float64
+
+	// Burst, when non-nil, injects a transient hotspot into retrieval
+	// (§5.2's "burst hotspots that should be recommended to most users").
+	Burst *Burst
+}
+
+// Burst describes a transient hotspot: during [StartSec, EndSec) a block of
+// Items previously-cold items starting at FirstItem captures Share of every
+// candidate retrieval.
+type Burst struct {
+	StartSec, EndSec float64
+	FirstItem        ItemID
+	Items            int
+	Share            float64
+}
+
+// Active reports whether the burst covers time t.
+func (b *Burst) Active(t float64) bool {
+	return b != nil && t >= b.StartSec && t < b.EndSec
+}
+
+func (b *Burst) validate(corpus int) error {
+	switch {
+	case b == nil:
+		return nil
+	case b.Items <= 0:
+		return fmt.Errorf("workload: burst needs items")
+	case b.Share < 0 || b.Share > 1:
+		return fmt.Errorf("workload: burst share outside [0,1]")
+	case b.EndSec <= b.StartSec:
+		return fmt.Errorf("workload: burst interval empty")
+	case int64(b.FirstItem)+int64(b.Items) > int64(corpus):
+		return fmt.Errorf("workload: burst items outside corpus")
+	}
+	return nil
+}
+
+// Validate reports whether the profile is usable.
+func (p Profile) Validate() error {
+	switch {
+	case p.Users <= 0 || p.Items <= 0:
+		return fmt.Errorf("workload: %s: Users and Items must be positive", p.Name)
+	case p.AvgUserTokens <= 0 || p.AvgItemTokens <= 0:
+		return fmt.Errorf("workload: %s: token averages must be positive", p.Name)
+	case p.MaxUserTokens < p.AvgUserTokens:
+		return fmt.Errorf("workload: %s: MaxUserTokens below average", p.Name)
+	case p.ItemZipfA <= 0 || p.UserZipfA <= 0:
+		return fmt.Errorf("workload: %s: Zipf exponents must be positive", p.Name)
+	case p.Candidates <= 0:
+		return fmt.Errorf("workload: %s: Candidates must be positive", p.Name)
+	case p.AffinityShare < 0 || p.AffinityShare > 1:
+		return fmt.Errorf("workload: %s: AffinityShare outside [0,1]", p.Name)
+	case p.AvgSessionRequests < 1:
+		return fmt.Errorf("workload: %s: AvgSessionRequests must be >= 1", p.Name)
+	case p.SessionGapSec <= 0:
+		return fmt.Errorf("workload: %s: SessionGapSec must be positive", p.Name)
+	}
+	return p.Burst.validate(p.Items)
+}
+
+// AvgItemTokensPerRequest returns the expected candidate-token total of one
+// prompt — the quantity the paper compares user profiles against when
+// choosing a prefix (~1000 tokens for 100 items).
+func (p Profile) AvgItemTokensPerRequest() int { return p.Candidates * p.AvgItemTokens }
+
+func baseProfile() Profile {
+	return Profile{
+		UserTokenSigma:     0.6,
+		ItemZipfA:          1.08,
+		UserZipfA:          0.85,
+		Candidates:         100,
+		InstrTokens:        16,
+		AffinityShare:      0.3,
+		AffinitySetSize:    50,
+		AvgSessionRequests: 3,
+		SessionGapSec:      90,
+	}
+}
+
+// Games, Beauty, Books, and Industry reproduce Table 1. The three Amazon
+// profiles use the paper's expanded user-token lengths so the maximum prompt
+// approaches 8K tokens (§6.2).
+var (
+	Games    = gamesProfile()
+	Beauty   = beautyProfile()
+	Books    = booksProfile()
+	Industry = industryProfile()
+)
+
+func gamesProfile() Profile {
+	p := baseProfile()
+	p.Name = "Games"
+	p.Users, p.Items = 15_000, 8_000
+	p.AvgUserTokens, p.AvgItemTokens = 1245, 11
+	p.MaxUserTokens = 6800
+	// Small community with high average user access frequency (§6.2): a
+	// concentrated active set returning in long sessions — the one dataset
+	// where User-as-prefix wins.
+	p.UserZipfA = 1.5
+	p.AvgSessionRequests = 6
+	p.SessionGapSec = 60
+	return p
+}
+
+func beautyProfile() Profile {
+	p := baseProfile()
+	p.Name = "Beauty"
+	p.Users, p.Items = 22_000, 12_000
+	p.AvgUserTokens, p.AvgItemTokens = 2043, 18
+	p.MaxUserTokens = 6200
+	p.UserZipfA = 0.9
+	return p
+}
+
+func booksProfile() Profile {
+	p := baseProfile()
+	p.Name = "Books"
+	p.Users, p.Items = 510_000, 280_000
+	p.AvgUserTokens, p.AvgItemTokens = 1586, 15
+	p.MaxUserTokens = 6500
+	p.UserZipfA = 0.9
+	return p
+}
+
+func industryProfile() Profile {
+	p := baseProfile()
+	p.Name = "Industry"
+	p.Users, p.Items = 10_000_000, 1_000_000
+	p.AvgUserTokens, p.AvgItemTokens = 1500, 10
+	p.MaxUserTokens = 7000
+	p.UserZipfA = 1.0
+	// Production advertising traffic: a majority of users issue one or two
+	// requests per hour (Fig. 2c) with minutes between page views, so
+	// profile caches rarely survive to the next access.
+	p.AvgSessionRequests = 2
+	p.SessionGapSec = 240
+	return p
+}
+
+// IndustryX returns the Industry profile with an item corpus of the given
+// size — the Industrial-X datasets of §6.6 (1M to 100M items).
+func IndustryX(items int) Profile {
+	p := industryProfile()
+	p.Name = fmt.Sprintf("Industry-%s", formatCount(items))
+	p.Items = items
+	return p
+}
+
+// BooksX returns the Books profile with a resized item corpus — the Books-X
+// datasets of the Table 4 ablation.
+func BooksX(items int) Profile {
+	p := booksProfile()
+	p.Name = fmt.Sprintf("Books-%s", formatCount(items))
+	p.Items = items
+	return p
+}
+
+// Profiles returns the four Table 1 datasets in paper order.
+func Profiles() []Profile { return []Profile{Games, Beauty, Books, Industry} }
+
+func formatCount(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1_000 && n%1_000 == 0:
+		return fmt.Sprintf("%dK", n/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

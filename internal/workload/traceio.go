@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace serialization: a minimal CSV of (index, time, user) — candidates and
+// token counts re-derive from the generator, so a persisted trace replays
+// bit-identically on any machine given the same profile and seed.
+
+// WriteCSV serializes the trace.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# profile=%s duration=%g\n", t.Profile.Name, t.Duration); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "index,time_sec,user_id"); err != nil {
+		return err
+	}
+	for _, r := range t.Requests {
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d\n", r.Index, strconv.FormatFloat(r.Time, 'g', -1, 64), r.User); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraceCSV parses a trace written by WriteCSV. The caller supplies the
+// profile (the CSV records only its name, for cross-checking).
+func ReadTraceCSV(r io.Reader, prof Profile) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	trace := &Trace{Profile: prof}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "index,time_sec,user_id":
+			continue
+		case strings.HasPrefix(line, "#"):
+			if err := parseTraceHeader(line, prof, trace); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("workload: trace line %d: %d fields", lineNo, len(parts))
+		}
+		idx, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad index: %w", lineNo, err)
+		}
+		ts, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad time: %w", lineNo, err)
+		}
+		user, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad user: %w", lineNo, err)
+		}
+		trace.Requests = append(trace.Requests, Request{Index: idx, Time: ts, User: user})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if trace.Duration == 0 {
+		return nil, fmt.Errorf("workload: trace missing header line")
+	}
+	return trace, nil
+}
+
+func parseTraceHeader(line string, prof Profile, trace *Trace) error {
+	for _, field := range strings.Fields(strings.TrimPrefix(line, "#")) {
+		kv := strings.SplitN(field, "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		switch kv[0] {
+		case "profile":
+			if kv[1] != prof.Name {
+				return fmt.Errorf("workload: trace was generated for profile %q, reading with %q", kv[1], prof.Name)
+			}
+		case "duration":
+			d, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return fmt.Errorf("workload: bad duration header: %w", err)
+			}
+			trace.Duration = d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	g := newTestGen(t, Games)
+	orig, err := g.GenerateTrace(500, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceCSV(&buf, Games)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != orig.Duration {
+		t.Fatalf("duration %v != %v", got.Duration, orig.Duration)
+	}
+	if len(got.Requests) != len(orig.Requests) {
+		t.Fatalf("%d requests, want %d", len(got.Requests), len(orig.Requests))
+	}
+	for i := range orig.Requests {
+		if got.Requests[i] != orig.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, got.Requests[i], orig.Requests[i])
+		}
+	}
+}
+
+func TestReadTraceCSVRejectsWrongProfile(t *testing.T) {
+	g := newTestGen(t, Games)
+	tr, _ := g.GenerateTrace(10, 60)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTraceCSV(&buf, Books); err == nil {
+		t.Fatal("profile mismatch accepted")
+	}
+}
+
+func TestReadTraceCSVMalformed(t *testing.T) {
+	cases := []string{
+		"# profile=Games duration=60\n1,2\n",         // wrong field count
+		"# profile=Games duration=60\nx,1.0,2\n",     // bad index
+		"# profile=Games duration=60\n1,zzz,2\n",     // bad time
+		"# profile=Games duration=60\n1,1.0,-3\n",    // bad user
+		"index,time_sec,user_id\n1,1.0,2\n",          // missing header
+		"# profile=Games duration=banana\n1,1.0,2\n", // bad duration
+	}
+	for i, csv := range cases {
+		if _, err := ReadTraceCSV(strings.NewReader(csv), Games); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadTraceCSVSkipsBlankLines(t *testing.T) {
+	csv := "# profile=Games duration=60\nindex,time_sec,user_id\n\n0,1.5,7\n"
+	tr, err := ReadTraceCSV(strings.NewReader(csv), Games)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 1 || tr.Requests[0].User != 7 {
+		t.Fatalf("parsed %+v", tr.Requests)
+	}
+}

@@ -1,0 +1,395 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilePresetsMatchTable1(t *testing.T) {
+	cases := []struct {
+		p          Profile
+		users      int
+		items      int
+		userTokens int
+		itemTokens int
+	}{
+		{Games, 15_000, 8_000, 1245, 11},
+		{Beauty, 22_000, 12_000, 2043, 18},
+		{Books, 510_000, 280_000, 1586, 15},
+		{Industry, 10_000_000, 1_000_000, 1500, 10},
+	}
+	for _, tc := range cases {
+		if tc.p.Users != tc.users || tc.p.Items != tc.items ||
+			tc.p.AvgUserTokens != tc.userTokens || tc.p.AvgItemTokens != tc.itemTokens {
+			t.Errorf("%s: profile does not match Table 1: %+v", tc.p.Name, tc.p)
+		}
+		if err := tc.p.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.p.Name, err)
+		}
+	}
+}
+
+func TestProfileValidateRejectsBadFields(t *testing.T) {
+	muts := []func(*Profile){
+		func(p *Profile) { p.Users = 0 },
+		func(p *Profile) { p.AvgUserTokens = 0 },
+		func(p *Profile) { p.MaxUserTokens = 10 },
+		func(p *Profile) { p.ItemZipfA = 0 },
+		func(p *Profile) { p.Candidates = 0 },
+		func(p *Profile) { p.AffinityShare = 1.5 },
+		func(p *Profile) { p.AvgSessionRequests = 0.5 },
+		func(p *Profile) { p.SessionGapSec = 0 },
+	}
+	for i, mut := range muts {
+		p := Games
+		mut(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestScaledProfiles(t *testing.T) {
+	p := IndustryX(100_000_000)
+	if p.Items != 100_000_000 || p.Name != "Industry-100M" {
+		t.Fatalf("IndustryX: %+v", p)
+	}
+	b := BooksX(1_000_000)
+	if b.Items != 1_000_000 || b.Name != "Books-1M" {
+		t.Fatalf("BooksX: %+v", b)
+	}
+	if BooksX(280_000).Name != "Books-280K" {
+		t.Fatalf("BooksX name: %s", BooksX(280_000).Name)
+	}
+}
+
+func TestZipfRankRange(t *testing.T) {
+	z := NewZipf(1000, 0.95)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		r := z.Rank(rng.Float64())
+		if r < 1 || r > 1000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+	if z.Rank(0) != 1 {
+		t.Fatalf("Rank(0) = %d, want 1 (hottest)", z.Rank(0))
+	}
+	if z.Rank(1) != 1000 {
+		t.Fatalf("Rank(1) = %d, want N", z.Rank(1))
+	}
+}
+
+func TestZipfMonotoneProperty(t *testing.T) {
+	z := NewZipf(100_000, 0.95)
+	f := func(a, b float64) bool {
+		ua, ub := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if math.IsNaN(ua) || math.IsNaN(ub) {
+			return true
+		}
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return z.Rank(ua) <= z.Rank(ub)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZipfTop10Percent reproduces the paper's Fig. 2(d) statistic: with the
+// default item exponent, ~90% of accesses hit the top 10% of items.
+func TestZipfTop10Percent(t *testing.T) {
+	z := NewZipf(1_000_000, Industry.ItemZipfA)
+	mass := z.MassOfTopFraction(0.10)
+	if mass < 0.85 || mass > 0.95 {
+		t.Fatalf("top-10%% mass = %v, want ~0.90", mass)
+	}
+	// Cross-check analytically predicted mass against empirical sampling.
+	rng := rand.New(rand.NewSource(2))
+	const samples = 200_000
+	hot := 0
+	for i := 0; i < samples; i++ {
+		if z.Rank(rng.Float64()) <= 100_000 {
+			hot++
+		}
+	}
+	emp := float64(hot) / samples
+	if math.Abs(emp-mass) > 0.02 {
+		t.Fatalf("empirical top-10%% share %v vs analytic %v", emp, mass)
+	}
+}
+
+func TestZipfExponentOneSpecialCase(t *testing.T) {
+	z := NewZipf(10_000, 1.0)
+	if r := z.Rank(0.5); r < 1 || r > 10_000 {
+		t.Fatalf("rank %d", r)
+	}
+	if m := z.MassOfTopFraction(1.0); m != 1 {
+		t.Fatalf("full mass = %v", m)
+	}
+}
+
+func newTestGen(t *testing.T, p Profile) *Generator {
+	t.Helper()
+	g, err := NewGenerator(p, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestUserTokensDistribution(t *testing.T) {
+	g := newTestGen(t, Industry)
+	var sum float64
+	below1000 := 0
+	const n = 20_000
+	for u := UserID(0); u < n; u++ {
+		tok := g.UserTokens(u)
+		if tok < 32 || tok > Industry.MaxUserTokens {
+			t.Fatalf("user %d tokens %d out of range", u, tok)
+		}
+		sum += float64(tok)
+		if tok < 1000 {
+			below1000++
+		}
+	}
+	mean := sum / n
+	if mean < 1200 || mean > 1800 {
+		t.Fatalf("mean user tokens %v, want ~1500", mean)
+	}
+	// §4.3: ~36% of users have fewer profile tokens than one request's
+	// ~1000 candidate tokens.
+	frac := float64(below1000) / n
+	if frac < 0.25 || frac > 0.50 {
+		t.Fatalf("fraction below 1000 tokens = %v, want ~0.36", frac)
+	}
+}
+
+func TestUserTokensDeterministic(t *testing.T) {
+	g1 := newTestGen(t, Books)
+	g2 := newTestGen(t, Books)
+	for u := UserID(0); u < 100; u++ {
+		if g1.UserTokens(u) != g2.UserTokens(u) {
+			t.Fatalf("user %d tokens not deterministic", u)
+		}
+	}
+	g3, _ := NewGenerator(Books, 100)
+	diff := 0
+	for u := UserID(0); u < 100; u++ {
+		if g1.UserTokens(u) != g3.UserTokens(u) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds should reshuffle token lengths")
+	}
+}
+
+func TestItemTokensMean(t *testing.T) {
+	g := newTestGen(t, Beauty)
+	var sum float64
+	const n = 10_000
+	for it := ItemID(0); it < n; it++ {
+		tok := g.ItemTokens(it)
+		if tok < 1 {
+			t.Fatalf("item %d tokens %d", it, tok)
+		}
+		sum += float64(tok)
+	}
+	mean := sum / n
+	if math.Abs(mean-float64(Beauty.AvgItemTokens)) > 1.5 {
+		t.Fatalf("mean item tokens %v, want ~%d", mean, Beauty.AvgItemTokens)
+	}
+}
+
+func TestCandidatesDistinctAndDeterministic(t *testing.T) {
+	g := newTestGen(t, Games)
+	c1 := g.Candidates(7, 3)
+	c2 := g.Candidates(7, 3)
+	if len(c1) != Games.Candidates {
+		t.Fatalf("got %d candidates", len(c1))
+	}
+	seen := map[ItemID]struct{}{}
+	for i, it := range c1 {
+		if it >= ItemID(Games.Items) {
+			t.Fatalf("candidate %d out of corpus", it)
+		}
+		if _, dup := seen[it]; dup {
+			t.Fatal("duplicate candidate")
+		}
+		seen[it] = struct{}{}
+		if c2[i] != it {
+			t.Fatal("candidates not deterministic")
+		}
+	}
+	c3 := g.Candidates(8, 3)
+	same := 0
+	for _, it := range c3 {
+		if _, ok := seen[it]; ok {
+			same++
+		}
+	}
+	if same == len(c3) {
+		t.Fatal("different requests should retrieve different candidate sets")
+	}
+}
+
+// TestCandidateOverlapAcrossUsers: popular items must recur across different
+// users' candidate sets — the reuse opportunity Item-as-prefix exploits.
+func TestCandidateOverlapAcrossUsers(t *testing.T) {
+	g := newTestGen(t, Industry)
+	seen := map[ItemID]int{}
+	const reqs = 50
+	for r := 0; r < reqs; r++ {
+		for _, it := range g.Candidates(uint64(r), UserID(r*1000)) {
+			seen[it]++
+		}
+	}
+	shared := 0
+	for _, cnt := range seen {
+		if cnt >= 5 {
+			shared++
+		}
+	}
+	if shared < 20 {
+		t.Fatalf("only %d items appeared in >=5 of %d distinct-user requests; popularity skew too weak", shared, reqs)
+	}
+}
+
+func TestAffinityItemsStable(t *testing.T) {
+	g := newTestGen(t, Books)
+	if g.AffinityItem(5, 0) != g.AffinityItem(5, 0) {
+		t.Fatal("affinity set must be stable")
+	}
+	diff := 0
+	for k := 0; k < 20; k++ {
+		if g.AffinityItem(5, k) != g.AffinityItem(6, k) {
+			diff++
+		}
+	}
+	if diff < 10 {
+		t.Fatal("different users should have different interest sets")
+	}
+}
+
+func TestGenerateTraceShape(t *testing.T) {
+	g := newTestGen(t, Books)
+	tr, err := g.GenerateTrace(5000, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 5000 {
+		t.Fatalf("%d requests", len(tr.Requests))
+	}
+	for i, r := range tr.Requests {
+		if r.Index != i {
+			t.Fatalf("request %d has index %d", i, r.Index)
+		}
+		if r.Time < 0 || r.Time >= 3600 {
+			t.Fatalf("request time %v out of range", r.Time)
+		}
+		if i > 0 && r.Time < tr.Requests[i-1].Time {
+			t.Fatal("trace not time-sorted")
+		}
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	g1 := newTestGen(t, Games)
+	g2 := newTestGen(t, Games)
+	t1, _ := g1.GenerateTrace(500, 600)
+	t2, _ := g2.GenerateTrace(500, 600)
+	for i := range t1.Requests {
+		if t1.Requests[i] != t2.Requests[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestGenerateTraceRejectsBadArgs(t *testing.T) {
+	g := newTestGen(t, Games)
+	if _, err := g.GenerateTrace(0, 10); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := g.GenerateTrace(10, 0); err == nil {
+		t.Fatal("expected error for zero duration")
+	}
+}
+
+// TestTraceInactiveTail reproduces Fig. 2(c): on the Industry workload, a
+// large fraction of touched users issue at most two requests per hour.
+func TestTraceInactiveTail(t *testing.T) {
+	g := newTestGen(t, Industry)
+	tr, err := g.GenerateTrace(30_000, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[UserID]int{}
+	for _, r := range tr.Requests {
+		counts[r.User]++
+	}
+	atMostTwo := 0
+	for _, c := range counts {
+		if c <= 2 {
+			atMostTwo++
+		}
+	}
+	frac := float64(atMostTwo) / float64(len(counts))
+	if frac < 0.3 {
+		t.Fatalf("only %v of users are inactive (<=2 requests/hour); paper reports a majority", frac)
+	}
+	// Sessions must also produce some repeat users (multi-turn reuse).
+	if len(counts) == len(tr.Requests) {
+		t.Fatal("no user issued more than one request; sessions are broken")
+	}
+}
+
+func TestTokensFor(t *testing.T) {
+	g := newTestGen(t, Games)
+	tr, _ := g.GenerateTrace(10, 60)
+	rt, items := g.TokensFor(tr.Requests[0])
+	if len(items) != Games.Candidates {
+		t.Fatalf("%d items", len(items))
+	}
+	if rt.UserTokens != g.UserTokens(tr.Requests[0].User) {
+		t.Fatal("user token mismatch")
+	}
+	wantItems := 0
+	for _, it := range items {
+		wantItems += g.ItemTokens(it)
+	}
+	if rt.ItemTokens != wantItems {
+		t.Fatalf("item tokens %d, want %d", rt.ItemTokens, wantItems)
+	}
+	if rt.Total() != rt.UserTokens+rt.ItemTokens+rt.InstrTokens {
+		t.Fatal("Total mismatch")
+	}
+	if rt.InstrTokens != Games.InstrTokens {
+		t.Fatal("instr token mismatch")
+	}
+}
+
+func TestAvgItemTokensPerRequest(t *testing.T) {
+	if got := Industry.AvgItemTokensPerRequest(); got != 1000 {
+		t.Fatalf("Industry avg item tokens per request = %d, want 1000", got)
+	}
+}
+
+func TestLazyStateScalesToHugeCorpus(t *testing.T) {
+	// A 100M-item profile must be usable without materializing anything.
+	g := newTestGen(t, IndustryX(100_000_000))
+	it := g.SampleItem(0.999999)
+	if it >= 100_000_000 {
+		t.Fatalf("item %d out of corpus", it)
+	}
+	if g.ItemTokens(it) < 1 {
+		t.Fatal("bad token count")
+	}
+	c := g.Candidates(0, 12345)
+	if len(c) != 100 {
+		t.Fatalf("%d candidates", len(c))
+	}
+}

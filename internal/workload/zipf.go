@@ -1,0 +1,100 @@
+package workload
+
+import "math"
+
+// Zipf samples ranks 1..N with P(rank r) ∝ r^(-a) using the continuous
+// inverse-CDF approximation, which is O(1) per sample and needs no
+// materialized tables — essential for 100M-item corpora. Unlike
+// math/rand.Zipf it supports exponents a ≤ 1, the regime recommendation
+// popularity actually lives in.
+type Zipf struct {
+	n    float64
+	a    float64
+	span float64 // N^(1-a) - 1 (a != 1) or ln N (a == 1)
+}
+
+// NewZipf returns a sampler over ranks 1..n with exponent a > 0.
+func NewZipf(n int, a float64) *Zipf {
+	if n <= 0 || a <= 0 {
+		panic("workload: Zipf requires n > 0 and a > 0")
+	}
+	z := &Zipf{n: float64(n), a: a}
+	if a == 1 {
+		z.span = math.Log(z.n)
+	} else {
+		z.span = math.Pow(z.n, 1-a) - 1
+	}
+	return z
+}
+
+// Rank maps a uniform variate u ∈ [0,1) to a rank in [1, N]; rank 1 is the
+// most popular.
+func (z *Zipf) Rank(u float64) int {
+	if u < 0 {
+		u = 0
+	}
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	var r float64
+	if z.a == 1 {
+		r = math.Exp(u * z.span)
+	} else {
+		r = math.Pow(1+u*z.span, 1/(1-z.a))
+	}
+	rank := int(r)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > int(z.n) {
+		rank = int(z.n)
+	}
+	return rank
+}
+
+// MassOfTopFraction returns the approximate probability mass held by the
+// most popular q·N ranks — e.g. the paper's "top 10% of items receive ~90%
+// of accesses" statistic.
+func (z *Zipf) MassOfTopFraction(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return 1
+	}
+	r := q * z.n
+	if z.a == 1 {
+		return math.Log(r) / z.span
+	}
+	return (math.Pow(r, 1-z.a) - 1) / z.span
+}
+
+// splitmix64 is the hash underlying all lazy entity-state derivation; it
+// mixes a seed and key into a well-distributed 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash2 combines a seed and one key.
+func hash2(seed, a uint64) uint64 { return splitmix64(seed ^ splitmix64(a)) }
+
+// hash3 combines a seed and two keys.
+func hash3(seed, a, b uint64) uint64 {
+	return splitmix64(hash2(seed, a) ^ splitmix64(b+0x517cc1b727220a95))
+}
+
+// uniform01 converts a hash to a float in [0, 1).
+func uniform01(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// gauss derives a standard normal variate from two hashed uniforms via
+// Box–Muller.
+func gauss(h1, h2 uint64) float64 {
+	u1 := uniform01(h1)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*uniform01(h2))
+}
