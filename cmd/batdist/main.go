@@ -1,25 +1,31 @@
 // Command batdist launches a complete disaggregated BAT deployment in one
 // process for demonstration: a cache meta service, N KV cache workers, and
 // an inference frontend, each on its own HTTP port (Figure 3 as real
-// services).
+// services). The frontend moves KV payloads through the fault-tolerant
+// transfer engine (timeouts, retries, circuit breakers, parallel fetch), and
+// each worker's LRU evictions unregister from the meta service so location
+// metadata never goes stale.
 //
 // Usage:
 //
-//	batdist -base-port 9000 -workers 3
+//	batdist -base-port 9000 -workers 3 -transfer-timeout 2s
 //
 // Then:
 //
 //	curl -s localhost:9000/v1/rank -d '{"user_id":3,"candidate_ids":[1,2,3,4,5,6,7,8,9,10]}'
-//	curl -s localhost:9000/v1/stats          # frontend
+//	curl -s localhost:9000/v1/stats          # frontend, incl. per-worker health
 //	curl -s localhost:9001/v1/locate'?kind=item&id=1'   # meta
 //	curl -s localhost:9002/stats             # first cache worker
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"bat/internal/distserve"
 	"bat/internal/ranking"
@@ -32,6 +38,11 @@ func main() {
 	items := flag.Int("items", 600, "item corpus size")
 	users := flag.Int("users", 200, "user population")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	timeout := flag.Duration("transfer-timeout", 2*time.Second, "per-attempt KV transfer timeout")
+	retries := flag.Int("transfer-retries", 2, "extra attempts for idempotent cache GETs (negative disables)")
+	breakerTrip := flag.Int("breaker-threshold", 5, "consecutive failures that trip a worker's circuit breaker (negative disables)")
+	breakerCool := flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before a half-open probe")
+	fetchConc := flag.Int("fetch-concurrency", 16, "parallel item-cache fetches per request")
 	flag.Parse()
 
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
@@ -51,7 +62,30 @@ func main() {
 	}
 
 	meta := distserve.NewMetaServer(300, nil)
+	metaURL := fmt.Sprintf("http://127.0.0.1:%d", *basePort+1)
 	serve(*basePort+1, meta.Handler(), "cache meta service")
+
+	// Evictions propagate to the meta service so /v1/locate never reports
+	// entries the pool already dropped.
+	unregister := func(worker int) func(key string) {
+		client := &http.Client{Timeout: *timeout}
+		return func(key string) {
+			kind, id, err := distserve.ParseCacheKey(key)
+			if err != nil {
+				return
+			}
+			body, err := json.Marshal(distserve.RegisterRequest{
+				EntryRef: distserve.EntryRef{Kind: kind, ID: id}, Worker: worker,
+			})
+			if err != nil {
+				return
+			}
+			resp, err := client.Post(metaURL+"/v1/unregister", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}
 
 	var workerURLs []string
 	for i := 0; i < *workers; i++ {
@@ -59,6 +93,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("batdist: %v", err)
 		}
+		cw.SetEvictHook(unregister(i))
 		port := *basePort + 2 + i
 		serve(port, cw.Handler(), fmt.Sprintf("cache worker %d", i))
 		workerURLs = append(workerURLs, fmt.Sprintf("http://127.0.0.1:%d", port))
@@ -67,8 +102,15 @@ func main() {
 	frontend, err := distserve.NewFrontend(distserve.FrontendConfig{
 		Dataset:      ds,
 		Variant:      ranking.VariantBase,
-		MetaURL:      fmt.Sprintf("http://127.0.0.1:%d", *basePort+1),
+		MetaURL:      metaURL,
 		CacheWorkers: workerURLs,
+		Transfer: distserve.TransferConfig{
+			Timeout:          *timeout,
+			MaxRetries:       *retries,
+			BreakerThreshold: *breakerTrip,
+			BreakerCooldown:  *breakerCool,
+			FetchConcurrency: *fetchConc,
+		},
 	})
 	if err != nil {
 		log.Fatalf("batdist: %v", err)

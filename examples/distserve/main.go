@@ -3,6 +3,11 @@
 // each behind a real HTTP listener — then serve requests whose KV payloads
 // travel over the wire between components.
 //
+// Act two wedges a cache worker through a fault-injection proxy: the
+// frontend's transfer engine times the worker out, trips its circuit
+// breaker, and degrades to recompute with bounded latency instead of
+// hanging the request.
+//
 //	go run ./examples/distserve
 package main
 
@@ -13,6 +18,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"time"
 
 	"bat/internal/distserve"
 	"bat/internal/ranking"
@@ -33,6 +39,23 @@ func listen(h http.Handler, what string) string {
 	return url
 }
 
+func rank(frontURL string, user int, cands []int) distserve.RankResponse {
+	body, err := json.Marshal(distserve.RankRequest{UserID: user, CandidateIDs: cands})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(frontURL+"/v1/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out distserve.RankResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
 func main() {
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
 		Name: "dist", Items: 300, Users: 80, Clusters: 6, LatentDim: 8,
@@ -47,6 +70,7 @@ func main() {
 	metaURL := listen(meta.Handler(), "cache meta service")
 
 	var workers []*distserve.CacheWorker
+	var proxies []*distserve.FaultProxy
 	var workerURLs []string
 	for i := 0; i < 3; i++ {
 		cw, err := distserve.NewCacheWorker(64 << 20)
@@ -54,7 +78,12 @@ func main() {
 			log.Fatal(err)
 		}
 		workers = append(workers, cw)
-		workerURLs = append(workerURLs, listen(cw.Handler(), fmt.Sprintf("kv cache worker %d", i)))
+		backend := listen(cw.Handler(), fmt.Sprintf("kv cache worker %d", i))
+		// Each worker sits behind a fault-injection proxy so act two can
+		// wedge one without touching the worker itself.
+		p := distserve.NewFaultProxy(backend)
+		proxies = append(proxies, p)
+		workerURLs = append(workerURLs, listen(p.Handler(), fmt.Sprintf("  fault proxy %d", i)))
 	}
 
 	frontend, err := distserve.NewFrontend(distserve.FrontendConfig{
@@ -62,29 +91,22 @@ func main() {
 		Variant:      ranking.VariantBase,
 		MetaURL:      metaURL,
 		CacheWorkers: workerURLs,
+		Transfer: distserve.TransferConfig{
+			Timeout:          300 * time.Millisecond,
+			MaxRetries:       1,
+			BreakerThreshold: 3,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	frontURL := listen(frontend.Handler(), "inference frontend")
 
-	// Two users retrieve the same candidates: the second request's item
-	// caches arrive over HTTP from the cache workers.
+	// Act one — two users retrieve the same candidates: the second request's
+	// item caches arrive over HTTP from the cache workers.
 	cands := []int{3, 17, 42, 55, 68, 71, 90, 104, 120, 133, 150, 162}
 	for _, user := range []int{5, 19} {
-		body, err := json.Marshal(distserve.RankRequest{UserID: user, CandidateIDs: cands})
-		if err != nil {
-			log.Fatal(err)
-		}
-		resp, err := http.Post(frontURL+"/v1/rank", "application/json", bytes.NewReader(body))
-		if err != nil {
-			log.Fatal(err)
-		}
-		var out distserve.RankResponse
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			log.Fatal(err)
-		}
-		resp.Body.Close()
+		out := rank(frontURL, user, cands)
 		fmt.Printf("\nuser %d: top-5 %v via %s (reused %d, computed %d tokens)\n",
 			user, out.Ranking[:5], out.Prefix, out.ReusedTokens, out.ComputedTokens)
 	}
@@ -97,4 +119,25 @@ func main() {
 	}
 	fmt.Printf("\n%d item prefixes live in the disaggregated pool; the second user's\n", total)
 	fmt.Println("request fetched them over the network instead of recomputing.")
+
+	// Act two — wedge worker 0: it accepts connections but never replies.
+	// The transfer engine's per-attempt timeout and circuit breaker keep the
+	// request bounded; missing caches are recomputed.
+	fmt.Println("\n--- wedging cache worker 0 (accepts connections, never replies) ---")
+	proxies[0].SetMode(distserve.FaultHang, 0)
+	start := time.Now()
+	out := rank(frontURL, 33, cands)
+	fmt.Printf("user 33: top-5 %v in %v (reused %d, computed %d tokens)\n",
+		out.Ranking[:5], time.Since(start).Round(time.Millisecond), out.ReusedTokens, out.ComputedTokens)
+	proxies[0].Release()
+
+	st := frontend.Stats()
+	fmt.Printf("\nfrontend health: %d fetch errors, %d failovers, %d stale unregisters\n",
+		st.FetchErrors, st.Failovers, st.StaleUnregisters)
+	for _, w := range st.Workers {
+		fmt.Printf("  %-9s breaker=%-9s requests=%-3d errors=%-3d skips=%-3d avg=%.1fms\n",
+			w.Target, w.Breaker, w.Requests, w.Errors, w.BreakerSkips, w.AvgLatencyMs)
+	}
+	fmt.Println("\nthe wedged worker cost one timeout budget, not an unbounded hang;")
+	fmt.Println("its breaker now short-circuits further transfers until it heals.")
 }

@@ -107,15 +107,21 @@ func (s *Service) RegisterEntry(k kvcache.EntryKey, w WorkerID) {
 }
 
 // UnregisterEntry removes worker w from key k's locations (eviction path).
-func (s *Service) UnregisterEntry(k kvcache.EntryKey, w WorkerID) {
+// It reports whether a binding was actually removed, so callers can tell a
+// stale-entry cleanup from a no-op.
+func (s *Service) UnregisterEntry(k kvcache.EntryKey, w WorkerID) bool {
 	locs, ok := s.index[k]
 	if !ok {
-		return
+		return false
+	}
+	if _, held := locs[w]; !held {
+		return false
 	}
 	delete(locs, w)
 	if len(locs) == 0 {
 		delete(s.index, k)
 	}
+	return true
 }
 
 // HasEntry reports whether any worker holds k.

@@ -3,7 +3,12 @@
 // payloads under a byte budget, a cache meta service tracking locations and
 // hotness, and an inference frontend that schedules prompts, fetches prefix
 // caches over HTTP (the transfer-engine role), executes the GR model, and
-// writes fresh caches back.
+// writes fresh caches back. The transfer engine (resilience.go) is fault
+// tolerant: per-attempt timeouts, retried idempotent GETs with jittered
+// backoff, per-worker circuit breakers, replica failover, and
+// bounded-concurrency parallel item fetch keep a slow or dead worker from
+// costing more than a timeout budget — requests degrade to recompute, never
+// stall.
 //
 // Every component is an http.Handler, so a deployment is N+2 ordinary HTTP
 // servers — in-process for tests (httptest), separate processes via
@@ -28,6 +33,7 @@ type CacheWorker struct {
 	used     int64
 	entries  map[string]*cwEntry
 	lru      *list.List // front = most recent
+	onEvict  func(key string)
 
 	hits, misses, puts, evictions int64
 }
@@ -50,12 +56,21 @@ func NewCacheWorker(capacityBytes int64) (*CacheWorker, error) {
 	}, nil
 }
 
+// SetEvictHook installs a callback invoked (outside the worker's lock) with
+// each LRU-evicted key, so deployments can unregister evicted entries from
+// the meta service instead of leaving stale location bindings behind.
+func (w *CacheWorker) SetEvictHook(fn func(key string)) {
+	w.mu.Lock()
+	w.onEvict = fn
+	w.mu.Unlock()
+}
+
 // Put stores (or replaces) a payload, evicting LRU entries to fit. Payloads
 // larger than the whole budget are rejected.
 func (w *CacheWorker) Put(key string, data []byte) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if int64(len(data)) > w.capacity {
+		w.mu.Unlock()
 		return fmt.Errorf("distserve: payload %d bytes exceeds capacity %d", len(data), w.capacity)
 	}
 	if old, ok := w.entries[key]; ok {
@@ -63,6 +78,7 @@ func (w *CacheWorker) Put(key string, data []byte) error {
 		w.lru.Remove(old.elem)
 		delete(w.entries, key)
 	}
+	var victims []string
 	for w.used+int64(len(data)) > w.capacity {
 		back := w.lru.Back()
 		if back == nil {
@@ -73,12 +89,20 @@ func (w *CacheWorker) Put(key string, data []byte) error {
 		delete(w.entries, victim.key)
 		w.used -= int64(len(victim.data))
 		w.evictions++
+		victims = append(victims, victim.key)
 	}
 	e := &cwEntry{key: key, data: data}
 	e.elem = w.lru.PushFront(e)
 	w.entries[key] = e
 	w.used += int64(len(data))
 	w.puts++
+	hook := w.onEvict
+	w.mu.Unlock()
+	if hook != nil {
+		for _, k := range victims {
+			hook(k)
+		}
+	}
 	return nil
 }
 
@@ -179,6 +203,9 @@ func (w *CacheWorker) Handler() http.Handler {
 		if err := json.NewEncoder(rw).Encode(w.Stats()); err != nil {
 			http.Error(rw, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(rw, "ok")
 	})
 	return mux
 }

@@ -1,10 +1,10 @@
 package distserve
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"sync"
@@ -14,6 +14,10 @@ import (
 	"bat/internal/ranking"
 	"bat/internal/scheduler"
 )
+
+// ErrValidation marks request errors the caller can fix (unknown IDs, empty
+// candidate sets); everything else is an internal serving failure.
+var ErrValidation = errors.New("invalid request")
 
 // FrontendConfig wires an inference frontend to its cluster.
 type FrontendConfig struct {
@@ -28,22 +32,31 @@ type FrontendConfig struct {
 	Policy scheduler.Policy
 	// TopK is the returned ranking length (default 10).
 	TopK int
-	// Client issues the HTTP calls (default http.DefaultClient).
+	// Client issues the HTTP calls. Defaults to a client bounded by
+	// Transfer.Timeout — never a timeout-less http.DefaultClient, so a hung
+	// cache worker cannot wedge requests.
 	Client *http.Client
+	// Transfer tunes the fault-tolerant transfer engine (timeouts, retries,
+	// circuit breakers, fetch parallelism). Zero value = defaults.
+	Transfer TransferConfig
 }
 
 // Frontend is the inference worker + prompt scheduler of Figure 3: it owns
 // the model replica, consults the meta service, moves KV payloads to and
-// from cache workers, and executes Bipartite Attention.
+// from cache workers through the fault-tolerant transfer engine, and
+// executes Bipartite Attention.
 type Frontend struct {
-	cfg    FrontendConfig
-	ranker *ranking.Ranker
+	cfg      FrontendConfig
+	ranker   *ranking.Ranker
+	transfer *transferClient
 
 	mu                           sync.Mutex
 	requests                     int64
 	userPrefix, itemPrefix       int64
 	reusedTokens, computedTokens int64
 	fetchErrors                  int64
+	failovers                    int64
+	staleUnregisters             int64
 }
 
 // NewFrontend builds a frontend.
@@ -60,14 +73,20 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	if cfg.TopK == 0 {
 		cfg.TopK = 10
 	}
+	cfg.Transfer = cfg.Transfer.withDefaults()
 	if cfg.Client == nil {
-		cfg.Client = http.DefaultClient
+		// http.DefaultClient has no Timeout; a single hung worker would
+		// stall /v1/rank forever. Bound every call even when the transfer
+		// engine's per-attempt deadline is somehow bypassed.
+		cfg.Client = &http.Client{Timeout: cfg.Transfer.Timeout}
 	}
 	r, err := ranking.NewRanker(cfg.Dataset, cfg.Variant)
 	if err != nil {
 		return nil, err
 	}
-	return &Frontend{cfg: cfg, ranker: r}, nil
+	f := &Frontend{cfg: cfg, ranker: r}
+	f.transfer = newTransferClient(cfg.Client, cfg.Transfer, len(cfg.CacheWorkers))
+	return f, nil
 }
 
 // userWorker and itemWorker shard entries across cache workers.
@@ -93,28 +112,30 @@ type RankResponse struct {
 	ComputedTokens int    `json:"computed_tokens"`
 }
 
-// Rank serves one request end to end through the disaggregated pool.
-func (f *Frontend) Rank(req RankRequest) (*RankResponse, error) {
+// Rank serves one request end to end through the disaggregated pool. The
+// context bounds every transfer the request issues; cache fetch failures
+// degrade to recompute, never to request failure.
+func (f *Frontend) Rank(ctx context.Context, req RankRequest) (*RankResponse, error) {
 	ds := f.cfg.Dataset
 	if req.UserID < 0 || req.UserID >= len(ds.UserHistory) {
-		return nil, fmt.Errorf("distserve: unknown user %d", req.UserID)
+		return nil, fmt.Errorf("distserve: unknown user %d: %w", req.UserID, ErrValidation)
 	}
 	if len(req.CandidateIDs) == 0 {
-		return nil, fmt.Errorf("distserve: empty candidate set")
+		return nil, fmt.Errorf("distserve: empty candidate set: %w", ErrValidation)
 	}
 	for _, it := range req.CandidateIDs {
 		if it < 0 || it >= len(ds.ItemTokens) {
-			return nil, fmt.Errorf("distserve: unknown item %d", it)
+			return nil, fmt.Errorf("distserve: unknown item %d: %w", it, ErrValidation)
 		}
 	}
 
-	hotness := f.metaAccess("user", uint64(req.UserID))
+	hotness := f.metaAccess(ctx, "user", uint64(req.UserID))
 	userTokens := len(ds.UserHistory[req.UserID])
 	itemTokens := 0
 	for _, it := range req.CandidateIDs {
 		itemTokens += len(ds.ItemTokens[it])
 	}
-	userLocs := f.metaLocate("user", uint64(req.UserID))
+	userLocs := f.metaLocate(ctx, "user", uint64(req.UserID))
 	dec := f.cfg.Policy.Decide(scheduler.Context{
 		UserTokens:  userTokens,
 		ItemTokens:  itemTokens,
@@ -132,18 +153,14 @@ func (f *Frontend) Rank(req RankRequest) (*RankResponse, error) {
 	var caches bipartite.CacheSet
 	if !dec.Recompute {
 		if kind == bipartite.UserPrefix && len(userLocs) > 0 {
-			if c := f.fetchCache(userLocs[0], fmt.Sprintf("user/%d", req.UserID)); c != nil {
-				caches.User = c
-			}
+			caches.User = f.fetchUserCache(ctx, req.UserID, userLocs)
 		}
 		if kind == bipartite.ItemPrefix {
-			caches.Items = make(map[int]*model.KVCache, len(req.CandidateIDs))
-			for slot, it := range req.CandidateIDs {
-				if c := f.fetchCache(f.itemWorker(it), fmt.Sprintf("item/%d", it)); c != nil {
-					caches.Items[slot] = c
-				}
-			}
+			caches.Items = f.fetchItemCaches(ctx, req.CandidateIDs)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("distserve: request canceled: %w", err)
 	}
 
 	evalReq := ranking.EvalRequest{User: req.UserID, Candidates: req.CandidateIDs}
@@ -156,11 +173,11 @@ func (f *Frontend) Rank(req RankRequest) (*RankResponse, error) {
 	// write path).
 	if !dec.Recompute {
 		if run.NewUserCache != nil && dec.AdmitUser {
-			f.storeCache(f.userWorker(req.UserID), "user", uint64(req.UserID), run.NewUserCache)
+			f.storeCache(ctx, f.userWorker(req.UserID), "user", uint64(req.UserID), run.NewUserCache)
 		}
 		for slot, c := range run.NewItemCaches {
 			it := req.CandidateIDs[slot]
-			f.storeCache(f.itemWorker(it), "item", uint64(it), c)
+			f.storeCache(ctx, f.itemWorker(it), "item", uint64(it), c)
 		}
 	}
 
@@ -192,61 +209,126 @@ func (f *Frontend) Rank(req RankRequest) (*RankResponse, error) {
 }
 
 // metaAccess records an access; network failures degrade to cold (0).
-func (f *Frontend) metaAccess(kind string, id uint64) float64 {
+func (f *Frontend) metaAccess(ctx context.Context, kind string, id uint64) float64 {
 	body, err := json.Marshal(EntryRef{Kind: kind, ID: id})
 	if err != nil {
 		return 0
 	}
-	resp, err := f.cfg.Client.Post(f.cfg.MetaURL+"/v1/access", "application/json", bytes.NewReader(body))
+	status, respBody, err := f.transfer.send(ctx, f.transfer.metaTarget(), http.MethodPost,
+		f.cfg.MetaURL+"/v1/access", "application/json", body)
 	if err != nil {
 		f.noteFetchError()
 		return 0
 	}
-	defer resp.Body.Close()
 	var out AccessResponse
-	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil {
+	if status != http.StatusOK || json.Unmarshal(respBody, &out) != nil {
 		return 0
 	}
 	return out.Hotness
 }
 
 // metaLocate resolves an entry's workers; failures degrade to "not cached".
-func (f *Frontend) metaLocate(kind string, id uint64) []int {
+func (f *Frontend) metaLocate(ctx context.Context, kind string, id uint64) []int {
 	u := fmt.Sprintf("%s/v1/locate?kind=%s&id=%d", f.cfg.MetaURL, url.QueryEscape(kind), id)
-	resp, err := f.cfg.Client.Get(u)
+	status, body, err := f.transfer.get(ctx, f.transfer.metaTarget(), u)
 	if err != nil {
 		f.noteFetchError()
 		return nil
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if status != http.StatusOK {
 		return nil
 	}
 	var out LocateResponse
-	if json.NewDecoder(resp.Body).Decode(&out) != nil {
+	if json.Unmarshal(body, &out) != nil {
 		return nil
 	}
 	return out.Workers
 }
 
+// metaUnregister drops a stale location binding after a worker miss, so
+// metaLocate (and the hotness-aware policy's UserCached signal) stops
+// reporting entries the pool has already evicted. Only unregisters that
+// removed a live binding count as stale cleanups — a cold miss on a
+// never-registered entry is a no-op, not staleness.
+func (f *Frontend) metaUnregister(ctx context.Context, kind string, id uint64, worker int) {
+	body, err := json.Marshal(RegisterRequest{EntryRef: EntryRef{Kind: kind, ID: id}, Worker: worker})
+	if err != nil {
+		return
+	}
+	_, respBody, err := f.transfer.send(ctx, f.transfer.metaTarget(), http.MethodPost,
+		f.cfg.MetaURL+"/v1/unregister", "application/json", body)
+	if err != nil {
+		return
+	}
+	var out UnregisterResponse
+	if json.Unmarshal(respBody, &out) == nil && out.Removed {
+		f.mu.Lock()
+		f.staleUnregisters++
+		f.mu.Unlock()
+	}
+}
+
+// fetchUserCache tries every replica location meta returned, in order, and
+// returns the first payload that decodes — a dead or evicted first replica
+// fails over to the next instead of forcing a recompute.
+func (f *Frontend) fetchUserCache(ctx context.Context, user int, locs []int) *model.KVCache {
+	for i, loc := range locs {
+		if c := f.fetchCache(ctx, loc, "user", uint64(user)); c != nil {
+			if i > 0 {
+				f.mu.Lock()
+				f.failovers++
+				f.mu.Unlock()
+			}
+			return c
+		}
+	}
+	return nil
+}
+
+// fetchItemCaches pulls the per-candidate item caches with bounded
+// concurrency (cfg.Transfer.FetchConcurrency) instead of one serial GET per
+// candidate; misses leave nil holes that the ranker recomputes.
+func (f *Frontend) fetchItemCaches(ctx context.Context, ids []int) map[int]*model.KVCache {
+	results := make([]*model.KVCache, len(ids))
+	sem := make(chan struct{}, f.cfg.Transfer.FetchConcurrency)
+	var wg sync.WaitGroup
+	for slot, it := range ids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(slot, it int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[slot] = f.fetchCache(ctx, f.itemWorker(it), "item", uint64(it))
+		}(slot, it)
+	}
+	wg.Wait()
+	caches := make(map[int]*model.KVCache, len(ids))
+	for slot, c := range results {
+		if c != nil {
+			caches[slot] = c
+		}
+	}
+	return caches
+}
+
 // fetchCache pulls and decodes one KV payload; any failure is a miss (the
-// request recomputes, never errors).
-func (f *Frontend) fetchCache(worker int, key string) *model.KVCache {
+// request recomputes, never errors). A 404 means the worker evicted the
+// entry, so the stale meta binding is unregistered.
+func (f *Frontend) fetchCache(ctx context.Context, worker int, kind string, id uint64) *model.KVCache {
 	if worker < 0 || worker >= len(f.cfg.CacheWorkers) {
 		return nil
 	}
-	resp, err := f.cfg.Client.Get(f.cfg.CacheWorkers[worker] + "/kv/" + key)
+	u := fmt.Sprintf("%s/kv/%s/%d", f.cfg.CacheWorkers[worker], kind, id)
+	status, data, err := f.transfer.get(ctx, worker, u)
 	if err != nil {
 		f.noteFetchError()
 		return nil
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if status == http.StatusNotFound {
+		f.metaUnregister(ctx, kind, id, worker)
 		return nil
 	}
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		f.noteFetchError()
+	if status != http.StatusOK {
 		return nil
 	}
 	c := model.NewKVCache(f.ranker.W.Config())
@@ -259,32 +341,26 @@ func (f *Frontend) fetchCache(worker int, key string) *model.KVCache {
 
 // storeCache writes a payload and registers its location; failures are
 // silent (the cache is an optimization).
-func (f *Frontend) storeCache(worker int, kind string, id uint64, c *model.KVCache) {
+func (f *Frontend) storeCache(ctx context.Context, worker int, kind string, id uint64, c *model.KVCache) {
 	data, err := c.MarshalBinary()
 	if err != nil {
 		return
 	}
-	key := fmt.Sprintf("%s/%d", kind, id)
-	req, err := http.NewRequest(http.MethodPut, f.cfg.CacheWorkers[worker]+"/kv/"+key, bytes.NewReader(data))
-	if err != nil {
-		return
-	}
-	resp, err := f.cfg.Client.Do(req)
+	u := fmt.Sprintf("%s/kv/%s/%d", f.cfg.CacheWorkers[worker], kind, id)
+	status, _, err := f.transfer.send(ctx, worker, http.MethodPut, u, "application/octet-stream", data)
 	if err != nil {
 		f.noteFetchError()
 		return
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
+	if status != http.StatusNoContent {
 		return
 	}
 	body, err := json.Marshal(RegisterRequest{EntryRef: EntryRef{Kind: kind, ID: id}, Worker: worker})
 	if err != nil {
 		return
 	}
-	if mresp, err := f.cfg.Client.Post(f.cfg.MetaURL+"/v1/register", "application/json", bytes.NewReader(body)); err == nil {
-		mresp.Body.Close()
-	}
+	f.transfer.send(ctx, f.transfer.metaTarget(), http.MethodPost,
+		f.cfg.MetaURL+"/v1/register", "application/json", body)
 }
 
 func (f *Frontend) noteFetchError() {
@@ -302,20 +378,32 @@ type FrontendStats struct {
 	ComputedTokens int64   `json:"computed_tokens"`
 	TokenHitRate   float64 `json:"token_hit_rate"`
 	FetchErrors    int64   `json:"fetch_errors"`
+	// Failovers counts user-cache fetches served by a replica after the
+	// first location failed; StaleUnregisters counts evicted entries whose
+	// meta bindings were cleaned up after a worker 404.
+	Failovers        int64 `json:"failovers"`
+	StaleUnregisters int64 `json:"stale_unregisters"`
+	// Workers is per-target transfer health (workers in index order, then
+	// the meta service): request/error counts, average latency, and the
+	// circuit breaker state, so degradation is measurable rather than
+	// silent.
+	Workers []WorkerHealth `json:"workers"`
 }
 
 // Stats snapshots the frontend.
 func (f *Frontend) Stats() FrontendStats {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	st := FrontendStats{
 		Requests: f.requests, UserPrefix: f.userPrefix, ItemPrefix: f.itemPrefix,
 		ReusedTokens: f.reusedTokens, ComputedTokens: f.computedTokens,
-		FetchErrors: f.fetchErrors,
+		FetchErrors: f.fetchErrors, Failovers: f.failovers,
+		StaleUnregisters: f.staleUnregisters,
 	}
+	f.mu.Unlock()
 	if total := st.ReusedTokens + st.ComputedTokens; total > 0 {
 		st.TokenHitRate = float64(st.ReusedTokens) / float64(total)
 	}
+	st.Workers = f.transfer.health()
 	return st
 }
 
@@ -332,9 +420,15 @@ func (f *Frontend) Handler() http.Handler {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp, err := f.Rank(req)
+		resp, err := f.Rank(r.Context(), req)
 		if err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
+			// Only caller mistakes are 400s; ranker or transfer failures
+			// are the server's fault.
+			code := http.StatusInternalServerError
+			if errors.Is(err, ErrValidation) {
+				code = http.StatusBadRequest
+			}
+			http.Error(rw, err.Error(), code)
 			return
 		}
 		writeJSON(rw, resp)

@@ -64,6 +64,12 @@ type LocateResponse struct {
 	Workers []int `json:"workers"`
 }
 
+// UnregisterResponse reports whether an unregister removed a live binding —
+// a stale-entry cleanup — or was a no-op (the entry was never registered).
+type UnregisterResponse struct {
+	Removed bool `json:"removed"`
+}
+
 // Handler exposes the meta service:
 //
 //	POST /v1/access     {kind,id}         -> {hotness}
@@ -113,9 +119,12 @@ func (m *MetaServer) Handler() http.Handler {
 			return
 		}
 		m.mu.Lock()
-		m.svc.UnregisterEntry(key, cachemeta.WorkerID(req.Worker))
+		removed := m.svc.UnregisterEntry(key, cachemeta.WorkerID(req.Worker))
 		m.mu.Unlock()
-		rw.WriteHeader(http.StatusNoContent)
+		writeJSON(rw, UnregisterResponse{Removed: removed})
+	})
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(rw, "ok")
 	})
 	mux.HandleFunc("/v1/locate", func(rw http.ResponseWriter, r *http.Request) {
 		kind := r.URL.Query().Get("kind")

@@ -1,0 +1,350 @@
+package distserve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The transfer engine is the layer §3.3/§5 lean on: KV payloads must move
+// between cache workers quickly, and when a worker is slow or dead the
+// frontend must degrade to recompute — never stall. transferClient wraps the
+// frontend's http.Client with per-attempt timeouts, bounded retries with
+// jittered exponential backoff (idempotent GETs only), and a per-target
+// circuit breaker so a dead worker is skipped immediately instead of being
+// re-probed on every request.
+
+// Transfer defaults; all overridable through TransferConfig.
+const (
+	defaultTransferTimeout  = 2 * time.Second
+	defaultMaxRetries       = 2
+	defaultBackoffBase      = 25 * time.Millisecond
+	defaultBackoffMax       = 250 * time.Millisecond
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 2 * time.Second
+	defaultFetchConcurrency = 16
+)
+
+// TransferConfig tunes the frontend's transfer engine. The zero value means
+// "use defaults"; negative MaxRetries disables retries and negative
+// BreakerThreshold disables the circuit breaker.
+type TransferConfig struct {
+	// Timeout bounds each transfer attempt (and is the default client
+	// timeout when no custom http.Client is supplied).
+	Timeout time.Duration
+	// MaxRetries is the number of extra attempts for idempotent GETs.
+	MaxRetries int
+	// BackoffBase/BackoffMax bound the jittered exponential retry backoff.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// target's circuit breaker open.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// single half-open probe is allowed through.
+	BreakerCooldown time.Duration
+	// FetchConcurrency bounds the parallel per-candidate item cache
+	// fetches issued by one Rank call (1 = serial).
+	FetchConcurrency int
+}
+
+func (c TransferConfig) withDefaults() TransferConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = defaultTransferTimeout
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = defaultMaxRetries
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = defaultBackoffBase
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = defaultBackoffMax
+		if c.BackoffMax < c.BackoffBase {
+			c.BackoffMax = c.BackoffBase
+		}
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = defaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = defaultBreakerCooldown
+	}
+	if c.FetchConcurrency <= 0 {
+		c.FetchConcurrency = defaultFetchConcurrency
+	}
+	return c
+}
+
+// errBreakerOpen reports a transfer skipped because the target's breaker is
+// open; the caller treats it like any other fetch failure (a cache miss).
+var errBreakerOpen = errors.New("distserve: circuit breaker open")
+
+// Breaker states, reported through WorkerHealth.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// targetState is one remote endpoint's health: breaker state plus counters.
+type targetState struct {
+	mu          sync.Mutex
+	name        string
+	state       string
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+
+	requests     int64
+	errors       int64
+	breakerSkips int64
+	totalLatency time.Duration
+	lastError    string
+}
+
+// admit decides whether a request may go to this target. probe reports that
+// the caller holds the single half-open probe slot.
+func (ts *targetState) admit(threshold int, cooldown time.Duration, now time.Time) (probe, ok bool) {
+	if threshold < 0 {
+		return false, true
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	switch ts.state {
+	case breakerOpen:
+		if now.Sub(ts.openedAt) >= cooldown {
+			ts.state = breakerHalfOpen
+			ts.probing = true
+			return true, true
+		}
+		ts.breakerSkips++
+		return false, false
+	case breakerHalfOpen:
+		if ts.probing {
+			ts.breakerSkips++
+			return false, false
+		}
+		ts.probing = true
+		return true, true
+	default:
+		return false, true
+	}
+}
+
+// record settles one attempt's outcome into the breaker and the counters.
+func (ts *targetState) record(threshold int, now time.Time, latency time.Duration, probe, success bool, errText string) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.requests++
+	ts.totalLatency += latency
+	if success {
+		ts.consecFails = 0
+		ts.state = breakerClosed
+		ts.probing = false
+		return
+	}
+	ts.errors++
+	ts.lastError = errText
+	ts.consecFails++
+	if threshold < 0 {
+		return
+	}
+	if probe || ts.state == breakerHalfOpen || (ts.state == breakerClosed && ts.consecFails >= threshold) {
+		ts.state = breakerOpen
+		ts.openedAt = now
+		ts.probing = false
+	}
+}
+
+func (ts *targetState) health() WorkerHealth {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	h := WorkerHealth{
+		Target:       ts.name,
+		Requests:     ts.requests,
+		Errors:       ts.errors,
+		BreakerSkips: ts.breakerSkips,
+		Breaker:      ts.state,
+		LastError:    ts.lastError,
+	}
+	if ts.requests > 0 {
+		h.AvgLatencyMs = float64(ts.totalLatency.Milliseconds()) / float64(ts.requests)
+	}
+	return h
+}
+
+// WorkerHealth is one transfer target's slice of FrontendStats.
+type WorkerHealth struct {
+	Target       string  `json:"target"` // "worker-N" or "meta"
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	BreakerSkips int64   `json:"breaker_skips"`
+	AvgLatencyMs float64 `json:"avg_latency_ms"`
+	Breaker      string  `json:"breaker"`
+	LastError    string  `json:"last_error,omitempty"`
+}
+
+// transferClient is the fault-tolerant transfer engine. Targets 0..N-1 are
+// the cache workers; target N is the meta service.
+type transferClient struct {
+	http    *http.Client
+	cfg     TransferConfig
+	now     func() time.Time
+	targets []*targetState
+}
+
+func newTransferClient(client *http.Client, cfg TransferConfig, workers int) *transferClient {
+	t := &transferClient{
+		http:    client,
+		cfg:     cfg.withDefaults(),
+		now:     time.Now,
+		targets: make([]*targetState, workers+1),
+	}
+	for i := 0; i < workers; i++ {
+		t.targets[i] = &targetState{name: fmt.Sprintf("worker-%d", i), state: breakerClosed}
+	}
+	t.targets[workers] = &targetState{name: "meta", state: breakerClosed}
+	return t
+}
+
+// metaTarget is the breaker slot for the meta service.
+func (t *transferClient) metaTarget() int { return len(t.targets) - 1 }
+
+// get issues an idempotent GET with retries, backoff, and breaker checks.
+// It returns the status code and the fully-read body; non-2xx statuses below
+// 500 are returned to the caller (a 404 is information, not a fault).
+func (t *transferClient) get(ctx context.Context, target int, url string) (int, []byte, error) {
+	return t.roundTrip(ctx, target, true, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	})
+}
+
+// send issues a single-attempt (non-idempotent) request with a body.
+func (t *transferClient) send(ctx context.Context, target int, method, url, contentType string, payload []byte) (int, []byte, error) {
+	return t.roundTrip(ctx, target, false, func() (*http.Request, error) {
+		req, err := http.NewRequest(method, url, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		return req, nil
+	})
+}
+
+func (t *transferClient) roundTrip(ctx context.Context, target int, idempotent bool, build func() (*http.Request, error)) (int, []byte, error) {
+	ts := t.targets[target]
+	attempts := 1
+	if idempotent && t.cfg.MaxRetries > 0 {
+		attempts += t.cfg.MaxRetries
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(t.backoff(i)):
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		probe, ok := ts.admit(t.cfg.BreakerThreshold, t.cfg.BreakerCooldown, t.now())
+		if !ok {
+			return 0, nil, errBreakerOpen
+		}
+		status, body, err := t.attempt(ctx, probe, ts, build)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if status >= http.StatusInternalServerError {
+			lastErr = fmt.Errorf("distserve: %s returned status %d", ts.name, status)
+			continue
+		}
+		return status, body, nil
+	}
+	return 0, nil, lastErr
+}
+
+// attempt runs one bounded try and settles it into the target's health.
+func (t *transferClient) attempt(ctx context.Context, probe bool, ts *targetState, build func() (*http.Request, error)) (int, []byte, error) {
+	req, err := build()
+	if err != nil {
+		return 0, nil, err
+	}
+	actx, cancel := context.WithTimeout(ctx, t.cfg.Timeout)
+	defer cancel()
+	start := t.now()
+	resp, err := t.http.Do(req.WithContext(actx))
+	var (
+		status int
+		body   []byte
+	)
+	if err == nil {
+		status = resp.StatusCode
+		body, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	latency := t.now().Sub(start)
+	success := err == nil && status < http.StatusInternalServerError
+	errText := ""
+	if err != nil {
+		errText = err.Error()
+	} else if !success {
+		errText = fmt.Sprintf("status %d", status)
+	}
+	ts.record(t.cfg.BreakerThreshold, t.now(), latency, probe, success, errText)
+	if err != nil {
+		return 0, nil, err
+	}
+	return status, body, nil
+}
+
+// backoff returns the jittered exponential delay before retry attempt i (≥1).
+func (t *transferClient) backoff(i int) time.Duration {
+	d := t.cfg.BackoffBase << uint(i-1)
+	if d > t.cfg.BackoffMax || d <= 0 {
+		d = t.cfg.BackoffMax
+	}
+	// Jitter in [0.5d, 1.5d) decorrelates synchronized retry storms.
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// health snapshots every target, workers first, meta last.
+func (t *transferClient) health() []WorkerHealth {
+	out := make([]WorkerHealth, len(t.targets))
+	for i, ts := range t.targets {
+		out[i] = ts.health()
+	}
+	return out
+}
+
+// ParseCacheKey splits a cache worker key ("user/5", "item/42") into the
+// meta service's wire fields. Eviction hooks use it to unregister entries.
+func ParseCacheKey(key string) (kind string, id uint64, err error) {
+	i := strings.IndexByte(key, '/')
+	if i < 0 {
+		return "", 0, fmt.Errorf("distserve: malformed cache key %q", key)
+	}
+	kind = key[:i]
+	if kind != "user" && kind != "item" {
+		return "", 0, fmt.Errorf("distserve: unknown entry kind in key %q", key)
+	}
+	id, err = strconv.ParseUint(key[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("distserve: malformed cache key %q: %v", key, err)
+	}
+	return kind, id, nil
+}
