@@ -7,6 +7,7 @@
 //	batbench -run fig5,table4     # selected artifacts
 //	batbench -run fig9 -requests 8000 -seed 7
 //	batbench -list                 # available artifact IDs
+//	batbench -bench-json           # engine bench -> BENCH_engine.json
 package main
 
 import (
@@ -26,12 +27,30 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink every experiment for a fast smoke run")
 	format := flag.String("format", "text", "output format: text | markdown | csv")
 	list := flag.Bool("list", false, "list artifact IDs and exit")
+	benchJSON := flag.Bool("bench-json", false, "run the engine micro-benchmark and write tokens/sec to -bench-out")
+	benchOut := flag.String("bench-out", "BENCH_engine.json", "output path for -bench-json")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		return
+	}
+
+	if *benchJSON {
+		opts := experiments.Options{Requests: *requests, Seed: *seed, Quick: *quick}
+		res, err := experiments.RunEngineBench(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batbench: engine bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Table().Format())
+		if err := experiments.WriteEngineBenchJSON(*benchOut, res); err != nil {
+			fmt.Fprintf(os.Stderr, "batbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
 		return
 	}
 

@@ -112,25 +112,36 @@ func executeUserPrefix(w *model.Weights, l *Layout, userCache *model.KVCache) (*
 
 func executeItemPrefix(w *model.Weights, l *Layout, itemCaches map[int]*model.KVCache) (*Run, error) {
 	run := &Run{Layout: l}
-	parts := make([]*model.KVCache, 0, len(l.Segments))
-	for _, seg := range l.ItemSegments() {
+	segs := l.ItemSegments()
+	parts := make([]*model.KVCache, len(segs))
+	var missIdx []int
+	for si, seg := range segs {
 		if c, ok := itemCaches[seg.Item]; ok && c != nil {
 			if c.Len() != seg.Len {
 				return nil, fmt.Errorf("bipartite: item %d cache covers %d tokens, segment has %d", seg.Item, c.Len(), seg.Len)
 			}
-			parts = append(parts, c)
+			parts[si] = c
 			run.ReusedTokens += seg.Len
 			continue
 		}
-		// Recompute the miss with the layout's own anchor position so PIC
-		// layouts produce PIC-valid caches.
-		c := ComputeItemCacheAt(w, l.Tokens[seg.Start:seg.Start+seg.Len], seg.PosStart)
+		missIdx = append(missIdx, si)
+	}
+	// Recompute every miss with the layout's own anchor position so PIC
+	// layouts produce PIC-valid caches. Items attend only to themselves, so
+	// the misses are independent forwards and fan out across the worker
+	// pool; each writes only its own parts slot, keeping results identical
+	// to the serial loop. Bookkeeping stays on this goroutine.
+	tensor.Parallel(len(missIdx), func(m int) {
+		seg := segs[missIdx[m]]
+		parts[missIdx[m]] = ComputeItemCacheAt(w, l.Tokens[seg.Start:seg.Start+seg.Len], seg.PosStart)
+	})
+	for _, si := range missIdx {
+		seg := segs[si]
 		run.ComputedTokens += seg.Len
 		if run.NewItemCaches == nil {
 			run.NewItemCaches = make(map[int]*model.KVCache)
 		}
-		run.NewItemCaches[seg.Item] = c
-		parts = append(parts, c)
+		run.NewItemCaches[seg.Item] = parts[si]
 	}
 	// Assemble the context: copies for contiguous caches, block sharing with
 	// copy-on-write for arena-backed ones — either way the stored caches

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"bat/internal/model"
+	"bat/internal/tensor"
+)
+
+// EngineBenchResult records the batched engine's measured throughput on this
+// machine — the BENCH_engine.json trajectory the acceptance criteria track.
+// All rates are tokens/sec on the BenchGR paper-shaped config.
+type EngineBenchResult struct {
+	Config       string `json:"config"`
+	PromptTokens int    `json:"prompt_tokens"`
+	DecodeSteps  int    `json:"decode_steps"`
+	// Cores is runtime.NumCPU; Parallelism the pool width the parallel
+	// numbers were measured at. Speedups at 1 core reflect the batched
+	// GEMM/blocking win alone.
+	Cores       int `json:"cores"`
+	Parallelism int `json:"parallelism"`
+
+	ReferencePrefillTPS float64 `json:"reference_prefill_tokens_per_sec"`
+	SingleThreadTPS     float64 `json:"single_thread_prefill_tokens_per_sec"`
+	ParallelTPS         float64 `json:"parallel_prefill_tokens_per_sec"`
+	DecodeTPS           float64 `json:"decode_tokens_per_sec"`
+
+	// SingleThreadSpeedup is batched-at-width-1 over the token-at-a-time
+	// reference; ParallelSpeedup is pool width N over width 1; TotalSpeedup
+	// their product (parallel engine over the seed engine).
+	SingleThreadSpeedup float64 `json:"single_thread_speedup"`
+	ParallelSpeedup     float64 `json:"parallel_speedup"`
+	TotalSpeedup        float64 `json:"total_speedup"`
+}
+
+// RunEngineBench measures the engine on this machine. Quick mode shrinks the
+// prompt and iteration counts for smoke tests.
+func RunEngineBench(opts Options) (*EngineBenchResult, error) {
+	opts = opts.withDefaults()
+	promptLen, iters, decodeSteps := 256, 3, 64
+	if opts.Quick {
+		promptLen, iters, decodeSteps = 48, 1, 8
+	}
+	cfg := model.BenchGR(1024)
+	w := model.NewWeights(cfg, opts.Seed)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	toks := make([]int, promptLen)
+	pos := make([]int, promptLen)
+	for i := range toks {
+		toks[i] = rng.Intn(cfg.Vocab)
+		pos[i] = i
+	}
+
+	prefillTPS := func(fwd func([]int, []int, model.Mask, *model.KVCache) *tensor.Matrix) float64 {
+		var elapsed time.Duration
+		for it := 0; it < iters; it++ {
+			cache := model.NewKVCache(cfg)
+			start := time.Now()
+			fwd(toks, pos, nil, cache)
+			elapsed += time.Since(start)
+		}
+		return float64(promptLen*iters) / elapsed.Seconds()
+	}
+
+	res := &EngineBenchResult{
+		Config:       cfg.Name,
+		PromptTokens: promptLen,
+		DecodeSteps:  decodeSteps,
+		Cores:        runtime.NumCPU(),
+	}
+	defer tensor.SetParallelism(0)
+
+	tensor.SetParallelism(1)
+	res.ReferencePrefillTPS = prefillTPS(w.ForwardReference)
+	res.SingleThreadTPS = prefillTPS(w.Forward)
+
+	tensor.SetParallelism(0)
+	res.Parallelism = tensor.Parallelism()
+	res.ParallelTPS = prefillTPS(w.Forward)
+
+	// Decode: single-token extension of the full prompt context.
+	cache := model.NewKVCache(cfg)
+	w.Forward(toks, pos, nil, cache)
+	start := time.Now()
+	for i := 0; i < decodeSteps; i++ {
+		w.Forward([]int{i % cfg.Vocab}, []int{promptLen}, nil, cache)
+		cache.Truncate(promptLen)
+	}
+	res.DecodeTPS = float64(decodeSteps) / time.Since(start).Seconds()
+
+	if res.ReferencePrefillTPS > 0 {
+		res.SingleThreadSpeedup = res.SingleThreadTPS / res.ReferencePrefillTPS
+		res.TotalSpeedup = res.ParallelTPS / res.ReferencePrefillTPS
+	}
+	if res.SingleThreadTPS > 0 {
+		res.ParallelSpeedup = res.ParallelTPS / res.SingleThreadTPS
+	}
+	return res, nil
+}
+
+// EngineBench is the "engine" artifact: the measured throughput table for
+// the batched multi-core engine versus the retained reference engine.
+func EngineBench(opts Options) (*Table, error) {
+	res, err := RunEngineBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table(), nil
+}
+
+// Table renders an already-measured result as the "engine" artifact table.
+func (res *EngineBenchResult) Table() *Table {
+	t := &Table{
+		ID:     "engine",
+		Title:  fmt.Sprintf("Batched engine throughput (%s, %d-token prefill, %d cores)", res.Config, res.PromptTokens, res.Cores),
+		Header: []string{"engine path", "tokens/sec", "speedup vs reference"},
+	}
+	t.AddRow("reference (token-at-a-time)", f1(res.ReferencePrefillTPS), "1.0x")
+	t.AddRow("batched, pool width 1", f1(res.SingleThreadTPS), f2(res.SingleThreadSpeedup)+"x")
+	t.AddRow(fmt.Sprintf("batched, pool width %d", res.Parallelism), f1(res.ParallelTPS), f2(res.TotalSpeedup)+"x")
+	t.AddRow("decode (1 token @ full ctx)", f1(res.DecodeTPS), "-")
+	t.Notes = append(t.Notes,
+		"bit-identical outputs on every path; speedups are throughput only",
+		fmt.Sprintf("pool width %d over width 1: %.2fx", res.Parallelism, res.ParallelSpeedup))
+	return t
+}
+
+// WriteEngineBenchJSON writes the result where the acceptance trajectory
+// expects it (BENCH_engine.json at the repo root).
+func WriteEngineBenchJSON(path string, res *EngineBenchResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

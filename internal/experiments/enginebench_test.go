@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEngineBenchShape(t *testing.T) {
+	tab := runQuick(t, "engine")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("engine table has %d rows, want 4", len(tab.Rows))
+	}
+	if len(tab.Header) != 3 {
+		t.Fatalf("engine table has %d columns, want 3", len(tab.Header))
+	}
+}
+
+func TestRunEngineBenchMeasuresEveryPath(t *testing.T) {
+	res, err := RunEngineBench(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"reference":     res.ReferencePrefillTPS,
+		"single-thread": res.SingleThreadTPS,
+		"parallel":      res.ParallelTPS,
+		"decode":        res.DecodeTPS,
+	} {
+		if v <= 0 {
+			t.Errorf("%s tokens/sec = %v, want > 0", name, v)
+		}
+	}
+	if res.Parallelism <= 0 || res.Cores <= 0 {
+		t.Fatalf("parallelism %d / cores %d not recorded", res.Parallelism, res.Cores)
+	}
+}
+
+func TestWriteEngineBenchJSONRoundTrip(t *testing.T) {
+	res, err := RunEngineBench(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	if err := WriteEngineBenchJSON(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back EngineBenchResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Config != res.Config || back.PromptTokens != res.PromptTokens {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, res)
+	}
+}

@@ -162,6 +162,9 @@ func Registry() []struct {
 		{"fig9", Fig9LatencyCurve},
 		{"fig10", Fig10DatasetScale},
 		{"fig11", Fig11NodeScale},
+		// Engine micro-benchmark: the batched multi-core compute core the
+		// serving experiments run on (see enginebench.go).
+		{"engine", EngineBench},
 		// Beyond the paper's evaluation section: passing claims and design
 		// knobs (see extensions.go).
 		{"ext-candidates", ExtCandidateSweep},

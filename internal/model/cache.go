@@ -137,6 +137,31 @@ func (s *flatStore) appendToken(layer int, k, v []float32) {
 	s.v[layer] = append(s.v[layer], v...)
 }
 
+// reserve guarantees capacity for tokens more tokens in every layer so the
+// forward pass's per-token appends never reallocate mid-layer.
+func (s *flatStore) reserve(tokens int) {
+	extra := tokens * s.stride()
+	for l := range s.k {
+		s.k[l] = growFloats(s.k[l], extra)
+		s.v[l] = growFloats(s.v[l], extra)
+	}
+}
+
+// growFloats returns b with room for at least extra more elements, doubling
+// capacity so repeated single-token reserves stay amortized O(1).
+func growFloats(b []float32, extra int) []float32 {
+	if cap(b)-len(b) >= extra {
+		return b
+	}
+	newCap := 2 * cap(b)
+	if newCap < len(b)+extra {
+		newCap = len(b) + extra
+	}
+	nb := make([]float32, len(b), newCap)
+	copy(nb, b)
+	return nb
+}
+
 func (s *flatStore) layerK(layer, t, h int) []float32 {
 	off := t*s.stride() + h*s.cfg.HeadDim
 	return s.k[layer][off : off+s.cfg.HeadDim]

@@ -1,0 +1,228 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bat/internal/tensor"
+)
+
+// engineConfigs is the bit-equivalence test matrix: every attention family
+// and position scheme the engine serves.
+func engineConfigs() []Config {
+	gqa := TinyGR(128) // Heads=4, KVHeads=2: grouped-query attention
+	mha := TinyGR(128)
+	mha.Name = "TinyGR-MHA"
+	mha.KVHeads = mha.Heads // multi-head: every query head owns its KV
+	hstu := tinyHSTU(128)
+	abs := TinyGRAbsPos(128, 256)
+	bench := BenchGR(128)
+	bench.Layers = 2 // keep the matrix fast; the shape is what matters
+	return []Config{gqa, mha, hstu, abs, bench}
+}
+
+// engineMasks pairs each config with the mask shapes Bipartite Attention
+// actually issues: plain causal, and a segmented custom mask.
+func engineMasks() map[string]Mask {
+	return map[string]Mask{
+		"causal": nil,
+		"segmented": MaskFunc(func(q, k int) bool {
+			// Three isolated segments followed by tokens that see everything
+			// — the Item-as-prefix shape.
+			if q < 24 {
+				return q/8 == k/8
+			}
+			return true
+		}),
+	}
+}
+
+// TestForwardMatchesReferenceBitExact is the engine's core guarantee: the
+// batched multi-core path produces bit-identical hidden states
+// (MaxAbsDiff == 0) to the retained token-at-a-time reference, for every
+// config in the matrix, under causal and custom masks, at several batch
+// splits, and the caches it leaves behind serve suffixes identically.
+func TestForwardMatchesReferenceBitExact(t *testing.T) {
+	for _, cfg := range engineConfigs() {
+		for maskName, mask := range engineMasks() {
+			t.Run(cfg.Name+"/"+maskName, func(t *testing.T) {
+				w := NewWeights(cfg, 17)
+				rng := rand.New(rand.NewSource(99))
+				const n = 32
+				toks := randTokens(rng, n, cfg.Vocab)
+				pos := seqPos(n)
+
+				refCache := NewKVCache(cfg)
+				ref := w.ForwardReference(toks, pos, mask, refCache)
+
+				for _, split := range []int{0, 1, 7, 16, n - 1} {
+					cache := NewKVCache(cfg)
+					var got []float32
+					if split > 0 {
+						head := w.Forward(toks[:split], pos[:split], mask, cache)
+						got = append(got, head.Data...)
+					}
+					tail := w.Forward(toks[split:], pos[split:], mask, cache)
+					got = append(got, tail.Data...)
+					if d := tensor.MaxAbsDiff(got, ref.Data); d != 0 {
+						t.Fatalf("split %d: batched engine deviates from reference by %v", split, d)
+					}
+					if cache.Len() != refCache.Len() {
+						t.Fatalf("split %d: cache len %d, reference %d", split, cache.Len(), refCache.Len())
+					}
+				}
+
+				// The batched cache must serve a fresh suffix exactly like
+				// the reference cache.
+				sufToks := randTokens(rng, 5, cfg.Vocab)
+				sufPos := []int{n, n + 1, n + 2, n + 3, n + 4}
+				batched := NewKVCache(cfg)
+				w.Forward(toks, pos, mask, batched)
+				s1 := w.Forward(sufToks, sufPos, mask, batched)
+				s2 := w.ForwardReference(sufToks, sufPos, mask, refCache)
+				if d := tensor.MaxAbsDiff(s1.Data, s2.Data); d != 0 {
+					t.Fatalf("suffix over batched cache deviates by %v", d)
+				}
+			})
+		}
+	}
+}
+
+// TestForwardDeterministicAcrossPoolWidths pins the GOMAXPROCS=1 vs N
+// guarantee: the same call produces the same bits at any pool width.
+func TestForwardDeterministicAcrossPoolWidths(t *testing.T) {
+	defer tensor.SetParallelism(0)
+	for _, cfg := range engineConfigs() {
+		w := NewWeights(cfg, 23)
+		rng := rand.New(rand.NewSource(7))
+		toks := randTokens(rng, 48, cfg.Vocab)
+		pos := seqPos(48)
+
+		tensor.SetParallelism(1)
+		serial := w.Forward(toks, pos, nil, NewKVCache(cfg))
+		for _, width := range []int{2, 4, 8} {
+			tensor.SetParallelism(width)
+			parallel := w.Forward(toks, pos, nil, NewKVCache(cfg))
+			if d := tensor.MaxAbsDiff(serial.Data, parallel.Data); d != 0 {
+				t.Fatalf("%s: width %d deviates from width 1 by %v", cfg.Name, width, d)
+			}
+		}
+	}
+}
+
+// TestConcurrentForwardSharedWeights exercises the worker pool from many
+// simultaneous Forward callers over one Weights value — the serving
+// pattern — and checks every caller still gets reference-exact bits. Run
+// with -race, this is the engine's data-race gate.
+func TestConcurrentForwardSharedWeights(t *testing.T) {
+	tensor.SetParallelism(4)
+	defer tensor.SetParallelism(0)
+	cfg := TinyGR(128)
+	w := NewWeights(cfg, 31)
+	rng := rand.New(rand.NewSource(3))
+	const n = 40
+	toks := randTokens(rng, n, cfg.Vocab)
+	pos := seqPos(n)
+	want := w.ForwardReference(toks, pos, nil, NewKVCache(cfg))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := w.Forward(toks, pos, nil, NewKVCache(cfg))
+			if d := tensor.MaxAbsDiff(h.Data, want.Data); d != 0 {
+				errs <- fmt.Errorf("concurrent Forward deviates by %v", d)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestForwardAllocsHoisted is the allocation regression gate for the
+// per-token k/v hoist: the batched engine allocates per call (embeddings,
+// one scratch set, cache growth), not per token per layer. The seed engine
+// paid 2 slice allocations per token per layer for k/v alone — 128 for
+// this shape — before any scratch.
+func TestForwardAllocsHoisted(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomly drops sync.Pool buffers; counts are not meaningful")
+	}
+	cfg := TinyGR(64) // 2 layers
+	w := NewWeights(cfg, 5)
+	rng := rand.New(rand.NewSource(13))
+	toks := randTokens(rng, 32, cfg.Vocab)
+	pos := seqPos(32)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		w.Forward(toks, pos, nil, NewKVCache(cfg))
+	})
+	// Budget: fresh cache + reserve (~8), result matrix (2), scratch set
+	// (~16), parallel-dispatch closures (~2 per GEMM), warm-up of the score
+	// pool. 60 leaves headroom without letting per-token allocation (2 per
+	// token per layer in the seed engine = 128 here) creep back in.
+	if allocs > 60 {
+		t.Errorf("Forward allocated %.0f objects for 32 tokens; per-token buffers have crept back in", allocs)
+	}
+
+	// Doubling the token count must not proportionally scale allocations.
+	toks64 := randTokens(rng, 64, cfg.Vocab)
+	pos64 := seqPos(64)
+	allocs64 := testing.AllocsPerRun(20, func() {
+		w.Forward(toks64, pos64, nil, NewKVCache(cfg))
+	})
+	if allocs64 > allocs+20 {
+		t.Errorf("allocations scale with tokens: %.0f at n=32 vs %.0f at n=64", allocs, allocs64)
+	}
+}
+
+func benchForward(b *testing.B, reference bool, n int) {
+	cfg := BenchGR(1024)
+	w := NewWeights(cfg, 1)
+	fwd := w.Forward
+	if reference {
+		fwd = w.ForwardReference
+	}
+	rng := rand.New(rand.NewSource(1))
+	toks := randTokens(rng, n, cfg.Vocab)
+	pos := seqPos(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fwd(toks, pos, nil, NewKVCache(cfg))
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tokens/sec")
+}
+
+// BenchmarkPrefill measures batched prefill throughput on the paper-scale
+// test config (256-token prompt) — the acceptance metric recorded in
+// BENCH_engine.json.
+func BenchmarkPrefill(b *testing.B) { benchForward(b, false, 256) }
+
+// BenchmarkPrefillReference is the seed engine on the same workload; the
+// Prefill/PrefillReference ratio is the engine speedup.
+func BenchmarkPrefillReference(b *testing.B) { benchForward(b, true, 256) }
+
+// BenchmarkDecode measures single-token extension of a 256-token context —
+// the per-step cost the decode phase pays.
+func BenchmarkDecode(b *testing.B) {
+	cfg := BenchGR(1024)
+	w := NewWeights(cfg, 1)
+	rng := rand.New(rand.NewSource(1))
+	toks := randTokens(rng, 256, cfg.Vocab)
+	pos := seqPos(256)
+	cache := NewKVCache(cfg)
+	w.Forward(toks, pos, nil, cache)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Forward([]int{i % cfg.Vocab}, []int{256}, nil, cache)
+		cache.Truncate(256)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tokens/sec")
+}

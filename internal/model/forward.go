@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"bat/internal/tensor"
 )
@@ -16,7 +17,8 @@ import (
 //     that token. Bipartite Attention assigns shared start positions to items
 //     here rather than sequence positions.
 //   - mask filters attention edges by absolute index; causality (k <= q) is
-//     always enforced on top of it.
+//     always enforced on top of it. Masks must be safe for concurrent
+//     Allowed calls (the stock masks are all stateless).
 //
 // The new tokens' K/V are appended to cache. Callers that only wanted the
 // suffix computed "and discarded" (§4.2) should cache.Truncate back to the
@@ -24,6 +26,14 @@ import (
 //
 // The returned matrix holds the final-RMSNorm hidden state of each new token
 // (len(tokens) x Hidden), ready for Logits/LogitsFor.
+//
+// This is the batched engine: all n tokens move through each layer together,
+// so the six per-token vector-matrix products become one matrix-matrix GEMM
+// each (QKV, output, gate/up/down), and attention fans out across
+// (head x query-block) tasks on the tensor worker pool. Every output element
+// keeps the exact scalar summation order of the token-at-a-time path, so
+// hidden states are bit-identical to ForwardReference at any batch split
+// and any pool width.
 func (w *Weights) Forward(tokens, pos []int, mask Mask, cache *KVCache) *tensor.Matrix {
 	cfg := w.cfg
 	if len(tokens) != len(pos) {
@@ -40,6 +50,9 @@ func (w *Weights) Forward(tokens, pos []int, mask Mask, cache *KVCache) *tensor.
 	}
 	n := len(tokens)
 	base := cache.Len()
+	if fs, ok := cache.store.(*flatStore); ok {
+		fs.reserve(n) // keep per-token appends allocation-free
+	}
 
 	// Token (+ absolute position) embeddings.
 	h := tensor.NewMatrix(n, cfg.Hidden)
@@ -57,84 +70,30 @@ func (w *Weights) Forward(tokens, pos []int, mask Mask, cache *KVCache) *tensor.
 		}
 	}
 
-	groups := cfg.Heads / cfg.KVHeads
-	scale := float32(1 / math.Sqrt(float64(cfg.HeadDim)))
-	qDim := cfg.Heads * cfg.HeadDim
-	kvDim := cfg.KVHeads * cfg.HeadDim
-
-	normed := make([]float32, cfg.Hidden)
-	q := make([]float32, qDim)
-	attnOut := make([]float32, qDim)
-	proj := make([]float32, cfg.Hidden)
-	gate := make([]float32, cfg.FFNDim)
-	up := make([]float32, cfg.FFNDim)
-	scoreBuf := make([]float32, 0, base+n)
-
+	s := newScratch(cfg, n)
 	for l := 0; l < cfg.Layers; l++ {
 		lw := &w.layers[l]
+
+		// --- attention sublayer ---
+		rmsNormRows(s.normed, h, lw.attnNorm, cfg.eps())
+		tensor.MatMul(s.q, s.normed, lw.wq)
+		tensor.MatMul(s.k, s.normed, lw.wk)
+		tensor.MatMul(s.v, s.normed, lw.wv)
+		w.ropeRows(s.q, s.k, pos)
 		for i := 0; i < n; i++ {
-			row := h.Row(i)
-			abs := base + i
-
-			// --- attention sublayer ---
-			tensor.RMSNorm(normed, row, lw.attnNorm, cfg.eps())
-			vecMatInto(q, normed, lw.wq)
-			k := make([]float32, kvDim)
-			v := make([]float32, kvDim)
-			vecMatInto(k, normed, lw.wk)
-			vecMatInto(v, normed, lw.wv)
-			for hh := 0; hh < cfg.Heads; hh++ {
-				tensor.RotateRoPE(q[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], pos[i], cfg.ropeBase())
-			}
-			for hh := 0; hh < cfg.KVHeads; hh++ {
-				tensor.RotateRoPE(k[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], pos[i], cfg.ropeBase())
-			}
-			cache.appendToken(l, k, v)
-			ctx := base + i + 1 // keys available to this query
-
-			for hh := 0; hh < cfg.Heads; hh++ {
-				kvHead := hh / groups
-				qh := q[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
-				scores := scoreBuf[:ctx]
-				visible := 0
-				for t := 0; t < ctx; t++ {
-					if t != abs && !mask.Allowed(abs, t) {
-						scores[t] = tensor.NegInf
-						continue
-					}
-					visible++
-					scores[t] = tensor.Dot(qh, cache.layerK(l, t, kvHead)) * scale
-				}
-				applyAttnWeights(cfg.Attn, scores, visible)
-				out := attnOut[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
-				for d := range out {
-					out[d] = 0
-				}
-				for t := 0; t < ctx; t++ {
-					p := scores[t]
-					if p == 0 {
-						continue
-					}
-					vt := cache.layerV(l, t, kvHead)
-					for d := range out {
-						out[d] += p * vt[d]
-					}
-				}
-			}
-			vecMatInto(proj, attnOut, lw.wo)
-			tensor.AddInPlace(row, proj)
-
-			// --- feed-forward sublayer (SwiGLU) ---
-			tensor.RMSNorm(normed, row, lw.ffnNorm, cfg.eps())
-			vecMatInto(gate, normed, lw.wGate)
-			vecMatInto(up, normed, lw.wUp)
-			tensor.SiLU(gate)
-			for d := range gate {
-				gate[d] *= up[d]
-			}
-			vecMatInto(proj, gate, lw.wDown)
-			tensor.AddInPlace(row, proj)
+			cache.appendToken(l, s.k.Row(i), s.v.Row(i))
 		}
+		w.attend(s, cache, l, base, n, mask)
+		tensor.MatMul(s.proj, s.attnOut, lw.wo)
+		addRows(h, s.proj)
+
+		// --- feed-forward sublayer (SwiGLU) ---
+		rmsNormRows(s.normed, h, lw.ffnNorm, cfg.eps())
+		tensor.MatMul(s.gate, s.normed, lw.wGate)
+		tensor.MatMul(s.up, s.normed, lw.wUp)
+		swiGLURows(s.gate, s.up)
+		tensor.MatMul(s.proj, s.gate, lw.wDown)
+		addRows(h, s.proj)
 	}
 
 	for i := 0; i < n; i++ {
@@ -144,42 +103,172 @@ func (w *Weights) Forward(tokens, pos []int, mask Mask, cache *KVCache) *tensor.
 	return h
 }
 
-// applyAttnWeights converts raw attention scores (NegInf = masked) into
-// mixing weights in place: a softmax for LLM-style attention, or HSTU's
-// pointwise SiLU normalized by the visible context size.
-func applyAttnWeights(kind AttnKind, scores []float32, visible int) {
-	if kind == AttnSoftmax {
-		tensor.Softmax(scores)
-		return
-	}
-	if visible <= 0 {
-		visible = 1
-	}
-	inv := 1 / float32(visible)
-	for i, s := range scores {
-		if s == tensor.NegInf {
-			scores[i] = 0
-			continue
-		}
-		scores[i] = s / (1 + float32(math.Exp(float64(-s)))) * inv
+// scratch holds the per-call activation buffers, allocated once and reused
+// across every layer — the batched replacement for the seed engine's
+// per-token k/v allocations.
+type scratch struct {
+	normed  *tensor.Matrix // n x Hidden
+	q       *tensor.Matrix // n x Heads*HeadDim
+	k, v    *tensor.Matrix // n x KVHeads*HeadDim
+	attnOut *tensor.Matrix // n x Heads*HeadDim
+	proj    *tensor.Matrix // n x Hidden
+	gate    *tensor.Matrix // n x FFNDim
+	up      *tensor.Matrix // n x FFNDim
+}
+
+func newScratch(cfg Config, n int) *scratch {
+	qDim := cfg.Heads * cfg.HeadDim
+	kvDim := cfg.KVHeads * cfg.HeadDim
+	return &scratch{
+		normed:  tensor.NewMatrix(n, cfg.Hidden),
+		q:       tensor.NewMatrix(n, qDim),
+		k:       tensor.NewMatrix(n, kvDim),
+		v:       tensor.NewMatrix(n, kvDim),
+		attnOut: tensor.NewMatrix(n, qDim),
+		proj:    tensor.NewMatrix(n, cfg.Hidden),
+		gate:    tensor.NewMatrix(n, cfg.FFNDim),
+		up:      tensor.NewMatrix(n, cfg.FFNDim),
 	}
 }
 
-// vecMatInto computes dst = x @ m for a single row vector x.
-func vecMatInto(dst, x []float32, m *tensor.Matrix) {
-	if len(x) != m.Rows || len(dst) != m.Cols {
-		panic(fmt.Sprintf("model: vecMat shape mismatch %d@(%dx%d)->%d", len(x), m.Rows, m.Cols, len(dst)))
-	}
-	for j := range dst {
-		dst[j] = 0
-	}
-	for i, xv := range x {
-		if xv == 0 {
-			continue
+// rowBlock is the row granule for pool-parallel elementwise passes.
+const rowBlock = 32
+
+// rmsNormRows normalizes every row of src into dst.
+func rmsNormRows(dst, src *tensor.Matrix, weight []float32, eps float32) {
+	if src.Rows*src.Cols < 1<<14 {
+		for i := 0; i < src.Rows; i++ {
+			tensor.RMSNorm(dst.Row(i), src.Row(i), weight, eps)
 		}
-		row := m.Row(i)
-		for j, mv := range row {
-			dst[j] += xv * mv
+		return
+	}
+	tensor.ParallelBlocks(src.Rows, rowBlock, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tensor.RMSNorm(dst.Row(i), src.Row(i), weight, eps)
+		}
+	})
+}
+
+// addRows adds src into dst row-wise (dst += src).
+func addRows(dst, src *tensor.Matrix) {
+	tensor.AddInPlace(dst.Data, src.Data)
+}
+
+// swiGLURows computes gate = SiLU(gate) * up elementwise.
+func swiGLURows(gate, up *tensor.Matrix) {
+	tensor.SiLU(gate.Data)
+	for d, u := range up.Data {
+		gate.Data[d] *= u
+	}
+}
+
+// ropeRows rotates every row of q (per query head) and k (per KV head) for
+// its token's position. sin/cos come from the weights' precomputed
+// frequency table; rows are independent, so the pass fans out on the pool
+// when the sincos work is worth it.
+func (w *Weights) ropeRows(q, k *tensor.Matrix, pos []int) {
+	cfg := w.cfg
+	rotate := func(i int) {
+		for hh := 0; hh < cfg.Heads; hh++ {
+			w.rope.Rotate(q.Row(i)[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], pos[i])
+		}
+		for hh := 0; hh < cfg.KVHeads; hh++ {
+			w.rope.Rotate(k.Row(i)[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], pos[i])
 		}
 	}
+	n := len(pos)
+	if n*(cfg.Heads+cfg.KVHeads)*cfg.HeadDim < 1<<14 {
+		for i := 0; i < n; i++ {
+			rotate(i)
+		}
+		return
+	}
+	tensor.ParallelBlocks(n, rowBlock, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rotate(i)
+		}
+	})
+}
+
+// attnQueryBlock is the query granule of one attention task; each task owns
+// a (head, query-block) tile of the output.
+const attnQueryBlock = 16
+
+// scorePool recycles attention score buffers across tasks, layers, and
+// Forward calls so attention allocates nothing in steady state.
+var scorePool = sync.Pool{New: func() any { return &scoreBuf{} }}
+
+type scoreBuf struct{ s []float32 }
+
+func getScores(n int) *scoreBuf {
+	sb := scorePool.Get().(*scoreBuf)
+	if cap(sb.s) < n {
+		sb.s = make([]float32, n)
+	}
+	sb.s = sb.s[:n]
+	return sb
+}
+
+// attend computes masked grouped-query attention for layer l over the n new
+// tokens, whose K/V (and the whole prefix) are already in the cache, and
+// writes mixed values into s.attnOut. Work is split across
+// (head x query-block) tasks; each output element is produced by exactly
+// one task using the reference engine's scalar loops, so the result is
+// bit-identical to token-at-a-time attention at any pool width.
+func (w *Weights) attend(s *scratch, cache *KVCache, l, base, n int, mask Mask) {
+	cfg := w.cfg
+	groups := cfg.Heads / cfg.KVHeads
+	scale := float32(1 / math.Sqrt(float64(cfg.HeadDim)))
+	qBlocks := (n + attnQueryBlock - 1) / attnQueryBlock
+	run := func(task int) {
+		hh := task / qBlocks
+		lo := (task % qBlocks) * attnQueryBlock
+		hi := lo + attnQueryBlock
+		if hi > n {
+			hi = n
+		}
+		kvHead := hh / groups
+		sb := getScores(base + hi)
+		defer scorePool.Put(sb)
+		scores := sb.s
+		for i := lo; i < hi; i++ {
+			abs := base + i
+			ctx := abs + 1 // keys available to this query
+			qh := s.q.Row(i)[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
+			sc := scores[:ctx]
+			visible := 0
+			for t := 0; t < ctx; t++ {
+				if t != abs && !mask.Allowed(abs, t) {
+					sc[t] = tensor.NegInf
+					continue
+				}
+				visible++
+				sc[t] = tensor.Dot(qh, cache.layerK(l, t, kvHead)) * scale
+			}
+			applyAttnWeights(cfg.Attn, sc, visible)
+			out := s.attnOut.Row(i)[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
+			for d := range out {
+				out[d] = 0
+			}
+			for t := 0; t < ctx; t++ {
+				p := sc[t]
+				if p == 0 {
+					continue
+				}
+				vt := cache.layerV(l, t, kvHead)
+				for d := range out {
+					out[d] += p * vt[d]
+				}
+			}
+		}
+	}
+	tasks := cfg.Heads * qBlocks
+	// Average context length per query is base + (n+1)/2.
+	if tasks == 1 || cfg.Heads*n*(base+(n+1)/2)*cfg.HeadDim < 1<<15 {
+		for task := 0; task < tasks; task++ {
+			run(task)
+		}
+		return
+	}
+	tensor.Parallel(tasks, run)
 }

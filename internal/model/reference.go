@@ -1,0 +1,175 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"bat/internal/tensor"
+)
+
+// ForwardReference is the retained seed engine: a single-threaded,
+// token-at-a-time forward pass built from vector-matrix products. It is the
+// determinism oracle for the batched engine — Forward must produce
+// bit-identical hidden states (MaxAbsDiff == 0) for any config, mask, and
+// batch split — and the baseline the engine micro-benchmarks measure
+// speedups against. It is deliberately not optimized; change it only in
+// lockstep with Forward.
+func (w *Weights) ForwardReference(tokens, pos []int, mask Mask, cache *KVCache) *tensor.Matrix {
+	cfg := w.cfg
+	if len(tokens) != len(pos) {
+		panic(fmt.Sprintf("model: %d tokens but %d positions", len(tokens), len(pos)))
+	}
+	if cache == nil {
+		cache = NewKVCache(cfg)
+	}
+	if cache.cfg.Name != cfg.Name {
+		panic(fmt.Sprintf("model: cache built for %s, weights are %s", cache.cfg.Name, cfg.Name))
+	}
+	if mask == nil {
+		mask = CausalMask{}
+	}
+	n := len(tokens)
+	base := cache.Len()
+
+	// Token (+ absolute position) embeddings.
+	h := tensor.NewMatrix(n, cfg.Hidden)
+	for i, tok := range tokens {
+		if tok < 0 || tok >= cfg.Vocab {
+			panic(fmt.Sprintf("model: token %d outside vocab %d", tok, cfg.Vocab))
+		}
+		copy(h.Row(i), w.embed.Row(tok))
+		if cfg.AbsPos {
+			p := pos[i]
+			if p < 0 || p >= cfg.MaxPos {
+				panic(fmt.Sprintf("model: position %d outside MaxPos %d", p, cfg.MaxPos))
+			}
+			tensor.AddInPlace(h.Row(i), w.posEmbed.Row(p))
+		}
+	}
+
+	groups := cfg.Heads / cfg.KVHeads
+	scale := float32(1 / math.Sqrt(float64(cfg.HeadDim)))
+	qDim := cfg.Heads * cfg.HeadDim
+	kvDim := cfg.KVHeads * cfg.HeadDim
+
+	normed := make([]float32, cfg.Hidden)
+	q := make([]float32, qDim)
+	attnOut := make([]float32, qDim)
+	proj := make([]float32, cfg.Hidden)
+	gate := make([]float32, cfg.FFNDim)
+	up := make([]float32, cfg.FFNDim)
+	scoreBuf := make([]float32, 0, base+n)
+
+	for l := 0; l < cfg.Layers; l++ {
+		lw := &w.layers[l]
+		for i := 0; i < n; i++ {
+			row := h.Row(i)
+			abs := base + i
+
+			// --- attention sublayer ---
+			tensor.RMSNorm(normed, row, lw.attnNorm, cfg.eps())
+			vecMatInto(q, normed, lw.wq)
+			k := make([]float32, kvDim)
+			v := make([]float32, kvDim)
+			vecMatInto(k, normed, lw.wk)
+			vecMatInto(v, normed, lw.wv)
+			for hh := 0; hh < cfg.Heads; hh++ {
+				w.rope.Rotate(q[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], pos[i])
+			}
+			for hh := 0; hh < cfg.KVHeads; hh++ {
+				w.rope.Rotate(k[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], pos[i])
+			}
+			cache.appendToken(l, k, v)
+			ctx := base + i + 1 // keys available to this query
+
+			for hh := 0; hh < cfg.Heads; hh++ {
+				kvHead := hh / groups
+				qh := q[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
+				scores := scoreBuf[:ctx]
+				visible := 0
+				for t := 0; t < ctx; t++ {
+					if t != abs && !mask.Allowed(abs, t) {
+						scores[t] = tensor.NegInf
+						continue
+					}
+					visible++
+					scores[t] = tensor.Dot(qh, cache.layerK(l, t, kvHead)) * scale
+				}
+				applyAttnWeights(cfg.Attn, scores, visible)
+				out := attnOut[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
+				for d := range out {
+					out[d] = 0
+				}
+				for t := 0; t < ctx; t++ {
+					p := scores[t]
+					if p == 0 {
+						continue
+					}
+					vt := cache.layerV(l, t, kvHead)
+					for d := range out {
+						out[d] += p * vt[d]
+					}
+				}
+			}
+			vecMatInto(proj, attnOut, lw.wo)
+			tensor.AddInPlace(row, proj)
+
+			// --- feed-forward sublayer (SwiGLU) ---
+			tensor.RMSNorm(normed, row, lw.ffnNorm, cfg.eps())
+			vecMatInto(gate, normed, lw.wGate)
+			vecMatInto(up, normed, lw.wUp)
+			tensor.SiLU(gate)
+			for d := range gate {
+				gate[d] *= up[d]
+			}
+			vecMatInto(proj, gate, lw.wDown)
+			tensor.AddInPlace(row, proj)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		row := h.Row(i)
+		tensor.RMSNorm(row, row, w.finalNorm, cfg.eps())
+	}
+	return h
+}
+
+// applyAttnWeights converts raw attention scores (NegInf = masked) into
+// mixing weights in place: a softmax for LLM-style attention, or HSTU's
+// pointwise SiLU normalized by the visible context size.
+func applyAttnWeights(kind AttnKind, scores []float32, visible int) {
+	if kind == AttnSoftmax {
+		tensor.Softmax(scores)
+		return
+	}
+	if visible <= 0 {
+		visible = 1
+	}
+	inv := 1 / float32(visible)
+	for i, s := range scores {
+		if s == tensor.NegInf {
+			scores[i] = 0
+			continue
+		}
+		scores[i] = s / (1 + float32(math.Exp(float64(-s)))) * inv
+	}
+}
+
+// vecMatInto computes dst = x @ m for a single row vector x.
+func vecMatInto(dst, x []float32, m *tensor.Matrix) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("model: vecMat shape mismatch %d@(%dx%d)->%d", len(x), m.Rows, m.Cols, len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, mv := range row {
+			dst[j] += xv * mv
+		}
+	}
+}

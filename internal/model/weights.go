@@ -29,6 +29,7 @@ type Weights struct {
 	posEmbed  *tensor.Matrix // MaxPos x Hidden when cfg.AbsPos
 	layers    []layerWeights
 	finalNorm []float32
+	rope      *tensor.RoPETable // precomputed inverse-frequency ladder
 }
 
 // NewWeights builds a transformer with deterministic seeded Gaussian
@@ -58,6 +59,7 @@ func NewWeights(cfg Config, seed int64) *Weights {
 		embed:     randMat(cfg.Vocab, cfg.Hidden),
 		layers:    make([]layerWeights, cfg.Layers),
 		finalNorm: ones(cfg.Hidden),
+		rope:      tensor.RoPETableFor(cfg.HeadDim, cfg.ropeBase()),
 	}
 	if cfg.AbsPos {
 		w.posEmbed = randMat(cfg.MaxPos, cfg.Hidden)
@@ -101,25 +103,48 @@ func (w *Weights) Embedding(token int) []float32 {
 	return append([]float32(nil), w.embed.Row(token)...)
 }
 
-// Logits projects a final hidden state onto the full vocabulary.
+// logitParallelCutoff is the dot-product volume below which candidate
+// scoring stays serial; tiny projections don't pay for pool dispatch.
+const logitParallelCutoff = 1 << 15
+
+// Logits projects a final hidden state onto the full vocabulary. Large
+// vocabularies fan out across the tensor worker pool; every logit is an
+// independent dot product, so the result is identical at any pool width.
 func (w *Weights) Logits(h []float32) []float32 {
 	out := make([]float32, w.cfg.Vocab)
-	for v := 0; v < w.cfg.Vocab; v++ {
-		out[v] = tensor.Dot(h, w.embed.Row(v))
+	score := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			out[v] = tensor.Dot(h, w.embed.Row(v))
+		}
 	}
+	if w.cfg.Vocab*w.cfg.Hidden < logitParallelCutoff {
+		score(0, w.cfg.Vocab)
+		return out
+	}
+	tensor.ParallelBlocks(w.cfg.Vocab, 256, score)
 	return out
 }
 
 // LogitsFor projects a final hidden state onto only the given token IDs —
 // the candidate identifier tokens in the paper's scoring rule. Much cheaper
-// than a full vocabulary projection when scoring ~100 candidates.
+// than a full vocabulary projection when scoring ~100 candidates; big
+// candidate sets use the worker pool like Logits.
 func (w *Weights) LogitsFor(h []float32, ids []int) []float32 {
-	out := make([]float32, len(ids))
-	for i, id := range ids {
+	for _, id := range ids {
 		if id < 0 || id >= w.cfg.Vocab {
 			panic(fmt.Sprintf("model: token %d outside vocab %d", id, w.cfg.Vocab))
 		}
-		out[i] = tensor.Dot(h, w.embed.Row(id))
 	}
+	out := make([]float32, len(ids))
+	score := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = tensor.Dot(h, w.embed.Row(ids[i]))
+		}
+	}
+	if len(ids)*w.cfg.Hidden < logitParallelCutoff {
+		score(0, len(ids))
+		return out
+	}
+	tensor.ParallelBlocks(len(ids), 64, score)
 	return out
 }

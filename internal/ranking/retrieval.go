@@ -58,13 +58,23 @@ func (r *Retriever) Retrieve(u, c int) []int {
 	for _, it := range r.ds.UserHistory[u] {
 		inHistory[it] = true
 	}
+	// Corpus scoring is one independent dot product per item; large corpora
+	// fan out across the worker pool (each block owns its score slots, so
+	// the result is identical at any width).
 	scores := make([]float32, len(r.ds.ItemLatent))
-	for it, latent := range r.ds.ItemLatent {
-		if inHistory[it] {
-			scores[it] = tensor.NegInf
-			continue
+	score := func(lo, hi int) {
+		for it := lo; it < hi; it++ {
+			if inHistory[it] {
+				scores[it] = tensor.NegInf
+				continue
+			}
+			scores[it] = tensor.Dot(state, r.ds.ItemLatent[it])
 		}
-		scores[it] = tensor.Dot(state, latent)
+	}
+	if len(scores)*r.ds.LatentDim < 1<<15 {
+		score(0, len(scores))
+	} else {
+		tensor.ParallelBlocks(len(scores), 256, score)
 	}
 	return tensor.TopK(scores, c)
 }

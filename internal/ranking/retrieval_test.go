@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"bat/internal/bipartite"
+	"bat/internal/tensor"
 )
 
 func TestNewRetrieverValidation(t *testing.T) {
@@ -71,6 +72,25 @@ func TestRetrieveExcludesHistoryAndRanksInCluster(t *testing.T) {
 	}
 	if headInCluster < 3 {
 		t.Fatalf("only %d/5 top retrieved items in the user's cluster", headInCluster)
+	}
+}
+
+// TestRetrieveDeterministicAcrossWidths pins the pooled corpus-scoring
+// path: the candidate list is identical at any pool width.
+func TestRetrieveDeterministicAcrossWidths(t *testing.T) {
+	defer tensor.SetParallelism(0)
+	ds := testDataset(t)
+	r, _ := NewRetriever(ds, 0.95)
+	tensor.SetParallelism(1)
+	want := r.Retrieve(4, 25)
+	for _, width := range []int{2, 4} {
+		tensor.SetParallelism(width)
+		got := r.Retrieve(4, 25)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("width %d: candidate list diverges at %d: %v vs %v", width, i, got, want)
+			}
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"bat/internal/model"
 	"bat/internal/ranking"
 	"bat/internal/scheduler"
+	"bat/internal/tensor"
 )
 
 // Config assembles a server.
@@ -105,19 +106,19 @@ func New(cfg Config) (*Server, error) {
 		s.arena = arena
 	}
 	if cfg.PrecomputeItems {
-		for i, toks := range cfg.Dataset.ItemTokens {
-			s.itemCaches[i] = bipartite.ComputeItemCacheInto(r.W, toks, 0, s.newStorage())
+		// Item caches are independent forwards, so build them across the
+		// tensor worker pool. Each goroutine computes into private contiguous
+		// storage; admission into the shared (non-thread-safe) arena happens
+		// serially afterwards. Same caches as the serial loop, just faster.
+		flat := make([]*model.KVCache, len(cfg.Dataset.ItemTokens))
+		tensor.Parallel(len(flat), func(i int) {
+			flat[i] = bipartite.ComputeItemCache(r.W, cfg.Dataset.ItemTokens[i])
+		})
+		for i, c := range flat {
+			s.itemCaches[i] = s.admitCache(c)
 		}
 	}
 	return s, nil
-}
-
-// newStorage allocates an empty cache in the configured backend.
-func (s *Server) newStorage() *model.KVCache {
-	if s.arena != nil {
-		return s.arena.NewKVCache()
-	}
-	return model.NewKVCache(s.ranker.W.Config())
 }
 
 // admitCache re-homes a freshly computed cache into the arena when paging is

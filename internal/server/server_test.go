@@ -11,6 +11,7 @@ import (
 
 	"bat/internal/ranking"
 	"bat/internal/scheduler"
+	"bat/internal/tensor"
 )
 
 func testDataset(t *testing.T) *ranking.Dataset {
@@ -221,6 +222,40 @@ func TestPrecomputeItems(t *testing.T) {
 	}
 	if out.ReusedTokens == 0 {
 		t.Fatal("precomputed items not reused on the first request")
+	}
+}
+
+// TestPrecomputeItemsParallelMatchesSerial pins the pooled startup path:
+// item caches built at pool width 4 must serve requests identically to a
+// width-1 build, for both contiguous and paged storage.
+func TestPrecomputeItemsParallelMatchesSerial(t *testing.T) {
+	for _, pageTokens := range []int{0, 2} {
+		build := func(width int) *Server {
+			tensor.SetParallelism(width)
+			return newTestServer(t, func(c *Config) {
+				c.PrecomputeItems = true
+				c.Policy = scheduler.StaticItem{}
+				c.PageTokens = pageTokens
+			})
+		}
+		defer tensor.SetParallelism(0)
+		serial := build(1)
+		parallel := build(4)
+		if len(serial.itemCaches) != len(parallel.itemCaches) {
+			t.Fatalf("pages=%d: %d caches serial vs %d parallel", pageTokens, len(serial.itemCaches), len(parallel.itemCaches))
+		}
+		req := RankRequest{UserID: 2, CandidateIDs: []int{5, 6, 7, 8, 9}}
+		a, err := serial.Rank(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parallel.Rank(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(a.Ranking) != fmt.Sprint(b.Ranking) || a.ReusedTokens != b.ReusedTokens {
+			t.Fatalf("pages=%d: parallel precompute serves differently: %+v vs %+v", pageTokens, a, b)
+		}
 	}
 }
 

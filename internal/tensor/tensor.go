@@ -1,14 +1,20 @@
 // Package tensor provides the small dense float32 linear-algebra kernel the
-// transformer in internal/model is built on: matrices, matmul, softmax,
-// normalization, activations, and rotary position embedding.
+// transformer in internal/model is built on: matrices, cache-blocked
+// multi-core matmul, softmax, normalization, activations, rotary position
+// embedding, and the package worker pool (Parallel) the rest of the engine
+// schedules data-parallel work on.
 //
 // Everything is row-major float32 and allocation-explicit so callers can
-// reuse buffers across forward passes.
+// reuse buffers across forward passes. Every kernel accumulates each output
+// element in a fixed scalar order, so results are bit-identical at any
+// blocking factor and any pool width — the determinism guarantee the
+// engine's tests pin down.
 package tensor
 
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Matrix is a dense row-major float32 matrix.
@@ -58,57 +64,142 @@ func (m *Matrix) Zero() {
 	}
 }
 
+// Kernel tuning constants. Blocking keeps a panel of b resident in cache
+// while a block of output rows streams over it, and row blocks double as the
+// work-distribution granule for the worker pool. None of them affect
+// results: every output element always accumulates its products in strictly
+// increasing shared-dimension order, so the kernels are bit-identical at any
+// block size and any pool width.
+const (
+	mmRowBlock = 16      // output rows per block (cache reuse + pool granule)
+	mmKBlock   = 256     // shared-dimension panel height
+	mmMinFlops = 1 << 15 // below this many multiply-adds, skip the pool
+)
+
 // MatMul computes dst = a @ b. dst must be a.Rows x b.Cols; a.Cols must equal
-// b.Rows. dst may not alias a or b.
+// b.Rows. dst may not alias a or b. Large products are cache-blocked and run
+// on the package worker pool; results are bit-identical to the serial
+// row-by-row computation regardless of blocking or parallelism.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)@(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	n, k, p := a.Rows, a.Cols, b.Cols
-	for i := 0; i < n; i++ {
-		arow := a.Data[i*k : (i+1)*k]
+	n := a.Rows
+	if n <= mmRowBlock || n*a.Cols*b.Cols < mmMinFlops {
+		matMulRows(dst, a, b, 0, n)
+		return
+	}
+	ParallelBlocks(n, mmRowBlock, func(lo, hi int) {
+		matMulRows(dst, a, b, lo, hi)
+	})
+}
+
+// matMulRows computes dst rows [lo, hi). The shared dimension is processed
+// in panels so the active rows of b stay cache-resident across the row
+// block, and the inner saxpy is 4-wide unrolled. Each dst element still
+// accumulates in increasing-k order with the same zero skip as a plain
+// vector-matrix product.
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
+	k, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
 		drow := dst.Data[i*p : (i+1)*p]
 		for j := range drow {
 			drow[j] = 0
 		}
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[kk*p : (kk+1)*p]
-			for j, bv := range brow {
-				drow[j] += av * bv
+	}
+	for kb := 0; kb < k; kb += mmKBlock {
+		ke := kb + mmKBlock
+		if ke > k {
+			ke = k
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*p : (i+1)*p]
+			for kk := kb; kk < ke; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				saxpy(drow, b.Data[kk*p:(kk+1)*p], av)
 			}
 		}
 	}
 }
 
+// saxpy computes dst += s*src, 4-wide unrolled. Element order is unchanged —
+// each dst[j] sees exactly one add — so unrolling cannot perturb bits.
+func saxpy(dst, src []float32, s float32) {
+	j := 0
+	for ; j+4 <= len(dst); j += 4 {
+		d := dst[j : j+4 : j+4]
+		x := src[j : j+4 : j+4]
+		d[0] += s * x[0]
+		d[1] += s * x[1]
+		d[2] += s * x[2]
+		d[3] += s * x[3]
+	}
+	for ; j < len(dst); j++ {
+		dst[j] += s * src[j]
+	}
+}
+
 // MatMulT computes dst = a @ bᵀ, i.e. dst[i][j] = dot(a.Row(i), b.Row(j)).
-// dst must be a.Rows x b.Rows; a.Cols must equal b.Cols.
+// dst must be a.Rows x b.Rows; a.Cols must equal b.Cols. Like MatMul it is
+// cache-blocked, pool-parallel over output rows, and bit-identical to the
+// serial dot-product formulation.
 func MatMulT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmulT shape mismatch (%dx%d)@(%dx%d)T->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			drow[j] = Dot(arow, b.Row(j))
+	n := a.Rows
+	if n <= mmRowBlock || n*a.Cols*b.Rows < mmMinFlops {
+		matMulTRows(dst, a, b, 0, n)
+		return
+	}
+	ParallelBlocks(n, mmRowBlock, func(lo, hi int) {
+		matMulTRows(dst, a, b, lo, hi)
+	})
+}
+
+// matMulTRows computes dst rows [lo, hi), blocking over b's rows so each
+// panel of keys is reused across the whole row block while cache-hot.
+func matMulTRows(dst, a, b *Matrix, lo, hi int) {
+	for jb := 0; jb < b.Rows; jb += mmRowBlock {
+		je := jb + mmRowBlock
+		if je > b.Rows {
+			je = b.Rows
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := jb; j < je; j++ {
+				drow[j] = Dot(arow, b.Row(j))
+			}
 		}
 	}
 }
 
 // Dot returns the inner product of a and b, which must have equal length.
+// The loop is 4-wide unrolled into a single accumulator, preserving the
+// strict left-to-right summation order.
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: dot length mismatch %d != %d", len(a), len(b)))
 	}
 	var s float32
-	for i, v := range a {
-		s += v * b[i]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		s += x[0] * y[0]
+		s += x[1] * y[1]
+		s += x[2] * y[2]
+		s += x[3] * y[3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
@@ -188,21 +279,71 @@ func SiLU(v []float32) {
 	}
 }
 
-// RotateRoPE applies rotary position embedding for position pos to a head
-// vector of even length, in place, using the given frequency base (10000 in
-// the paper's models). Pairs are (v[2i], v[2i+1]).
-func RotateRoPE(v []float32, pos int, base float64) {
-	d := len(v)
-	if d%2 != 0 {
-		panic("tensor: RoPE head dim must be even")
+// RoPETable holds the precomputed inverse-frequency ladder for one
+// (head dimension, base) pair: invFreq[i] = base^(-2i/d). Building it once
+// removes the math.Pow from every rotated element; sin/cos are still
+// computed per position on demand, since positions are unbounded. Rotation
+// through a table is bit-identical to the direct formula — theta is the
+// same float64 product either way.
+type RoPETable struct {
+	dim     int
+	invFreq []float64
+}
+
+// NewRoPETable precomputes the frequency ladder for head vectors of even
+// length dim.
+func NewRoPETable(dim int, base float64) *RoPETable {
+	if dim <= 0 || dim%2 != 0 {
+		panic(fmt.Sprintf("tensor: RoPE head dim must be positive and even, got %d", dim))
 	}
-	for i := 0; i < d/2; i++ {
-		theta := float64(pos) * math.Pow(base, -2*float64(i)/float64(d))
-		sin, cos := math.Sincos(theta)
+	t := &RoPETable{dim: dim, invFreq: make([]float64, dim/2)}
+	for i := range t.invFreq {
+		t.invFreq[i] = math.Pow(base, -2*float64(i)/float64(dim))
+	}
+	return t
+}
+
+// Rotate applies rotary position embedding for position pos to a head
+// vector of the table's dimension, in place. Pairs are (v[2i], v[2i+1]).
+func (t *RoPETable) Rotate(v []float32, pos int) {
+	if len(v) != t.dim {
+		panic(fmt.Sprintf("tensor: RoPE head dim %d, table built for %d", len(v), t.dim))
+	}
+	fp := float64(pos)
+	for i, inv := range t.invFreq {
+		sin, cos := math.Sincos(fp * inv)
 		a, b := v[2*i], v[2*i+1]
 		v[2*i] = a*float32(cos) - b*float32(sin)
 		v[2*i+1] = a*float32(sin) + b*float32(cos)
 	}
+}
+
+// ropeTables caches RoPETables by (dim, base) so ad-hoc callers share the
+// precomputed ladders. Engines that know their config should hold their own
+// table (see model.Weights) and skip the map lookup.
+var ropeTables sync.Map // ropeKey -> *RoPETable
+
+type ropeKey struct {
+	dim  int
+	base float64
+}
+
+// RoPETableFor returns the shared table for a (dim, base) pair, building it
+// on first use.
+func RoPETableFor(dim int, base float64) *RoPETable {
+	key := ropeKey{dim, base}
+	if t, ok := ropeTables.Load(key); ok {
+		return t.(*RoPETable)
+	}
+	t, _ := ropeTables.LoadOrStore(key, NewRoPETable(dim, base))
+	return t.(*RoPETable)
+}
+
+// RotateRoPE applies rotary position embedding for position pos to a head
+// vector of even length, in place, using the given frequency base (10000 in
+// the paper's models). Pairs are (v[2i], v[2i+1]).
+func RotateRoPE(v []float32, pos int, base float64) {
+	RoPETableFor(len(v), base).Rotate(v, pos)
 }
 
 // ArgMax returns the index of the largest element; -1 for empty input.
