@@ -4,7 +4,10 @@
 // services). The frontend moves KV payloads through the fault-tolerant
 // transfer engine (timeouts, retries, circuit breakers, parallel fetch), and
 // each worker's LRU evictions unregister from the meta service so location
-// metadata never goes stale.
+// metadata never goes stale. The frontend runs the overload ladder (bounded
+// in-flight + wait queue, Deadline-Ms budgets, degraded retrieval fallback,
+// 429 shedding) and a poolguard that probes worker health, purges dead
+// workers' meta bindings, and re-replicates their hottest entries.
 //
 // Usage:
 //
@@ -27,6 +30,7 @@ import (
 	"net/http"
 	"time"
 
+	"bat/internal/admission"
 	"bat/internal/distserve"
 	"bat/internal/ranking"
 )
@@ -43,6 +47,12 @@ func main() {
 	breakerTrip := flag.Int("breaker-threshold", 5, "consecutive failures that trip a worker's circuit breaker (negative disables)")
 	breakerCool := flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before a half-open probe")
 	fetchConc := flag.Int("fetch-concurrency", 16, "parallel item-cache fetches per request")
+	maxInFlight := flag.Int("max-inflight", 4, "concurrently served requests before queueing")
+	queueDepth := flag.Int("queue-depth", 8, "bounded wait queue past the in-flight limit (negative disables queueing)")
+	defaultDeadline := flag.Duration("default-deadline", 5*time.Second, "request budget when no Deadline-Ms header is sent")
+	degradeQueue := flag.Int("degrade-queue", 4, "queue depth at which admitted requests are served degraded")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "poolguard health-probe cadence")
+	repairHot := flag.Int("repair-hot", 16, "hottest entries re-replicated after a cache worker dies")
 	flag.Parse()
 
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
@@ -111,11 +121,38 @@ func main() {
 			BreakerCooldown:  *breakerCool,
 			FetchConcurrency: *fetchConc,
 		},
+		Admission: admission.Config{
+			MaxInFlight:       *maxInFlight,
+			MaxQueue:          *queueDepth,
+			DefaultDeadline:   *defaultDeadline,
+			DegradeQueueDepth: *degradeQueue,
+		},
 	})
 	if err != nil {
 		log.Fatalf("batdist: %v", err)
 	}
+	guard := distserve.NewPoolGuard(frontend, distserve.PoolGuardConfig{
+		ProbeInterval: *probeInterval,
+		RepairHot:     *repairHot,
+	})
+	guard.Start()
 	serve(*basePort, frontend.Handler(), "inference frontend")
+	fmt.Printf("batdist: overload ladder max-inflight=%d queue=%d deadline=%v; poolguard probing every %v\n",
+		*maxInFlight, *queueDepth, *defaultDeadline, *probeInterval)
+
+	// Periodically surface the robustness counters so shedding and
+	// self-healing are visible without curling /v1/stats.
+	go func() {
+		for range time.Tick(30 * time.Second) {
+			st := frontend.Stats()
+			line := fmt.Sprintf("batdist: served=%d degraded=%d shed=%d(queue)+%d(deadline) purges=%d",
+				st.Requests, st.DegradedRequests, st.Admission.ShedQueueFull, st.Admission.ShedDeadline, st.WorkerPurges)
+			if st.Guard != nil {
+				line += fmt.Sprintf(" deaths=%d rejoins=%d repaired=%d", st.Guard.Deaths, st.Guard.Rejoins, st.Guard.Repaired)
+			}
+			fmt.Println(line)
+		}
+	}()
 
 	log.Fatal(<-errs)
 }

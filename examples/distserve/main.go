@@ -8,6 +8,13 @@
 // breaker, and degrades to recompute with bounded latency instead of
 // hanging the request.
 //
+// Act three kills a worker outright and lets the poolguard self-heal the
+// pool: the death is detected by health probes, the dead worker's meta
+// bindings are bulk-purged, its hottest entries are re-replicated onto the
+// survivors, and the worker rejoins cleanly once revived. A tight Deadline-Ms
+// budget then shows the overload ladder serving a degraded retrieval-only
+// response instead of blowing the deadline.
+//
 //	go run ./examples/distserve
 package main
 
@@ -18,8 +25,10 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
+	"bat/internal/admission"
 	"bat/internal/distserve"
 	"bat/internal/ranking"
 )
@@ -54,6 +63,34 @@ func rank(frontURL string, user int, cands []int) distserve.RankResponse {
 		log.Fatal(err)
 	}
 	return out
+}
+
+// rankDeadline is rank with a Deadline-Ms budget attached; it reports the
+// status code and shed reason so the overload ladder's outcome is visible.
+func rankDeadline(frontURL string, user int, cands []int, budgetMs int) (int, string, *distserve.RankResponse) {
+	body, err := json.Marshal(distserve.RankRequest{UserID: user, CandidateIDs: cands})
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, frontURL+"/v1/rank", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(admission.DeadlineHeader, strconv.Itoa(budgetMs))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, resp.Header.Get(admission.ShedReasonHeader), nil
+	}
+	var out distserve.RankResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return resp.StatusCode, "", &out
 }
 
 func main() {
@@ -140,4 +177,68 @@ func main() {
 	}
 	fmt.Println("\nthe wedged worker cost one timeout budget, not an unbounded hang;")
 	fmt.Println("its breaker now short-circuits further transfers until it heals.")
+
+	// Act three — kill worker 1 outright. The poolguard's health probes detect
+	// the death, bulk-purge its meta bindings, and re-replicate its hottest
+	// entries onto the survivors; when the worker comes back, it rejoins and
+	// writes route home again.
+	fmt.Println("\n--- killing cache worker 1 (500 on every request); poolguard heals ---")
+	guard := distserve.NewPoolGuard(frontend, distserve.PoolGuardConfig{
+		ProbeInterval: 50 * time.Millisecond,
+		FailThreshold: 2,
+		RepairHot:     8,
+	})
+	guard.Start()
+	defer guard.Stop()
+
+	proxies[1].SetMode(distserve.FaultError, 0)
+	waitGuard := func(what string, ok func(distserve.PoolGuardStats) bool) {
+		for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+			if ok(guard.Stats()) {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		log.Fatalf("poolguard never observed %s", what)
+	}
+	waitGuard("the death", func(gs distserve.PoolGuardStats) bool { return gs.Deaths >= 1 })
+
+	out = rank(frontURL, 41, cands)
+	fmt.Printf("user 41 during the outage: top-5 %v (reused %d, computed %d tokens)\n",
+		out.Ranking[:5], out.ReusedTokens, out.ComputedTokens)
+	st = frontend.Stats()
+	if st.Guard != nil {
+		fmt.Printf("poolguard: %d deaths, %d hot entries re-replicated, %d bindings purged in %d bulk purges\n",
+			st.Guard.Deaths, st.Guard.Repaired, st.PurgedBindings, st.WorkerPurges)
+	}
+
+	proxies[1].SetMode(distserve.FaultNone, 0)
+	waitGuard("the rejoin", func(gs distserve.PoolGuardStats) bool { return gs.Rejoins >= 1 })
+	fmt.Println("worker 1 answered a probe again: rejoined, writes route back to it.")
+
+	// Finale — the overload ladder's deadline rung. Calibrate the cost model
+	// on a deliberately slow round (40 ms injected per transfer), then ask for
+	// an answer inside 25 ms: the frontend knows a full forward cannot fit and
+	// serves first-stage retrieval instead of blowing the budget.
+	for _, p := range proxies {
+		p.SetMode(distserve.FaultDelay, 40*time.Millisecond)
+	}
+	rank(frontURL, 7, cands) // full serve at real (slow) latency calibrates the estimator
+	for _, p := range proxies {
+		p.SetMode(distserve.FaultNone, 0)
+	}
+	status, reason, dresp := rankDeadline(frontURL, 7, cands, 25)
+	switch {
+	case dresp != nil && dresp.Degraded:
+		fmt.Printf("\n25ms budget: degraded retrieval-only answer (reason %q), top-5 %v\n",
+			dresp.DegradeReason, dresp.Ranking[:5])
+	case dresp != nil:
+		fmt.Printf("\n25ms budget: full serve fit anyway, top-5 %v\n", dresp.Ranking[:5])
+	default:
+		fmt.Printf("\n25ms budget: shed with %d (reason %q) — better than a blown deadline\n", status, reason)
+	}
+	st = frontend.Stats()
+	fmt.Printf("ladder totals: %d served, %d degraded, %d shed, calibrated cost ratio %.1f\n",
+		st.Requests, st.DegradedRequests, st.Admission.ShedQueueFull+st.Admission.ShedDeadline,
+		st.CalibratedCostRatio)
 }

@@ -1,0 +1,229 @@
+// Package admission implements the serving stack's overload-control ladder
+// — admit, degrade, shed — shared by the single-process server and the
+// disaggregated frontend. A Controller bounds concurrent request work with a
+// semaphore and a small bounded wait queue: requests that find a free slot
+// run immediately, requests that find the queue full (or whose deadline
+// expires while queued) are shed with 429 + Retry-After instead of piling up
+// unbounded. Per-request deadlines arrive in the Deadline-Ms header (falling
+// back to a configured default) and ride the request context through
+// ranking, model execution, and the transfer engine, so a shed or
+// disconnected request stops consuming resources everywhere at once.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DeadlineHeader carries a request's latency budget in milliseconds.
+const DeadlineHeader = "Deadline-Ms"
+
+// ShedReasonHeader reports why a 429 was shed ("queue-full" | "deadline").
+const ShedReasonHeader = "X-Shed-Reason"
+
+// Shed reasons, also used as degrade reasons by the serving stacks.
+const (
+	ReasonQueueFull = "queue-full"
+	ReasonDeadline  = "deadline"
+)
+
+// ErrQueueFull reports a request shed because the wait queue was at
+// capacity; ErrDeadline one shed because its context ended while queued.
+var (
+	ErrQueueFull = errors.New("admission: queue full")
+	ErrDeadline  = errors.New("admission: deadline exhausted while queued")
+)
+
+// Config tunes a Controller. The zero value means "use defaults".
+type Config struct {
+	// MaxInFlight bounds concurrently admitted requests (default 4).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot (default 2×MaxInFlight).
+	// Negative disables queueing entirely: busy means shed.
+	MaxQueue int
+	// DefaultDeadline applies when a request carries no Deadline-Ms header
+	// (default 5s).
+	DefaultDeadline time.Duration
+	// DegradeQueueDepth is the queue depth at which admitted requests should
+	// be served degraded rather than in full (default max(1, MaxQueue/2)).
+	DegradeQueueDepth int
+	// RetryAfter is the backoff advertised on shed responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.DegradeQueueDepth <= 0 {
+		c.DegradeQueueDepth = c.MaxQueue / 2
+		if c.DegradeQueueDepth < 1 {
+			c.DegradeQueueDepth = 1
+		}
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Controller is the admission gate for one serving endpoint.
+type Controller struct {
+	cfg   Config
+	slots chan struct{}
+
+	mu            sync.Mutex
+	queued        int
+	admitted      int64
+	enqueued      int64
+	shedQueueFull int64
+	shedDeadline  int64
+}
+
+// NewController builds a controller from cfg (zero value = defaults).
+func NewController(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{cfg: cfg, slots: make(chan struct{}, cfg.MaxInFlight)}
+}
+
+// Config returns the resolved (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Grant is one admitted request's ticket.
+type Grant struct {
+	// QueuedBehind is how many requests were already waiting when this one
+	// arrived (0 = it got a slot immediately); the degrade ladder keys off
+	// the depth seen at entry so pressure decisions don't race the dequeue.
+	QueuedBehind int
+	// Waited is the time spent in the queue.
+	Waited time.Duration
+
+	release func()
+	once    sync.Once
+}
+
+// Release frees the slot. Safe to call more than once.
+func (g *Grant) Release() { g.once.Do(g.release) }
+
+// Acquire admits the request, waiting in the bounded queue if necessary.
+// It sheds with ErrQueueFull when the queue is at capacity and with
+// ErrDeadline when ctx ends before a slot frees.
+func (c *Controller) Acquire(ctx context.Context) (*Grant, error) {
+	release := func() { <-c.slots }
+	select {
+	case c.slots <- struct{}{}:
+		c.mu.Lock()
+		c.admitted++
+		c.mu.Unlock()
+		return &Grant{release: release}, nil
+	default:
+	}
+
+	c.mu.Lock()
+	if c.queued >= c.cfg.MaxQueue {
+		c.shedQueueFull++
+		c.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	behind := c.queued
+	c.queued++
+	c.enqueued++
+	c.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case c.slots <- struct{}{}:
+		c.mu.Lock()
+		c.queued--
+		c.admitted++
+		c.mu.Unlock()
+		return &Grant{QueuedBehind: behind, Waited: time.Since(start), release: release}, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		c.queued--
+		c.shedDeadline++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrDeadline, ctx.Err())
+	}
+}
+
+// QueueDepth returns the current number of waiting requests.
+func (c *Controller) QueueDepth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queued
+}
+
+// ShouldDegrade reports whether a request that saw queuedBehind waiters at
+// entry should be served degraded (the middle rung of the ladder).
+func (c *Controller) ShouldDegrade(queuedBehind int) bool {
+	if queuedBehind >= c.cfg.DegradeQueueDepth {
+		return true
+	}
+	return c.QueueDepth() >= c.cfg.DegradeQueueDepth
+}
+
+// Deadline resolves a request's latency budget: the Deadline-Ms header when
+// present and positive, the configured default otherwise.
+func (c *Controller) Deadline(r *http.Request) time.Duration {
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	return c.cfg.DefaultDeadline
+}
+
+// Shed writes the 429 response for a rejected request: Retry-After with the
+// configured backoff and X-Shed-Reason naming the ladder rung that fired.
+func (c *Controller) Shed(w http.ResponseWriter, reason string) {
+	secs := int(c.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set(ShedReasonHeader, reason)
+	http.Error(w, "overloaded: "+reason, http.StatusTooManyRequests)
+}
+
+// Stats is a counter snapshot for the serving stats endpoints.
+type Stats struct {
+	MaxInFlight   int   `json:"max_in_flight"`
+	MaxQueue      int   `json:"max_queue"`
+	InFlight      int   `json:"in_flight"`
+	QueueDepth    int   `json:"queue_depth"`
+	Admitted      int64 `json:"admitted"`
+	Queued        int64 `json:"queued"`
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
+}
+
+// Stats snapshots the controller.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		MaxInFlight:   c.cfg.MaxInFlight,
+		MaxQueue:      c.cfg.MaxQueue,
+		InFlight:      len(c.slots),
+		QueueDepth:    c.queued,
+		Admitted:      c.admitted,
+		Queued:        c.enqueued,
+		ShedQueueFull: c.shedQueueFull,
+		ShedDeadline:  c.shedDeadline,
+	}
+}

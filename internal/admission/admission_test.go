@@ -1,0 +1,143 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAcquireReleaseAndCounters(t *testing.T) {
+	c := NewController(Config{MaxInFlight: 2, MaxQueue: 2})
+	g1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.InFlight != 2 || st.Admitted != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	g1.Release()
+	g1.Release() // idempotent
+	g2.Release()
+	if st := c.Stats(); st.InFlight != 0 {
+		t.Fatalf("slots leaked: %+v", st)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	c := NewController(Config{MaxInFlight: 1, MaxQueue: -1}) // no queue
+	g, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("busy controller admitted: %v", err)
+	}
+	if st := c.Stats(); st.ShedQueueFull != 1 {
+		t.Fatalf("shed not counted: %+v", st)
+	}
+}
+
+func TestDeadlineExpiresWhileQueued(t *testing.T) {
+	c := NewController(Config{MaxInFlight: 1, MaxQueue: 4})
+	g, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Acquire(ctx); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("queued request outlived its deadline: %v", err)
+	}
+	st := c.Stats()
+	if st.ShedDeadline != 1 || st.QueueDepth != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueuedRequestRunsWhenSlotFrees(t *testing.T) {
+	c := NewController(Config{MaxInFlight: 1, MaxQueue: 4})
+	g, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var queuedBehind int
+	go func() {
+		defer wg.Done()
+		g2, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		queuedBehind = g2.QueuedBehind
+		g2.Release()
+	}()
+	for c.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	g.Release()
+	wg.Wait()
+	if queuedBehind != 0 {
+		t.Fatalf("first waiter saw %d ahead of it", queuedBehind)
+	}
+	if st := c.Stats(); st.Queued != 1 || st.Admitted != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestShouldDegradeUsesEntryDepth(t *testing.T) {
+	c := NewController(Config{MaxInFlight: 1, MaxQueue: 4, DegradeQueueDepth: 2})
+	if c.ShouldDegrade(1) {
+		t.Fatal("degraded below threshold")
+	}
+	if !c.ShouldDegrade(2) {
+		t.Fatal("entry depth at threshold not degraded")
+	}
+}
+
+func TestDeadlineHeader(t *testing.T) {
+	c := NewController(Config{DefaultDeadline: 3 * time.Second})
+	r := httptest.NewRequest(http.MethodPost, "/v1/rank", nil)
+	if d := c.Deadline(r); d != 3*time.Second {
+		t.Fatalf("default deadline %v", d)
+	}
+	r.Header.Set(DeadlineHeader, "250")
+	if d := c.Deadline(r); d != 250*time.Millisecond {
+		t.Fatalf("header deadline %v", d)
+	}
+	r.Header.Set(DeadlineHeader, "not-a-number")
+	if d := c.Deadline(r); d != 3*time.Second {
+		t.Fatalf("malformed header deadline %v", d)
+	}
+	r.Header.Set(DeadlineHeader, "-5")
+	if d := c.Deadline(r); d != 3*time.Second {
+		t.Fatalf("negative header deadline %v", d)
+	}
+}
+
+func TestShedResponse(t *testing.T) {
+	c := NewController(Config{RetryAfter: 2 * time.Second})
+	rec := httptest.NewRecorder()
+	c.Shed(rec, ReasonQueueFull)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After %q", rec.Header().Get("Retry-After"))
+	}
+	if rec.Header().Get(ShedReasonHeader) != ReasonQueueFull {
+		t.Fatalf("reason %q", rec.Header().Get(ShedReasonHeader))
+	}
+}

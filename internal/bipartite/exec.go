@@ -74,17 +74,36 @@ type Run struct {
 // Execute runs GR inference for a layout, reusing whatever caches contains.
 // Caller-supplied caches are never mutated.
 func Execute(w *model.Weights, l *Layout, caches CacheSet) (*Run, error) {
+	return ExecuteCancelable(w, l, caches, nil)
+}
+
+// ExecuteCancelable is Execute with a cooperative cancellation hook: cancel
+// (nil = never cancel) is polled at phase boundaries — before the prefix
+// forward, before miss recomputes, and before the suffix forward — so a
+// request whose client disconnected or whose deadline expired stops burning
+// model compute at the next boundary instead of running to completion.
+func ExecuteCancelable(w *model.Weights, l *Layout, caches CacheSet, cancel func() error) (*Run, error) {
+	if err := checkCancel(cancel); err != nil {
+		return nil, err
+	}
 	switch l.Kind {
 	case UserPrefix:
-		return executeUserPrefix(w, l, caches.User)
+		return executeUserPrefix(w, l, caches.User, cancel)
 	case ItemPrefix:
-		return executeItemPrefix(w, l, caches.Items)
+		return executeItemPrefix(w, l, caches.Items, cancel)
 	default:
 		return nil, fmt.Errorf("bipartite: unknown layout kind %d", int(l.Kind))
 	}
 }
 
-func executeUserPrefix(w *model.Weights, l *Layout, userCache *model.KVCache) (*Run, error) {
+func checkCancel(cancel func() error) error {
+	if cancel == nil {
+		return nil
+	}
+	return cancel()
+}
+
+func executeUserPrefix(w *model.Weights, l *Layout, userCache *model.KVCache, cancel func() error) (*Run, error) {
 	run := &Run{Layout: l}
 	var ctx *model.KVCache
 	if userCache != nil {
@@ -101,6 +120,10 @@ func executeUserPrefix(w *model.Weights, l *Layout, userCache *model.KVCache) (*
 			run.NewUserCache = ctx.Clone()
 		}
 	}
+	if err := checkCancel(cancel); err != nil {
+		ctx.Release()
+		return nil, err
+	}
 	suffix := l.Tokens[l.PrefixLen:]
 	pos := l.Pos[l.PrefixLen:]
 	run.Hidden = w.Forward(suffix, pos, l.Mask(), ctx)
@@ -110,7 +133,7 @@ func executeUserPrefix(w *model.Weights, l *Layout, userCache *model.KVCache) (*
 	return run, nil
 }
 
-func executeItemPrefix(w *model.Weights, l *Layout, itemCaches map[int]*model.KVCache) (*Run, error) {
+func executeItemPrefix(w *model.Weights, l *Layout, itemCaches map[int]*model.KVCache, cancel func() error) (*Run, error) {
 	run := &Run{Layout: l}
 	segs := l.ItemSegments()
 	parts := make([]*model.KVCache, len(segs))
@@ -125,6 +148,9 @@ func executeItemPrefix(w *model.Weights, l *Layout, itemCaches map[int]*model.KV
 			continue
 		}
 		missIdx = append(missIdx, si)
+	}
+	if err := checkCancel(cancel); err != nil {
+		return nil, err
 	}
 	// Recompute every miss with the layout's own anchor position so PIC
 	// layouts produce PIC-valid caches. Items attend only to themselves, so
@@ -142,6 +168,9 @@ func executeItemPrefix(w *model.Weights, l *Layout, itemCaches map[int]*model.KV
 			run.NewItemCaches = make(map[int]*model.KVCache)
 		}
 		run.NewItemCaches[seg.Item] = parts[si]
+	}
+	if err := checkCancel(cancel); err != nil {
+		return nil, err
 	}
 	// Assemble the context: copies for contiguous caches, block sharing with
 	// copy-on-write for arena-backed ones — either way the stored caches

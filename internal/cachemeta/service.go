@@ -124,6 +124,32 @@ func (s *Service) UnregisterEntry(k kvcache.EntryKey, w WorkerID) bool {
 	return true
 }
 
+// UnregisterWorker removes every binding held by worker w in one sweep —
+// the bulk cleanup path for a dead cache worker, instead of letting each of
+// its keys rot until a per-key 404 cleans it lazily. It returns the affected
+// keys (sorted by kind then ID) so the caller can rank them by hotness and
+// re-replicate the hottest onto surviving workers.
+func (s *Service) UnregisterWorker(w WorkerID) []kvcache.EntryKey {
+	var keys []kvcache.EntryKey
+	for k, locs := range s.index {
+		if _, held := locs[w]; !held {
+			continue
+		}
+		delete(locs, w)
+		if len(locs) == 0 {
+			delete(s.index, k)
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Kind != keys[j].Kind {
+			return keys[i].Kind < keys[j].Kind
+		}
+		return keys[i].ID < keys[j].ID
+	})
+	return keys
+}
+
 // HasEntry reports whether any worker holds k.
 func (s *Service) HasEntry(k kvcache.EntryKey) bool { return len(s.index[k]) > 0 }
 

@@ -160,3 +160,36 @@ func TestPruneCold(t *testing.T) {
 		t.Fatal("cold user not pruned")
 	}
 }
+
+func TestUnregisterWorkerBulk(t *testing.T) {
+	s := New(300)
+	s.RegisterEntry(ik(1), 0)
+	s.RegisterEntry(ik(2), 0)
+	s.RegisterEntry(ik(2), 1) // replicated: survives on worker 1
+	s.RegisterEntry(uk(7), 0)
+	s.RegisterEntry(ik(9), 1) // not on worker 0
+
+	keys := s.UnregisterWorker(0)
+	if len(keys) != 3 {
+		t.Fatalf("purged %d keys, want 3: %v", len(keys), keys)
+	}
+	// Sorted: users before items (UserEntry < ItemEntry), then by ID.
+	want := []kvcache.EntryKey{uk(7), ik(1), ik(2)}
+	for i, k := range want {
+		if keys[i] != k {
+			t.Fatalf("keys[%d] = %v, want %v", i, keys[i], k)
+		}
+	}
+	if s.HasEntry(ik(1)) || s.HasEntry(uk(7)) {
+		t.Fatal("purged entries still indexed")
+	}
+	if locs := s.Locations(ik(2)); len(locs) != 1 || locs[0] != 1 {
+		t.Fatalf("replicated entry locations %v, want [1]", locs)
+	}
+	if !s.HasEntry(ik(9)) {
+		t.Fatal("unrelated entry purged")
+	}
+	if keys := s.UnregisterWorker(0); len(keys) != 0 {
+		t.Fatalf("second purge removed %v", keys)
+	}
+}

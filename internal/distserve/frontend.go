@@ -8,11 +8,15 @@ import (
 	"net/http"
 	"net/url"
 	"sync"
+	"time"
 
+	"bat/internal/admission"
 	"bat/internal/bipartite"
+	"bat/internal/costmodel"
 	"bat/internal/model"
 	"bat/internal/ranking"
 	"bat/internal/scheduler"
+	"bat/internal/tensor"
 )
 
 // ErrValidation marks request errors the caller can fix (unknown IDs, empty
@@ -39,6 +43,17 @@ type FrontendConfig struct {
 	// Transfer tunes the fault-tolerant transfer engine (timeouts, retries,
 	// circuit breakers, fetch parallelism). Zero value = defaults.
 	Transfer TransferConfig
+	// Admission tunes the overload ladder (in-flight bound, wait queue,
+	// default deadline, degrade threshold). Zero value = defaults.
+	Admission admission.Config
+	// DegradedMaxCandidates caps the candidate set served in degraded mode
+	// (default 16).
+	DegradedMaxCandidates int
+	// GPU selects the costmodel device whose fitted prefill estimator
+	// anchors the deadline gate (default A100-PCIe4). The estimator's shape
+	// prediction is calibrated online against observed wall clock, so only
+	// its relative form matters.
+	GPU costmodel.GPU
 }
 
 // Frontend is the inference worker + prompt scheduler of Figure 3: it owns
@@ -49,6 +64,9 @@ type Frontend struct {
 	cfg      FrontendConfig
 	ranker   *ranking.Ranker
 	transfer *transferClient
+	adm      *admission.Controller
+	retr     *ranking.Retriever
+	est      *costmodel.Estimator
 
 	mu                           sync.Mutex
 	requests                     int64
@@ -57,6 +75,20 @@ type Frontend struct {
 	fetchErrors                  int64
 	failovers                    int64
 	staleUnregisters             int64
+	degraded                     int64
+	deadlineAborts               int64
+	workerPurges                 int64
+	purgedBindings               int64
+	// calibRatio is the EWMA of observed-seconds / estimator-predicted
+	// seconds; 0 until the first full request completes, which disables the
+	// deadline gate cold (never shed on an uncalibrated estimate).
+	calibRatio float64
+	// alive[w] routes cache writes away from workers the poolguard marked
+	// dead; all true at start.
+	alive []bool
+	// lastPurge rate-limits breaker-open worker-granularity meta purges.
+	lastPurge []time.Time
+	guard     *PoolGuard
 }
 
 // NewFrontend builds a frontend.
@@ -80,22 +112,79 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		// engine's per-attempt deadline is somehow bypassed.
 		cfg.Client = &http.Client{Timeout: cfg.Transfer.Timeout}
 	}
+	if cfg.DegradedMaxCandidates <= 0 {
+		cfg.DegradedMaxCandidates = 16
+	}
+	if cfg.GPU.TFLOPS == 0 {
+		cfg.GPU = costmodel.A100PCIe4
+	}
 	r, err := ranking.NewRanker(cfg.Dataset, cfg.Variant)
 	if err != nil {
 		return nil, err
 	}
-	f := &Frontend{cfg: cfg, ranker: r}
+	retr, err := ranking.NewRetriever(cfg.Dataset, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	est, err := costmodel.FitEstimator(cfg.GPU, r.W.Config())
+	if err != nil {
+		return nil, err
+	}
+	f := &Frontend{
+		cfg:   cfg,
+		ranker: r,
+		retr:  retr,
+		est:   est,
+		adm:   admission.NewController(cfg.Admission),
+		alive: make([]bool, len(cfg.CacheWorkers)),
+	}
+	for i := range f.alive {
+		f.alive[i] = true
+	}
+	f.lastPurge = make([]time.Time, len(cfg.CacheWorkers))
 	f.transfer = newTransferClient(cfg.Client, cfg.Transfer, len(cfg.CacheWorkers))
 	return f, nil
 }
 
-// userWorker and itemWorker shard entries across cache workers.
+// userWorker and itemWorker shard entries across cache workers, routing
+// around workers the poolguard marked dead.
 func (f *Frontend) userWorker(u int) int {
-	return int(mix(uint64(u)) % uint64(len(f.cfg.CacheWorkers)))
+	return f.pickWorker(mix(uint64(u)))
 }
 
 func (f *Frontend) itemWorker(i int) int {
-	return int(mix(uint64(i)^0x1234) % uint64(len(f.cfg.CacheWorkers)))
+	return f.pickWorker(mix(uint64(i) ^ 0x1234))
+}
+
+// pickWorker maps a shard hash to its home worker, walking forward to the
+// next live worker when the home is marked dead (and staying home when the
+// whole pool is down — the store will fail harmlessly).
+func (f *Frontend) pickWorker(h uint64) int {
+	n := len(f.cfg.CacheWorkers)
+	w := int(h % uint64(n))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.alive[w] {
+		return w
+	}
+	for i := 1; i < n; i++ {
+		if c := (w + i) % n; f.alive[c] {
+			return c
+		}
+	}
+	return w
+}
+
+// SetWorkerAlive marks a cache worker live or dead for write routing. The
+// poolguard flips it on death and rejoin; reads are unaffected (locations
+// come from the meta service, which the poolguard purges separately).
+func (f *Frontend) SetWorkerAlive(worker int, alive bool) {
+	if worker < 0 || worker >= len(f.cfg.CacheWorkers) {
+		return
+	}
+	f.mu.Lock()
+	f.alive[worker] = alive
+	f.mu.Unlock()
 }
 
 // RankRequest / RankResponse mirror the single-process server's API.
@@ -110,6 +199,29 @@ type RankResponse struct {
 	Prefix         string `json:"prefix"`
 	ReusedTokens   int    `json:"reused_tokens"`
 	ComputedTokens int    `json:"computed_tokens"`
+	// Degraded marks a response served by the retrieval-similarity fallback
+	// instead of the full GR forward; DegradeReason says why ("queue-pressure",
+	// "pool-unhealthy", or "deadline").
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
+}
+
+// validate rejects caller mistakes (unknown IDs, empty candidate sets) with
+// errors wrapping ErrValidation; both the full and degraded paths apply it.
+func (f *Frontend) validate(req RankRequest) error {
+	ds := f.cfg.Dataset
+	if req.UserID < 0 || req.UserID >= len(ds.UserHistory) {
+		return fmt.Errorf("distserve: unknown user %d: %w", req.UserID, ErrValidation)
+	}
+	if len(req.CandidateIDs) == 0 {
+		return fmt.Errorf("distserve: empty candidate set: %w", ErrValidation)
+	}
+	for _, it := range req.CandidateIDs {
+		if it < 0 || it >= len(ds.ItemTokens) {
+			return fmt.Errorf("distserve: unknown item %d: %w", it, ErrValidation)
+		}
+	}
+	return nil
 }
 
 // Rank serves one request end to end through the disaggregated pool. The
@@ -117,19 +229,16 @@ type RankResponse struct {
 // degrade to recompute, never to request failure.
 func (f *Frontend) Rank(ctx context.Context, req RankRequest) (*RankResponse, error) {
 	ds := f.cfg.Dataset
-	if req.UserID < 0 || req.UserID >= len(ds.UserHistory) {
-		return nil, fmt.Errorf("distserve: unknown user %d: %w", req.UserID, ErrValidation)
+	if err := f.validate(req); err != nil {
+		return nil, err
 	}
-	if len(req.CandidateIDs) == 0 {
-		return nil, fmt.Errorf("distserve: empty candidate set: %w", ErrValidation)
-	}
-	for _, it := range req.CandidateIDs {
-		if it < 0 || it >= len(ds.ItemTokens) {
-			return nil, fmt.Errorf("distserve: unknown item %d: %w", it, ErrValidation)
-		}
-	}
+	// The calibration window opens here so the observed wall clock covers
+	// meta round trips and cache fetches, not just the model forward — the
+	// deadline gate predicts end-to-end serve time.
+	started := time.Now()
 
 	hotness := f.metaAccess(ctx, "user", uint64(req.UserID))
+	f.metaAccessBatch(ctx, req.CandidateIDs)
 	userTokens := len(ds.UserHistory[req.UserID])
 	itemTokens := 0
 	for _, it := range req.CandidateIDs {
@@ -164,10 +273,17 @@ func (f *Frontend) Rank(ctx context.Context, req RankRequest) (*RankResponse, er
 	}
 
 	evalReq := ranking.EvalRequest{User: req.UserID, Candidates: req.CandidateIDs}
-	ranked, run, err := f.ranker.Rank(evalReq, kind, ranking.RankOpts{Caches: caches})
+	ranked, run, err := f.ranker.Rank(evalReq, kind, ranking.RankOpts{Caches: caches, Ctx: ctx})
 	if err != nil {
+		if ctx.Err() != nil {
+			f.mu.Lock()
+			f.deadlineAborts++
+			f.mu.Unlock()
+			return nil, fmt.Errorf("distserve: request canceled: %w", ctx.Err())
+		}
 		return nil, err
 	}
+	f.calibrate(userTokens+itemTokens+2, time.Since(started).Seconds())
 
 	// Write back freshly computed caches (the scheduler's background cache
 	// write path).
@@ -225,6 +341,178 @@ func (f *Frontend) metaAccess(ctx context.Context, kind string, id uint64) float
 		return 0
 	}
 	return out.Hotness
+}
+
+// metaAccessBatch records the whole candidate set's item accesses in one
+// round trip, keeping item hotness live in the meta service — the signal the
+// poolguard's repair path ranks by. Failures are silent (hotness is advisory).
+func (f *Frontend) metaAccessBatch(ctx context.Context, items []int) {
+	if len(items) == 0 {
+		return
+	}
+	refs := make([]EntryRef, len(items))
+	for i, it := range items {
+		refs[i] = EntryRef{Kind: "item", ID: uint64(it)}
+	}
+	body, err := json.Marshal(AccessBatchRequest{Entries: refs})
+	if err != nil {
+		return
+	}
+	f.transfer.send(ctx, f.transfer.metaTarget(), http.MethodPost,
+		f.cfg.MetaURL+"/v1/access_batch", "application/json", body)
+}
+
+// calibrate folds one full request's observed seconds into the EWMA ratio
+// that scales the offline estimator to real wall clock (fetch and transfer
+// time included). Until the first observation the ratio stays 0 and the
+// deadline gate never sheds.
+func (f *Frontend) calibrate(tokens int, observed float64) {
+	pred := f.est.Predict(tokens, 0)
+	if pred <= 0 || observed <= 0 {
+		return
+	}
+	ratio := observed / pred
+	f.mu.Lock()
+	if f.calibRatio == 0 {
+		f.calibRatio = ratio
+	} else {
+		f.calibRatio = 0.7*f.calibRatio + 0.3*ratio
+	}
+	f.mu.Unlock()
+}
+
+// estimateFullSeconds predicts the wall clock a full (non-degraded) serve of
+// this shape would take: the estimator's worst-case recompute prediction
+// scaled by the observed calibration ratio. Returns 0 while uncalibrated so
+// the deadline gate stays open cold.
+func (f *Frontend) estimateFullSeconds(userTokens, itemTokens int) float64 {
+	f.mu.Lock()
+	ratio := f.calibRatio
+	f.mu.Unlock()
+	if ratio == 0 {
+		return 0
+	}
+	return ratio * f.est.Predict(userTokens+itemTokens+2, 0)
+}
+
+// rankDegraded serves the request through the overload ladder's fallback: cap
+// the candidate set, score by retrieval similarity (dot of the user's
+// recurrence state against each candidate latent), skip the transformer and
+// the cache pool entirely. Quality drops to first-stage retrieval, but the
+// response is immediate and touches no strained component.
+func (f *Frontend) rankDegraded(req RankRequest, reason string) *RankResponse {
+	cands := req.CandidateIDs
+	if len(cands) > f.cfg.DegradedMaxCandidates {
+		cands = cands[:f.cfg.DegradedMaxCandidates]
+	}
+	scores := f.retr.ScoreCandidates(req.UserID, cands)
+	order := tensor.TopK(scores, len(scores))
+	k := f.cfg.TopK
+	if k > len(order) {
+		k = len(order)
+	}
+	top := make([]int, k)
+	for i := 0; i < k; i++ {
+		top[i] = cands[order[i]]
+	}
+	f.mu.Lock()
+	f.requests++
+	f.degraded++
+	f.mu.Unlock()
+	return &RankResponse{
+		Ranking:       top,
+		Prefix:        "degraded-retrieval",
+		Degraded:      true,
+		DegradeReason: reason,
+	}
+}
+
+// Serving modes the admission ladder decides between.
+const (
+	modeFull     = "full"
+	modeDegraded = "degraded"
+	modeShed     = "shed"
+)
+
+// decideMode walks the overload ladder for an admitted request: full serve
+// when healthy, degraded when the queue is deep, the pool is mostly
+// breaker-open, or the remaining deadline cannot cover the estimated full
+// serve, and shed when the deadline is already gone.
+func (f *Frontend) decideMode(ctx context.Context, grant *admission.Grant, req RankRequest) (mode, reason string) {
+	if f.adm.ShouldDegrade(grant.QueuedBehind) {
+		return modeDegraded, "queue-pressure"
+	}
+	if n := len(f.cfg.CacheWorkers); n > 0 && f.transfer.openWorkerBreakers()*2 >= n {
+		return modeDegraded, "pool-unhealthy"
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl).Seconds()
+		if remaining <= 0 {
+			return modeShed, admission.ReasonDeadline
+		}
+		ds := f.cfg.Dataset
+		userTokens := 0
+		if req.UserID >= 0 && req.UserID < len(ds.UserHistory) {
+			userTokens = len(ds.UserHistory[req.UserID])
+		}
+		itemTokens := 0
+		for _, it := range req.CandidateIDs {
+			if it >= 0 && it < len(ds.ItemTokens) {
+				itemTokens += len(ds.ItemTokens[it])
+			}
+		}
+		if est := f.estimateFullSeconds(userTokens, itemTokens); est > remaining {
+			return modeDegraded, "deadline"
+		}
+	}
+	return modeFull, ""
+}
+
+// unregisterWorker bulk-purges one worker's meta bindings and returns the
+// hottest purged entries for re-replication. Used by the poolguard on worker
+// death and by the breaker-open stale-cleanup path.
+func (f *Frontend) unregisterWorker(ctx context.Context, worker, hotLimit int) (*UnregisterWorkerResponse, error) {
+	body, err := json.Marshal(UnregisterWorkerRequest{Worker: worker, HotLimit: hotLimit})
+	if err != nil {
+		return nil, err
+	}
+	status, respBody, err := f.transfer.send(ctx, f.transfer.metaTarget(), http.MethodPost,
+		f.cfg.MetaURL+"/v1/unregister_worker", "application/json", body)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("distserve: unregister_worker returned status %d", status)
+	}
+	var out UnregisterWorkerResponse
+	if err := json.Unmarshal(respBody, &out); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.workerPurges++
+	f.purgedBindings += int64(out.Removed)
+	f.mu.Unlock()
+	return &out, nil
+}
+
+// maybePurgeWorker runs the worker-granularity stale cleanup when a fetch
+// hits an open breaker: instead of per-key 404 unregisters (which never
+// happen while the breaker short-circuits fetches), drop every binding the
+// dead worker holds so metaLocate stops steering requests at it. Rate-limited
+// per worker to one purge per breaker cooldown.
+func (f *Frontend) maybePurgeWorker(ctx context.Context, worker int) {
+	if worker < 0 || worker >= len(f.lastPurge) {
+		return
+	}
+	now := time.Now()
+	f.mu.Lock()
+	if now.Sub(f.lastPurge[worker]) < f.cfg.Transfer.BreakerCooldown {
+		f.mu.Unlock()
+		return
+	}
+	f.lastPurge[worker] = now
+	f.mu.Unlock()
+	f.unregisterWorker(ctx, worker, 0)
 }
 
 // metaLocate resolves an entry's workers; failures degrade to "not cached".
@@ -322,6 +610,9 @@ func (f *Frontend) fetchCache(ctx context.Context, worker int, kind string, id u
 	status, data, err := f.transfer.get(ctx, worker, u)
 	if err != nil {
 		f.noteFetchError()
+		if errors.Is(err, errBreakerOpen) {
+			f.maybePurgeWorker(ctx, worker)
+		}
 		return nil
 	}
 	if status == http.StatusNotFound {
@@ -383,6 +674,23 @@ type FrontendStats struct {
 	// meta bindings were cleaned up after a worker 404.
 	Failovers        int64 `json:"failovers"`
 	StaleUnregisters int64 `json:"stale_unregisters"`
+	// Admission is the overload ladder's front door: in-flight/queue gauges
+	// plus admitted/queued/shed counters.
+	Admission admission.Stats `json:"admission"`
+	// DegradedRequests counts responses served by the retrieval fallback;
+	// DeadlineAborts counts full serves canceled mid-execution by an expired
+	// deadline or disconnected client.
+	DegradedRequests int64 `json:"degraded_requests"`
+	DeadlineAborts   int64 `json:"deadline_aborts"`
+	// WorkerPurges counts bulk meta cleanups (poolguard deaths plus
+	// breaker-open sweeps); PurgedBindings is the total bindings they removed.
+	WorkerPurges   int64 `json:"worker_purges"`
+	PurgedBindings int64 `json:"purged_bindings"`
+	// CalibratedCostRatio is the EWMA of observed/predicted full-serve
+	// seconds; 0 means the deadline gate is still uncalibrated (never sheds).
+	CalibratedCostRatio float64 `json:"calibrated_cost_ratio"`
+	// Guard is the poolguard's view of the cache pool, when one is attached.
+	Guard *PoolGuardStats `json:"poolguard,omitempty"`
 	// Workers is per-target transfer health (workers in index order, then
 	// the meta service): request/error counts, average latency, and the
 	// circuit breaker state, so degradation is measurable rather than
@@ -398,16 +706,29 @@ func (f *Frontend) Stats() FrontendStats {
 		ReusedTokens: f.reusedTokens, ComputedTokens: f.computedTokens,
 		FetchErrors: f.fetchErrors, Failovers: f.failovers,
 		StaleUnregisters: f.staleUnregisters,
+		DegradedRequests: f.degraded, DeadlineAborts: f.deadlineAborts,
+		WorkerPurges: f.workerPurges, PurgedBindings: f.purgedBindings,
+		CalibratedCostRatio: f.calibRatio,
 	}
+	guard := f.guard
 	f.mu.Unlock()
 	if total := st.ReusedTokens + st.ComputedTokens; total > 0 {
 		st.TokenHitRate = float64(st.ReusedTokens) / float64(total)
+	}
+	st.Admission = f.adm.Stats()
+	if guard != nil {
+		gs := guard.Stats()
+		st.Guard = &gs
 	}
 	st.Workers = f.transfer.health()
 	return st
 }
 
 // Handler exposes the frontend API: POST /v1/rank, GET /v1/stats, /healthz.
+// /v1/rank runs the overload ladder: admit (bounded in-flight + wait queue),
+// degrade (retrieval fallback under queue pressure, pool ill-health, or a
+// tight deadline), or shed (429 + Retry-After). The request's deadline comes
+// from the Deadline-Ms header, defaulting to the admission config.
 func (f *Frontend) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/rank", func(rw http.ResponseWriter, r *http.Request) {
@@ -420,15 +741,46 @@ func (f *Frontend) Handler() http.Handler {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp, err := f.Rank(r.Context(), req)
+		ctx, cancel := context.WithTimeout(r.Context(), f.adm.Deadline(r))
+		defer cancel()
+		grant, err := f.adm.Acquire(ctx)
 		if err != nil {
-			// Only caller mistakes are 400s; ranker or transfer failures
-			// are the server's fault.
-			code := http.StatusInternalServerError
-			if errors.Is(err, ErrValidation) {
-				code = http.StatusBadRequest
+			reason := admission.ReasonQueueFull
+			if errors.Is(err, admission.ErrDeadline) {
+				reason = admission.ReasonDeadline
 			}
-			http.Error(rw, err.Error(), code)
+			f.adm.Shed(rw, reason)
+			return
+		}
+		defer grant.Release()
+
+		mode, reason := f.decideMode(ctx, grant, req)
+		if mode == modeShed {
+			f.adm.Shed(rw, reason)
+			return
+		}
+		if mode == modeDegraded {
+			// Degraded mode still validates (caller mistakes stay 400s).
+			if verr := f.validate(req); verr != nil {
+				http.Error(rw, verr.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(rw, f.rankDegraded(req, reason))
+			return
+		}
+		resp, err := f.Rank(ctx, req)
+		if err != nil {
+			if errors.Is(err, ErrValidation) {
+				http.Error(rw, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if ctx.Err() != nil {
+				// The deadline expired mid-serve; tell the client to back
+				// off rather than reporting a server fault.
+				f.adm.Shed(rw, admission.ReasonDeadline)
+				return
+			}
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		writeJSON(rw, resp)

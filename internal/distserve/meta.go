@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -70,12 +71,52 @@ type UnregisterResponse struct {
 	Removed bool `json:"removed"`
 }
 
+// AccessBatchRequest records many accesses in one round trip (the frontend
+// uses it for a request's whole candidate set, so item hotness stays live
+// without a per-item call).
+type AccessBatchRequest struct {
+	Entries []EntryRef `json:"entries"`
+}
+
+// UnregisterWorkerRequest drops every binding held by one worker — the bulk
+// cleanup the poolguard issues when a cache worker dies.
+type UnregisterWorkerRequest struct {
+	Worker int `json:"worker"`
+	// HotLimit caps the hottest-entries list in the response (default 32).
+	HotLimit int `json:"hot_limit"`
+}
+
+// HotEntry is one purged binding with its hotness at purge time.
+type HotEntry struct {
+	Kind    string  `json:"kind"`
+	ID      uint64  `json:"id"`
+	Hotness float64 `json:"hotness"`
+}
+
+// UnregisterWorkerResponse reports the bulk purge: how many bindings were
+// removed and the hottest of them (descending), so the caller can
+// re-replicate exactly the entries whose loss hurts most.
+type UnregisterWorkerResponse struct {
+	Removed int        `json:"removed"`
+	Hottest []HotEntry `json:"hottest,omitempty"`
+}
+
+// entryKindString reverses metaKey for response payloads.
+func entryKindString(k kvcache.EntryKind) string {
+	if k == kvcache.UserEntry {
+		return "user"
+	}
+	return "item"
+}
+
 // Handler exposes the meta service:
 //
-//	POST /v1/access     {kind,id}         -> {hotness}
-//	POST /v1/register   {kind,id,worker}
-//	POST /v1/unregister {kind,id,worker}
-//	GET  /v1/locate?kind=user&id=5        -> {workers:[...]}
+//	POST /v1/access            {kind,id}          -> {hotness}
+//	POST /v1/access_batch      {entries:[...]}
+//	POST /v1/register          {kind,id,worker}
+//	POST /v1/unregister        {kind,id,worker}
+//	POST /v1/unregister_worker {worker,hot_limit} -> {removed,hottest:[...]}
+//	GET  /v1/locate?kind=user&id=5                -> {workers:[...]}
 func (m *MetaServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/access", func(rw http.ResponseWriter, r *http.Request) {
@@ -122,6 +163,55 @@ func (m *MetaServer) Handler() http.Handler {
 		removed := m.svc.UnregisterEntry(key, cachemeta.WorkerID(req.Worker))
 		m.mu.Unlock()
 		writeJSON(rw, UnregisterResponse{Removed: removed})
+	})
+	mux.HandleFunc("/v1/access_batch", func(rw http.ResponseWriter, r *http.Request) {
+		var req AccessBatchRequest
+		if !decodeJSON(rw, r, &req) {
+			return
+		}
+		keys := make([]kvcache.EntryKey, 0, len(req.Entries))
+		for _, e := range req.Entries {
+			key, err := metaKey(e.Kind, e.ID)
+			if err != nil {
+				http.Error(rw, err.Error(), http.StatusBadRequest)
+				return
+			}
+			keys = append(keys, key)
+		}
+		m.mu.Lock()
+		now := m.seconds()
+		for _, key := range keys {
+			m.svc.RecordAccess(key, now)
+		}
+		m.mu.Unlock()
+		rw.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/v1/unregister_worker", func(rw http.ResponseWriter, r *http.Request) {
+		var req UnregisterWorkerRequest
+		if !decodeJSON(rw, r, &req) {
+			return
+		}
+		if req.Worker < 0 {
+			http.Error(rw, "negative worker", http.StatusBadRequest)
+			return
+		}
+		limit := req.HotLimit
+		if limit <= 0 {
+			limit = 32
+		}
+		m.mu.Lock()
+		now := m.seconds()
+		keys := m.svc.UnregisterWorker(cachemeta.WorkerID(req.Worker))
+		hot := make([]HotEntry, len(keys))
+		for i, k := range keys {
+			hot[i] = HotEntry{Kind: entryKindString(k.Kind), ID: k.ID, Hotness: m.svc.Hotness(k, now)}
+		}
+		m.mu.Unlock()
+		sort.SliceStable(hot, func(i, j int) bool { return hot[i].Hotness > hot[j].Hotness })
+		if len(hot) > limit {
+			hot = hot[:limit]
+		}
+		writeJSON(rw, UnregisterWorkerResponse{Removed: len(keys), Hottest: hot})
 	})
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(rw, "ok")

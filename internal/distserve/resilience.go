@@ -322,6 +322,21 @@ func (t *transferClient) backoff(i int) time.Duration {
 	return time.Duration(float64(d) * (0.5 + rand.Float64()))
 }
 
+// openWorkerBreakers counts cache workers (the meta slot excluded) whose
+// circuit breaker is currently open — the overload ladder's pool-health
+// signal.
+func (t *transferClient) openWorkerBreakers() int {
+	open := 0
+	for _, ts := range t.targets[:len(t.targets)-1] {
+		ts.mu.Lock()
+		if ts.state == breakerOpen {
+			open++
+		}
+		ts.mu.Unlock()
+	}
+	return open
+}
+
 // health snapshots every target, workers first, meta last.
 func (t *transferClient) health() []WorkerHealth {
 	out := make([]WorkerHealth, len(t.targets))

@@ -1,6 +1,7 @@
 package ranking
 
 import (
+	"context"
 	"fmt"
 
 	"bat/internal/bipartite"
@@ -150,6 +151,18 @@ type RankOpts struct {
 	PIC bool
 	// Caches supplies prefix caches to reuse.
 	Caches bipartite.CacheSet
+	// Ctx, when non-nil, cancels execution cooperatively: it is polled at
+	// model phase boundaries, so a disconnected client or an expired
+	// deadline stops consuming compute instead of running to completion.
+	Ctx context.Context
+}
+
+// cancelFn adapts a context into the execution layer's cancellation hook.
+func (o RankOpts) cancelFn() func() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err
 }
 
 // Prompt assembles the GR prompt for a request.
@@ -181,7 +194,7 @@ func (r *Ranker) Rank(req EvalRequest, kind bipartite.PrefixKind, opts RankOpts)
 	if opts.PIC {
 		layout.PICAdjust()
 	}
-	run, err := bipartite.Execute(r.W, layout, opts.Caches)
+	run, err := bipartite.ExecuteCancelable(r.W, layout, opts.Caches, opts.cancelFn())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -203,6 +216,11 @@ func (r *Ranker) RankMulti(req EvalRequest, kind bipartite.PrefixKind, opts Rank
 	layout, err := bipartite.BuildMultiDisc(kind, p)
 	if err != nil {
 		return nil, nil, err
+	}
+	if cancel := opts.cancelFn(); cancel != nil {
+		if err := cancel(); err != nil {
+			return nil, nil, err
+		}
 	}
 	run, states, err := bipartite.ExecuteMultiDisc(r.W, layout, opts.Caches)
 	if err != nil {

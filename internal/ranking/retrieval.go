@@ -79,6 +79,20 @@ func (r *Retriever) Retrieve(u, c int) []int {
 	return tensor.TopK(scores, c)
 }
 
+// ScoreCandidates scores an explicit candidate list by retrieval similarity:
+// the dot product between the user's recurrence state and each candidate's
+// latent. This is the degraded-mode scorer the overload ladder falls back to
+// when the full GR forward cannot run within the request's budget — no
+// transformer compute, no cache traffic, just first-stage similarity.
+func (r *Retriever) ScoreCandidates(u int, cands []int) []float32 {
+	state := r.UserState(u)
+	scores := make([]float32, len(cands))
+	for i, it := range cands {
+		scores[i] = tensor.Dot(state, r.ds.ItemLatent[it])
+	}
+	return scores
+}
+
 // RetrievalRequest builds an evaluation request for user u from the
 // retriever's candidate set. ok is false when the ground-truth item does not
 // survive retrieval — the paper's protocol drops such requests.

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"bat/internal/admission"
+)
+
+// postWithHeaders is postRank plus request headers, returning the raw
+// response metadata for shed-path assertions.
+func postWithHeaders(t *testing.T, ts *httptest.Server, req RankRequest, headers map[string]string) (int, http.Header, *RankResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/rank", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, resp.Header, nil
+	}
+	var out RankResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, &out
+}
+
+// TestServerOverloadFloodShedsAndDegrades: with one slot and a tiny queue, a
+// concurrent flood splits into full serves, degraded serves, and fast 429s —
+// and every rung shows up in the stats.
+func TestServerOverloadFloodShedsAndDegrades(t *testing.T) {
+	s := newTestServer(t, func(cfg *Config) {
+		cfg.Admission = admission.Config{MaxInFlight: 1, MaxQueue: 2, DegradeQueueDepth: 1}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Stall the serving lock so the flood genuinely overlaps: the admitted
+	// request parks on s.mu, the queue fills, the rest shed.
+	s.mu.Lock()
+	release := make(chan struct{})
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		s.mu.Unlock()
+		close(release)
+	}()
+
+	const flood = 12
+	type outcome struct {
+		status   int
+		degraded bool
+		header   http.Header
+	}
+	outcomes := make([]outcome, flood)
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, hdr, resp := postWithHeaders(t, ts, RankRequest{UserID: i % 5, CandidateIDs: []int{1, 2, 3}}, nil)
+			outcomes[i] = outcome{status: status, header: hdr}
+			if resp != nil {
+				outcomes[i].degraded = resp.Degraded
+			}
+		}(i)
+	}
+	wg.Wait()
+	<-release
+
+	oks, sheds, degraded := 0, 0, 0
+	for _, o := range outcomes {
+		switch o.status {
+		case http.StatusOK:
+			oks++
+			if o.degraded {
+				degraded++
+			}
+		case http.StatusTooManyRequests:
+			sheds++
+			if o.header.Get("Retry-After") == "" || o.header.Get(admission.ShedReasonHeader) == "" {
+				t.Fatal("shed response missing Retry-After or reason header")
+			}
+		default:
+			t.Fatalf("unexpected status %d", o.status)
+		}
+	}
+	if oks == 0 || sheds == 0 || degraded == 0 {
+		t.Fatalf("flood outcomes ok=%d shed=%d degraded=%d; want every ladder rung exercised", oks, sheds, degraded)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.ShedQueueFull == 0 {
+		t.Fatal("stats missing queue-full sheds")
+	}
+	if st.DegradedRequests == 0 {
+		t.Fatal("stats missing degraded requests")
+	}
+	if st.Admission.MaxInFlight != 1 || st.Admission.MaxQueue != 2 {
+		t.Fatalf("admission config not surfaced: %+v", st.Admission)
+	}
+}
+
+// TestServerDeadlineAbortsMidServe: a request whose Deadline-Ms budget
+// expires before execution starts is shed with the deadline reason instead of
+// burning a full forward — the r.Context() plumbing satellite, end to end.
+func TestServerDeadlineAbortsMidServe(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Hold the serving lock past the request's budget: by the time the
+	// admitted request reaches the model, its context is dead and the
+	// cancellation hook fires at the first phase boundary.
+	s.mu.Lock()
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		s.mu.Unlock()
+	}()
+	status, hdr, _ := postWithHeaders(t, ts, RankRequest{UserID: 1, CandidateIDs: []int{1, 2, 3}},
+		map[string]string{admission.DeadlineHeader: "40"})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("expired-deadline request status %d, want 429", status)
+	}
+	if got := hdr.Get(admission.ShedReasonHeader); got != admission.ReasonDeadline {
+		t.Fatalf("shed reason %q, want %q", got, admission.ReasonDeadline)
+	}
+
+	// The abort is counted, and the server still serves normally afterwards.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadlineAborts == 0 {
+		t.Fatal("deadline abort not counted")
+	}
+	if out, code := postRank(t, ts, RankRequest{UserID: 1, CandidateIDs: []int{1, 2, 3}}); code != http.StatusOK || out.Degraded {
+		t.Fatalf("post-abort request: status %d degraded %v, want clean full serve", code, out != nil && out.Degraded)
+	}
+}
+
+// TestServerDegradedMatchesRetrieval: the degraded path is deterministic
+// first-stage retrieval — same ranking as scoring the capped candidate set
+// by retrieval similarity directly.
+func TestServerDegradedMatchesRetrieval(t *testing.T) {
+	s := newTestServer(t, func(cfg *Config) {
+		cfg.DegradedMaxCandidates = 4
+	})
+	resp, err := s.rankDegraded(RankRequest{UserID: 3, CandidateIDs: []int{9, 2, 7, 5, 11, 13}}, "queue-pressure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || resp.DegradeReason != "queue-pressure" {
+		t.Fatalf("response %+v not tagged degraded", resp)
+	}
+	if resp.Prefix != "degraded-retrieval" {
+		t.Fatalf("degraded prefix %q", resp.Prefix)
+	}
+	// Only the capped candidate set may appear.
+	capped := map[int]bool{9: true, 2: true, 7: true, 5: true}
+	for _, it := range resp.Ranking {
+		if !capped[it] {
+			t.Fatalf("ranking %v includes item %d beyond the degraded cap", resp.Ranking, it)
+		}
+	}
+	if len(resp.Ranking) != 4 {
+		t.Fatalf("ranking length %d, want 4 (capped set)", len(resp.Ranking))
+	}
+	// Degraded mode must not touch the model caches.
+	if got := len(s.itemCaches); got != 0 {
+		t.Fatalf("degraded serve populated %d item caches", got)
+	}
+	// And validation still applies.
+	if _, err := s.rankDegraded(RankRequest{UserID: -1, CandidateIDs: []int{1}}, "x"); err == nil {
+		t.Fatal("degraded path accepted an invalid user")
+	}
+}

@@ -7,12 +7,15 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
+	"bat/internal/admission"
 	"bat/internal/bipartite"
 	"bat/internal/cachemeta"
 	"bat/internal/kvcache"
@@ -45,6 +48,12 @@ type Config struct {
 	// PagedAttention-style BlockArena with pages of that many tokens, so
 	// concurrent contexts share block-aligned prefix pages copy-free.
 	PageTokens int
+	// Admission tunes the overload ladder (in-flight bound, wait queue,
+	// default deadline, degrade threshold). Zero value = defaults.
+	Admission admission.Config
+	// DegradedMaxCandidates caps the candidate set served in degraded mode
+	// (default 16).
+	DegradedMaxCandidates int
 	// Now supplies time (injectable for tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -53,6 +62,8 @@ type Config struct {
 type Server struct {
 	cfg    Config
 	ranker *ranking.Ranker
+	retr   *ranking.Retriever
+	adm    *admission.Controller
 	arena  *model.BlockArena // nil unless cfg.PageTokens > 0
 
 	mu         sync.Mutex
@@ -64,6 +75,7 @@ type Server struct {
 
 	requests, userPrefix, itemPrefix int64
 	reusedTokens, computedTokens     int64
+	degraded, deadlineAborts         int64
 }
 
 // New builds a server.
@@ -86,13 +98,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.DegradedMaxCandidates <= 0 {
+		cfg.DegradedMaxCandidates = 16
+	}
 	r, err := ranking.NewRanker(cfg.Dataset, cfg.Variant)
+	if err != nil {
+		return nil, err
+	}
+	retr, err := ranking.NewRetriever(cfg.Dataset, 0.9)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		cfg:        cfg,
 		ranker:     r,
+		retr:       retr,
+		adm:        admission.NewController(cfg.Admission),
 		itemCaches: make(map[int]*model.KVCache),
 		userCaches: make(map[int]*model.KVCache),
 		meta:       cachemeta.New(cfg.HotnessWindowSec),
@@ -161,6 +182,10 @@ type RankResponse struct {
 	// ReusedTokens and ComputedTokens account this request's prefill work.
 	ReusedTokens   int `json:"reused_tokens"`
 	ComputedTokens int `json:"computed_tokens"`
+	// Degraded marks a response served by the retrieval-similarity fallback
+	// under overload; DegradeReason says why.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
 }
 
 // StatsResponse is the /v1/stats reply.
@@ -173,8 +198,19 @@ type StatsResponse struct {
 	TokenHitRate     float64 `json:"token_hit_rate"`
 	ItemCacheEntries int     `json:"item_cache_entries"`
 	UserCacheEntries int     `json:"user_cache_entries"`
+	// Admission is the overload ladder's front door; DegradedRequests counts
+	// retrieval-fallback responses and DeadlineAborts counts serves canceled
+	// mid-execution by an expired deadline or disconnected client.
+	Admission        admission.Stats `json:"admission"`
+	DegradedRequests int64           `json:"degraded_requests"`
+	DeadlineAborts   int64           `json:"deadline_aborts"`
 }
 
+// handleRank runs the overload ladder in front of the model: admit (bounded
+// in-flight + wait queue), degrade (retrieval fallback under queue pressure),
+// or shed (429 + Retry-After). The request context — carrying the client
+// disconnect and the Deadline-Ms budget — is threaded through model
+// execution, so abandoned requests stop burning compute.
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -185,8 +221,33 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
-	resp, err := s.Rank(req)
+	ctx, cancel := context.WithTimeout(r.Context(), s.adm.Deadline(r))
+	defer cancel()
+	grant, err := s.adm.Acquire(ctx)
 	if err != nil {
+		reason := admission.ReasonQueueFull
+		if errors.Is(err, admission.ErrDeadline) {
+			reason = admission.ReasonDeadline
+		}
+		s.adm.Shed(w, reason)
+		return
+	}
+	defer grant.Release()
+
+	var resp *RankResponse
+	if s.adm.ShouldDegrade(grant.QueuedBehind) {
+		resp, err = s.rankDegraded(req, "queue-pressure")
+	} else {
+		resp, err = s.RankCtx(ctx, req)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			s.mu.Lock()
+			s.deadlineAborts++
+			s.mu.Unlock()
+			s.adm.Shed(w, admission.ReasonDeadline)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -196,20 +257,70 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Rank serves one ranking request (the API handler's core, callable
-// directly by examples and tests).
-func (s *Server) Rank(req RankRequest) (*RankResponse, error) {
+// validate rejects caller mistakes; both serving paths apply it.
+func (s *Server) validate(req RankRequest) error {
 	ds := s.cfg.Dataset
 	if req.UserID < 0 || req.UserID >= len(ds.UserHistory) {
-		return nil, fmt.Errorf("server: unknown user %d", req.UserID)
+		return fmt.Errorf("server: unknown user %d", req.UserID)
 	}
 	if len(req.CandidateIDs) == 0 {
-		return nil, fmt.Errorf("server: empty candidate set")
+		return fmt.Errorf("server: empty candidate set")
 	}
 	for _, it := range req.CandidateIDs {
 		if it < 0 || it >= len(ds.ItemTokens) {
-			return nil, fmt.Errorf("server: unknown item %d", it)
+			return fmt.Errorf("server: unknown item %d", it)
 		}
+	}
+	return nil
+}
+
+// rankDegraded serves the overload fallback: cap the candidate set and score
+// by retrieval similarity — no transformer forward, no cache mutation, no
+// lock contention with full serves beyond the counters.
+func (s *Server) rankDegraded(req RankRequest, reason string) (*RankResponse, error) {
+	if err := s.validate(req); err != nil {
+		return nil, err
+	}
+	cands := req.CandidateIDs
+	if len(cands) > s.cfg.DegradedMaxCandidates {
+		cands = cands[:s.cfg.DegradedMaxCandidates]
+	}
+	scores := s.retr.ScoreCandidates(req.UserID, cands)
+	order := tensor.TopK(scores, len(scores))
+	k := s.cfg.TopK
+	if k > len(order) {
+		k = len(order)
+	}
+	top := make([]int, k)
+	for i := 0; i < k; i++ {
+		top[i] = cands[order[i]]
+	}
+	s.mu.Lock()
+	s.requests++
+	s.degraded++
+	s.mu.Unlock()
+	return &RankResponse{
+		Ranking:       top,
+		Prefix:        "degraded-retrieval",
+		Degraded:      true,
+		DegradeReason: reason,
+	}, nil
+}
+
+// Rank serves one ranking request (the API handler's core, callable
+// directly by examples and tests). It never cancels; use RankCtx to bound
+// execution by a context.
+func (s *Server) Rank(req RankRequest) (*RankResponse, error) {
+	return s.RankCtx(context.Background(), req)
+}
+
+// RankCtx is Rank bounded by a context: the deadline and cancellation are
+// polled at model phase boundaries, so an abandoned request releases the
+// server lock early instead of running to completion.
+func (s *Server) RankCtx(ctx context.Context, req RankRequest) (*RankResponse, error) {
+	ds := s.cfg.Dataset
+	if err := s.validate(req); err != nil {
+		return nil, err
 	}
 
 	s.mu.Lock()
@@ -254,7 +365,7 @@ func (s *Server) Rank(req RankRequest) (*RankResponse, error) {
 	if s.cfg.MultiDisc {
 		rank = s.ranker.RankMulti
 	}
-	ranked, run, err := rank(evalReq, kind, ranking.RankOpts{Caches: caches})
+	ranked, run, err := rank(evalReq, kind, ranking.RankOpts{Caches: caches, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -338,8 +449,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ComputedTokens:   s.computedTokens,
 		ItemCacheEntries: len(s.itemCaches),
 		UserCacheEntries: len(s.userCaches),
+		DegradedRequests: s.degraded,
+		DeadlineAborts:   s.deadlineAborts,
 	}
 	s.mu.Unlock()
+	resp.Admission = s.adm.Stats()
 	if total > 0 {
 		resp.TokenHitRate = float64(resp.ReusedTokens) / float64(total)
 	}
