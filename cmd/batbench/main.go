@@ -27,8 +27,9 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink every experiment for a fast smoke run")
 	format := flag.String("format", "text", "output format: text | markdown | csv")
 	list := flag.Bool("list", false, "list artifact IDs and exit")
-	benchJSON := flag.Bool("bench-json", false, "run the engine micro-benchmark and write tokens/sec to -bench-out")
-	benchOut := flag.String("bench-out", "BENCH_engine.json", "output path for -bench-json")
+	benchJSON := flag.Bool("bench-json", false, "run the engine and serving benchmarks and write -bench-out plus -serving-bench-out")
+	benchOut := flag.String("bench-out", "BENCH_engine.json", "engine benchmark output path for -bench-json")
+	servingBenchOut := flag.String("serving-bench-out", "BENCH_serving.json", "serving benchmark output path for -bench-json")
 	flag.Parse()
 
 	if *list {
@@ -51,6 +52,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *benchOut)
+		sres, err := experiments.RunServingBench(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batbench: serving bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(sres.Table().Format())
+		if err := experiments.WriteServingBenchJSON(*servingBenchOut, sres); err != nil {
+			fmt.Fprintf(os.Stderr, "batbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *servingBenchOut)
 		return
 	}
 

@@ -53,6 +53,8 @@ func main() {
 	degradeQueue := flag.Int("degrade-queue", 4, "queue depth at which admitted requests are served degraded")
 	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "poolguard health-probe cadence")
 	repairHot := flag.Int("repair-hot", 16, "hottest entries re-replicated after a cache worker dies")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long the first queued request waits for batchmates (negative = drain-only)")
+	maxBatch := flag.Int("max-batch", 8, "most requests packed into one bipartite execution (1 = serialized)")
 	flag.Parse()
 
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
@@ -127,6 +129,8 @@ func main() {
 			DefaultDeadline:   *defaultDeadline,
 			DegradeQueueDepth: *degradeQueue,
 		},
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
 	})
 	if err != nil {
 		log.Fatalf("batdist: %v", err)

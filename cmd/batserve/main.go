@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"bat/internal/ranking"
 	"bat/internal/server"
@@ -31,6 +32,8 @@ func main() {
 	posSensitive := flag.Bool("abs-pos", false, "serve the position-sensitive model variant")
 	pageTokens := flag.Int("page-tokens", 0, "PagedAttention block size; 0 = contiguous storage")
 	multiDisc := flag.Bool("multi-disc", false, "serve with one discriminant token per candidate")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long the first queued request waits for batchmates (negative = drain-only)")
+	maxBatch := flag.Int("max-batch", 8, "most requests packed into one bipartite execution (1 = serialized)")
 	flag.Parse()
 
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
@@ -51,6 +54,8 @@ func main() {
 		PrecomputeItems: *precompute,
 		PageTokens:      *pageTokens,
 		MultiDisc:       *multiDisc,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *maxBatch,
 	})
 	if err != nil {
 		log.Fatalf("batserve: %v", err)

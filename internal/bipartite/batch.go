@@ -1,0 +1,262 @@
+package bipartite
+
+import (
+	"fmt"
+
+	"bat/internal/model"
+	"bat/internal/tensor"
+)
+
+// BatchItem pairs one request's resolved layout with the prefix caches
+// available to serve it. A batch of items is executed as ONE packed forward.
+type BatchItem struct {
+	Layout *Layout
+	Caches CacheSet
+}
+
+// ExecuteBatch runs GR inference for several requests as a single batched
+// forward: every request's prefix context (cached or recomputed) is
+// concatenated into one KV store, every request's suffix tokens are packed
+// into one token sequence, and a block-diagonal cross-request mask keeps
+// request r's queries from seeing request s's keys. Because attention scores
+// for masked keys are exactly NegInf -> exactly 0 weight, and every row-wise
+// op (embeddings, RMSNorm, GEMM rows, RoPE) is independent per token with a
+// fixed scalar summation order, the packed forward is bit-identical to
+// executing each item through Execute on its own — at any batch split.
+//
+// Caller-supplied caches are never mutated.
+func ExecuteBatch(w *model.Weights, items []BatchItem) ([]*Run, error) {
+	runs, errs := ExecuteBatchCancelable(w, items, nil)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+// ExecuteBatchCancelable is ExecuteBatch with per-item cooperative
+// cancellation: cancels[i] (nil = never cancel) is polled at phase
+// boundaries — before item i's prefix resolution and again before the packed
+// suffix forward. A canceled or failed item gets a per-item error and is
+// excluded from the packed forward; the surviving items' results are
+// unaffected (the cross-request mask already isolated them).
+//
+// Returned slices are index-aligned with items: exactly one of runs[i],
+// errs[i] is non-nil.
+func ExecuteBatchCancelable(w *model.Weights, items []BatchItem, cancels []func() error) ([]*Run, []error) {
+	n := len(items)
+	runs := make([]*Run, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return runs, errs
+	}
+	cancelAt := func(i int) error {
+		if cancels == nil || cancels[i] == nil {
+			return nil
+		}
+		return cancels[i]()
+	}
+
+	// Phase A: resolve every item's prefix context — reuse caches that cover
+	// the layout prefix, recompute the rest. Identical math to the
+	// per-request Execute prefix phase (misses fan out across the worker pool
+	// inside resolvePrefix, exactly as executeItemPrefix does).
+	parts := make([][]*model.KVCache, n)
+	for i := range items {
+		if err := cancelAt(i); err != nil {
+			errs[i] = err
+			continue
+		}
+		runs[i] = &Run{Layout: items[i].Layout}
+		p, err := resolvePrefix(w, items[i].Layout, items[i].Caches, runs[i])
+		if err != nil {
+			errs[i], runs[i] = err, nil
+			continue
+		}
+		parts[i] = p
+	}
+	// Boundary poll before committing to the packed forward.
+	for i := range items {
+		if runs[i] == nil {
+			continue
+		}
+		if err := cancelAt(i); err != nil {
+			errs[i], runs[i] = err, nil
+		}
+	}
+
+	// Phase B: pack the survivors. Batched absolute index space is
+	// [all prefixes, in item order][all suffixes, in item order]; owner/local
+	// map each batched index back to its item and that item's own layout
+	// index, so the batch mask can delegate to each layout's mask.
+	var alive []int
+	totalPrefix, totalSuffix := 0, 0
+	for i := range items {
+		if runs[i] == nil {
+			continue
+		}
+		alive = append(alive, i)
+		totalPrefix += prefixLen(parts[i])
+		totalSuffix += items[i].Layout.Len() - items[i].Layout.PrefixLen
+	}
+	if len(alive) == 0 {
+		return runs, errs
+	}
+	owner := make([]int32, totalPrefix+totalSuffix)
+	local := make([]int32, totalPrefix+totalSuffix)
+	// Each item's keys occupy two contiguous batched-index ranges (its
+	// prefix block and its suffix block); recording them lets the attention
+	// loop skip foreign blocks wholesale instead of testing every key.
+	prefRange := make([][2]int, n)
+	sufRange := make([][2]int, n)
+	off := 0
+	for _, i := range alive {
+		prefRange[i][0] = off
+		for t := 0; t < prefixLen(parts[i]); t++ {
+			owner[off], local[off] = int32(i), int32(t)
+			off++
+		}
+		prefRange[i][1] = off
+	}
+	sufTokens := make([]int, 0, totalSuffix)
+	sufPos := make([]int, 0, totalSuffix)
+	for _, i := range alive {
+		l := items[i].Layout
+		sufRange[i][0] = off
+		for t := l.PrefixLen; t < l.Len(); t++ {
+			owner[off], local[off] = int32(i), int32(t)
+			off++
+			sufTokens = append(sufTokens, l.Tokens[t])
+			sufPos = append(sufPos, l.Pos[t])
+		}
+		sufRange[i][1] = off
+	}
+
+	var all []*model.KVCache
+	for _, i := range alive {
+		all = append(all, parts[i]...)
+	}
+	var combined *model.KVCache
+	if len(all) > 0 {
+		combined = model.ConcatCaches(all...)
+	} else {
+		combined = model.NewKVCache(w.Config())
+	}
+	masks := make([]model.Mask, n)
+	for _, i := range alive {
+		masks[i] = items[i].Layout.Mask()
+	}
+	hidden := w.Forward(sufTokens, sufPos, batchMask{owner, local, masks, prefRange, sufRange}, combined)
+	combined.Release() // reclaim arena pages; no-op for contiguous storage
+
+	// Split the packed hidden rows back into per-item views (zero copy).
+	row := 0
+	for _, i := range alive {
+		l := items[i].Layout
+		ns := l.Len() - l.PrefixLen
+		runs[i].Hidden = tensor.FromSlice(ns, hidden.Cols, hidden.Data[row*hidden.Cols:(row+ns)*hidden.Cols])
+		runs[i].ComputedTokens += ns
+		runs[i].Discriminant = runs[i].Hidden.Row(ns - 1)
+		row += ns
+	}
+	return runs, errs
+}
+
+// prefixLen sums the cached-context length a part list contributes.
+func prefixLen(parts []*model.KVCache) int {
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	return total
+}
+
+// resolvePrefix mirrors the per-request Execute prefix phase: reuse a cache
+// that covers the layout prefix, or recompute it (recording NewUserCache /
+// NewItemCaches for the caller to admit). Returns the ordered cache parts
+// whose concatenation is this item's prefix context.
+func resolvePrefix(w *model.Weights, l *Layout, caches CacheSet, run *Run) ([]*model.KVCache, error) {
+	switch l.Kind {
+	case UserPrefix:
+		if c := caches.User; c != nil {
+			if c.Len() != l.PrefixLen {
+				return nil, fmt.Errorf("bipartite: user cache covers %d tokens, layout prefix is %d", c.Len(), l.PrefixLen)
+			}
+			run.ReusedTokens = l.PrefixLen
+			return []*model.KVCache{c}, nil
+		}
+		if l.PrefixLen == 0 {
+			return nil, nil
+		}
+		c := model.NewKVCache(w.Config())
+		w.Forward(l.Tokens[:l.PrefixLen], l.Pos[:l.PrefixLen], l.Mask(), c)
+		run.ComputedTokens += l.PrefixLen
+		run.NewUserCache = c
+		return []*model.KVCache{c}, nil
+	case ItemPrefix:
+		segs := l.ItemSegments()
+		parts := make([]*model.KVCache, len(segs))
+		var missIdx []int
+		for si, seg := range segs {
+			if c, ok := caches.Items[seg.Item]; ok && c != nil {
+				if c.Len() != seg.Len {
+					return nil, fmt.Errorf("bipartite: item %d cache covers %d tokens, segment has %d", seg.Item, c.Len(), seg.Len)
+				}
+				parts[si] = c
+				run.ReusedTokens += seg.Len
+				continue
+			}
+			missIdx = append(missIdx, si)
+		}
+		tensor.Parallel(len(missIdx), func(m int) {
+			seg := segs[missIdx[m]]
+			parts[missIdx[m]] = ComputeItemCacheAt(w, l.Tokens[seg.Start:seg.Start+seg.Len], seg.PosStart)
+		})
+		for _, si := range missIdx {
+			seg := segs[si]
+			run.ComputedTokens += seg.Len
+			if run.NewItemCaches == nil {
+				run.NewItemCaches = make(map[int]*model.KVCache)
+			}
+			run.NewItemCaches[seg.Item] = parts[si]
+		}
+		return parts, nil
+	default:
+		return nil, fmt.Errorf("bipartite: unknown layout kind %d", int(l.Kind))
+	}
+}
+
+// batchMask is the block-diagonal cross-request mask: a query sees a key only
+// when both belong to the same item, and then exactly when that item's own
+// layout mask allows the pair. Indices are batched absolute positions over
+// (all packed prefixes, then all packed suffixes).
+type batchMask struct {
+	owner []int32 // batched index -> items index
+	local []int32 // batched index -> that item's own layout index
+	masks []model.Mask
+	// prefRange/sufRange are each item's contiguous batched-index key
+	// blocks, backing the model.KeyRanger fast path.
+	prefRange [][2]int
+	sufRange  [][2]int
+}
+
+func (m batchMask) Allowed(q, k int) bool {
+	o := m.owner[q]
+	if m.owner[k] != o {
+		return false
+	}
+	return m.masks[o].Allowed(int(m.local[q]), int(m.local[k]))
+}
+
+// KeyRanges implements model.KeyRanger: a query's allowed keys all live in
+// its own item's prefix and suffix blocks, so the attention loop can skip
+// every other item's keys without per-key mask calls. The suffix block
+// contains q itself, satisfying the interface contract.
+func (m batchMask) KeyRanges(q int, dst [][2]int) [][2]int {
+	o := m.owner[q]
+	if r := m.prefRange[o]; r[0] < r[1] {
+		dst = append(dst, r)
+	}
+	return append(dst, m.sufRange[o])
+}

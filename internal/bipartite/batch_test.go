@@ -1,0 +1,193 @@
+package bipartite
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bat/internal/model"
+	"bat/internal/tensor"
+)
+
+// randomBatchItem builds one request with a random prompt shape, prefix kind,
+// and cache mix (cold / fully warm / partially warm), returning the item and
+// the per-request reference run executed with the identical cache set.
+func randomBatchItem(w *model.Weights, rng *rand.Rand) (BatchItem, *Run, error) {
+	p := randomPrompt(rng.Int63())
+	kind := UserPrefix
+	if rng.Intn(2) == 1 {
+		kind = ItemPrefix
+	}
+	l, err := Build(kind, p)
+	if err != nil {
+		return BatchItem{}, nil, err
+	}
+	cold, err := Execute(w, l, CacheSet{})
+	if err != nil {
+		return BatchItem{}, nil, err
+	}
+	var caches CacheSet
+	switch rng.Intn(3) {
+	case 1: // fully warm
+		caches = CacheSet{User: cold.NewUserCache, Items: cold.NewItemCaches}
+	case 2: // partial: keep a random subset of item caches
+		if kind == ItemPrefix && len(cold.NewItemCaches) > 0 {
+			caches.Items = make(map[int]*model.KVCache)
+			for k, c := range cold.NewItemCaches {
+				if rng.Intn(2) == 0 {
+					caches.Items[k] = c
+				}
+			}
+		}
+	}
+	ref, err := Execute(w, l, caches)
+	if err != nil {
+		return BatchItem{}, nil, err
+	}
+	return BatchItem{Layout: l, Caches: caches}, ref, nil
+}
+
+// TestPropertyExecuteBatchBitIdentical: for arbitrary mixes of prompt
+// shapes, prefix kinds, and cache hit patterns, packing the requests into one
+// batched forward produces discriminants bit-identical (MaxAbsDiff == 0) to
+// running each request through Execute on its own, and identical
+// reused/computed token accounting.
+func TestPropertyExecuteBatchBitIdentical(t *testing.T) {
+	w := testWeights()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		items := make([]BatchItem, n)
+		refs := make([]*Run, n)
+		for i := 0; i < n; i++ {
+			it, ref, err := randomBatchItem(w, rng)
+			if err != nil {
+				return false
+			}
+			items[i], refs[i] = it, ref
+		}
+		runs, err := ExecuteBatch(w, items)
+		if err != nil {
+			return false
+		}
+		for i := range runs {
+			if tensor.MaxAbsDiff(runs[i].Discriminant, refs[i].Discriminant) != 0 {
+				return false
+			}
+			if runs[i].ReusedTokens != refs[i].ReusedTokens ||
+				runs[i].ComputedTokens != refs[i].ComputedTokens {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecuteBatchAnySplit: the same request stream produces bit-identical
+// discriminants no matter how it is split into batches — all-in-one, pairs,
+// or one request per batch. This is the property that makes the serving
+// core's window/size-driven batch formation semantically invisible.
+func TestExecuteBatchAnySplit(t *testing.T) {
+	w := testWeights()
+	rng := rand.New(rand.NewSource(99))
+	const n = 6
+	items := make([]BatchItem, n)
+	refs := make([]*Run, n)
+	for i := 0; i < n; i++ {
+		it, ref, err := randomBatchItem(w, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i], refs[i] = it, ref
+	}
+	for _, split := range [][]int{{6}, {3, 3}, {2, 2, 2}, {1, 1, 1, 1, 1, 1}, {4, 2}, {1, 5}} {
+		at := 0
+		for _, size := range split {
+			runs, err := ExecuteBatch(w, items[at:at+size])
+			if err != nil {
+				t.Fatalf("split %v: %v", split, err)
+			}
+			for j, run := range runs {
+				i := at + j
+				if d := tensor.MaxAbsDiff(run.Discriminant, refs[i].Discriminant); d != 0 {
+					t.Fatalf("split %v request %d deviates by %v", split, i, d)
+				}
+			}
+			at += size
+		}
+	}
+}
+
+// TestExecuteBatchHSTU: the bit-exactness property holds under HSTU-style
+// attention too — the per-query visible count excludes cross-request keys,
+// so batching does not change the normalization.
+func TestExecuteBatchHSTU(t *testing.T) {
+	cfg := model.TinyGR(testVocab)
+	cfg.Name = "TinyHSTU"
+	cfg.Attn = model.AttnHSTU
+	w := model.NewWeights(cfg, 42)
+	rng := rand.New(rand.NewSource(7))
+	const n = 4
+	items := make([]BatchItem, n)
+	refs := make([]*Run, n)
+	for i := 0; i < n; i++ {
+		it, ref, err := randomBatchItem(w, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i], refs[i] = it, ref
+	}
+	runs, err := ExecuteBatch(w, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range runs {
+		if d := tensor.MaxAbsDiff(runs[i].Discriminant, refs[i].Discriminant); d != 0 {
+			t.Fatalf("HSTU batched request %d deviates by %v", i, d)
+		}
+	}
+}
+
+// TestExecuteBatchCancelOne: canceling one request mid-batch errors that
+// request only; the survivors' results stay bit-identical to solo execution.
+func TestExecuteBatchCancelOne(t *testing.T) {
+	w := testWeights()
+	rng := rand.New(rand.NewSource(11))
+	const n = 3
+	items := make([]BatchItem, n)
+	refs := make([]*Run, n)
+	for i := 0; i < n; i++ {
+		it, ref, err := randomBatchItem(w, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i], refs[i] = it, ref
+	}
+	wantErr := errors.New("deadline exceeded")
+	cancels := make([]func() error, n)
+	cancels[1] = func() error { return wantErr }
+	runs, errs := ExecuteBatchCancelable(w, items, cancels)
+	if !errors.Is(errs[1], wantErr) || runs[1] != nil {
+		t.Fatalf("canceled request: run=%v err=%v", runs[1], errs[1])
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("survivor %d errored: %v", i, errs[i])
+		}
+		if d := tensor.MaxAbsDiff(runs[i].Discriminant, refs[i].Discriminant); d != 0 {
+			t.Fatalf("survivor %d deviates by %v after mid-batch cancel", i, d)
+		}
+	}
+}
+
+// TestExecuteBatchEmptyAndNil: degenerate shapes don't panic.
+func TestExecuteBatchEmptyAndNil(t *testing.T) {
+	w := testWeights()
+	if runs, err := ExecuteBatch(w, nil); err != nil || len(runs) != 0 {
+		t.Fatalf("empty batch: runs=%v err=%v", runs, err)
+	}
+}

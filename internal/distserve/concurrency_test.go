@@ -1,0 +1,141 @@
+package distserve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bat/internal/bipartite"
+	"bat/internal/ranking"
+	"bat/internal/scheduler"
+)
+
+// distExpectedRanking is the per-request reference the batched distributed
+// pipeline must match bit-for-bit (execution is bit-exact, so cache state
+// changes cost, never scores).
+func distExpectedRanking(t *testing.T, ds *ranking.Dataset, req RankRequest, topK int) []int {
+	t.Helper()
+	r, err := ranking.NewRanker(ds, ranking.VariantBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, _, err := r.Rank(ranking.EvalRequest{User: req.UserID, Candidates: req.CandidateIDs},
+		bipartite.ItemPrefix, ranking.RankOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) > topK {
+		ranked = ranked[:topK]
+	}
+	ids := make([]int, len(ranked))
+	for i, idx := range ranked {
+		ids[i] = req.CandidateIDs[idx]
+	}
+	return ids
+}
+
+// TestDistserveParallelRankBitIdentical: concurrent requests through the
+// full cluster (meta + workers + frontend, real HTTP) batch in the serving
+// core and must rank exactly like the per-request path. Under -race this
+// also exercises the concurrent plan fetches and the single-flight map.
+func TestDistserveParallelRankBitIdentical(t *testing.T) {
+	d := newDeploymentCfg(t, 2, scheduler.StaticItem{}, func(cfg *FrontendConfig) {
+		cfg.MaxBatch = 8
+		cfg.BatchWindow = 20 * time.Millisecond
+	})
+	ds := d.frontend.cfg.Dataset
+
+	const n = 16
+	reqs := make([]RankRequest, n)
+	want := make([][]int, n)
+	for i := range reqs {
+		reqs[i] = RankRequest{UserID: i % 6, CandidateIDs: []int{2 + i%4, 11, 23 + i%3, 40, 55}}
+		want[i] = distExpectedRanking(t, ds, reqs[i], 10)
+	}
+
+	got := make([][]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := d.frontend.Rank(context.Background(), reqs[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = resp.Ranking
+		}(i)
+	}
+	wg.Wait()
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("request %d ranking %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("request %d ranking %v, want %v (batched != per-request)", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSingleFlightCoalescesItemFetches: a batch of requests sharing hot
+// candidates must not issue one GET per (request, item) — concurrent
+// fetches of the same item coalesce onto one in-flight network call.
+func TestSingleFlightCoalescesItemFetches(t *testing.T) {
+	d := newDeploymentCfg(t, 2, scheduler.StaticItem{}, func(cfg *FrontendConfig) {
+		cfg.MaxBatch = 8
+		cfg.BatchWindow = 250 * time.Millisecond
+	})
+
+	shared := []int{3, 17, 29, 41}
+	seed := RankRequest{UserID: 0, CandidateIDs: shared}
+
+	// Seed: the first serve misses everywhere, computes the item caches, and
+	// Commit stores them to the pool before the response returns.
+	if _, err := d.frontend.Rank(context.Background(), seed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flood: M concurrent requests over the same candidates land in one
+	// batch window; their plans fetch the now-warm caches concurrently.
+	const m = 6
+	var wg sync.WaitGroup
+	errs := make([]error, m)
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = d.frontend.Rank(context.Background(), RankRequest{UserID: 1 + i%5, CandidateIDs: shared})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("flood request %d: %v", i, err)
+		}
+	}
+
+	st := d.frontend.Stats()
+	if st.CoalescedFetches == 0 {
+		t.Fatal("no coalesced fetches; concurrent same-item fetches each hit the network")
+	}
+	var hits int64
+	for _, w := range d.workers {
+		hits += w.Stats().Hits
+	}
+	// Without coalescing the flood alone would score m*len(shared) worker
+	// hits; coalescing must cut total network reads well below that.
+	if max := int64(m * len(shared)); hits >= max {
+		t.Fatalf("%d worker GET hits, want < %d (single-flight not coalescing)", hits, max)
+	}
+	if st.ReusedTokens == 0 {
+		t.Fatal("flood reused no tokens despite warm pool")
+	}
+}

@@ -37,6 +37,13 @@ type deployment struct {
 
 func newDeployment(t *testing.T, workers int, policy scheduler.Policy) *deployment {
 	t.Helper()
+	return newDeploymentCfg(t, workers, policy, nil)
+}
+
+// newDeploymentCfg is newDeployment plus a frontend-config mutator, for
+// tests that tune batching or transfer knobs.
+func newDeploymentCfg(t *testing.T, workers int, policy scheduler.Policy, mutate func(*FrontendConfig)) *deployment {
+	t.Helper()
 	d := &deployment{meta: NewMetaServer(300, func() time.Time { return time.Unix(0, 0) })}
 	metaSrv := httptest.NewServer(d.meta.Handler())
 	d.servers = append(d.servers, metaSrv)
@@ -51,13 +58,17 @@ func newDeployment(t *testing.T, workers int, policy scheduler.Policy) *deployme
 		d.servers = append(d.servers, srv)
 		urls = append(urls, srv.URL)
 	}
-	f, err := NewFrontend(FrontendConfig{
+	cfg := FrontendConfig{
 		Dataset:      testDataset(t),
 		Variant:      ranking.VariantBase,
 		MetaURL:      metaSrv.URL,
 		CacheWorkers: urls,
 		Policy:       policy,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	f, err := NewFrontend(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

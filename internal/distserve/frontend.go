@@ -16,12 +16,21 @@ import (
 	"bat/internal/model"
 	"bat/internal/ranking"
 	"bat/internal/scheduler"
-	"bat/internal/tensor"
+	"bat/internal/serving"
 )
 
 // ErrValidation marks request errors the caller can fix (unknown IDs, empty
-// candidate sets); everything else is an internal serving failure.
-var ErrValidation = errors.New("invalid request")
+// candidate sets); everything else is an internal serving failure. It is the
+// shared serving core's sentinel, re-exported under its historical name.
+var ErrValidation = serving.ErrValidation
+
+// RankRequest / RankResponse are the shared serving types; aliased so the
+// frontend API keeps its historical names and stays wire-identical to the
+// single-process server.
+type (
+	RankRequest  = serving.RankRequest
+	RankResponse = serving.RankResponse
+)
 
 // FrontendConfig wires an inference frontend to its cluster.
 type FrontendConfig struct {
@@ -54,31 +63,41 @@ type FrontendConfig struct {
 	// prediction is calibrated online against observed wall clock, so only
 	// its relative form matters.
 	GPU costmodel.GPU
+	// BatchWindow and MaxBatch tune the serving core's batch-forming loop
+	// (see serving.Config); zero values take the core defaults.
+	BatchWindow time.Duration
+	MaxBatch    int
+	// BatchHook, when non-nil, runs before each batch executes (tests).
+	BatchHook func(size int)
 }
 
 // Frontend is the inference worker + prompt scheduler of Figure 3: it owns
 // the model replica, consults the meta service, moves KV payloads to and
 // from cache workers through the fault-tolerant transfer engine, and
-// executes Bipartite Attention.
+// executes Bipartite Attention. The request lifecycle (validate → admit →
+// batch → execute → respond) lives in the shared serving core; the frontend
+// is its network-cache backend: plans fetch caches from the pool, commits
+// write fresh ones back at batch boundaries.
 type Frontend struct {
 	cfg      FrontendConfig
 	ranker   *ranking.Ranker
 	transfer *transferClient
-	adm      *admission.Controller
-	retr     *ranking.Retriever
 	est      *costmodel.Estimator
+	core     *serving.Core
 
-	mu                           sync.Mutex
-	requests                     int64
-	userPrefix, itemPrefix       int64
-	reusedTokens, computedTokens int64
-	fetchErrors                  int64
-	failovers                    int64
-	staleUnregisters             int64
-	degraded                     int64
-	deadlineAborts               int64
-	workerPurges                 int64
-	purgedBindings               int64
+	// flight coalesces concurrent fetches of the same item cache: the first
+	// request becomes the leader and issues the network fetch; followers wait
+	// for its result instead of issuing N identical GETs.
+	flightMu sync.Mutex
+	flight   map[uint64]*flightCall
+
+	mu               sync.Mutex
+	fetchErrors      int64
+	failovers        int64
+	staleUnregisters int64
+	coalescedFetches int64
+	workerPurges     int64
+	purgedBindings   int64
 	// calibRatio is the EWMA of observed-seconds / estimator-predicted
 	// seconds; 0 until the first full request completes, which disables the
 	// deadline gate cold (never shed on an uncalibrated estimate).
@@ -102,18 +121,12 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = scheduler.HotnessAware{}
 	}
-	if cfg.TopK == 0 {
-		cfg.TopK = 10
-	}
 	cfg.Transfer = cfg.Transfer.withDefaults()
 	if cfg.Client == nil {
 		// http.DefaultClient has no Timeout; a single hung worker would
 		// stall /v1/rank forever. Bound every call even when the transfer
 		// engine's per-attempt deadline is somehow bypassed.
 		cfg.Client = &http.Client{Timeout: cfg.Transfer.Timeout}
-	}
-	if cfg.DegradedMaxCandidates <= 0 {
-		cfg.DegradedMaxCandidates = 16
 	}
 	if cfg.GPU.TFLOPS == 0 {
 		cfg.GPU = costmodel.A100PCIe4
@@ -131,20 +144,38 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		return nil, err
 	}
 	f := &Frontend{
-		cfg:   cfg,
+		cfg:    cfg,
 		ranker: r,
-		retr:  retr,
-		est:   est,
-		adm:   admission.NewController(cfg.Admission),
-		alive: make([]bool, len(cfg.CacheWorkers)),
+		est:    est,
+		flight: make(map[uint64]*flightCall),
+		alive:  make([]bool, len(cfg.CacheWorkers)),
 	}
 	for i := range f.alive {
 		f.alive[i] = true
 	}
 	f.lastPurge = make([]time.Time, len(cfg.CacheWorkers))
 	f.transfer = newTransferClient(cfg.Client, cfg.Transfer, len(cfg.CacheWorkers))
+	core, err := serving.NewCore(serving.Config{
+		Dataset:               cfg.Dataset,
+		Ranker:                r,
+		Retriever:             retr,
+		TopK:                  cfg.TopK,
+		DegradedMaxCandidates: cfg.DegradedMaxCandidates,
+		Admission:             cfg.Admission,
+		BatchWindow:           cfg.BatchWindow,
+		MaxBatch:              cfg.MaxBatch,
+		BatchHook:             cfg.BatchHook,
+		Ladder:                f.ladder,
+	}, f)
+	if err != nil {
+		return nil, err
+	}
+	f.core = core
 	return f, nil
 }
+
+// Close stops the serving core's batch loop.
+func (f *Frontend) Close() { f.core.Close() }
 
 // userWorker and itemWorker shard entries across cache workers, routing
 // around workers the poolguard marked dead.
@@ -187,54 +218,27 @@ func (f *Frontend) SetWorkerAlive(worker int, alive bool) {
 	f.mu.Unlock()
 }
 
-// RankRequest / RankResponse mirror the single-process server's API.
-type RankRequest struct {
-	UserID       int   `json:"user_id"`
-	CandidateIDs []int `json:"candidate_ids"`
-}
-
-// RankResponse is the frontend's reply.
-type RankResponse struct {
-	Ranking        []int  `json:"ranking"`
-	Prefix         string `json:"prefix"`
-	ReusedTokens   int    `json:"reused_tokens"`
-	ComputedTokens int    `json:"computed_tokens"`
-	// Degraded marks a response served by the retrieval-similarity fallback
-	// instead of the full GR forward; DegradeReason says why ("queue-pressure",
-	// "pool-unhealthy", or "deadline").
-	Degraded      bool   `json:"degraded,omitempty"`
-	DegradeReason string `json:"degrade_reason,omitempty"`
-}
-
-// validate rejects caller mistakes (unknown IDs, empty candidate sets) with
-// errors wrapping ErrValidation; both the full and degraded paths apply it.
-func (f *Frontend) validate(req RankRequest) error {
-	ds := f.cfg.Dataset
-	if req.UserID < 0 || req.UserID >= len(ds.UserHistory) {
-		return fmt.Errorf("distserve: unknown user %d: %w", req.UserID, ErrValidation)
-	}
-	if len(req.CandidateIDs) == 0 {
-		return fmt.Errorf("distserve: empty candidate set: %w", ErrValidation)
-	}
-	for _, it := range req.CandidateIDs {
-		if it < 0 || it >= len(ds.ItemTokens) {
-			return fmt.Errorf("distserve: unknown item %d: %w", it, ErrValidation)
-		}
-	}
-	return nil
-}
-
-// Rank serves one request end to end through the disaggregated pool. The
-// context bounds every transfer the request issues; cache fetch failures
-// degrade to recompute, never to request failure.
+// Rank serves one request end to end through the serving core and the
+// disaggregated pool. The context bounds every transfer the request issues;
+// cache fetch failures degrade to recompute, never to request failure.
 func (f *Frontend) Rank(ctx context.Context, req RankRequest) (*RankResponse, error) {
+	return f.core.RankCtx(ctx, req)
+}
+
+// distPlan is the backend-private Plan→Commit state: the calibration window
+// opens at plan time so observed wall clock covers meta round trips and
+// cache fetches, not just the model forward.
+type distPlan struct {
+	started                time.Time
+	userTokens, itemTokens int
+}
+
+// Plan is the serving core's scheduling callback: record hotness, decide the
+// prefix organization, and fetch whatever caches the pool holds. It runs
+// concurrently with the other plans of a batch; everything it touches is
+// either immutable, internally locked, or request-private.
+func (f *Frontend) Plan(ctx context.Context, req serving.RankRequest) (*serving.Plan, error) {
 	ds := f.cfg.Dataset
-	if err := f.validate(req); err != nil {
-		return nil, err
-	}
-	// The calibration window opens here so the observed wall clock covers
-	// meta round trips and cache fetches, not just the model forward — the
-	// deadline gate predicts end-to-end serve time.
 	started := time.Now()
 
 	hotness := f.metaAccess(ctx, "user", uint64(req.UserID))
@@ -255,73 +259,79 @@ func (f *Frontend) Rank(ctx context.Context, req RankRequest) (*RankResponse, er
 		UserPoolHasSpace: true,
 	})
 
-	kind := dec.Kind
-	if dec.Recompute {
-		kind = bipartite.UserPrefix
+	plan := &serving.Plan{
+		Kind: dec.Kind, Recompute: dec.Recompute, AdmitUser: dec.AdmitUser,
+		Aux: &distPlan{started: started, userTokens: userTokens, itemTokens: itemTokens},
 	}
-	var caches bipartite.CacheSet
+	if dec.Recompute {
+		plan.Kind = bipartite.UserPrefix
+	}
 	if !dec.Recompute {
-		if kind == bipartite.UserPrefix && len(userLocs) > 0 {
-			caches.User = f.fetchUserCache(ctx, req.UserID, userLocs)
+		if plan.Kind == bipartite.UserPrefix && len(userLocs) > 0 {
+			plan.Caches.User = f.fetchUserCache(ctx, req.UserID, userLocs)
 		}
-		if kind == bipartite.ItemPrefix {
-			caches.Items = f.fetchItemCaches(ctx, req.CandidateIDs)
+		if plan.Kind == bipartite.ItemPrefix {
+			plan.Caches.Items = f.fetchItemCaches(ctx, req.CandidateIDs)
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("distserve: request canceled: %w", err)
 	}
+	return plan, nil
+}
 
-	evalReq := ranking.EvalRequest{User: req.UserID, Candidates: req.CandidateIDs}
-	ranked, run, err := f.ranker.Rank(evalReq, kind, ranking.RankOpts{Caches: caches, Ctx: ctx})
-	if err != nil {
-		if ctx.Err() != nil {
-			f.mu.Lock()
-			f.deadlineAborts++
-			f.mu.Unlock()
-			return nil, fmt.Errorf("distserve: request canceled: %w", ctx.Err())
+// Commit runs serially at each batch boundary: fold every served request
+// into the cost-model calibration, then write freshly computed caches back
+// to the pool (the scheduler's cache write path). Stores complete before
+// responses go out, so a caller that has its response can immediately locate
+// its caches.
+func (f *Frontend) Commit(entries []serving.CommitEntry) {
+	for _, e := range entries {
+		if aux, ok := e.Plan.Aux.(*distPlan); ok {
+			f.calibrate(aux.userTokens+aux.itemTokens+2, time.Since(aux.started).Seconds())
 		}
-		return nil, err
-	}
-	f.calibrate(userTokens+itemTokens+2, time.Since(started).Seconds())
-
-	// Write back freshly computed caches (the scheduler's background cache
-	// write path).
-	if !dec.Recompute {
-		if run.NewUserCache != nil && dec.AdmitUser {
-			f.storeCache(ctx, f.userWorker(req.UserID), "user", uint64(req.UserID), run.NewUserCache)
+		if e.Plan.Recompute {
+			continue
 		}
-		for slot, c := range run.NewItemCaches {
-			it := req.CandidateIDs[slot]
-			f.storeCache(ctx, f.itemWorker(it), "item", uint64(it), c)
+		if e.Run.NewUserCache != nil && e.Plan.AdmitUser {
+			f.storeCache(e.Ctx, f.userWorker(e.Req.UserID), "user", uint64(e.Req.UserID), e.Run.NewUserCache)
+		}
+		for slot, c := range e.Run.NewItemCaches {
+			it := e.Req.CandidateIDs[slot]
+			f.storeCache(e.Ctx, f.itemWorker(it), "item", uint64(it), c)
 		}
 	}
+}
 
-	f.mu.Lock()
-	f.requests++
-	if kind == bipartite.UserPrefix {
-		f.userPrefix++
-	} else {
-		f.itemPrefix++
+// ladder adds the frontend's plane-specific overload rungs after the core's
+// queue-pressure check: degrade when the pool is mostly breaker-open or the
+// remaining deadline cannot cover the estimated full serve, shed when the
+// deadline is already gone.
+func (f *Frontend) ladder(ctx context.Context, req serving.RankRequest) (mode, reason string) {
+	if n := len(f.cfg.CacheWorkers); n > 0 && f.transfer.openWorkerBreakers()*2 >= n {
+		return serving.ModeDegraded, "pool-unhealthy"
 	}
-	f.reusedTokens += int64(run.ReusedTokens)
-	f.computedTokens += int64(run.ComputedTokens)
-	f.mu.Unlock()
-
-	k := f.cfg.TopK
-	if k > len(ranked) {
-		k = len(ranked)
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl).Seconds()
+		if remaining <= 0 {
+			return serving.ModeShed, admission.ReasonDeadline
+		}
+		ds := f.cfg.Dataset
+		userTokens := 0
+		if req.UserID >= 0 && req.UserID < len(ds.UserHistory) {
+			userTokens = len(ds.UserHistory[req.UserID])
+		}
+		itemTokens := 0
+		for _, it := range req.CandidateIDs {
+			if it >= 0 && it < len(ds.ItemTokens) {
+				itemTokens += len(ds.ItemTokens[it])
+			}
+		}
+		if est := f.estimateFullSeconds(userTokens, itemTokens); est > remaining {
+			return serving.ModeDegraded, admission.ReasonDeadline
+		}
 	}
-	top := make([]int, k)
-	for i := 0; i < k; i++ {
-		top[i] = req.CandidateIDs[ranked[i]]
-	}
-	return &RankResponse{
-		Ranking:        top,
-		Prefix:         kind.String(),
-		ReusedTokens:   run.ReusedTokens,
-		ComputedTokens: run.ComputedTokens,
-	}, nil
+	return serving.ModeFull, ""
 }
 
 // metaAccess records an access; network failures degrade to cold (0).
@@ -393,79 +403,6 @@ func (f *Frontend) estimateFullSeconds(userTokens, itemTokens int) float64 {
 		return 0
 	}
 	return ratio * f.est.Predict(userTokens+itemTokens+2, 0)
-}
-
-// rankDegraded serves the request through the overload ladder's fallback: cap
-// the candidate set, score by retrieval similarity (dot of the user's
-// recurrence state against each candidate latent), skip the transformer and
-// the cache pool entirely. Quality drops to first-stage retrieval, but the
-// response is immediate and touches no strained component.
-func (f *Frontend) rankDegraded(req RankRequest, reason string) *RankResponse {
-	cands := req.CandidateIDs
-	if len(cands) > f.cfg.DegradedMaxCandidates {
-		cands = cands[:f.cfg.DegradedMaxCandidates]
-	}
-	scores := f.retr.ScoreCandidates(req.UserID, cands)
-	order := tensor.TopK(scores, len(scores))
-	k := f.cfg.TopK
-	if k > len(order) {
-		k = len(order)
-	}
-	top := make([]int, k)
-	for i := 0; i < k; i++ {
-		top[i] = cands[order[i]]
-	}
-	f.mu.Lock()
-	f.requests++
-	f.degraded++
-	f.mu.Unlock()
-	return &RankResponse{
-		Ranking:       top,
-		Prefix:        "degraded-retrieval",
-		Degraded:      true,
-		DegradeReason: reason,
-	}
-}
-
-// Serving modes the admission ladder decides between.
-const (
-	modeFull     = "full"
-	modeDegraded = "degraded"
-	modeShed     = "shed"
-)
-
-// decideMode walks the overload ladder for an admitted request: full serve
-// when healthy, degraded when the queue is deep, the pool is mostly
-// breaker-open, or the remaining deadline cannot cover the estimated full
-// serve, and shed when the deadline is already gone.
-func (f *Frontend) decideMode(ctx context.Context, grant *admission.Grant, req RankRequest) (mode, reason string) {
-	if f.adm.ShouldDegrade(grant.QueuedBehind) {
-		return modeDegraded, "queue-pressure"
-	}
-	if n := len(f.cfg.CacheWorkers); n > 0 && f.transfer.openWorkerBreakers()*2 >= n {
-		return modeDegraded, "pool-unhealthy"
-	}
-	if dl, ok := ctx.Deadline(); ok {
-		remaining := time.Until(dl).Seconds()
-		if remaining <= 0 {
-			return modeShed, admission.ReasonDeadline
-		}
-		ds := f.cfg.Dataset
-		userTokens := 0
-		if req.UserID >= 0 && req.UserID < len(ds.UserHistory) {
-			userTokens = len(ds.UserHistory[req.UserID])
-		}
-		itemTokens := 0
-		for _, it := range req.CandidateIDs {
-			if it >= 0 && it < len(ds.ItemTokens) {
-				itemTokens += len(ds.ItemTokens[it])
-			}
-		}
-		if est := f.estimateFullSeconds(userTokens, itemTokens); est > remaining {
-			return modeDegraded, "deadline"
-		}
-	}
-	return modeFull, ""
 }
 
 // unregisterWorker bulk-purges one worker's meta bindings and returns the
@@ -573,9 +510,17 @@ func (f *Frontend) fetchUserCache(ctx context.Context, user int, locs []int) *mo
 	return nil
 }
 
+// flightCall is one in-flight item-cache fetch other requests can wait on.
+type flightCall struct {
+	done chan struct{}
+	c    *model.KVCache
+}
+
 // fetchItemCaches pulls the per-candidate item caches with bounded
 // concurrency (cfg.Transfer.FetchConcurrency) instead of one serial GET per
-// candidate; misses leave nil holes that the ranker recomputes.
+// candidate; misses leave nil holes that the ranker recomputes. Fetches of
+// the same item — common when a batch of requests shares hot candidates —
+// are single-flighted: one network GET per item, shared by every waiter.
 func (f *Frontend) fetchItemCaches(ctx context.Context, ids []int) map[int]*model.KVCache {
 	results := make([]*model.KVCache, len(ids))
 	sem := make(chan struct{}, f.cfg.Transfer.FetchConcurrency)
@@ -586,7 +531,7 @@ func (f *Frontend) fetchItemCaches(ctx context.Context, ids []int) map[int]*mode
 		go func(slot, it int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[slot] = f.fetchCache(ctx, f.itemWorker(it), "item", uint64(it))
+			results[slot] = f.fetchItemCacheShared(ctx, it)
 		}(slot, it)
 	}
 	wg.Wait()
@@ -597,6 +542,38 @@ func (f *Frontend) fetchItemCaches(ctx context.Context, ids []int) map[int]*mode
 		}
 	}
 	return caches
+}
+
+// fetchItemCacheShared coalesces concurrent fetches of one item ID: the
+// first caller (leader) issues the real fetch; followers block on its result.
+// The shared *KVCache is safe to hand to multiple requests because execution
+// never mutates supplied caches. A follower whose own context expires stops
+// waiting; a leader that fails yields a miss for every waiter (they recompute
+// — correctness never depends on the fetch).
+func (f *Frontend) fetchItemCacheShared(ctx context.Context, it int) *model.KVCache {
+	id := uint64(it)
+	f.flightMu.Lock()
+	if call, ok := f.flight[id]; ok {
+		f.flightMu.Unlock()
+		select {
+		case <-call.done:
+			f.mu.Lock()
+			f.coalescedFetches++
+			f.mu.Unlock()
+			return call.c
+		case <-ctx.Done():
+			return nil
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	f.flight[id] = call
+	f.flightMu.Unlock()
+	call.c = f.fetchCache(ctx, f.itemWorker(it), "item", id)
+	f.flightMu.Lock()
+	delete(f.flight, id)
+	f.flightMu.Unlock()
+	close(call.done)
+	return call.c
 }
 
 // fetchCache pulls and decodes one KV payload; any failure is a miss (the
@@ -674,6 +651,9 @@ type FrontendStats struct {
 	// meta bindings were cleaned up after a worker 404.
 	Failovers        int64 `json:"failovers"`
 	StaleUnregisters int64 `json:"stale_unregisters"`
+	// CoalescedFetches counts item-cache fetches answered by another
+	// request's in-flight GET instead of a fresh network round trip.
+	CoalescedFetches int64 `json:"coalesced_fetches"`
 	// Admission is the overload ladder's front door: in-flight/queue gauges
 	// plus admitted/queued/shed counters.
 	Admission admission.Stats `json:"admission"`
@@ -682,6 +662,11 @@ type FrontendStats struct {
 	// deadline or disconnected client.
 	DegradedRequests int64 `json:"degraded_requests"`
 	DeadlineAborts   int64 `json:"deadline_aborts"`
+	// Batches counts packed executions; AvgBatchSize is the mean requests
+	// per batch; MaxBatchSize the largest batch formed.
+	Batches      int64   `json:"batches"`
+	AvgBatchSize float64 `json:"avg_batch_size"`
+	MaxBatchSize int64   `json:"max_batch_size"`
 	// WorkerPurges counts bulk meta cleanups (poolguard deaths plus
 	// breaker-open sweeps); PurgedBindings is the total bindings they removed.
 	WorkerPurges   int64 `json:"worker_purges"`
@@ -700,13 +685,15 @@ type FrontendStats struct {
 
 // Stats snapshots the frontend.
 func (f *Frontend) Stats() FrontendStats {
+	cs := f.core.Stats()
 	f.mu.Lock()
 	st := FrontendStats{
-		Requests: f.requests, UserPrefix: f.userPrefix, ItemPrefix: f.itemPrefix,
-		ReusedTokens: f.reusedTokens, ComputedTokens: f.computedTokens,
+		Requests: cs.Requests, UserPrefix: cs.UserPrefix, ItemPrefix: cs.ItemPrefix,
+		ReusedTokens: cs.ReusedTokens, ComputedTokens: cs.ComputedTokens,
 		FetchErrors: f.fetchErrors, Failovers: f.failovers,
-		StaleUnregisters: f.staleUnregisters,
-		DegradedRequests: f.degraded, DeadlineAborts: f.deadlineAborts,
+		StaleUnregisters: f.staleUnregisters, CoalescedFetches: f.coalescedFetches,
+		DegradedRequests: cs.DegradedRequests, DeadlineAborts: cs.DeadlineAborts,
+		Batches: cs.Batches, MaxBatchSize: cs.MaxBatchSize,
 		WorkerPurges: f.workerPurges, PurgedBindings: f.purgedBindings,
 		CalibratedCostRatio: f.calibRatio,
 	}
@@ -715,7 +702,10 @@ func (f *Frontend) Stats() FrontendStats {
 	if total := st.ReusedTokens + st.ComputedTokens; total > 0 {
 		st.TokenHitRate = float64(st.ReusedTokens) / float64(total)
 	}
-	st.Admission = f.adm.Stats()
+	if cs.Batches > 0 {
+		st.AvgBatchSize = float64(cs.BatchedRequests) / float64(cs.Batches)
+	}
+	st.Admission = cs.Admission
 	if guard != nil {
 		gs := guard.Stats()
 		st.Guard = &gs
@@ -725,66 +715,14 @@ func (f *Frontend) Stats() FrontendStats {
 }
 
 // Handler exposes the frontend API: POST /v1/rank, GET /v1/stats, /healthz.
-// /v1/rank runs the overload ladder: admit (bounded in-flight + wait queue),
-// degrade (retrieval fallback under queue pressure, pool ill-health, or a
-// tight deadline), or shed (429 + Retry-After). The request's deadline comes
-// from the Deadline-Ms header, defaulting to the admission config.
+// /v1/rank runs the serving core's overload ladder — admit (bounded
+// in-flight + wait queue), degrade (retrieval fallback under queue pressure,
+// pool ill-health, or a tight deadline via the frontend's ladder rungs), or
+// shed (429 + Retry-After) — then the batch loop. The request's deadline
+// comes from the Deadline-Ms header, defaulting to the admission config.
 func (f *Frontend) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/rank", func(rw http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(rw, "POST required", http.StatusMethodNotAllowed)
-			return
-		}
-		var req RankRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
-			return
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), f.adm.Deadline(r))
-		defer cancel()
-		grant, err := f.adm.Acquire(ctx)
-		if err != nil {
-			reason := admission.ReasonQueueFull
-			if errors.Is(err, admission.ErrDeadline) {
-				reason = admission.ReasonDeadline
-			}
-			f.adm.Shed(rw, reason)
-			return
-		}
-		defer grant.Release()
-
-		mode, reason := f.decideMode(ctx, grant, req)
-		if mode == modeShed {
-			f.adm.Shed(rw, reason)
-			return
-		}
-		if mode == modeDegraded {
-			// Degraded mode still validates (caller mistakes stay 400s).
-			if verr := f.validate(req); verr != nil {
-				http.Error(rw, verr.Error(), http.StatusBadRequest)
-				return
-			}
-			writeJSON(rw, f.rankDegraded(req, reason))
-			return
-		}
-		resp, err := f.Rank(ctx, req)
-		if err != nil {
-			if errors.Is(err, ErrValidation) {
-				http.Error(rw, err.Error(), http.StatusBadRequest)
-				return
-			}
-			if ctx.Err() != nil {
-				// The deadline expired mid-serve; tell the client to back
-				// off rather than reporting a server fault.
-				f.adm.Shed(rw, admission.ReasonDeadline)
-				return
-			}
-			http.Error(rw, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(rw, resp)
-	})
+	mux.HandleFunc("/v1/rank", f.core.HandleRank)
 	mux.HandleFunc("/v1/stats", func(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, f.Stats())
 	})

@@ -165,6 +165,9 @@ func Registry() []struct {
 		// Engine micro-benchmark: the batched multi-core compute core the
 		// serving experiments run on (see enginebench.go).
 		{"engine", EngineBench},
+		// Serving-core benchmark: end-to-end continuous-batching throughput
+		// versus the serialized pipeline (see servingbench.go).
+		{"servingbench", ServingBench},
 		// Beyond the paper's evaluation section: passing claims and design
 		// knobs (see extensions.go).
 		{"ext-candidates", ExtCandidateSweep},

@@ -220,6 +220,7 @@ func (w *Weights) attend(s *scratch, cache *KVCache, l, base, n int, mask Mask) 
 	groups := cfg.Heads / cfg.KVHeads
 	scale := float32(1 / math.Sqrt(float64(cfg.HeadDim)))
 	qBlocks := (n + attnQueryBlock - 1) / attnQueryBlock
+	kr, _ := mask.(KeyRanger)
 	run := func(task int) {
 		hh := task / qBlocks
 		lo := (task % qBlocks) * attnQueryBlock
@@ -231,34 +232,64 @@ func (w *Weights) attend(s *scratch, cache *KVCache, l, base, n int, mask Mask) 
 		sb := getScores(base + hi)
 		defer scorePool.Put(sb)
 		scores := sb.s
+		var ranges [][2]int
 		for i := lo; i < hi; i++ {
 			abs := base + i
 			ctx := abs + 1 // keys available to this query
 			qh := s.q.Row(i)[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
 			sc := scores[:ctx]
 			visible := 0
-			for t := 0; t < ctx; t++ {
-				if t != abs && !mask.Allowed(abs, t) {
-					sc[t] = tensor.NegInf
-					continue
+			score := func(klo, khi int) {
+				for t := klo; t < khi; t++ {
+					if t != abs && !mask.Allowed(abs, t) {
+						sc[t] = tensor.NegInf
+						continue
+					}
+					visible++
+					sc[t] = tensor.Dot(qh, cache.layerK(l, t, kvHead)) * scale
 				}
-				visible++
-				sc[t] = tensor.Dot(qh, cache.layerK(l, t, kvHead)) * scale
+			}
+			if kr != nil {
+				// Sparse fast path: everything outside the advertised
+				// ranges is masked by contract — same NegInf the Allowed
+				// check would produce, without the per-key interface call.
+				ranges = kr.KeyRanges(abs, ranges[:0])
+				for t := range sc {
+					sc[t] = tensor.NegInf
+				}
+				for _, r := range ranges {
+					if klo, khi := r[0], min(r[1], ctx); klo < khi {
+						score(klo, khi)
+					}
+				}
+			} else {
+				score(0, ctx)
 			}
 			applyAttnWeights(cfg.Attn, sc, visible)
 			out := s.attnOut.Row(i)[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
 			for d := range out {
 				out[d] = 0
 			}
-			for t := 0; t < ctx; t++ {
-				p := sc[t]
-				if p == 0 {
-					continue
+			mix := func(klo, khi int) {
+				for t := klo; t < khi; t++ {
+					p := sc[t]
+					if p == 0 {
+						continue
+					}
+					vt := cache.layerV(l, t, kvHead)
+					for d := range out {
+						out[d] += p * vt[d]
+					}
 				}
-				vt := cache.layerV(l, t, kvHead)
-				for d := range out {
-					out[d] += p * vt[d]
+			}
+			if kr != nil {
+				for _, r := range ranges {
+					if klo, khi := r[0], min(r[1], ctx); klo < khi {
+						mix(klo, khi)
+					}
 				}
+			} else {
+				mix(0, ctx)
 			}
 		}
 	}

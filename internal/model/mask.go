@@ -22,3 +22,17 @@ type MaskFunc func(q, k int) bool
 
 // Allowed implements Mask.
 func (f MaskFunc) Allowed(q, k int) bool { return f(q, k) }
+
+// KeyRanger is an optional Mask extension for sparse masks whose allowed
+// keys cluster into a few contiguous index ranges (e.g. the block-diagonal
+// cross-request mask of a packed multi-request execution). The attention
+// loop scores only the advertised ranges and treats everything outside as
+// masked without consulting Allowed, turning an O(total context) scan per
+// query into O(own context).
+type KeyRanger interface {
+	// KeyRanges appends to dst the half-open [lo, hi) key-index ranges that
+	// may contain allowed keys for query q, and returns the extended slice.
+	// Ranges must be disjoint, ascending, and include q itself; every key
+	// outside them must be disallowed for q (Allowed still filters inside).
+	KeyRanges(q int, dst [][2]int) [][2]int
+}

@@ -183,27 +183,45 @@ func (r *Ranker) Prompt(req EvalRequest) bipartite.Prompt {
 	}
 }
 
+// BuildLayout resolves the prompt layout serving a request under the given
+// prefix organization (with optional PIC correction). Exposed so the serving
+// core can build layouts for a whole batch before one packed execution.
+func (r *Ranker) BuildLayout(req EvalRequest, kind bipartite.PrefixKind, pic bool) (*bipartite.Layout, error) {
+	layout, err := bipartite.Build(kind, r.Prompt(req))
+	if err != nil {
+		return nil, err
+	}
+	if pic {
+		layout.PICAdjust()
+	}
+	return layout, nil
+}
+
+// ScoreDiscriminant turns a discriminant hidden state into candidate-set
+// indices in descending score order — the scoring half of Rank, reusable on
+// discriminants produced by batched execution.
+func (r *Ranker) ScoreDiscriminant(req EvalRequest, disc []float32) []int {
+	candTokens := make([]int, len(req.Candidates))
+	for i, it := range req.Candidates {
+		candTokens[i] = r.DS.CandidateToken(it)
+	}
+	scores := r.W.LogitsFor(disc, candTokens)
+	return tensor.TopK(scores, len(scores))
+}
+
 // Rank scores a request under the given prefix organization and returns
 // candidate-set indices in descending score order, plus the execution run
 // for cache accounting.
 func (r *Ranker) Rank(req EvalRequest, kind bipartite.PrefixKind, opts RankOpts) ([]int, *bipartite.Run, error) {
-	layout, err := bipartite.Build(kind, r.Prompt(req))
+	layout, err := r.BuildLayout(req, kind, opts.PIC)
 	if err != nil {
 		return nil, nil, err
-	}
-	if opts.PIC {
-		layout.PICAdjust()
 	}
 	run, err := bipartite.ExecuteCancelable(r.W, layout, opts.Caches, opts.cancelFn())
 	if err != nil {
 		return nil, nil, err
 	}
-	candTokens := make([]int, len(req.Candidates))
-	for i, it := range req.Candidates {
-		candTokens[i] = r.DS.CandidateToken(it)
-	}
-	scores := r.W.LogitsFor(run.Discriminant, candTokens)
-	return tensor.TopK(scores, len(scores)), run, nil
+	return r.ScoreDiscriminant(req, run.Discriminant), run, nil
 }
 
 // RankMulti scores a request with the §4.2 multi-discriminant extension:

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bat/internal/ranking"
+	"bat/internal/scheduler"
+)
+
+// BenchmarkServeBatched measures end-to-end request throughput through the
+// serving core at max-batch 1 (the serialized baseline: every request is its
+// own execution), 4, and 16, with a concurrent client pool deep enough to
+// keep the batch window fed. Rankings are bit-identical across sub-benchmarks
+// — only throughput moves. BENCH_serving.json carries the same comparison
+// via `batbench -bench-json`.
+func BenchmarkServeBatched(b *testing.B) {
+	ds, err := ranking.NewDataset(ranking.DatasetConfig{
+		Name: "bench", Items: 120, Users: 40, Clusters: 6, LatentDim: 8,
+		HistoryMin: 6, HistoryMax: 12, ItemAttrTokens: 1,
+		ClusterNoise: 0.15, Candidates: 10, HardNegatives: 2, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	const traceLen = 256
+	trace := make([]RankRequest, traceLen)
+	for i := range trace {
+		cands := make([]int, 6)
+		for j := range cands {
+			cands[j] = rng.Intn(120)
+		}
+		trace[i] = RankRequest{UserID: rng.Intn(40), CandidateIDs: cands}
+	}
+
+	for _, mb := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("maxbatch=%d", mb), func(b *testing.B) {
+			s, err := New(Config{
+				Dataset: ds, Variant: ranking.VariantBase,
+				Policy:   scheduler.StaticUser{},
+				MaxBatch: mb, BatchWindow: 2 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := s.Rank(trace[0]); err != nil {
+				b.Fatal(err)
+			}
+
+			const clients = 16
+			b.ResetTimer()
+			var next int64 = -1
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := atomic.AddInt64(&next, 1)
+						if i >= int64(b.N) {
+							return
+						}
+						if _, err := s.RankCtx(context.Background(), trace[i%traceLen]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(s.Stats().AvgBatchSize, "reqs/batch")
+		})
+	}
+}

@@ -47,19 +47,20 @@ func postWithHeaders(t *testing.T, ts *httptest.Server, req RankRequest, headers
 // concurrent flood splits into full serves, degraded serves, and fast 429s —
 // and every rung shows up in the stats.
 func TestServerOverloadFloodShedsAndDegrades(t *testing.T) {
+	// Stall the batch loop so the flood genuinely overlaps: the admitted
+	// request's batch parks in the hook, the queue fills, the rest shed.
+	stall := make(chan struct{})
 	s := newTestServer(t, func(cfg *Config) {
 		cfg.Admission = admission.Config{MaxInFlight: 1, MaxQueue: 2, DegradeQueueDepth: 1}
+		cfg.BatchHook = func(int) { <-stall }
 	})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	// Stall the serving lock so the flood genuinely overlaps: the admitted
-	// request parks on s.mu, the queue fills, the rest shed.
-	s.mu.Lock()
 	release := make(chan struct{})
 	go func() {
 		time.Sleep(300 * time.Millisecond)
-		s.mu.Unlock()
+		close(stall)
 		close(release)
 	}()
 
@@ -130,17 +131,19 @@ func TestServerOverloadFloodShedsAndDegrades(t *testing.T) {
 // expires before execution starts is shed with the deadline reason instead of
 // burning a full forward — the r.Context() plumbing satellite, end to end.
 func TestServerDeadlineAbortsMidServe(t *testing.T) {
-	s := newTestServer(t, nil)
+	// Stall the batch loop past the request's budget: by the time the
+	// admitted request's batch reaches the model, its context is dead and the
+	// cancellation poll fires at the first phase boundary.
+	stall := make(chan struct{})
+	s := newTestServer(t, func(cfg *Config) {
+		cfg.BatchHook = func(int) { <-stall }
+	})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	// Hold the serving lock past the request's budget: by the time the
-	// admitted request reaches the model, its context is dead and the
-	// cancellation hook fires at the first phase boundary.
-	s.mu.Lock()
 	go func() {
 		time.Sleep(150 * time.Millisecond)
-		s.mu.Unlock()
+		close(stall)
 	}()
 	status, hdr, _ := postWithHeaders(t, ts, RankRequest{UserID: 1, CandidateIDs: []int{1, 2, 3}},
 		map[string]string{admission.DeadlineHeader: "40"})
@@ -176,7 +179,7 @@ func TestServerDegradedMatchesRetrieval(t *testing.T) {
 	s := newTestServer(t, func(cfg *Config) {
 		cfg.DegradedMaxCandidates = 4
 	})
-	resp, err := s.rankDegraded(RankRequest{UserID: 3, CandidateIDs: []int{9, 2, 7, 5, 11, 13}}, "queue-pressure")
+	resp, err := s.core.RankDegraded(RankRequest{UserID: 3, CandidateIDs: []int{9, 2, 7, 5, 11, 13}}, "queue-pressure")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,11 +200,11 @@ func TestServerDegradedMatchesRetrieval(t *testing.T) {
 		t.Fatalf("ranking length %d, want 4 (capped set)", len(resp.Ranking))
 	}
 	// Degraded mode must not touch the model caches.
-	if got := len(s.itemCaches); got != 0 {
+	if got := s.itemCacheCount(); got != 0 {
 		t.Fatalf("degraded serve populated %d item caches", got)
 	}
 	// And validation still applies.
-	if _, err := s.rankDegraded(RankRequest{UserID: -1, CandidateIDs: []int{1}}, "x"); err == nil {
+	if _, err := s.core.RankDegraded(RankRequest{UserID: -1, CandidateIDs: []int{1}}, "x"); err == nil {
 		t.Fatal("degraded path accepted an invalid user")
 	}
 }

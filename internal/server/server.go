@@ -1,18 +1,19 @@
 // Package server exposes the BAT serving mechanism as a real HTTP service:
 // an executable transformer (internal/ranking's constructed GR), an
 // in-process disaggregated cache holding per-item and per-user KV tensors,
-// a hotness-aware prefix decision per request, and a JSON API. It is the
-// end-to-end runnable demonstration that the mechanisms the simulator
-// accounts for actually serve requests.
+// a hotness-aware prefix decision per request, and a JSON API. It is a thin
+// adapter over the shared serving core (internal/serving), which owns the
+// request lifecycle and the continuous-batching loop; the server's job is
+// HTTP parsing plus the local cache backend: lock-free snapshot reads at
+// plan time, serial admissions/evictions at batch boundaries.
 package server
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bat/internal/admission"
@@ -22,7 +23,15 @@ import (
 	"bat/internal/model"
 	"bat/internal/ranking"
 	"bat/internal/scheduler"
+	"bat/internal/serving"
 	"bat/internal/tensor"
+)
+
+// RankRequest and RankResponse are the shared serving types; aliased so the
+// server API keeps its historical names.
+type (
+	RankRequest  = serving.RankRequest
+	RankResponse = serving.RankResponse
 )
 
 // Config assembles a server.
@@ -54,28 +63,22 @@ type Config struct {
 	// DegradedMaxCandidates caps the candidate set served in degraded mode
 	// (default 16).
 	DegradedMaxCandidates int
+	// BatchWindow and MaxBatch tune the serving core's batch-forming loop
+	// (see serving.Config); zero values take the core defaults.
+	BatchWindow time.Duration
+	MaxBatch    int
+	// BatchHook, when non-nil, runs before each batch executes (tests).
+	BatchHook func(size int)
 	// Now supplies time (injectable for tests); nil means time.Now.
 	Now func() time.Time
 }
 
 // Server is the ranking service.
 type Server struct {
-	cfg    Config
-	ranker *ranking.Ranker
-	retr   *ranking.Retriever
-	adm    *admission.Controller
-	arena  *model.BlockArena // nil unless cfg.PageTokens > 0
-
-	mu         sync.Mutex
-	itemCaches map[int]*model.KVCache
-	userCaches map[int]*model.KVCache
-	userLRU    []int // oldest first; small cap keeps O(n) fine
-	meta       *cachemeta.Service
-	start      time.Time
-
-	requests, userPrefix, itemPrefix int64
-	reusedTokens, computedTokens     int64
-	degraded, deadlineAborts         int64
+	cfg   Config
+	core  *serving.Core
+	be    *localBackend
+	arena *model.BlockArena // nil unless cfg.PageTokens > 0 (be.arena)
 }
 
 // New builds a server.
@@ -89,17 +92,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.HotnessWindowSec == 0 {
 		cfg.HotnessWindowSec = 300
 	}
-	if cfg.TopK == 0 {
-		cfg.TopK = 10
-	}
 	if cfg.Policy == nil {
 		cfg.Policy = scheduler.HotnessAware{}
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
-	}
-	if cfg.DegradedMaxCandidates <= 0 {
-		cfg.DegradedMaxCandidates = 16
 	}
 	r, err := ranking.NewRanker(cfg.Dataset, cfg.Variant)
 	if err != nil {
@@ -109,22 +106,21 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		cfg:        cfg,
-		ranker:     r,
-		retr:       retr,
-		adm:        admission.NewController(cfg.Admission),
-		itemCaches: make(map[int]*model.KVCache),
-		userCaches: make(map[int]*model.KVCache),
-		meta:       cachemeta.New(cfg.HotnessWindowSec),
-		start:      cfg.Now(),
+	be := &localBackend{
+		cfg:   &cfg,
+		meta:  cachemeta.New(cfg.HotnessWindowSec),
+		start: cfg.Now(),
 	}
 	if cfg.PageTokens > 0 {
 		arena, err := model.NewBlockArena(r.W.Config(), cfg.PageTokens)
 		if err != nil {
 			return nil, err
 		}
-		s.arena = arena
+		be.arena = arena
+	}
+	state := &localState{
+		items: make(map[int]*model.KVCache),
+		users: make(map[int]*model.KVCache),
 	}
 	if cfg.PrecomputeItems {
 		// Item caches are independent forwards, so build them across the
@@ -136,20 +132,30 @@ func New(cfg Config) (*Server, error) {
 			flat[i] = bipartite.ComputeItemCache(r.W, cfg.Dataset.ItemTokens[i])
 		})
 		for i, c := range flat {
-			s.itemCaches[i] = s.admitCache(c)
+			state.items[i] = be.adoptCache(c)
 		}
 	}
-	return s, nil
+	be.snap.Store(state)
+	core, err := serving.NewCore(serving.Config{
+		Dataset:               cfg.Dataset,
+		Ranker:                r,
+		Retriever:             retr,
+		TopK:                  cfg.TopK,
+		MultiDisc:             cfg.MultiDisc,
+		DegradedMaxCandidates: cfg.DegradedMaxCandidates,
+		Admission:             cfg.Admission,
+		BatchWindow:           cfg.BatchWindow,
+		MaxBatch:              cfg.MaxBatch,
+		BatchHook:             cfg.BatchHook,
+	}, be)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, core: core, be: be, arena: be.arena}, nil
 }
 
-// admitCache re-homes a freshly computed cache into the arena when paging is
-// enabled, so stored prefixes live in shared pages.
-func (s *Server) admitCache(c *model.KVCache) *model.KVCache {
-	if s.arena == nil {
-		return c
-	}
-	return s.arena.Adopt(c)
-}
+// Close stops the serving core's batch loop.
+func (s *Server) Close() { s.core.Close() }
 
 // Handler returns the HTTP API:
 //
@@ -158,7 +164,7 @@ func (s *Server) admitCache(c *model.KVCache) *model.KVCache {
 //	GET  /healthz
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/rank", s.handleRank)
+	mux.HandleFunc("/v1/rank", s.core.HandleRank)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -167,25 +173,18 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// RankRequest is the /v1/rank payload.
-type RankRequest struct {
-	UserID       int   `json:"user_id"`
-	CandidateIDs []int `json:"candidate_ids"`
+// Rank serves one ranking request (the API handler's core, callable
+// directly by examples and tests). It never cancels; use RankCtx to bound
+// execution by a context.
+func (s *Server) Rank(req RankRequest) (*RankResponse, error) {
+	return s.core.Rank(req)
 }
 
-// RankResponse is the /v1/rank reply.
-type RankResponse struct {
-	// Ranking lists the top-K candidate item IDs, best first.
-	Ranking []int `json:"ranking"`
-	// Prefix reports which attention pattern served the request.
-	Prefix string `json:"prefix"`
-	// ReusedTokens and ComputedTokens account this request's prefill work.
-	ReusedTokens   int `json:"reused_tokens"`
-	ComputedTokens int `json:"computed_tokens"`
-	// Degraded marks a response served by the retrieval-similarity fallback
-	// under overload; DegradeReason says why.
-	Degraded      bool   `json:"degraded,omitempty"`
-	DegradeReason string `json:"degrade_reason,omitempty"`
+// RankCtx is Rank bounded by a context: the deadline and cancellation are
+// polled at batch phase boundaries, so an abandoned request stops burning
+// compute instead of running to completion.
+func (s *Server) RankCtx(ctx context.Context, req RankRequest) (*RankResponse, error) {
+	return s.core.RankCtx(ctx, req)
 }
 
 // StatsResponse is the /v1/stats reply.
@@ -204,234 +203,11 @@ type StatsResponse struct {
 	Admission        admission.Stats `json:"admission"`
 	DegradedRequests int64           `json:"degraded_requests"`
 	DeadlineAborts   int64           `json:"deadline_aborts"`
-}
-
-// handleRank runs the overload ladder in front of the model: admit (bounded
-// in-flight + wait queue), degrade (retrieval fallback under queue pressure),
-// or shed (429 + Retry-After). The request context — carrying the client
-// disconnect and the Deadline-Ms budget — is threaded through model
-// execution, so abandoned requests stop burning compute.
-func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	var req RankRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
-		return
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.adm.Deadline(r))
-	defer cancel()
-	grant, err := s.adm.Acquire(ctx)
-	if err != nil {
-		reason := admission.ReasonQueueFull
-		if errors.Is(err, admission.ErrDeadline) {
-			reason = admission.ReasonDeadline
-		}
-		s.adm.Shed(w, reason)
-		return
-	}
-	defer grant.Release()
-
-	var resp *RankResponse
-	if s.adm.ShouldDegrade(grant.QueuedBehind) {
-		resp, err = s.rankDegraded(req, "queue-pressure")
-	} else {
-		resp, err = s.RankCtx(ctx, req)
-	}
-	if err != nil {
-		if ctx.Err() != nil {
-			s.mu.Lock()
-			s.deadlineAborts++
-			s.mu.Unlock()
-			s.adm.Shed(w, admission.ReasonDeadline)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-// validate rejects caller mistakes; both serving paths apply it.
-func (s *Server) validate(req RankRequest) error {
-	ds := s.cfg.Dataset
-	if req.UserID < 0 || req.UserID >= len(ds.UserHistory) {
-		return fmt.Errorf("server: unknown user %d", req.UserID)
-	}
-	if len(req.CandidateIDs) == 0 {
-		return fmt.Errorf("server: empty candidate set")
-	}
-	for _, it := range req.CandidateIDs {
-		if it < 0 || it >= len(ds.ItemTokens) {
-			return fmt.Errorf("server: unknown item %d", it)
-		}
-	}
-	return nil
-}
-
-// rankDegraded serves the overload fallback: cap the candidate set and score
-// by retrieval similarity — no transformer forward, no cache mutation, no
-// lock contention with full serves beyond the counters.
-func (s *Server) rankDegraded(req RankRequest, reason string) (*RankResponse, error) {
-	if err := s.validate(req); err != nil {
-		return nil, err
-	}
-	cands := req.CandidateIDs
-	if len(cands) > s.cfg.DegradedMaxCandidates {
-		cands = cands[:s.cfg.DegradedMaxCandidates]
-	}
-	scores := s.retr.ScoreCandidates(req.UserID, cands)
-	order := tensor.TopK(scores, len(scores))
-	k := s.cfg.TopK
-	if k > len(order) {
-		k = len(order)
-	}
-	top := make([]int, k)
-	for i := 0; i < k; i++ {
-		top[i] = cands[order[i]]
-	}
-	s.mu.Lock()
-	s.requests++
-	s.degraded++
-	s.mu.Unlock()
-	return &RankResponse{
-		Ranking:       top,
-		Prefix:        "degraded-retrieval",
-		Degraded:      true,
-		DegradeReason: reason,
-	}, nil
-}
-
-// Rank serves one ranking request (the API handler's core, callable
-// directly by examples and tests). It never cancels; use RankCtx to bound
-// execution by a context.
-func (s *Server) Rank(req RankRequest) (*RankResponse, error) {
-	return s.RankCtx(context.Background(), req)
-}
-
-// RankCtx is Rank bounded by a context: the deadline and cancellation are
-// polled at model phase boundaries, so an abandoned request releases the
-// server lock early instead of running to completion.
-func (s *Server) RankCtx(ctx context.Context, req RankRequest) (*RankResponse, error) {
-	ds := s.cfg.Dataset
-	if err := s.validate(req); err != nil {
-		return nil, err
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	now := s.cfg.Now().Sub(s.start).Seconds()
-	userKey := kvcache.EntryKey{Kind: kvcache.UserEntry, ID: uint64(req.UserID)}
-	hotness := s.meta.RecordAccess(userKey, now)
-
-	userTokens := len(ds.UserHistory[req.UserID])
-	itemTokens := 0
-	for _, it := range req.CandidateIDs {
-		itemTokens += len(ds.ItemTokens[it])
-	}
-	_, cached := s.userCaches[req.UserID]
-	dec := s.cfg.Policy.Decide(scheduler.Context{
-		UserTokens:           userTokens,
-		ItemTokens:           itemTokens,
-		UserHotness:          hotness,
-		UserCached:           cached,
-		UserPoolHasSpace:     len(s.userCaches) < s.cfg.MaxUserCaches,
-		MinCachedHotness:     s.minUserHotness(now),
-		HaveMinCachedHotness: len(s.userCaches) > 0,
-	})
-
-	evalReq := ranking.EvalRequest{User: req.UserID, Candidates: req.CandidateIDs}
-	var caches bipartite.CacheSet
-	kind := dec.Kind
-	if dec.Recompute {
-		kind = bipartite.UserPrefix
-	} else if kind == bipartite.UserPrefix {
-		caches.User = s.userCaches[req.UserID]
-	} else {
-		caches.Items = make(map[int]*model.KVCache, len(req.CandidateIDs))
-		for slot, it := range req.CandidateIDs {
-			if c, ok := s.itemCaches[it]; ok {
-				caches.Items[slot] = c
-			}
-		}
-	}
-	rank := s.ranker.Rank
-	if s.cfg.MultiDisc {
-		rank = s.ranker.RankMulti
-	}
-	ranked, run, err := rank(evalReq, kind, ranking.RankOpts{Caches: caches, Ctx: ctx})
-	if err != nil {
-		return nil, err
-	}
-
-	// Admit new caches.
-	if !dec.Recompute {
-		if run.NewUserCache != nil && dec.AdmitUser {
-			s.admitUser(req.UserID, s.admitCache(run.NewUserCache))
-		}
-		for slot, c := range run.NewItemCaches {
-			s.itemCaches[req.CandidateIDs[slot]] = s.admitCache(c)
-		}
-	}
-
-	s.requests++
-	if kind == bipartite.UserPrefix {
-		s.userPrefix++
-	} else {
-		s.itemPrefix++
-	}
-	s.reusedTokens += int64(run.ReusedTokens)
-	s.computedTokens += int64(run.ComputedTokens)
-
-	k := s.cfg.TopK
-	if k > len(ranked) {
-		k = len(ranked)
-	}
-	top := make([]int, k)
-	for i := 0; i < k; i++ {
-		top[i] = req.CandidateIDs[ranked[i]]
-	}
-	return &RankResponse{
-		Ranking:        top,
-		Prefix:         kind.String(),
-		ReusedTokens:   run.ReusedTokens,
-		ComputedTokens: run.ComputedTokens,
-	}, nil
-}
-
-// admitUser stores a user cache, evicting the least recently admitted when
-// over capacity.
-func (s *Server) admitUser(u int, c *model.KVCache) {
-	if _, ok := s.userCaches[u]; !ok {
-		s.userLRU = append(s.userLRU, u)
-	}
-	s.userCaches[u] = c
-	for len(s.userCaches) > s.cfg.MaxUserCaches && len(s.userLRU) > 0 {
-		victim := s.userLRU[0]
-		s.userLRU = s.userLRU[1:]
-		if old, ok := s.userCaches[victim]; ok {
-			old.Release() // return arena pages; no-op for contiguous storage
-		}
-		delete(s.userCaches, victim)
-	}
-}
-
-func (s *Server) minUserHotness(now float64) float64 {
-	min := 0.0
-	first := true
-	for u := range s.userCaches {
-		h := s.meta.Hotness(kvcache.EntryKey{Kind: kvcache.UserEntry, ID: uint64(u)}, now)
-		if first || h < min {
-			min, first = h, false
-		}
-	}
-	return min
+	// Batches counts packed executions; AvgBatchSize is the mean requests
+	// per batch; MaxBatchSize the largest batch formed.
+	Batches      int64   `json:"batches"`
+	AvgBatchSize float64 `json:"avg_batch_size"`
+	MaxBatchSize int64   `json:"max_batch_size"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -439,26 +215,185 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	total := s.reusedTokens + s.computedTokens
+	serving.WriteJSON(w, s.Stats())
+}
+
+// Stats snapshots the serving counters (the /v1/stats payload).
+func (s *Server) Stats() StatsResponse {
+	cs := s.core.Stats()
+	state := s.be.snap.Load()
 	resp := StatsResponse{
-		Requests:         s.requests,
-		UserPrefix:       s.userPrefix,
-		ItemPrefix:       s.itemPrefix,
-		ReusedTokens:     s.reusedTokens,
-		ComputedTokens:   s.computedTokens,
-		ItemCacheEntries: len(s.itemCaches),
-		UserCacheEntries: len(s.userCaches),
-		DegradedRequests: s.degraded,
-		DeadlineAborts:   s.deadlineAborts,
+		Requests:         cs.Requests,
+		UserPrefix:       cs.UserPrefix,
+		ItemPrefix:       cs.ItemPrefix,
+		ReusedTokens:     cs.ReusedTokens,
+		ComputedTokens:   cs.ComputedTokens,
+		ItemCacheEntries: len(state.items),
+		UserCacheEntries: len(state.users),
+		Admission:        cs.Admission,
+		DegradedRequests: cs.DegradedRequests,
+		DeadlineAborts:   cs.DeadlineAborts,
+		Batches:          cs.Batches,
+		MaxBatchSize:     cs.MaxBatchSize,
 	}
-	s.mu.Unlock()
-	resp.Admission = s.adm.Stats()
-	if total > 0 {
-		resp.TokenHitRate = float64(resp.ReusedTokens) / float64(total)
+	if total := cs.ReusedTokens + cs.ComputedTokens; total > 0 {
+		resp.TokenHitRate = float64(cs.ReusedTokens) / float64(total)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if cs.Batches > 0 {
+		resp.AvgBatchSize = float64(cs.BatchedRequests) / float64(cs.Batches)
 	}
+	return resp
+}
+
+// itemCacheCount and userCacheCount read the current snapshot (tests).
+func (s *Server) itemCacheCount() int { return len(s.be.snap.Load().items) }
+func (s *Server) userCacheCount() int { return len(s.be.snap.Load().users) }
+
+// localState is one immutable cache-pool snapshot: plans read it lock-free;
+// commits replace it wholesale at batch boundaries (RCU style).
+type localState struct {
+	items   map[int]*model.KVCache
+	users   map[int]*model.KVCache
+	userLRU []int // oldest first; small cap keeps O(n) fine
+}
+
+// localBackend is the in-process cache pool behind the serving core.
+type localBackend struct {
+	cfg   *Config
+	arena *model.BlockArena // nil unless cfg.PageTokens > 0
+	start time.Time
+	snap  atomic.Pointer[localState]
+
+	// metaMu guards the hotness estimator (cachemeta.Service is not safe for
+	// concurrent use; concurrent Plan calls serialize only this small part).
+	metaMu sync.Mutex
+	meta   *cachemeta.Service
+}
+
+// adoptCache re-homes a freshly computed cache into the arena when paging is
+// enabled, so stored prefixes live in shared pages. Arena operations are not
+// thread-safe; they run only at startup and inside Commit (one goroutine).
+func (b *localBackend) adoptCache(c *model.KVCache) *model.KVCache {
+	if b.arena == nil {
+		return c
+	}
+	return b.arena.Adopt(c)
+}
+
+// Plan decides one request's prefix organization from the current snapshot.
+// It runs concurrently with the other plans of the batch and mutates nothing
+// but the (mutex-guarded) hotness estimator.
+func (b *localBackend) Plan(ctx context.Context, req serving.RankRequest) (*serving.Plan, error) {
+	ds := b.cfg.Dataset
+	state := b.snap.Load()
+	now := b.cfg.Now().Sub(b.start).Seconds()
+	userKey := kvcache.EntryKey{Kind: kvcache.UserEntry, ID: uint64(req.UserID)}
+	b.metaMu.Lock()
+	hotness := b.meta.RecordAccess(userKey, now)
+	minHot := b.minUserHotness(state, now)
+	b.metaMu.Unlock()
+
+	userTokens := len(ds.UserHistory[req.UserID])
+	itemTokens := 0
+	for _, it := range req.CandidateIDs {
+		itemTokens += len(ds.ItemTokens[it])
+	}
+	_, cached := state.users[req.UserID]
+	dec := b.cfg.Policy.Decide(scheduler.Context{
+		UserTokens:           userTokens,
+		ItemTokens:           itemTokens,
+		UserHotness:          hotness,
+		UserCached:           cached,
+		UserPoolHasSpace:     len(state.users) < b.cfg.MaxUserCaches,
+		MinCachedHotness:     minHot,
+		HaveMinCachedHotness: len(state.users) > 0,
+	})
+
+	plan := &serving.Plan{Kind: dec.Kind, Recompute: dec.Recompute, AdmitUser: dec.AdmitUser}
+	if dec.Recompute {
+		plan.Kind = bipartite.UserPrefix
+	} else if plan.Kind == bipartite.UserPrefix {
+		plan.Caches.User = state.users[req.UserID]
+	} else {
+		plan.Caches.Items = make(map[int]*model.KVCache, len(req.CandidateIDs))
+		for slot, it := range req.CandidateIDs {
+			if c, ok := state.items[it]; ok {
+				plan.Caches.Items[slot] = c
+			}
+		}
+	}
+	return plan, nil
+}
+
+// Commit applies the batch's cache admissions and LRU evictions serially at
+// the batch boundary: build the next snapshot copy-on-write, publish it
+// atomically, release evicted caches. Safe because every cache reader (the
+// next batch's plans and execution) only starts after the new snapshot is
+// visible, and the previous batch's readers are already done.
+func (b *localBackend) Commit(entries []serving.CommitEntry) {
+	cur := b.snap.Load()
+	next := &localState{
+		items:   make(map[int]*model.KVCache, len(cur.items)+len(entries)),
+		users:   make(map[int]*model.KVCache, len(cur.users)+1),
+		userLRU: append([]int(nil), cur.userLRU...),
+	}
+	for k, v := range cur.items {
+		next.items[k] = v
+	}
+	for k, v := range cur.users {
+		next.users[k] = v
+	}
+	changed := false
+	var evicted []*model.KVCache
+	for _, e := range entries {
+		if e.Plan.Recompute {
+			continue
+		}
+		if e.Run.NewUserCache != nil && e.Plan.AdmitUser {
+			// First admission wins when a batch carried the same user twice:
+			// both runs computed bit-identical caches, so the duplicate is
+			// dropped instead of adopted-then-leaked.
+			u := e.Req.UserID
+			if _, ok := next.users[u]; !ok {
+				next.userLRU = append(next.userLRU, u)
+				next.users[u] = b.adoptCache(e.Run.NewUserCache)
+				changed = true
+				for len(next.users) > b.cfg.MaxUserCaches && len(next.userLRU) > 0 {
+					victim := next.userLRU[0]
+					next.userLRU = next.userLRU[1:]
+					if old, ok := next.users[victim]; ok {
+						evicted = append(evicted, old)
+					}
+					delete(next.users, victim)
+				}
+			}
+		}
+		for slot, c := range e.Run.NewItemCaches {
+			if id := e.Req.CandidateIDs[slot]; next.items[id] == nil {
+				next.items[id] = b.adoptCache(c)
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return
+	}
+	b.snap.Store(next)
+	for _, c := range evicted {
+		c.Release() // return arena pages; no-op for contiguous storage
+	}
+}
+
+// minUserHotness scans the snapshot's cached users for the coldest one.
+// Caller holds metaMu.
+func (b *localBackend) minUserHotness(state *localState, now float64) float64 {
+	min := 0.0
+	first := true
+	for u := range state.users {
+		h := b.meta.Hotness(kvcache.EntryKey{Kind: kvcache.UserEntry, ID: uint64(u)}, now)
+		if first || h < min {
+			min, first = h, false
+		}
+	}
+	return min
 }

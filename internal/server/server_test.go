@@ -213,8 +213,8 @@ func TestPrecomputeItems(t *testing.T) {
 		c.PrecomputeItems = true
 		c.Policy = scheduler.StaticItem{}
 	})
-	if len(s.itemCaches) != 80 {
-		t.Fatalf("%d precomputed item caches", len(s.itemCaches))
+	if s.itemCacheCount() != 80 {
+		t.Fatalf("%d precomputed item caches", s.itemCacheCount())
 	}
 	out, err := s.Rank(RankRequest{UserID: 0, CandidateIDs: []int{1, 2, 3, 4}})
 	if err != nil {
@@ -241,8 +241,8 @@ func TestPrecomputeItemsParallelMatchesSerial(t *testing.T) {
 		defer tensor.SetParallelism(0)
 		serial := build(1)
 		parallel := build(4)
-		if len(serial.itemCaches) != len(parallel.itemCaches) {
-			t.Fatalf("pages=%d: %d caches serial vs %d parallel", pageTokens, len(serial.itemCaches), len(parallel.itemCaches))
+		if serial.itemCacheCount() != parallel.itemCacheCount() {
+			t.Fatalf("pages=%d: %d caches serial vs %d parallel", pageTokens, serial.itemCacheCount(), parallel.itemCacheCount())
 		}
 		req := RankRequest{UserID: 2, CandidateIDs: []int{5, 6, 7, 8, 9}}
 		a, err := serial.Rank(req)
@@ -269,8 +269,8 @@ func TestUserCacheEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(s.userCaches) > 2 {
-		t.Fatalf("%d user caches, cap 2", len(s.userCaches))
+	if s.userCacheCount() > 2 {
+		t.Fatalf("%d user caches, cap 2", s.userCacheCount())
 	}
 }
 

@@ -1,0 +1,524 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"bat/internal/admission"
+	"bat/internal/bipartite"
+	"bat/internal/ranking"
+	"bat/internal/tensor"
+)
+
+// ErrClosed reports a rank call against a core that has been Closed.
+var ErrClosed = errors.New("serving: core closed")
+
+// Serving modes the overload ladder decides between.
+const (
+	ModeFull     = "full"
+	ModeDegraded = "degraded"
+	ModeShed     = "shed"
+)
+
+// Plan is a backend's per-request scheduling outcome: the resolved prefix
+// kind and whatever caches the backend could supply for it. Plan calls for
+// the requests of one batch run concurrently, so they must only read
+// snapshot state; mutations belong in Commit.
+type Plan struct {
+	// Kind is the prefix organization serving the request (already resolved:
+	// a Recompute decision maps to UserPrefix with no caches).
+	Kind bipartite.PrefixKind
+	// Recompute suppresses cache admission at commit (the scheduler decided
+	// reuse wasn't worth it).
+	Recompute bool
+	// AdmitUser gates admitting a freshly computed user cache.
+	AdmitUser bool
+	// Caches feeds the bipartite execution; missing entries are recomputed.
+	Caches bipartite.CacheSet
+	// Aux carries backend-private state from Plan to Commit (e.g. timing).
+	Aux any
+}
+
+// CommitEntry hands one successfully executed request back to the backend.
+type CommitEntry struct {
+	Ctx  context.Context
+	Req  RankRequest
+	Plan *Plan
+	Run  *bipartite.Run
+}
+
+// Backend is the plane-specific half of the lifecycle: where caches come
+// from and where freshly computed ones go. Plan is called concurrently for
+// the requests of a batch; Commit is called serially, once per batch, at the
+// batch boundary — the only point where the cache pool may change.
+type Backend interface {
+	Plan(ctx context.Context, req RankRequest) (*Plan, error)
+	Commit(entries []CommitEntry)
+}
+
+// Config assembles a serving core.
+type Config struct {
+	Dataset   *ranking.Dataset
+	Ranker    *ranking.Ranker
+	Retriever *ranking.Retriever
+	// TopK is the returned ranking length (default 10).
+	TopK int
+	// MultiDisc serves with the §4.2 multi-discriminant extension. Multi-disc
+	// requests execute per-request inside the batch cycle (their scoring path
+	// is not packable yet) but share the lifecycle and commit rule.
+	MultiDisc bool
+	// DegradedMaxCandidates caps the candidate set served in degraded mode
+	// (default 16).
+	DegradedMaxCandidates int
+	// Admission tunes the overload ladder. Zero value = defaults.
+	Admission admission.Config
+	// BatchWindow is how long the batcher waits for more requests after the
+	// first arrival before executing (default 2ms; negative = don't wait,
+	// just drain whatever is already queued).
+	BatchWindow time.Duration
+	// MaxBatch caps requests packed into one batched forward (default 8;
+	// 1 = serialized execution).
+	MaxBatch int
+	// Ladder, when non-nil, adds plane-specific rungs to the overload ladder
+	// (e.g. pool health, deadline cost estimates). It runs after the shared
+	// queue-pressure check and returns a Mode* constant plus a reason.
+	Ladder func(ctx context.Context, req RankRequest) (mode, reason string)
+	// BatchHook, when non-nil, runs on the batcher goroutine with the batch
+	// size right before each batch executes. Tests use it to stall or observe
+	// batch formation.
+	BatchHook func(size int)
+}
+
+type outcome struct {
+	resp *RankResponse
+	err  error
+}
+
+type pending struct {
+	ctx  context.Context
+	req  RankRequest
+	done chan outcome
+}
+
+// Core runs the shared request lifecycle for one serving plane.
+type Core struct {
+	cfg     Config
+	backend Backend
+	adm     *admission.Controller
+
+	queue    chan *pending
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu                           sync.Mutex
+	requests                     int64
+	userPrefix, itemPrefix       int64
+	reusedTokens, computedTokens int64
+	degraded, deadlineAborts     int64
+	batches, batchedRequests     int64
+	maxBatch                     int64
+}
+
+// NewCore builds a core and starts its batch-forming loop.
+func NewCore(cfg Config, backend Backend) (*Core, error) {
+	if cfg.Dataset == nil || cfg.Ranker == nil || cfg.Retriever == nil {
+		return nil, fmt.Errorf("serving: core needs a dataset, ranker, and retriever")
+	}
+	if backend == nil {
+		return nil, fmt.Errorf("serving: nil backend")
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = 10
+	}
+	if cfg.DegradedMaxCandidates <= 0 {
+		cfg.DegradedMaxCandidates = 16
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = 2 * time.Millisecond
+	}
+	c := &Core{
+		cfg:     cfg,
+		backend: backend,
+		adm:     admission.NewController(cfg.Admission),
+		queue:   make(chan *pending, 4*cfg.MaxBatch),
+		stop:    make(chan struct{}),
+	}
+	go c.loop()
+	return c, nil
+}
+
+// Close stops the batch loop; queued requests fail with ErrClosed.
+func (c *Core) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+}
+
+// Admission exposes the overload ladder's front door.
+func (c *Core) Admission() *admission.Controller { return c.adm }
+
+// loop is the batch-forming loop: the first arrival opens a window
+// (cfg.BatchWindow) during which up to cfg.MaxBatch requests coalesce into
+// one batch; the batch then executes as a single packed bipartite forward.
+func (c *Core) loop() {
+	for {
+		select {
+		case <-c.stop:
+			c.drainClosed()
+			return
+		case p := <-c.queue:
+			batch := c.collect(p)
+			c.serveBatch(batch)
+		}
+	}
+}
+
+// collect forms one batch starting from its first request.
+func (c *Core) collect(first *pending) []*pending {
+	batch := []*pending{first}
+	if c.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	if c.cfg.BatchWindow < 0 {
+		for len(batch) < c.cfg.MaxBatch {
+			select {
+			case p := <-c.queue:
+				batch = append(batch, p)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(c.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < c.cfg.MaxBatch {
+		select {
+		case p := <-c.queue:
+			batch = append(batch, p)
+		case <-timer.C:
+			return batch
+		case <-c.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drainClosed fails everything still queued after Close.
+func (c *Core) drainClosed() {
+	for {
+		select {
+		case p := <-c.queue:
+			p.done <- outcome{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// serveBatch runs one batch through plan → execute → commit → respond.
+// Plans run concurrently (snapshot reads only); execution is one packed
+// bipartite forward; the commit applies every cache admission/eviction
+// serially at the batch boundary, before responses go out, so a caller that
+// has its response also sees its caches admitted.
+func (c *Core) serveBatch(batch []*pending) {
+	if h := c.cfg.BatchHook; h != nil {
+		h(len(batch))
+	}
+	n := len(batch)
+	c.mu.Lock()
+	c.batches++
+	c.batchedRequests += int64(n)
+	if int64(n) > c.maxBatch {
+		c.maxBatch = int64(n)
+	}
+	c.mu.Unlock()
+
+	plans := make([]*Plan, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, p := range batch {
+		if err := p.ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *pending) {
+			defer wg.Done()
+			plans[i], errs[i] = c.backend.Plan(p.ctx, p.req)
+		}(i, p)
+	}
+	wg.Wait()
+
+	resps := make([]*RankResponse, n)
+	var entries []CommitEntry
+	if c.cfg.MultiDisc {
+		for i, p := range batch {
+			if errs[i] != nil {
+				continue
+			}
+			resps[i], errs[i] = c.serveMulti(p, plans[i], &entries)
+		}
+	} else {
+		items := make([]bipartite.BatchItem, 0, n)
+		cancels := make([]func() error, 0, n)
+		idx := make([]int, 0, n)
+		for i, p := range batch {
+			if errs[i] != nil {
+				continue
+			}
+			layout, err := c.cfg.Ranker.BuildLayout(evalReq(p.req), plans[i].Kind, false)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			items = append(items, bipartite.BatchItem{Layout: layout, Caches: plans[i].Caches})
+			cancels = append(cancels, p.ctx.Err)
+			idx = append(idx, i)
+		}
+		runs, rerrs := bipartite.ExecuteBatchCancelable(c.cfg.Ranker.W, items, cancels)
+		for j, i := range idx {
+			if rerrs[j] != nil {
+				errs[i] = rerrs[j]
+				continue
+			}
+			p := batch[i]
+			ranked := c.cfg.Ranker.ScoreDiscriminant(evalReq(p.req), runs[j].Discriminant)
+			resps[i] = c.fullResponse(p.req, plans[i].Kind, runs[j], ranked)
+			entries = append(entries, CommitEntry{Ctx: p.ctx, Req: p.req, Plan: plans[i], Run: runs[j]})
+		}
+	}
+	if len(entries) > 0 {
+		c.backend.Commit(entries)
+	}
+	for i, p := range batch {
+		if errs[i] != nil {
+			if p.ctx.Err() != nil {
+				c.mu.Lock()
+				c.deadlineAborts++
+				c.mu.Unlock()
+				errs[i] = fmt.Errorf("serving: request canceled: %w", p.ctx.Err())
+			}
+			p.done <- outcome{err: errs[i]}
+			continue
+		}
+		p.done <- outcome{resp: resps[i]}
+	}
+}
+
+func evalReq(req RankRequest) ranking.EvalRequest {
+	return ranking.EvalRequest{User: req.UserID, Candidates: req.CandidateIDs}
+}
+
+// serveMulti executes one multi-discriminant request within the batch cycle.
+func (c *Core) serveMulti(p *pending, plan *Plan, entries *[]CommitEntry) (*RankResponse, error) {
+	ranked, run, err := c.cfg.Ranker.RankMulti(evalReq(p.req), plan.Kind,
+		ranking.RankOpts{Caches: plan.Caches, Ctx: p.ctx})
+	if err != nil {
+		return nil, err
+	}
+	*entries = append(*entries, CommitEntry{Ctx: p.ctx, Req: p.req, Plan: plan, Run: run})
+	return c.fullResponse(p.req, plan.Kind, run, ranked), nil
+}
+
+// fullResponse folds one served request into the counters and builds its
+// top-K reply.
+func (c *Core) fullResponse(req RankRequest, kind bipartite.PrefixKind, run *bipartite.Run, ranked []int) *RankResponse {
+	c.mu.Lock()
+	c.requests++
+	if kind == bipartite.UserPrefix {
+		c.userPrefix++
+	} else {
+		c.itemPrefix++
+	}
+	c.reusedTokens += int64(run.ReusedTokens)
+	c.computedTokens += int64(run.ComputedTokens)
+	c.mu.Unlock()
+	k := c.cfg.TopK
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	top := make([]int, k)
+	for i := 0; i < k; i++ {
+		top[i] = req.CandidateIDs[ranked[i]]
+	}
+	return &RankResponse{
+		Ranking:        top,
+		Prefix:         kind.String(),
+		ReusedTokens:   run.ReusedTokens,
+		ComputedTokens: run.ComputedTokens,
+	}
+}
+
+// Rank serves one request without a deadline.
+func (c *Core) Rank(req RankRequest) (*RankResponse, error) {
+	return c.RankCtx(context.Background(), req)
+}
+
+// RankCtx validates the request and runs it through the batch loop. The
+// context is polled at batch phase boundaries, so an abandoned request stops
+// burning compute at the next boundary instead of running to completion.
+func (c *Core) RankCtx(ctx context.Context, req RankRequest) (*RankResponse, error) {
+	if err := Validate(c.cfg.Dataset, req); err != nil {
+		return nil, err
+	}
+	p := &pending{ctx: ctx, req: req, done: make(chan outcome, 1)}
+	select {
+	case c.queue <- p:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serving: request canceled: %w", ctx.Err())
+	case <-c.stop:
+		return nil, ErrClosed
+	}
+	select {
+	case out := <-p.done:
+		return out.resp, out.err
+	case <-c.stop:
+		return nil, ErrClosed
+	}
+}
+
+// RankDegraded serves the overload fallback: cap the candidate set and score
+// by retrieval similarity — no transformer forward, no cache mutation, no
+// trip through the batch loop.
+func (c *Core) RankDegraded(req RankRequest, reason string) (*RankResponse, error) {
+	if err := Validate(c.cfg.Dataset, req); err != nil {
+		return nil, err
+	}
+	cands := req.CandidateIDs
+	if len(cands) > c.cfg.DegradedMaxCandidates {
+		cands = cands[:c.cfg.DegradedMaxCandidates]
+	}
+	scores := c.cfg.Retriever.ScoreCandidates(req.UserID, cands)
+	order := tensor.TopK(scores, len(scores))
+	k := c.cfg.TopK
+	if k > len(order) {
+		k = len(order)
+	}
+	top := make([]int, k)
+	for i := 0; i < k; i++ {
+		top[i] = cands[order[i]]
+	}
+	c.mu.Lock()
+	c.requests++
+	c.degraded++
+	c.mu.Unlock()
+	return &RankResponse{
+		Ranking:       top,
+		Prefix:        "degraded-retrieval",
+		Degraded:      true,
+		DegradeReason: reason,
+	}, nil
+}
+
+// HandleRank is the shared POST /v1/rank handler: decode, validate, then the
+// overload ladder — admit (bounded in-flight + wait queue), degrade
+// (retrieval fallback under queue pressure or a backend-specific rung), or
+// shed (429 + Retry-After). Admitted full serves go through the batch loop
+// with the request context carrying the Deadline-Ms budget.
+func (c *Core) HandleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req RankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.adm.Deadline(r))
+	defer cancel()
+	grant, err := c.adm.Acquire(ctx)
+	if err != nil {
+		reason := admission.ReasonQueueFull
+		if errors.Is(err, admission.ErrDeadline) {
+			reason = admission.ReasonDeadline
+		}
+		c.adm.Shed(w, reason)
+		return
+	}
+	defer grant.Release()
+
+	mode, reason := ModeFull, ""
+	if c.adm.ShouldDegrade(grant.QueuedBehind) {
+		mode, reason = ModeDegraded, "queue-pressure"
+	} else if c.cfg.Ladder != nil {
+		mode, reason = c.cfg.Ladder(ctx, req)
+	}
+	var resp *RankResponse
+	switch mode {
+	case ModeShed:
+		c.adm.Shed(w, reason)
+		return
+	case ModeDegraded:
+		resp, err = c.RankDegraded(req, reason)
+	default:
+		resp, err = c.RankCtx(ctx, req)
+	}
+	if err != nil {
+		if errors.Is(err, ErrValidation) {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if ctx.Err() != nil {
+			// The deadline expired mid-serve; tell the client to back off
+			// rather than reporting a server fault.
+			c.adm.Shed(w, admission.ReasonDeadline)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	WriteJSON(w, resp)
+}
+
+// WriteJSON writes a JSON reply (shared by both planes' handlers).
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Stats is the core's lifecycle counter snapshot.
+type Stats struct {
+	Requests       int64 `json:"requests"`
+	UserPrefix     int64 `json:"user_prefix_requests"`
+	ItemPrefix     int64 `json:"item_prefix_requests"`
+	ReusedTokens   int64 `json:"reused_tokens"`
+	ComputedTokens int64 `json:"computed_tokens"`
+	// DegradedRequests counts retrieval-fallback responses; DeadlineAborts
+	// counts serves canceled mid-batch by an expired deadline or
+	// disconnected client.
+	DegradedRequests int64 `json:"degraded_requests"`
+	DeadlineAborts   int64 `json:"deadline_aborts"`
+	// Batches counts packed executions; BatchedRequests the requests they
+	// carried (BatchedRequests/Batches is the mean batch size);
+	// MaxBatchSize the largest batch formed.
+	Batches         int64 `json:"batches"`
+	BatchedRequests int64 `json:"batched_requests"`
+	MaxBatchSize    int64 `json:"max_batch_size"`
+	// Admission is the overload ladder's front door.
+	Admission admission.Stats `json:"admission"`
+}
+
+// Stats snapshots the core.
+func (c *Core) Stats() Stats {
+	c.mu.Lock()
+	st := Stats{
+		Requests: c.requests, UserPrefix: c.userPrefix, ItemPrefix: c.itemPrefix,
+		ReusedTokens: c.reusedTokens, ComputedTokens: c.computedTokens,
+		DegradedRequests: c.degraded, DeadlineAborts: c.deadlineAborts,
+		Batches: c.batches, BatchedRequests: c.batchedRequests, MaxBatchSize: c.maxBatch,
+	}
+	c.mu.Unlock()
+	st.Admission = c.adm.Stats()
+	return st
+}

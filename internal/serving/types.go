@@ -1,0 +1,60 @@
+// Package serving is the shared serving core both planes (the single-process
+// server and the disaggregated frontend) are thin adapters over. It owns the
+// request lifecycle — validate → admit → schedule → batch → execute →
+// respond — and runs a continuous-batching loop: concurrent rank requests
+// arriving within a small window coalesce into one multi-request bipartite
+// execution, packed into a single batched forward behind a block-diagonal
+// cross-request mask. Cache reads stay lock-free behind whatever snapshot the
+// backend provides at plan time; pool admissions and evictions apply serially
+// at batch boundaries via Backend.Commit.
+package serving
+
+import (
+	"errors"
+	"fmt"
+
+	"bat/internal/ranking"
+)
+
+// ErrValidation marks request errors the caller can fix (unknown IDs, empty
+// candidate sets); everything else is an internal serving failure.
+var ErrValidation = errors.New("invalid request")
+
+// RankRequest is the /v1/rank payload, shared by both planes.
+type RankRequest struct {
+	UserID       int   `json:"user_id"`
+	CandidateIDs []int `json:"candidate_ids"`
+}
+
+// RankResponse is the /v1/rank reply, shared by both planes.
+type RankResponse struct {
+	// Ranking lists the top-K candidate item IDs, best first.
+	Ranking []int `json:"ranking"`
+	// Prefix reports which attention pattern served the request.
+	Prefix string `json:"prefix"`
+	// ReusedTokens and ComputedTokens account this request's prefill work.
+	ReusedTokens   int `json:"reused_tokens"`
+	ComputedTokens int `json:"computed_tokens"`
+	// Degraded marks a response served by the retrieval-similarity fallback
+	// under overload; DegradeReason says why ("queue-pressure",
+	// "pool-unhealthy", or "deadline").
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
+}
+
+// Validate rejects caller mistakes (unknown IDs, empty candidate sets) with
+// errors wrapping ErrValidation; every serving path applies it.
+func Validate(ds *ranking.Dataset, req RankRequest) error {
+	if req.UserID < 0 || req.UserID >= len(ds.UserHistory) {
+		return fmt.Errorf("serving: unknown user %d: %w", req.UserID, ErrValidation)
+	}
+	if len(req.CandidateIDs) == 0 {
+		return fmt.Errorf("serving: empty candidate set: %w", ErrValidation)
+	}
+	for _, it := range req.CandidateIDs {
+		if it < 0 || it >= len(ds.ItemTokens) {
+			return fmt.Errorf("serving: unknown item %d: %w", it, ErrValidation)
+		}
+	}
+	return nil
+}

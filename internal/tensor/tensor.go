@@ -240,6 +240,14 @@ func Softmax(v []float32) {
 	}
 	var sum float32
 	for i, x := range v {
+		// Masked entries contribute exactly exp(-Inf) == 0 to the sum, so
+		// skipping the Exp call is bit-identical. Batched cross-request
+		// attention masks most of the packed context, making this the
+		// difference between O(own context) and O(batch context) Exp calls.
+		if math.IsInf(float64(x), -1) {
+			v[i] = 0
+			continue
+		}
 		e := float32(math.Exp(float64(x - maxv)))
 		v[i] = e
 		sum += e
