@@ -17,6 +17,8 @@
 //
 //	curl -s localhost:9000/v1/rank -d '{"user_id":3,"candidate_ids":[1,2,3,4,5,6,7,8,9,10]}'
 //	curl -s localhost:9000/v1/stats          # frontend, incl. per-worker health
+//	curl -s localhost:9000/metrics           # stage histograms + pool health (text)
+//	curl -s localhost:9000/debug/trace       # last-N traces, fetch spans tagged
 //	curl -s localhost:9001/v1/locate'?kind=item&id=1'   # meta
 //	curl -s localhost:9002/stats             # first cache worker
 package main
@@ -55,6 +57,8 @@ func main() {
 	repairHot := flag.Int("repair-hot", 16, "hottest entries re-replicated after a cache worker dies")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long the first queued request waits for batchmates (negative = drain-only)")
 	maxBatch := flag.Int("max-batch", 8, "most requests packed into one bipartite execution (1 = serialized)")
+	traceRing := flag.Int("trace-ring", 128, "request traces retained for GET /debug/trace")
+	jitterSeed := flag.Int64("jitter-seed", 0, "retry-jitter RNG seed (0 = from the clock)")
 	flag.Parse()
 
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
@@ -122,6 +126,7 @@ func main() {
 			BreakerThreshold: *breakerTrip,
 			BreakerCooldown:  *breakerCool,
 			FetchConcurrency: *fetchConc,
+			JitterSeed:       *jitterSeed,
 		},
 		Admission: admission.Config{
 			MaxInFlight:       *maxInFlight,
@@ -131,6 +136,7 @@ func main() {
 		},
 		BatchWindow: *batchWindow,
 		MaxBatch:    *maxBatch,
+		TraceRing:   *traceRing,
 	})
 	if err != nil {
 		log.Fatalf("batdist: %v", err)

@@ -10,6 +10,8 @@
 //
 //	curl -s localhost:8080/v1/rank -d '{"user_id":3,"candidate_ids":[1,2,3,4,5,6,7,8,9,10,11,12]}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics       # per-stage latency histograms (text)
+//	curl -s localhost:8080/debug/trace   # last-N request traces (JSON)
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 	multiDisc := flag.Bool("multi-disc", false, "serve with one discriminant token per candidate")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long the first queued request waits for batchmates (negative = drain-only)")
 	maxBatch := flag.Int("max-batch", 8, "most requests packed into one bipartite execution (1 = serialized)")
+	traceRing := flag.Int("trace-ring", 128, "request traces retained for GET /debug/trace")
 	flag.Parse()
 
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
@@ -56,6 +59,7 @@ func main() {
 		MultiDisc:       *multiDisc,
 		BatchWindow:     *batchWindow,
 		MaxBatch:        *maxBatch,
+		TraceRing:       *traceRing,
 	})
 	if err != nil {
 		log.Fatalf("batserve: %v", err)

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -190,8 +191,11 @@ func (c *Controller) Deadline(r *http.Request) time.Duration {
 
 // Shed writes the 429 response for a rejected request: Retry-After with the
 // configured backoff and X-Shed-Reason naming the ladder rung that fired.
+// Retry-After carries whole seconds (RFC 9110), so fractional backoffs round
+// UP — truncation would turn a 300ms backoff into "0" and invite an
+// immediate retry storm from well-behaved clients.
 func (c *Controller) Shed(w http.ResponseWriter, reason string) {
-	secs := int(c.cfg.RetryAfter / time.Second)
+	secs := int(math.Ceil(c.cfg.RetryAfter.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}

@@ -141,3 +141,25 @@ func TestShedResponse(t *testing.T) {
 		t.Fatalf("reason %q", rec.Header().Get(ShedReasonHeader))
 	}
 }
+
+// Retry-After must round fractional backoffs up: "0" tells well-behaved
+// clients to retry immediately, which defeats the backoff entirely.
+func TestShedRetryAfterRoundsUp(t *testing.T) {
+	cases := []struct {
+		backoff time.Duration
+		want    string
+	}{
+		{300 * time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{1500 * time.Millisecond, "2"},
+		{0, "1"}, // zero config falls back to the 1s floor
+	}
+	for _, tc := range cases {
+		c := NewController(Config{RetryAfter: tc.backoff})
+		rec := httptest.NewRecorder()
+		c.Shed(rec, ReasonQueueFull)
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("RetryAfter=%v: Retry-After %q, want %q", tc.backoff, got, tc.want)
+		}
+	}
+}

@@ -471,3 +471,41 @@ func benchmarkItemFetch(b *testing.B, concurrency int) {
 // 2 ms simulated network latency, serial vs bounded-parallel item fetch.
 func BenchmarkItemFetchSerial(b *testing.B)   { benchmarkItemFetch(b, 1) }
 func BenchmarkItemFetchParallel(b *testing.B) { benchmarkItemFetch(b, 16) }
+
+// TestBackoffJitterSeedable: the transfer engine owns its jitter RNG, so two
+// engines built with the same JitterSeed replay identical backoff schedules
+// (fault tests depend on this), while the jitter still stays inside the
+// [0.5d, 1.5d) decorrelation band.
+func TestBackoffJitterSeedable(t *testing.T) {
+	mk := func(seed int64) *transferClient {
+		return newTransferClient(&http.Client{}, TransferConfig{
+			BackoffBase: 10 * time.Millisecond,
+			BackoffMax:  80 * time.Millisecond,
+			JitterSeed:  seed,
+		}, 1)
+	}
+	a, b := mk(42), mk(42)
+	for i := 1; i <= 8; i++ {
+		da, db := a.backoff(i), b.backoff(i)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		base := 10 * time.Millisecond << uint(i-1)
+		if base > 80*time.Millisecond || base <= 0 {
+			base = 80 * time.Millisecond
+		}
+		if da < base/2 || da >= base+base/2 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", i, da, base/2, base+base/2)
+		}
+	}
+	c := mk(7)
+	diverged := false
+	for i := 1; i <= 8; i++ {
+		if a.backoff(i) != c.backoff(i) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical 8-step backoff schedules")
+	}
+}

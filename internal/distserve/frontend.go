@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"time"
 
 	"bat/internal/admission"
 	"bat/internal/bipartite"
 	"bat/internal/costmodel"
+	"bat/internal/metrics"
 	"bat/internal/model"
 	"bat/internal/ranking"
 	"bat/internal/scheduler"
@@ -67,6 +70,9 @@ type FrontendConfig struct {
 	// (see serving.Config); zero values take the core defaults.
 	BatchWindow time.Duration
 	MaxBatch    int
+	// TraceRing sizes the retained request-trace ring served at
+	// GET /debug/trace (default 128).
+	TraceRing int
 	// BatchHook, when non-nil, runs before each batch executes (tests).
 	BatchHook func(size int)
 }
@@ -90,6 +96,10 @@ type Frontend struct {
 	// for its result instead of issuing N identical GETs.
 	flightMu sync.Mutex
 	flight   map[uint64]*flightCall
+
+	// fetchCtr counts pool round trips by outcome under
+	// bat_fetch_total{outcome=...} in the core's metric registry.
+	fetchCtr map[string]*metrics.Counter
 
 	mu               sync.Mutex
 	fetchErrors      int64
@@ -164,6 +174,7 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		Admission:             cfg.Admission,
 		BatchWindow:           cfg.BatchWindow,
 		MaxBatch:              cfg.MaxBatch,
+		TraceRing:             cfg.TraceRing,
 		BatchHook:             cfg.BatchHook,
 		Ladder:                f.ladder,
 	}, f)
@@ -171,7 +182,54 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		return nil, err
 	}
 	f.core = core
+	reg := core.Observer().Registry()
+	f.fetchCtr = make(map[string]*metrics.Counter, len(fetchOutcomes))
+	for _, o := range fetchOutcomes {
+		f.fetchCtr[o] = reg.Counter(`bat_fetch_total{outcome="` + o + `"}`)
+	}
+	for i := range cfg.CacheWorkers {
+		ts := f.transfer.targets[i]
+		reg.GaugeFunc(`bat_worker_breaker_open{worker="`+strconv.Itoa(i)+`"}`, func() float64 {
+			ts.mu.Lock()
+			defer ts.mu.Unlock()
+			if ts.state == breakerOpen {
+				return 1
+			}
+			return 0
+		})
+	}
 	return f, nil
+}
+
+// Fetch-span / bat_fetch_total outcomes. "coalesced" marks a fetch answered
+// by another request's in-flight GET; the rest are the leader's round-trip
+// results.
+var fetchOutcomes = []string{"hit", "miss", "breaker-open", "error", "decode-error", "coalesced"}
+
+// Observer exposes the serving core's observability state (registry, stage
+// histograms, trace ring) so tests and the batdist binary can reach it.
+func (f *Frontend) Observer() *serving.Observer { return f.core.Observer() }
+
+// observeFetch settles one pool round trip into the outcome counters and —
+// when the request is traced — a nested StageFetch span tagged with the
+// worker, entry kind, outcome, and retry count.
+func (f *Frontend) observeFetch(ctx context.Context, worker int, kind, outcome string, tries int, start time.Time) {
+	if c, ok := f.fetchCtr[outcome]; ok {
+		c.Inc()
+	}
+	tb := serving.TraceFromContext(ctx)
+	if tb == nil {
+		return
+	}
+	attrs := map[string]string{
+		"worker":  strconv.Itoa(worker),
+		"kind":    kind,
+		"outcome": outcome,
+	}
+	if tries > 1 {
+		attrs["retries"] = strconv.Itoa(tries - 1)
+	}
+	tb.AddSpan(serving.StageFetch, start, time.Since(start), attrs)
 }
 
 // Close stops the serving core's batch loop.
@@ -455,7 +513,7 @@ func (f *Frontend) maybePurgeWorker(ctx context.Context, worker int) {
 // metaLocate resolves an entry's workers; failures degrade to "not cached".
 func (f *Frontend) metaLocate(ctx context.Context, kind string, id uint64) []int {
 	u := fmt.Sprintf("%s/v1/locate?kind=%s&id=%d", f.cfg.MetaURL, url.QueryEscape(kind), id)
-	status, body, err := f.transfer.get(ctx, f.transfer.metaTarget(), u)
+	status, body, _, err := f.transfer.get(ctx, f.transfer.metaTarget(), u)
 	if err != nil {
 		f.noteFetchError()
 		return nil
@@ -555,11 +613,13 @@ func (f *Frontend) fetchItemCacheShared(ctx context.Context, it int) *model.KVCa
 	f.flightMu.Lock()
 	if call, ok := f.flight[id]; ok {
 		f.flightMu.Unlock()
+		wait := time.Now()
 		select {
 		case <-call.done:
 			f.mu.Lock()
 			f.coalescedFetches++
 			f.mu.Unlock()
+			f.observeFetch(ctx, f.itemWorker(it), "item", "coalesced", 0, wait)
 			return call.c
 		case <-ctx.Done():
 			return nil
@@ -578,32 +638,43 @@ func (f *Frontend) fetchItemCacheShared(ctx context.Context, it int) *model.KVCa
 
 // fetchCache pulls and decodes one KV payload; any failure is a miss (the
 // request recomputes, never errors). A 404 means the worker evicted the
-// entry, so the stale meta binding is unregistered.
+// entry, so the stale meta binding is unregistered. Every round trip lands in
+// the request's trace as a StageFetch span plus an outcome counter.
 func (f *Frontend) fetchCache(ctx context.Context, worker int, kind string, id uint64) *model.KVCache {
 	if worker < 0 || worker >= len(f.cfg.CacheWorkers) {
 		return nil
 	}
+	start := time.Now()
 	u := fmt.Sprintf("%s/kv/%s/%d", f.cfg.CacheWorkers[worker], kind, id)
-	status, data, err := f.transfer.get(ctx, worker, u)
+	status, data, tries, err := f.transfer.get(ctx, worker, u)
 	if err != nil {
 		f.noteFetchError()
+		outcome := "error"
+		if errors.Is(err, errBreakerOpen) {
+			outcome = "breaker-open"
+		}
+		f.observeFetch(ctx, worker, kind, outcome, tries, start)
 		if errors.Is(err, errBreakerOpen) {
 			f.maybePurgeWorker(ctx, worker)
 		}
 		return nil
 	}
 	if status == http.StatusNotFound {
+		f.observeFetch(ctx, worker, kind, "miss", tries, start)
 		f.metaUnregister(ctx, kind, id, worker)
 		return nil
 	}
 	if status != http.StatusOK {
+		f.observeFetch(ctx, worker, kind, "error", tries, start)
 		return nil
 	}
 	c := model.NewKVCache(f.ranker.W.Config())
 	if err := c.UnmarshalBinary(data); err != nil {
 		f.noteFetchError()
+		f.observeFetch(ctx, worker, kind, "decode-error", tries, start)
 		return nil
 	}
+	f.observeFetch(ctx, worker, kind, "hit", tries, start)
 	return c
 }
 
@@ -714,8 +785,11 @@ func (f *Frontend) Stats() FrontendStats {
 	return st
 }
 
-// Handler exposes the frontend API: POST /v1/rank, GET /v1/stats, /healthz.
-// /v1/rank runs the serving core's overload ladder — admit (bounded
+// Handler exposes the frontend API: POST /v1/rank, GET /v1/stats, GET
+// /metrics (plain-text exposition: the core's per-stage latency histograms
+// and counters plus the frontend's pool/fetch lines), GET /debug/trace (the
+// last-N request traces, fetch spans tagged with worker and outcome), and
+// /healthz. /v1/rank runs the serving core's overload ladder — admit (bounded
 // in-flight + wait queue), degrade (retrieval fallback under queue pressure,
 // pool ill-health, or a tight deadline via the frontend's ladder rungs), or
 // shed (429 + Retry-After) — then the batch loop. The request's deadline
@@ -726,10 +800,45 @@ func (f *Frontend) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", func(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, f.Stats())
 	})
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		f.core.WriteMetrics(rw)
+		f.writePoolMetrics(rw)
+	})
+	mux.HandleFunc("/debug/trace", f.core.HandleTraces)
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(rw, "ok")
 	})
 	return mux
+}
+
+// writePoolMetrics appends the disaggregated plane's lines to a /metrics
+// scrape: pool fetch health, per-target transfer state, and the poolguard's
+// repair counters when a guard is attached.
+func (f *Frontend) writePoolMetrics(w io.Writer) {
+	st := f.Stats()
+	fmt.Fprintf(w, "bat_fetch_errors_total %d\n", st.FetchErrors)
+	fmt.Fprintf(w, "bat_fetch_failovers_total %d\n", st.Failovers)
+	fmt.Fprintf(w, "bat_coalesced_fetches_total %d\n", st.CoalescedFetches)
+	fmt.Fprintf(w, "bat_stale_unregisters_total %d\n", st.StaleUnregisters)
+	fmt.Fprintf(w, "bat_worker_purges_total %d\n", st.WorkerPurges)
+	fmt.Fprintf(w, "bat_purged_bindings_total %d\n", st.PurgedBindings)
+	fmt.Fprintf(w, "bat_calibrated_cost_ratio %g\n", st.CalibratedCostRatio)
+	for _, wh := range st.Workers {
+		fmt.Fprintf(w, "bat_transfer_requests_total{target=%q} %d\n", wh.Target, wh.Requests)
+		fmt.Fprintf(w, "bat_transfer_errors_total{target=%q} %d\n", wh.Target, wh.Errors)
+		fmt.Fprintf(w, "bat_transfer_breaker_skips_total{target=%q} %d\n", wh.Target, wh.BreakerSkips)
+	}
+	if st.Guard != nil {
+		fmt.Fprintf(w, "bat_poolguard_probes_total %d\n", st.Guard.Probes)
+		fmt.Fprintf(w, "bat_poolguard_deaths_total %d\n", st.Guard.Deaths)
+		fmt.Fprintf(w, "bat_poolguard_rejoins_total %d\n", st.Guard.Rejoins)
+		fmt.Fprintf(w, "bat_poolguard_repaired_total %d\n", st.Guard.Repaired)
+	}
 }
 
 // mix is splitmix64's finalizer.

@@ -5,8 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -14,6 +17,7 @@ import (
 	"bat/internal/admission"
 	"bat/internal/ranking"
 	"bat/internal/scheduler"
+	"bat/internal/serving"
 )
 
 // chaosDeployment is a faultDeployment plus the frontend's own HTTP server,
@@ -468,5 +472,118 @@ func TestMetaWorkerEndpoints(t *testing.T) {
 	defer done()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("negative worker status %d", resp.StatusCode)
+	}
+}
+
+// TestPoolGuardStopCancelsInflightProbes: probe and repair contexts derive
+// from the guard's lifetime context, so Stop must return promptly even while
+// a probe is parked against a hung worker, and the parked goroutines must
+// drain instead of leaking until their own (long) timeouts expire.
+func TestPoolGuardStopCancelsInflightProbes(t *testing.T) {
+	d := newChaosDeployment(t, 2, scheduler.StaticUser{},
+		TransferConfig{Timeout: 30 * time.Second}, nil)
+	for _, p := range d.proxies {
+		p.SetMode(FaultHang, 0)
+	}
+	baseline := runtime.NumGoroutine()
+	g := NewPoolGuard(d.frontend, PoolGuardConfig{
+		ProbeInterval: 20 * time.Millisecond,
+		// Long enough that a leaked probe would outlive the test by far:
+		// only guard-context cancellation can unpark it promptly.
+		ProbeTimeout:  30 * time.Second,
+		FailThreshold: 1000,
+	})
+	g.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for d.proxies[0].Requests() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no probe reached the hung worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stopStart := time.Now()
+	g.Stop()
+	if took := time.Since(stopStart); took > 5*time.Second {
+		t.Fatalf("Stop took %v with a probe in flight; guard context not canceled", took)
+	}
+	// The probe goroutine and the proxy handler it woke must both drain.
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after Stop: baseline %d, now %d",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDistserveObservabilityEndpoints: the disaggregated plane serves
+// /metrics (core stage histograms + pool lines) and /debug/trace, and its
+// traces carry StageFetch spans tagged with worker id and outcome.
+func TestDistserveObservabilityEndpoints(t *testing.T) {
+	d := newChaosDeployment(t, 2, scheduler.StaticItem{}, TransferConfig{}, nil)
+
+	// Same candidate set twice: the first serve computes and stores item
+	// caches, the second fetches them back (hits).
+	cands := []int{1, 2, 3, 4}
+	for i := 0; i < 2; i++ {
+		if status, _, _ := d.post(t, RankRequest{UserID: i, CandidateIDs: cands}, nil); status != http.StatusOK {
+			t.Fatalf("rank %d status %d", i, status)
+		}
+	}
+
+	resp, err := http.Get(d.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`bat_stage_latency_seconds{stage="plan"`,
+		`bat_fetch_total{outcome="hit"}`,
+		`bat_worker_breaker_open{worker="0"} 0`,
+		"bat_transfer_requests_total{target=\"worker-0\"}",
+		"bat_fetch_errors_total 0",
+		"bat_requests_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	tresp, err := http.Get(d.front.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var traces serving.TraceResponse
+	if err := json.NewDecoder(tresp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces.Traces) != 2 {
+		t.Fatalf("traces %d, want 2", len(traces.Traces))
+	}
+	// Newest trace = the second request, whose item caches were pool hits.
+	hits := 0
+	for _, sp := range traces.Traces[0].Spans {
+		if sp.Stage != serving.StageFetch {
+			continue
+		}
+		if sp.Attrs["worker"] == "" || sp.Attrs["outcome"] == "" {
+			t.Fatalf("fetch span missing worker/outcome tags: %+v", sp)
+		}
+		if sp.Attrs["outcome"] == "hit" {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatalf("second request recorded no fetch hits: %+v", traces.Traces[0].Spans)
 	}
 }

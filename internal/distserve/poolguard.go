@@ -77,13 +77,18 @@ func (c PoolGuardConfig) withDefaults() PoolGuardConfig {
 
 // PoolGuard watches one frontend's cache-worker pool.
 type PoolGuard struct {
-	cfg   PoolGuardConfig
-	f     *Frontend
-	plan  *placement.DynamicPlan
-	stop  chan struct{}
-	done  chan struct{}
-	start sync.Once
-	halt  sync.Once
+	cfg  PoolGuardConfig
+	f    *Frontend
+	plan *placement.DynamicPlan
+	// ctx is the guard's lifetime: every probe and repair context derives
+	// from it, so Stop cancels in-flight HTTP work instead of leaving probe
+	// goroutines to ride out their own timeouts against hung workers.
+	ctx    context.Context
+	cancel context.CancelFunc
+	stop   chan struct{}
+	done   chan struct{}
+	start  sync.Once
+	halt   sync.Once
 
 	mu          sync.Mutex
 	consecFails []int
@@ -108,6 +113,7 @@ func NewPoolGuard(f *Frontend, cfg PoolGuardConfig) *PoolGuard {
 		consecFails: make([]int, len(f.cfg.CacheWorkers)),
 		dead:        make([]bool, len(f.cfg.CacheWorkers)),
 	}
+	g.ctx, g.cancel = context.WithCancel(context.Background())
 	f.mu.Lock()
 	f.guard = g
 	f.mu.Unlock()
@@ -121,9 +127,13 @@ func (g *PoolGuard) Start() {
 	})
 }
 
-// Stop halts the probe loop and waits for it to exit.
+// Stop halts the probe loop, cancels any in-flight probe or repair HTTP
+// work, and waits for the loop to exit.
 func (g *PoolGuard) Stop() {
-	g.halt.Do(func() { close(g.stop) })
+	g.halt.Do(func() {
+		close(g.stop)
+		g.cancel()
+	})
 	<-g.done
 }
 
@@ -158,7 +168,7 @@ func (g *PoolGuard) probeAll() {
 // engine: probes must reach a worker whose breaker is open, or rejoin would
 // never be observed).
 func (g *PoolGuard) probe(worker int) bool {
-	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	ctx, cancel := context.WithTimeout(g.ctx, g.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		g.f.cfg.CacheWorkers[worker]+"/healthz", nil)
@@ -209,7 +219,7 @@ func (g *PoolGuard) settle(worker int, healthy bool) {
 // onDeath runs the repair sequence for a freshly dead worker.
 func (g *PoolGuard) onDeath(worker int) {
 	g.f.SetWorkerAlive(worker, false)
-	ctx, cancel := context.WithTimeout(context.Background(), 2*g.cfg.ProbeInterval+2*time.Second)
+	ctx, cancel := context.WithTimeout(g.ctx, 2*g.cfg.ProbeInterval+2*time.Second)
 	defer cancel()
 	resp, err := g.f.unregisterWorker(ctx, worker, g.cfg.RepairHot)
 	if err != nil {

@@ -54,6 +54,10 @@ type TransferConfig struct {
 	// FetchConcurrency bounds the parallel per-candidate item cache
 	// fetches issued by one Rank call (1 = serial).
 	FetchConcurrency int
+	// JitterSeed seeds the transfer engine's locally-owned retry-jitter RNG
+	// (0 = seed from the clock). Fault-injection tests set it so backoff
+	// sequences replay deterministically.
+	JitterSeed int64
 }
 
 func (c TransferConfig) withDefaults() TransferConfig {
@@ -200,13 +204,25 @@ type transferClient struct {
 	cfg     TransferConfig
 	now     func() time.Time
 	targets []*targetState
+
+	// rng is the locally-owned jitter source (never the package-global
+	// rand): seeding it makes retry schedules replayable in fault tests and
+	// keeps concurrent engines from contending on one shared lock.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 func newTransferClient(client *http.Client, cfg TransferConfig, workers int) *transferClient {
+	cfg = cfg.withDefaults()
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	t := &transferClient{
 		http:    client,
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
 		now:     time.Now,
+		rng:     rand.New(rand.NewSource(seed)),
 		targets: make([]*targetState, workers+1),
 	}
 	for i := 0; i < workers; i++ {
@@ -220,9 +236,10 @@ func newTransferClient(client *http.Client, cfg TransferConfig, workers int) *tr
 func (t *transferClient) metaTarget() int { return len(t.targets) - 1 }
 
 // get issues an idempotent GET with retries, backoff, and breaker checks.
-// It returns the status code and the fully-read body; non-2xx statuses below
-// 500 are returned to the caller (a 404 is information, not a fault).
-func (t *transferClient) get(ctx context.Context, target int, url string) (int, []byte, error) {
+// It returns the status code, the fully-read body, and how many attempts the
+// engine spent (for fetch-span tagging); non-2xx statuses below 500 are
+// returned to the caller (a 404 is information, not a fault).
+func (t *transferClient) get(ctx context.Context, target int, url string) (int, []byte, int, error) {
 	return t.roundTrip(ctx, target, true, func() (*http.Request, error) {
 		return http.NewRequest(http.MethodGet, url, nil)
 	})
@@ -230,7 +247,7 @@ func (t *transferClient) get(ctx context.Context, target int, url string) (int, 
 
 // send issues a single-attempt (non-idempotent) request with a body.
 func (t *transferClient) send(ctx context.Context, target int, method, url, contentType string, payload []byte) (int, []byte, error) {
-	return t.roundTrip(ctx, target, false, func() (*http.Request, error) {
+	status, body, _, err := t.roundTrip(ctx, target, false, func() (*http.Request, error) {
 		req, err := http.NewRequest(method, url, bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
@@ -240,9 +257,10 @@ func (t *transferClient) send(ctx context.Context, target int, method, url, cont
 		}
 		return req, nil
 	})
+	return status, body, err
 }
 
-func (t *transferClient) roundTrip(ctx context.Context, target int, idempotent bool, build func() (*http.Request, error)) (int, []byte, error) {
+func (t *transferClient) roundTrip(ctx context.Context, target int, idempotent bool, build func() (*http.Request, error)) (int, []byte, int, error) {
 	ts := t.targets[target]
 	attempts := 1
 	if idempotent && t.cfg.MaxRetries > 0 {
@@ -254,15 +272,15 @@ func (t *transferClient) roundTrip(ctx context.Context, target int, idempotent b
 			select {
 			case <-time.After(t.backoff(i)):
 			case <-ctx.Done():
-				return 0, nil, ctx.Err()
+				return 0, nil, i, ctx.Err()
 			}
 		}
 		if err := ctx.Err(); err != nil {
-			return 0, nil, err
+			return 0, nil, i, err
 		}
 		probe, ok := ts.admit(t.cfg.BreakerThreshold, t.cfg.BreakerCooldown, t.now())
 		if !ok {
-			return 0, nil, errBreakerOpen
+			return 0, nil, i, errBreakerOpen
 		}
 		status, body, err := t.attempt(ctx, probe, ts, build)
 		if err != nil {
@@ -273,9 +291,9 @@ func (t *transferClient) roundTrip(ctx context.Context, target int, idempotent b
 			lastErr = fmt.Errorf("distserve: %s returned status %d", ts.name, status)
 			continue
 		}
-		return status, body, nil
+		return status, body, i + 1, nil
 	}
-	return 0, nil, lastErr
+	return 0, nil, attempts, lastErr
 }
 
 // attempt runs one bounded try and settles it into the target's health.
@@ -318,8 +336,11 @@ func (t *transferClient) backoff(i int) time.Duration {
 	if d > t.cfg.BackoffMax || d <= 0 {
 		d = t.cfg.BackoffMax
 	}
+	t.rngMu.Lock()
+	jitter := t.rng.Float64()
+	t.rngMu.Unlock()
 	// Jitter in [0.5d, 1.5d) decorrelates synchronized retry storms.
-	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+	return time.Duration(float64(d) * (0.5 + jitter))
 }
 
 // openWorkerBreakers counts cache workers (the meta slot excluded) whose

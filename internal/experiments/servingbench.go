@@ -24,6 +24,13 @@ type ServingBenchPoint struct {
 	AvgBatchSize   float64 `json:"avg_batch_size"`
 	// Speedup is throughput over the MaxBatch=1 serialized baseline.
 	Speedup float64 `json:"speedup_vs_serialized"`
+	// Stage p50s (milliseconds) from the serving core's bounded histograms:
+	// where a request's wall clock goes at this batch setting.
+	QueueP50Ms   float64 `json:"queue_p50_ms"`
+	WindowP50Ms  float64 `json:"window_p50_ms"`
+	PlanP50Ms    float64 `json:"plan_p50_ms"`
+	ExecuteP50Ms float64 `json:"execute_p50_ms"`
+	E2EP99Ms     float64 `json:"e2e_p99_ms"`
 }
 
 // ServingBenchResult records the continuous-batching serving core's measured
@@ -111,15 +118,22 @@ func RunServingBench(opts Options) (*ServingBenchResult, error) {
 		wg.Wait()
 		elapsed := time.Since(start)
 		st := s.Stats()
+		obs := s.Observer()
+		point := ServingBenchPoint{
+			MaxBatch:       mb,
+			RequestsPerSec: float64(requests) / elapsed.Seconds(),
+			AvgBatchSize:   st.AvgBatchSize,
+			QueueP50Ms:     obs.StageQuantile(serving.StageQueue, 0.5) * 1e3,
+			WindowP50Ms:    obs.StageQuantile(serving.StageWindow, 0.5) * 1e3,
+			PlanP50Ms:      obs.StageQuantile(serving.StagePlan, 0.5) * 1e3,
+			ExecuteP50Ms:   obs.StageQuantile(serving.StageExecute, 0.5) * 1e3,
+			E2EP99Ms:       obs.StageQuantile(serving.StageE2E, 0.99) * 1e3,
+		}
 		s.Close()
 		if err, ok := firstErr.Load().(error); ok && err != nil {
 			return nil, fmt.Errorf("servingbench max-batch %d: %w", mb, err)
 		}
-		res.Points = append(res.Points, ServingBenchPoint{
-			MaxBatch:       mb,
-			RequestsPerSec: float64(requests) / elapsed.Seconds(),
-			AvgBatchSize:   st.AvgBatchSize,
-		})
+		res.Points = append(res.Points, point)
 	}
 	base := res.Points[0].RequestsPerSec
 	for i := range res.Points {
@@ -145,14 +159,16 @@ func (res *ServingBenchResult) Table() *Table {
 	t := &Table{
 		ID:     "servingbench",
 		Title:  fmt.Sprintf("Serving-core throughput (%d requests, %d clients, %d cores)", res.Requests, res.Clients, res.Cores),
-		Header: []string{"max batch", "requests/sec", "avg batch", "speedup vs serialized"},
+		Header: []string{"max batch", "requests/sec", "avg batch", "speedup vs serialized", "exec p50 ms", "e2e p99 ms"},
 	}
 	for _, p := range res.Points {
-		t.AddRow(fmt.Sprintf("%d", p.MaxBatch), f1(p.RequestsPerSec), f2(p.AvgBatchSize), f2(p.Speedup)+"x")
+		t.AddRow(fmt.Sprintf("%d", p.MaxBatch), f1(p.RequestsPerSec), f2(p.AvgBatchSize), f2(p.Speedup)+"x",
+			f2(p.ExecuteP50Ms), f2(p.E2EP99Ms))
 	}
 	t.Notes = append(t.Notes,
 		"max batch 1 = serialized baseline (one request per execution)",
 		"rankings are bit-identical across every row; only throughput moves",
+		"stage p50s come from the core's bounded /metrics histograms",
 		fmt.Sprintf("measured on %d core(s); packed-execution gains scale with cores", res.Cores))
 	return t
 }

@@ -3,37 +3,68 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 )
 
-// Digest collects scalar samples and reports order statistics. It stores all
-// samples; experiment runs are bounded (≤ a few hundred thousand requests) so
-// exactness beats sketching here.
+// Digest collects scalar samples and reports order statistics. The zero
+// value stores every sample exactly — experiment runs and cluster.Sim are
+// bounded (≤ a few hundred thousand requests) so exactness beats sketching
+// there. Long-lived server paths must NOT use the zero value (it grows
+// without bound); build them with NewReservoirDigest, which caps memory at
+// `capacity` samples: exact up to the cap, then uniform reservoir sampling
+// (Vitter's Algorithm R) over everything seen. Count, Sum, and Mean stay
+// exact in both modes; capped quantiles are unbiased estimates over the
+// reservoir.
 type Digest struct {
 	samples []float64
 	sorted  bool
 	sum     float64
+	seen    int64 // total samples observed (== len(samples) when uncapped)
+	cap     int   // 0 = unbounded exact mode
+	rng     *rand.Rand
+}
+
+// NewReservoirDigest builds a digest whose memory is capped at capacity
+// samples, replacing uniformly at random beyond the cap. The seed makes the
+// reservoir's sampling replayable.
+func NewReservoirDigest(capacity int, seed int64) *Digest {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Digest{cap: capacity, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Add records one sample.
 func (d *Digest) Add(v float64) {
+	d.seen++
+	d.sum += v
+	if d.cap > 0 && len(d.samples) >= d.cap {
+		// Reservoir replacement: keep each of the seen samples with equal
+		// probability cap/seen.
+		if j := d.rng.Int63n(d.seen); j < int64(d.cap) {
+			d.samples[j] = v
+			d.sorted = false
+		}
+		return
+	}
 	d.samples = append(d.samples, v)
 	d.sorted = false
-	d.sum += v
 }
 
-// Count returns the number of samples.
-func (d *Digest) Count() int { return len(d.samples) }
+// Count returns the number of samples observed (not the number retained —
+// in capped mode at most cap are kept).
+func (d *Digest) Count() int { return int(d.seen) }
 
-// Sum returns the sample total.
+// Sum returns the sample total (exact in both modes).
 func (d *Digest) Sum() float64 { return d.sum }
 
-// Mean returns the sample mean, or 0 with no samples.
+// Mean returns the sample mean, or 0 with no samples (exact in both modes).
 func (d *Digest) Mean() float64 {
-	if len(d.samples) == 0 {
+	if d.seen == 0 {
 		return 0
 	}
-	return d.sum / float64(len(d.samples))
+	return d.sum / float64(d.seen)
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) using nearest-rank

@@ -1,0 +1,286 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 1000, 2)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Sum() != 15 {
+		t.Fatalf("sum %g", h.Sum())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("mean %g", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("min/max %g/%g", h.Min(), h.Max())
+	}
+	// Quantile(0) and Quantile(1) are exact.
+	if h.Quantile(0) != 1 || h.Quantile(1) != 5 {
+		t.Fatalf("extremes %g/%g", h.Quantile(0), h.Quantile(1))
+	}
+	// Negative and NaN samples clamp to 0 instead of corrupting state.
+	h.Add(-3)
+	h.Add(math.NaN())
+	if h.Min() != 0 || h.Count() != 7 {
+		t.Fatalf("after bad samples: min %g count %d", h.Min(), h.Count())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(1, 100, 2)
+	h.Add(1e6) // far past hi: lands in the overflow bucket
+	h.Add(2e6)
+	if h.Count() != 2 {
+		t.Fatalf("count %d", h.Count())
+	}
+	// The overflow bucket's upper edge is the observed max, so quantiles stay
+	// finite and inside the data.
+	for _, q := range []float64{0.1, 0.5, 0.9, 1} {
+		v := h.Quantile(q)
+		if v < 1e6 || v > 2e6 {
+			t.Fatalf("q=%g: %g outside observed [1e6, 2e6]", q, v)
+		}
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, c := range []struct{ lo, hi, g float64 }{
+		{0, 1, 2}, {-1, 1, 2}, {1, 1, 2}, {1, 0.5, 2}, {1, 10, 1}, {1, 10, 0.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%g,%g,%g) did not panic", c.lo, c.hi, c.g)
+				}
+			}()
+			NewHistogram(c.lo, c.hi, c.g)
+		}()
+	}
+}
+
+// TestHistogramQuantileWithinBucketOfDigest is the property the Histogram doc
+// comment promises: on identical samples, the histogram's quantile estimate
+// is within one bucket width of the exact digest's (one width on each side —
+// digest interpolation and histogram interpolation may straddle adjacent
+// buckets).
+func TestHistogramQuantileWithinBucketOfDigest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		h := NewLatencyHistogram()
+		var d Digest
+		n := 10 + rng.Intn(3000)
+		for i := 0; i < n; i++ {
+			// Log-uniform latencies across the histogram's whole range, plus
+			// occasional out-of-range extremes.
+			var v float64
+			switch rng.Intn(10) {
+			case 0:
+				v = rng.Float64() * 5e-6 // below lo
+			case 1:
+				v = 60 + rng.Float64()*120 // overflow
+			default:
+				v = 10e-6 * math.Exp(rng.Float64()*math.Log(60/10e-6))
+			}
+			h.Add(v)
+			d.Add(v)
+		}
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+			exact := d.Quantile(q)
+			est := h.Quantile(q)
+			tol := h.BucketWidth(exact) + h.BucketWidth(est)
+			if diff := math.Abs(est - exact); diff > tol {
+				t.Fatalf("trial %d n=%d q=%g: histogram %g vs digest %g, |diff| %g > tol %g",
+					trial, n, q, est, exact, diff, tol)
+			}
+		}
+		if math.Abs(h.Sum()-d.Sum()) > 1e-9*math.Abs(d.Sum()) {
+			t.Fatalf("trial %d: sum %g vs %g", trial, h.Sum(), d.Sum())
+		}
+	}
+}
+
+// TestHistogramConcurrentAdds runs under -race: N writers hammer Add while a
+// reader snapshots quantiles mid-write; totals must be exact afterward.
+func TestHistogramConcurrentAdds(t *testing.T) {
+	h := NewLatencyHistogram()
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader: values only need to be sane, not settled
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if v := h.Quantile(0.99); v < 0 {
+				t.Error("negative quantile mid-write")
+				return
+			}
+			h.Min()
+			h.Max()
+			h.Mean()
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Add(rng.Float64() * 0.1)
+			}
+		}(int64(w))
+	}
+	close(stop)
+	wg.Wait()
+	if h.Count() != writers*perWriter {
+		t.Fatalf("count %d, want %d", h.Count(), writers*perWriter)
+	}
+	if h.Min() < 0 || h.Max() > 0.1 {
+		t.Fatalf("extremes %g/%g escaped [0, 0.1]", h.Min(), h.Max())
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`bat_fetch_total{outcome="hit"}`).Add(3)
+	r.Counter(`bat_fetch_total{outcome="hit"}`).Inc() // same counter, not a new one
+	r.Counter("bat_requests_total").Add(-5)           // negative adds ignored
+	r.Gauge("bat_depth").Set(2.5)
+	r.GaugeFunc("bat_live", func() float64 { return 7 })
+	h := r.LatencyHistogram(`bat_stage_latency_seconds{stage="plan"}`)
+	h.Add(0.010)
+	h.Add(0.020)
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"bat_fetch_total{outcome=\"hit\"} 4\n",
+		"bat_requests_total 0\n",
+		"bat_depth 2.5\n",
+		"bat_live 7\n",
+		"bat_stage_latency_seconds_count{stage=\"plan\"} 2\n",
+		"bat_stage_latency_seconds_sum{stage=\"plan\"} 0.03\n",
+		"bat_stage_latency_seconds{stage=\"plan\",quantile=\"0.99\"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+	// Output is sorted (diffable scrapes).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !sort.StringsAreSorted(lines) {
+		t.Error("scrape lines not sorted")
+	}
+}
+
+// TestRegistryConcurrent runs under -race: concurrent get-or-create on the
+// same names plus a scraper in a loop.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(i))
+				r.LatencyHistogram("h").Add(0.001)
+				r.GaugeFunc("fn", func() float64 { return 1 })
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			r.WriteText(&sb)
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8*500 {
+		t.Fatalf("counter %d, want %d", got, 8*500)
+	}
+}
+
+// TestReservoirDigestCaps pins the Digest satellite: capped digests hold at
+// most cap samples while Count/Sum/Mean stay exact, and the reservoir's
+// quantiles track the true distribution.
+func TestReservoirDigestCaps(t *testing.T) {
+	const capacity = 512
+	d := NewReservoirDigest(capacity, 42)
+	const n = 100000
+	rng := rand.New(rand.NewSource(9))
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		d.Add(v)
+		sum += v
+	}
+	if len(d.samples) != capacity {
+		t.Fatalf("retained %d samples, want cap %d", len(d.samples), capacity)
+	}
+	if d.Count() != n {
+		t.Fatalf("count %d, want %d", d.Count(), n)
+	}
+	if math.Abs(d.Sum()-sum) > 1e-6 {
+		t.Fatalf("sum %g, want %g", d.Sum(), sum)
+	}
+	if m := d.Mean(); math.Abs(m-0.5) > 0.01 {
+		t.Fatalf("mean %g far from 0.5", m)
+	}
+	// Uniform(0,1): the reservoir median should sit near 0.5. A 512-sample
+	// reservoir's median has σ≈0.022, so 0.1 is a >4σ bound.
+	if p50 := d.P50(); math.Abs(p50-0.5) > 0.1 {
+		t.Fatalf("reservoir median %g far from 0.5", p50)
+	}
+	// Same seed, same stream → identical reservoir (replayable sampling).
+	d2 := NewReservoirDigest(capacity, 42)
+	rng2 := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		d2.Add(rng2.Float64())
+	}
+	if d.Quantile(0.9) != d2.Quantile(0.9) {
+		t.Fatal("same seed produced different reservoirs")
+	}
+}
+
+func TestReservoirDigestExactBelowCap(t *testing.T) {
+	d := NewReservoirDigest(100, 1)
+	for i := 1; i <= 50; i++ {
+		d.Add(float64(i))
+	}
+	var exact Digest
+	for i := 1; i <= 50; i++ {
+		exact.Add(float64(i))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if d.Quantile(q) != exact.Quantile(q) {
+			t.Fatalf("q=%g: capped-below-cap %g != exact %g", q, d.Quantile(q), exact.Quantile(q))
+		}
+	}
+	if NewReservoirDigest(0, 1).cap != 1024 {
+		t.Fatal("non-positive capacity must fall back to the 1024 default")
+	}
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n < 0 is ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry is a lightweight named-metric registry: counters, gauges,
+// callback gauges, and bounded histograms, rendered in Prometheus plain-text
+// exposition format by WriteText. Metric names carry their label block inline
+// (e.g. `bat_fetch_total{outcome="hit"}`), so the registry stays a flat map
+// and the hot path is one lock-free lookup after first use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback gauge evaluated at scrape time (e.g. queue
+// depth, breaker state). Re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// LatencyHistogram returns the named latency histogram (10µs–60s log-scale
+// buckets), creating it on first use.
+func (r *Registry) LatencyHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewLatencyHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WriteText renders every metric in Prometheus plain-text exposition format,
+// sorted by name so scrapes are diffable. Histograms render summary-style:
+// quantile series plus _count and _sum.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFns)+4*len(r.hists))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, g.Value()))
+	}
+	fns := make(map[string]func() float64, len(r.gaugeFns))
+	for name, fn := range r.gaugeFns {
+		fns[name] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	// Callbacks run outside the registry lock: they may grab their own locks
+	// (admission stats, breaker state) and must not deadlock against a
+	// concurrent metric registration.
+	for name, fn := range fns {
+		lines = append(lines, fmt.Sprintf("%s %g", name, fn()))
+	}
+	for name, h := range hists {
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			lines = append(lines, fmt.Sprintf("%s %g", withLabel(name, fmt.Sprintf(`quantile="%g"`, q)), h.Quantile(q)))
+		}
+		base, labels := splitName(name)
+		lines = append(lines, fmt.Sprintf("%s_count%s %d", base, labels, h.Count()))
+		lines = append(lines, fmt.Sprintf("%s_sum%s %g", base, labels, h.Sum()))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// withLabel merges one `k="v"` pair into a metric name that may already carry
+// a label block: name{a="b"} + c="d" → name{a="b",c="d"}.
+func withLabel(name, label string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// splitName separates a metric name from its inline label block, so suffixed
+// series (_count, _sum) keep the suffix on the name proper.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}

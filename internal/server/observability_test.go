@@ -1,0 +1,238 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bat/internal/serving"
+)
+
+// TestMetricsEndpoint: GET /metrics must expose every lifecycle stage's
+// latency histogram plus the serving counters, in plain-text exposition
+// format.
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 6; i++ {
+		if _, code := postRank(t, ts, RankRequest{UserID: i, CandidateIDs: obsCands(i)}); code != http.StatusOK {
+			t.Fatalf("rank %d status %d", i, code)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, stage := range serving.LifecycleStages {
+		if !strings.Contains(out, fmt.Sprintf(`bat_stage_latency_seconds{stage=%q`, stage)) {
+			t.Errorf("/metrics missing stage histogram for %q", stage)
+		}
+	}
+	// Stages the batch loop always traverses must have recorded samples.
+	for _, stage := range []string{"queue", "window", "plan", "execute", "commit"} {
+		want := fmt.Sprintf(`bat_stage_latency_seconds_count{stage=%q} 6`, stage)
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+	for _, want := range []string{
+		"bat_requests_total 6",
+		"bat_request_latency_seconds_count 6",
+		"bat_admission_admitted_total 6",
+		"bat_item_cache_entries",
+		"bat_user_cache_entries",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Non-GET is rejected.
+	if resp, err := http.Post(ts.URL+"/metrics", "text/plain", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST /metrics status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestDebugTraceEndpoint: GET /debug/trace returns the retained request
+// traces newest-first, with per-stage spans; HTTP-admitted requests carry an
+// admit span.
+func TestDebugTraceEndpoint(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.TraceRing = 64 })
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 4; i++ {
+		if _, code := postRank(t, ts, RankRequest{UserID: i, CandidateIDs: obsCands(i)}); code != http.StatusOK {
+			t.Fatalf("rank status %d", code)
+		}
+	}
+
+	var tr serving.TraceResponse
+	getJSON(t, ts.URL+"/debug/trace", &tr)
+	if len(tr.Traces) != 4 {
+		t.Fatalf("traces %d, want 4", len(tr.Traces))
+	}
+	for i := 1; i < len(tr.Traces); i++ {
+		if tr.Traces[i].Seq >= tr.Traces[i-1].Seq {
+			t.Fatal("traces not newest-first")
+		}
+	}
+	top := tr.Traces[0]
+	if top.Outcome != "ok" || top.BatchSize < 1 || top.TotalMs <= 0 {
+		t.Fatalf("trace header %+v", top)
+	}
+	stages := map[string]bool{}
+	for _, sp := range top.Spans {
+		stages[sp.Stage] = true
+		if sp.DurMs < 0 {
+			t.Fatalf("negative span %+v", sp)
+		}
+	}
+	// HTTP requests pass admission, so all six lifecycle stages appear.
+	for _, stage := range serving.LifecycleStages {
+		if !stages[stage] {
+			t.Errorf("trace missing stage %q (have %v)", stage, stages)
+		}
+	}
+
+	// ?n caps the list; a bad n is a 400; POST is a 405.
+	getJSON(t, ts.URL+"/debug/trace?n=2", &tr)
+	if len(tr.Traces) != 2 {
+		t.Fatalf("?n=2 returned %d traces", len(tr.Traces))
+	}
+	if resp, err := http.Get(ts.URL + "/debug/trace?n=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad n status %d", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Post(ts.URL+"/debug/trace", "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST /debug/trace status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestTraceSpansTileWallClock is the acceptance criterion: each request's
+// lifecycle span sum must agree with its end-to-end wall time within 5%
+// (plus a small absolute floor for scheduler jitter on micro-stages).
+func TestTraceSpansTileWallClock(t *testing.T) {
+	s := newTestServer(t, nil)
+	defer s.Close()
+
+	const requests = 30
+	for i := 0; i < requests; i++ {
+		u := i % 30
+		wallStart := time.Now()
+		if _, err := s.RankCtx(context.Background(), RankRequest{UserID: u, CandidateIDs: obsCands(i)}); err != nil {
+			t.Fatal(err)
+		}
+		wall := time.Since(wallStart).Seconds() * 1e3
+		tr := s.Observer().Ring().Snapshot(1)[0]
+		// The trace closes just before the response channel handoff, so its
+		// total is bounded by (and close to) the caller-observed wall time.
+		if tr.TotalMs > wall {
+			t.Fatalf("req %d: trace total %.3fms exceeds wall %.3fms", i, tr.TotalMs, wall)
+		}
+	}
+
+	traces := s.Observer().Ring().Snapshot(0)
+	if len(traces) != requests {
+		t.Fatalf("retained %d traces, want %d", len(traces), requests)
+	}
+	for _, tr := range traces {
+		sum := 0.0
+		for _, sp := range tr.Spans {
+			if sp.Stage == serving.StageFetch {
+				continue // nested detail inside plan, not a lifecycle stage
+			}
+			sum += sp.DurMs
+		}
+		tol := 0.05*tr.TotalMs + 0.3 // 5% + 300µs jitter floor
+		if diff := math.Abs(sum - tr.TotalMs); diff > tol {
+			t.Errorf("seq %d: span sum %.3fms vs total %.3fms (diff %.3f > tol %.3f)\nspans: %+v",
+				tr.Seq, sum, tr.TotalMs, diff, tol, tr.Spans)
+		}
+	}
+}
+
+// TestStageQuantilesReachExperiments: the observer's stage quantiles are the
+// experiments' data source; after traffic they must be positive and ordered.
+func TestStageQuantilesReachExperiments(t *testing.T) {
+	s := newTestServer(t, nil)
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		u := i % 30
+		if _, err := s.Rank(RankRequest{UserID: u, CandidateIDs: obsCands(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs := s.Observer()
+	if p50 := obs.StageQuantile(serving.StageExecute, 0.5); p50 <= 0 {
+		t.Fatalf("execute p50 %g, want > 0", p50)
+	}
+	p50 := obs.StageQuantile(serving.StageE2E, 0.5)
+	p99 := obs.StageQuantile(serving.StageE2E, 0.99)
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("e2e quantiles p50=%g p99=%g", p50, p99)
+	}
+}
+
+// obsCands builds a deterministic candidate set inside the test dataset's
+// 80-item corpus.
+func obsCands(i int) []int {
+	out := make([]int, 8)
+	for j := range out {
+		out[j] = (i*7 + j*11) % 80
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -67,6 +67,9 @@ type Config struct {
 	// (see serving.Config); zero values take the core defaults.
 	BatchWindow time.Duration
 	MaxBatch    int
+	// TraceRing sizes the retained request-trace ring served at
+	// GET /debug/trace (default 128).
+	TraceRing int
 	// BatchHook, when non-nil, runs before each batch executes (tests).
 	BatchHook func(size int)
 	// Now supplies time (injectable for tests); nil means time.Now.
@@ -146,11 +149,16 @@ func New(cfg Config) (*Server, error) {
 		Admission:             cfg.Admission,
 		BatchWindow:           cfg.BatchWindow,
 		MaxBatch:              cfg.MaxBatch,
+		TraceRing:             cfg.TraceRing,
 		BatchHook:             cfg.BatchHook,
 	}, be)
 	if err != nil {
 		return nil, err
 	}
+	// Scrape-time gauges for the local cache pool (lock-free snapshot reads).
+	reg := core.Observer().Registry()
+	reg.GaugeFunc("bat_item_cache_entries", func() float64 { return float64(len(be.snap.Load().items)) })
+	reg.GaugeFunc("bat_user_cache_entries", func() float64 { return float64(len(be.snap.Load().users)) })
 	return &Server{cfg: cfg, core: core, be: be, arena: be.arena}, nil
 }
 
@@ -159,19 +167,27 @@ func (s *Server) Close() { s.core.Close() }
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/rank   {"user_id": u, "candidate_ids": [...]}
+//	POST /v1/rank      {"user_id": u, "candidate_ids": [...]}
 //	GET  /v1/stats
+//	GET  /metrics      per-stage latency histograms + lifecycle counters (text)
+//	GET  /debug/trace  last-N request traces (JSON; ?n= caps the list)
 //	GET  /healthz
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/rank", s.core.HandleRank)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.core.HandleMetrics)
+	mux.HandleFunc("/debug/trace", s.core.HandleTraces)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
 }
+
+// Observer exposes the serving core's observability state (stage histograms
+// and the trace ring) for experiments and tests.
+func (s *Server) Observer() *serving.Observer { return s.core.Observer() }
 
 // Rank serves one ranking request (the API handler's core, callable
 // directly by examples and tests). It never cancels; use RankCtx to bound

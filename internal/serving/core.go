@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -92,6 +94,9 @@ type Config struct {
 	// size right before each batch executes. Tests use it to stall or observe
 	// batch formation.
 	BatchHook func(size int)
+	// TraceRing sizes the ring of retained request traces served at
+	// /debug/trace (default 128).
+	TraceRing int
 }
 
 type outcome struct {
@@ -103,6 +108,12 @@ type pending struct {
 	ctx  context.Context
 	req  RankRequest
 	done chan outcome
+
+	// tb accumulates the request's stage spans; enq/deq are the queue
+	// residency checkpoints (enqueue and batcher pickup).
+	tb  *TraceBuilder
+	enq time.Time
+	deq time.Time
 }
 
 // Core runs the shared request lifecycle for one serving plane.
@@ -110,6 +121,7 @@ type Core struct {
 	cfg     Config
 	backend Backend
 	adm     *admission.Controller
+	obs     *Observer
 
 	queue    chan *pending
 	stop     chan struct{}
@@ -144,10 +156,14 @@ func NewCore(cfg Config, backend Backend) (*Core, error) {
 	if cfg.BatchWindow == 0 {
 		cfg.BatchWindow = 2 * time.Millisecond
 	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 128
+	}
 	c := &Core{
 		cfg:     cfg,
 		backend: backend,
 		adm:     admission.NewController(cfg.Admission),
+		obs:     newObserver(cfg.TraceRing),
 		queue:   make(chan *pending, 4*cfg.MaxBatch),
 		stop:    make(chan struct{}),
 	}
@@ -163,6 +179,10 @@ func (c *Core) Close() {
 // Admission exposes the overload ladder's front door.
 func (c *Core) Admission() *admission.Controller { return c.adm }
 
+// Observer exposes the core's observability state: the metric registry and
+// the trace ring. Planes register their own metrics into its registry.
+func (c *Core) Observer() *Observer { return c.obs }
+
 // loop is the batch-forming loop: the first arrival opens a window
 // (cfg.BatchWindow) during which up to cfg.MaxBatch requests coalesce into
 // one batch; the batch then executes as a single packed bipartite forward.
@@ -173,6 +193,7 @@ func (c *Core) loop() {
 			c.drainClosed()
 			return
 		case p := <-c.queue:
+			p.deq = time.Now()
 			batch := c.collect(p)
 			c.serveBatch(batch)
 		}
@@ -189,6 +210,7 @@ func (c *Core) collect(first *pending) []*pending {
 		for len(batch) < c.cfg.MaxBatch {
 			select {
 			case p := <-c.queue:
+				p.deq = time.Now()
 				batch = append(batch, p)
 			default:
 				return batch
@@ -201,6 +223,7 @@ func (c *Core) collect(first *pending) []*pending {
 	for len(batch) < c.cfg.MaxBatch {
 		select {
 		case p := <-c.queue:
+			p.deq = time.Now()
 			batch = append(batch, p)
 		case <-timer.C:
 			return batch
@@ -232,6 +255,7 @@ func (c *Core) serveBatch(batch []*pending) {
 	if h := c.cfg.BatchHook; h != nil {
 		h(len(batch))
 	}
+	tBatch := time.Now() // the window closes here; the plan phase begins
 	n := len(batch)
 	c.mu.Lock()
 	c.batches++
@@ -256,15 +280,23 @@ func (c *Core) serveBatch(batch []*pending) {
 		}(i, p)
 	}
 	wg.Wait()
+	tPlanDone := time.Now()
 
 	resps := make([]*RankResponse, n)
+	// Per-request execute windows: the packed path shares one
+	// [tPlanDone, tExecDone) phase; multi-disc requests execute serially, so
+	// each gets its own window.
+	execStart := make([]time.Time, n)
+	execEnd := make([]time.Time, n)
 	var entries []CommitEntry
 	if c.cfg.MultiDisc {
 		for i, p := range batch {
 			if errs[i] != nil {
 				continue
 			}
+			execStart[i] = time.Now()
 			resps[i], errs[i] = c.serveMulti(p, plans[i], &entries)
+			execEnd[i] = time.Now()
 		}
 	} else {
 		items := make([]bipartite.BatchItem, 0, n)
@@ -294,10 +326,16 @@ func (c *Core) serveBatch(batch []*pending) {
 			resps[i] = c.fullResponse(p.req, plans[i].Kind, runs[j], ranked)
 			entries = append(entries, CommitEntry{Ctx: p.ctx, Req: p.req, Plan: plans[i], Run: runs[j]})
 		}
+		end := time.Now()
+		for _, i := range idx {
+			execStart[i], execEnd[i] = tPlanDone, end
+		}
 	}
+	tCommit := time.Now()
 	if len(entries) > 0 {
 		c.backend.Commit(entries)
 	}
+	tCommitDone := time.Now()
 	for i, p := range batch {
 		if errs[i] != nil {
 			if p.ctx.Err() != nil {
@@ -305,12 +343,45 @@ func (c *Core) serveBatch(batch []*pending) {
 				c.deadlineAborts++
 				c.mu.Unlock()
 				errs[i] = fmt.Errorf("serving: request canceled: %w", p.ctx.Err())
+				c.recordTrace(p, tBatch, tPlanDone, execStart[i], execEnd[i], tCommit, tCommitDone, n, "canceled")
+			} else {
+				c.recordTrace(p, tBatch, tPlanDone, execStart[i], execEnd[i], tCommit, tCommitDone, n, "error")
 			}
 			p.done <- outcome{err: errs[i]}
 			continue
 		}
+		c.recordTrace(p, tBatch, tPlanDone, execStart[i], execEnd[i], tCommit, tCommitDone, n, "ok")
 		p.done <- outcome{resp: resps[i]}
 	}
+}
+
+// recordTrace closes out one request's lifecycle spans (queue residency,
+// batch-window residency, plan phase, execute window, commit), folds them
+// into the per-stage histograms, and publishes the trace to the ring.
+func (c *Core) recordTrace(p *pending, tBatch, tPlanDone, execStart, execEnd, commitStart, commitEnd time.Time, batchSize int, result string) {
+	tb := p.tb
+	if tb == nil {
+		return
+	}
+	end := time.Now()
+	if !p.deq.IsZero() {
+		tb.AddSpan(StageQueue, p.enq, p.deq.Sub(p.enq), nil)
+		tb.AddSpan(StageWindow, p.deq, tBatch.Sub(p.deq), nil)
+	}
+	tb.AddSpan(StagePlan, tBatch, tPlanDone.Sub(tBatch), nil)
+	if !execStart.IsZero() {
+		tb.AddSpan(StageExecute, execStart, execEnd.Sub(execStart), nil)
+		tb.AddSpan(StageCommit, commitStart, commitEnd.Sub(commitStart), nil)
+	}
+	tr := tb.finish(end, result, batchSize)
+	for _, s := range tr.Spans {
+		if s.Stage == StageFetch {
+			continue // nested detail inside plan; not a lifecycle tile
+		}
+		c.obs.observeStage(s.Stage, time.Duration(s.DurMs*float64(time.Millisecond)))
+	}
+	c.obs.e2e.Add(end.Sub(tr.Start).Seconds())
+	c.obs.ring.Add(tr)
 }
 
 func evalReq(req RankRequest) ranking.EvalRequest {
@@ -369,7 +440,20 @@ func (c *Core) RankCtx(ctx context.Context, req RankRequest) (*RankResponse, err
 	if err := Validate(c.cfg.Dataset, req); err != nil {
 		return nil, err
 	}
-	p := &pending{ctx: ctx, req: req, done: make(chan outcome, 1)}
+	now := time.Now()
+	// The trace starts at the admission front door when HandleRank measured
+	// it, so the admit span is part of the recorded lifecycle; direct RankCtx
+	// callers start at enqueue.
+	start := now
+	info, admitted := ctx.Value(admitKey{}).(admitInfo)
+	if admitted {
+		start = info.start
+	}
+	tb := newTraceBuilder(start, req)
+	if admitted {
+		tb.AddSpan(StageAdmit, info.start, info.waited, nil)
+	}
+	p := &pending{ctx: withTrace(ctx, tb), req: req, tb: tb, enq: now, done: make(chan outcome, 1)}
 	select {
 	case c.queue <- p:
 	case <-ctx.Done():
@@ -435,16 +519,19 @@ func (c *Core) HandleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), c.adm.Deadline(r))
 	defer cancel()
+	admitStart := time.Now()
 	grant, err := c.adm.Acquire(ctx)
 	if err != nil {
 		reason := admission.ReasonQueueFull
 		if errors.Is(err, admission.ErrDeadline) {
 			reason = admission.ReasonDeadline
 		}
+		c.obs.reg.Counter(`bat_shed_total{reason="` + reason + `"}`).Inc()
 		c.adm.Shed(w, reason)
 		return
 	}
 	defer grant.Release()
+	ctx = withAdmitInfo(ctx, admitStart, time.Since(admitStart))
 
 	mode, reason := ModeFull, ""
 	if c.adm.ShouldDegrade(grant.QueuedBehind) {
@@ -507,6 +594,66 @@ type Stats struct {
 	MaxBatchSize    int64 `json:"max_batch_size"`
 	// Admission is the overload ladder's front door.
 	Admission admission.Stats `json:"admission"`
+}
+
+// WriteMetrics renders the core's observability state in Prometheus
+// plain-text exposition format: the registry (per-stage latency histograms,
+// shed counters, any plane-registered metrics) followed by the lifecycle
+// counter snapshot. Planes compose it with their own lines.
+func (c *Core) WriteMetrics(w io.Writer) {
+	c.obs.reg.WriteText(w)
+	st := c.Stats()
+	fmt.Fprintf(w, "bat_requests_total %d\n", st.Requests)
+	fmt.Fprintf(w, "bat_user_prefix_requests_total %d\n", st.UserPrefix)
+	fmt.Fprintf(w, "bat_item_prefix_requests_total %d\n", st.ItemPrefix)
+	fmt.Fprintf(w, "bat_reused_tokens_total %d\n", st.ReusedTokens)
+	fmt.Fprintf(w, "bat_computed_tokens_total %d\n", st.ComputedTokens)
+	fmt.Fprintf(w, "bat_degraded_requests_total %d\n", st.DegradedRequests)
+	fmt.Fprintf(w, "bat_deadline_aborts_total %d\n", st.DeadlineAborts)
+	fmt.Fprintf(w, "bat_batches_total %d\n", st.Batches)
+	fmt.Fprintf(w, "bat_batched_requests_total %d\n", st.BatchedRequests)
+	fmt.Fprintf(w, "bat_max_batch_size %d\n", st.MaxBatchSize)
+	fmt.Fprintf(w, "bat_admission_in_flight %d\n", st.Admission.InFlight)
+	fmt.Fprintf(w, "bat_admission_queue_depth %d\n", st.Admission.QueueDepth)
+	fmt.Fprintf(w, "bat_admission_admitted_total %d\n", st.Admission.Admitted)
+	fmt.Fprintf(w, "bat_admission_queued_total %d\n", st.Admission.Queued)
+	fmt.Fprintf(w, "bat_admission_shed_queue_full_total %d\n", st.Admission.ShedQueueFull)
+	fmt.Fprintf(w, "bat_admission_shed_deadline_total %d\n", st.Admission.ShedDeadline)
+}
+
+// HandleMetrics serves GET /metrics (plain text, Prometheus exposition).
+func (c *Core) HandleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.WriteMetrics(w)
+}
+
+// TraceResponse is the GET /debug/trace payload: the last-N request traces,
+// newest first.
+type TraceResponse struct {
+	Traces []Trace `json:"traces"`
+}
+
+// HandleTraces serves GET /debug/trace. `?n=` caps the returned traces
+// (default: everything retained by the ring).
+func (c *Core) HandleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	max := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		max = v
+	}
+	WriteJSON(w, TraceResponse{Traces: c.obs.ring.Snapshot(max)})
 }
 
 // Stats snapshots the core.

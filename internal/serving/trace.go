@@ -1,0 +1,231 @@
+package serving
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"bat/internal/metrics"
+)
+
+// Stage names for the per-request lifecycle spans. Consecutive stages tile a
+// request's wall clock: admit (overload-ladder wait) → queue (bounded queue
+// residency) → window (batch-forming window residency) → plan (backend
+// scheduling incl. distserve pool fetches, measured over the batch's plan
+// phase) → execute (packed bipartite forward + scoring) → commit (serial
+// cache admission at the batch boundary). StageFetch spans are nested detail
+// inside plan (one per pool round trip on the disaggregated plane) and do not
+// count toward the lifecycle sum.
+const (
+	StageAdmit   = "admit"
+	StageQueue   = "queue"
+	StageWindow  = "window"
+	StagePlan    = "plan"
+	StageExecute = "execute"
+	StageCommit  = "commit"
+	StageE2E     = "e2e"
+	StageFetch   = "fetch"
+)
+
+// LifecycleStages lists the stages whose spans tile a request's wall clock,
+// in order. /metrics exports one latency histogram per entry (plus e2e).
+var LifecycleStages = []string{StageAdmit, StageQueue, StageWindow, StagePlan, StageExecute, StageCommit}
+
+// Span is one timed stage of a request's life.
+type Span struct {
+	Stage string `json:"stage"`
+	// StartMs is the offset from the trace start; DurMs the span length.
+	StartMs float64 `json:"start_ms"`
+	DurMs   float64 `json:"dur_ms"`
+	// Attrs carries plane-specific tags (worker id, fetch outcome, retries).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace is one request's recorded lifecycle.
+type Trace struct {
+	// Seq is a monotonically increasing request number (per core).
+	Seq    uint64 `json:"seq"`
+	UserID int    `json:"user_id"`
+	// Candidates is the request's candidate-set size.
+	Candidates int       `json:"candidates"`
+	Start      time.Time `json:"start"`
+	TotalMs    float64   `json:"total_ms"`
+	// Outcome is "ok", "error", or "canceled"; BatchSize the packed batch the
+	// request rode in.
+	Outcome   string `json:"outcome"`
+	BatchSize int    `json:"batch_size,omitempty"`
+	Spans     []Span `json:"spans"`
+}
+
+// TraceBuilder accumulates one request's spans. Lifecycle spans are added by
+// the core's batch loop; nested fetch spans may be added concurrently by the
+// backend's plan phase, so every mutation is locked.
+type TraceBuilder struct {
+	mu    sync.Mutex
+	start time.Time
+	trace Trace
+}
+
+func newTraceBuilder(start time.Time, req RankRequest) *TraceBuilder {
+	return &TraceBuilder{
+		start: start,
+		trace: Trace{UserID: req.UserID, Candidates: len(req.CandidateIDs), Start: start},
+	}
+}
+
+// AddSpan records one span by absolute start time and duration. Safe for
+// concurrent use (backends call it from parallel fetch goroutines).
+func (b *TraceBuilder) AddSpan(stage string, start time.Time, d time.Duration, attrs map[string]string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.trace.Spans = append(b.trace.Spans, Span{
+		Stage:   stage,
+		StartMs: start.Sub(b.start).Seconds() * 1e3,
+		DurMs:   d.Seconds() * 1e3,
+		Attrs:   attrs,
+	})
+	b.mu.Unlock()
+}
+
+// finish stamps the trace's total and outcome and returns a copy.
+func (b *TraceBuilder) finish(end time.Time, outcome string, batchSize int) Trace {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trace.TotalMs = end.Sub(b.start).Seconds() * 1e3
+	b.trace.Outcome = outcome
+	b.trace.BatchSize = batchSize
+	t := b.trace
+	t.Spans = append([]Span(nil), b.trace.Spans...)
+	return t
+}
+
+// traceKey carries the request's TraceBuilder through the context handed to
+// Backend.Plan, so plane-specific code can attach nested spans.
+type traceKey struct{}
+
+// TraceFromContext returns the request's trace builder, or nil when the call
+// is not being traced (direct backend use outside the core).
+func TraceFromContext(ctx context.Context) *TraceBuilder {
+	b, _ := ctx.Value(traceKey{}).(*TraceBuilder)
+	return b
+}
+
+func withTrace(ctx context.Context, b *TraceBuilder) context.Context {
+	return context.WithValue(ctx, traceKey{}, b)
+}
+
+// admitKey carries the admission wait measured by HandleRank into RankCtx, so
+// the trace starts at the ladder's front door rather than at enqueue.
+type admitKey struct{}
+
+type admitInfo struct {
+	start  time.Time
+	waited time.Duration
+}
+
+func withAdmitInfo(ctx context.Context, start time.Time, waited time.Duration) context.Context {
+	return context.WithValue(ctx, admitKey{}, admitInfo{start: start, waited: waited})
+}
+
+// TraceRing is a fixed-size concurrent ring of the last N request traces.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []Trace
+	next uint64 // total traces ever added; next%len(buf) is the write slot
+}
+
+// NewTraceRing builds a ring holding the last n traces (n ≥ 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]Trace, n)}
+}
+
+// Add records one trace, assigning its sequence number.
+func (r *TraceRing) Add(t Trace) {
+	r.mu.Lock()
+	r.next++
+	t.Seq = r.next
+	r.buf[(r.next-1)%uint64(len(r.buf))] = t
+	r.mu.Unlock()
+}
+
+// Snapshot returns up to max retained traces, newest first (max ≤ 0 = all).
+func (r *TraceRing) Snapshot(max int) []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int(r.next)
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(r.next-1-uint64(i))%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// Len returns how many traces are currently retained.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(r.next)
+}
+
+// Observer is the core's always-on observability state: a metrics registry
+// (counters, gauges, per-stage bounded histograms) plus the trace ring. Both
+// planes mount it at GET /metrics and GET /debug/trace.
+type Observer struct {
+	reg   *metrics.Registry
+	ring  *TraceRing
+	stage map[string]*metrics.Histogram
+	e2e   *metrics.Histogram
+}
+
+func newObserver(ringSize int) *Observer {
+	o := &Observer{
+		reg:   metrics.NewRegistry(),
+		ring:  NewTraceRing(ringSize),
+		stage: make(map[string]*metrics.Histogram, len(LifecycleStages)),
+	}
+	for _, s := range LifecycleStages {
+		o.stage[s] = o.reg.LatencyHistogram(`bat_stage_latency_seconds{stage="` + s + `"}`)
+	}
+	o.e2e = o.reg.LatencyHistogram("bat_request_latency_seconds")
+	return o
+}
+
+// Registry exposes the observer's metric registry so planes can register
+// their own counters and scrape-time gauges alongside the core's.
+func (o *Observer) Registry() *metrics.Registry { return o.reg }
+
+// Ring exposes the trace ring (tests and /debug/trace).
+func (o *Observer) Ring() *TraceRing { return o.ring }
+
+// StageQuantile estimates one stage's latency quantile in seconds
+// (StageE2E for end-to-end). Unknown stages return 0.
+func (o *Observer) StageQuantile(stage string, q float64) float64 {
+	if stage == StageE2E {
+		return o.e2e.Quantile(q)
+	}
+	if h, ok := o.stage[stage]; ok {
+		return h.Quantile(q)
+	}
+	return 0
+}
+
+// observeStage folds one span into its stage histogram (seconds).
+func (o *Observer) observeStage(stage string, d time.Duration) {
+	if h, ok := o.stage[stage]; ok {
+		h.Add(d.Seconds())
+	}
+}

@@ -1,0 +1,153 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRingBounded(t *testing.T) {
+	r := NewTraceRing(4)
+	if r.Len() != 0 || len(r.Snapshot(0)) != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := 0; i < 10; i++ {
+		r.Add(Trace{UserID: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("ring len %d, want 4", r.Len())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("snapshot len %d, want 4", len(got))
+	}
+	// Newest first, sequence numbers assigned in add order.
+	for i, tr := range got {
+		if wantSeq := uint64(10 - i); tr.Seq != wantSeq {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, tr.Seq, wantSeq)
+		}
+		if wantUser := 9 - i; tr.UserID != wantUser {
+			t.Fatalf("snapshot[%d].UserID = %d, want %d", i, tr.UserID, wantUser)
+		}
+	}
+	if got := r.Snapshot(2); len(got) != 2 || got[0].Seq != 10 {
+		t.Fatalf("capped snapshot %v", got)
+	}
+	// Degenerate sizes clamp to 1.
+	if small := NewTraceRing(0); len(small.buf) != 1 {
+		t.Fatal("ring size must clamp to ≥ 1")
+	}
+}
+
+// TestTraceRingConcurrent runs under -race: N writers add traces while
+// readers snapshot mid-write; every snapshot must be internally consistent
+// (strictly descending Seq, no zero traces once full).
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(64)
+	const writers, perWriter = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Add(Trace{UserID: w, Spans: []Span{{Stage: StageQueue, DurMs: 1}}})
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot(0)
+			for i := 1; i < len(snap); i++ {
+				if snap[i].Seq >= snap[i-1].Seq {
+					t.Errorf("snapshot not strictly descending: %d then %d", snap[i-1].Seq, snap[i].Seq)
+					return
+				}
+			}
+			r.Len()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if r.Len() != 64 {
+		t.Fatalf("ring len %d, want 64", r.Len())
+	}
+	if got := r.Snapshot(1)[0].Seq; got != writers*perWriter {
+		t.Fatalf("last seq %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestTraceBuilderConcurrentSpans runs under -race: parallel fetch goroutines
+// add nested spans while the batch loop finishes the trace.
+func TestTraceBuilderConcurrentSpans(t *testing.T) {
+	start := time.Now()
+	b := newTraceBuilder(start, RankRequest{UserID: 7, CandidateIDs: []int{1, 2, 3}})
+	var wg sync.WaitGroup
+	const spans = 50
+	for i := 0; i < spans; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.AddSpan(StageFetch, start, time.Millisecond,
+				map[string]string{"worker": fmt.Sprint(i % 4)})
+		}(i)
+	}
+	wg.Wait()
+	tr := b.finish(start.Add(10*time.Millisecond), "ok", 3)
+	if len(tr.Spans) != spans {
+		t.Fatalf("spans %d, want %d", len(tr.Spans), spans)
+	}
+	if tr.TotalMs != 10 {
+		t.Fatalf("total %g ms, want 10", tr.TotalMs)
+	}
+	if tr.Outcome != "ok" || tr.BatchSize != 3 || tr.UserID != 7 || tr.Candidates != 3 {
+		t.Fatalf("trace header %+v", tr)
+	}
+	// finish returns a deep copy: later mutation must not alias.
+	b.AddSpan(StageCommit, start, time.Millisecond, nil)
+	if len(tr.Spans) != spans {
+		t.Fatal("finish did not copy spans")
+	}
+	// nil builder is a no-op (untraced direct backend calls).
+	var nilB *TraceBuilder
+	nilB.AddSpan(StageFetch, start, 0, nil)
+}
+
+func TestTraceContextPlumbing(t *testing.T) {
+	if TraceFromContext(context.Background()) != nil {
+		t.Fatal("background context must carry no trace")
+	}
+	b := newTraceBuilder(time.Now(), RankRequest{})
+	ctx := withTrace(context.Background(), b)
+	if TraceFromContext(ctx) != b {
+		t.Fatal("trace did not round-trip through the context")
+	}
+}
+
+func TestObserverStageQuantile(t *testing.T) {
+	o := newObserver(8)
+	o.observeStage(StagePlan, 20*time.Millisecond)
+	o.observeStage(StagePlan, 40*time.Millisecond)
+	got := o.StageQuantile(StagePlan, 1)
+	if got < 0.035 || got > 0.045 {
+		t.Fatalf("plan max %g, want ≈0.04", got)
+	}
+	if o.StageQuantile("no-such-stage", 0.5) != 0 {
+		t.Fatal("unknown stage must report 0")
+	}
+	o.e2e.Add(0.5)
+	if v := o.StageQuantile(StageE2E, 1); v < 0.4 {
+		t.Fatalf("e2e quantile %g", v)
+	}
+}
