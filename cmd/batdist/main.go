@@ -57,6 +57,7 @@ func main() {
 	repairHot := flag.Int("repair-hot", 16, "hottest entries re-replicated after a cache worker dies")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long the first queued request waits for batchmates (negative = drain-only)")
 	maxBatch := flag.Int("max-batch", 8, "most requests packed into one bipartite execution (1 = serialized)")
+	windowPolicy := flag.String("window-policy", "adaptive", "batch-window policy: adaptive (close early when arrivals lull) or fixed (always wait out batch-window)")
 	traceRing := flag.Int("trace-ring", 128, "request traces retained for GET /debug/trace")
 	jitterSeed := flag.Int64("jitter-seed", 0, "retry-jitter RNG seed (0 = from the clock)")
 	flag.Parse()
@@ -134,9 +135,10 @@ func main() {
 			DefaultDeadline:   *defaultDeadline,
 			DegradeQueueDepth: *degradeQueue,
 		},
-		BatchWindow: *batchWindow,
-		MaxBatch:    *maxBatch,
-		TraceRing:   *traceRing,
+		BatchWindow:  *batchWindow,
+		WindowPolicy: *windowPolicy,
+		MaxBatch:     *maxBatch,
+		TraceRing:    *traceRing,
 	})
 	if err != nil {
 		log.Fatalf("batdist: %v", err)

@@ -36,6 +36,7 @@ func main() {
 	multiDisc := flag.Bool("multi-disc", false, "serve with one discriminant token per candidate")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long the first queued request waits for batchmates (negative = drain-only)")
 	maxBatch := flag.Int("max-batch", 8, "most requests packed into one bipartite execution (1 = serialized)")
+	windowPolicy := flag.String("window-policy", "adaptive", "batch-window policy: adaptive (close early when arrivals lull) or fixed (always wait out batch-window)")
 	traceRing := flag.Int("trace-ring", 128, "request traces retained for GET /debug/trace")
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 		PageTokens:      *pageTokens,
 		MultiDisc:       *multiDisc,
 		BatchWindow:     *batchWindow,
+		WindowPolicy:    *windowPolicy,
 		MaxBatch:        *maxBatch,
 		TraceRing:       *traceRing,
 	})

@@ -2,6 +2,8 @@ package bipartite
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"bat/internal/model"
 	"bat/internal/tensor"
@@ -59,23 +61,35 @@ func ExecuteBatchCancelable(w *model.Weights, items []BatchItem, cancels []func(
 	}
 
 	// Phase A: resolve every item's prefix context — reuse caches that cover
-	// the layout prefix, recompute the rest. Identical math to the
-	// per-request Execute prefix phase (misses fan out across the worker pool
-	// inside resolvePrefix, exactly as executeItemPrefix does).
+	// the layout prefix, recompute the rest. Recomputes are planned at the
+	// batch level: misses across the whole batch are keyed by content
+	// (prefix kind, anchor position, tokens), each unique computation runs
+	// exactly once on the worker pool, and every further slot that wanted the
+	// same prefix receives a bit-identical clone instead of a duplicate
+	// forward. The math of each unique forward is identical to the
+	// per-request Execute prefix phase, so results stay bit-identical at any
+	// batch split — dedup only removes repeated work, never changes it.
 	parts := make([][]*model.KVCache, n)
+	var plan missPlan
 	for i := range items {
 		if err := cancelAt(i); err != nil {
 			errs[i] = err
 			continue
 		}
 		runs[i] = &Run{Layout: items[i].Layout}
-		p, err := resolvePrefix(w, items[i].Layout, items[i].Caches, runs[i])
+		p, err := plan.classifyPrefix(items[i].Layout, items[i].Caches, runs[i], i)
 		if err != nil {
 			errs[i], runs[i] = err, nil
 			continue
 		}
 		parts[i] = p
 	}
+	// Compute every unique missing prefix in ONE packed forward: units are
+	// mutually invisible segments (same block-diagonal argument as the suffix
+	// pack below), so batching them is bit-identical to running each alone —
+	// and turns the batch's N miss forwards into one.
+	plan.computeAll(w)
+	plan.distribute(runs, parts)
 	// Boundary poll before committing to the packed forward.
 	for i := range items {
 		if runs[i] == nil {
@@ -147,7 +161,12 @@ func ExecuteBatchCancelable(w *model.Weights, items []BatchItem, cancels []func(
 	for _, i := range alive {
 		masks[i] = items[i].Layout.Mask()
 	}
-	hidden := w.Forward(sufTokens, sufPos, batchMask{owner, local, masks, prefRange, sufRange}, combined)
+	bm := batchMask{owner, local, masks, prefRange, sufRange}
+	var mask model.Mask = bm
+	if ex := buildExactBatchMask(items, alive, bm, totalPrefix, totalSuffix); ex != nil {
+		mask = ex
+	}
+	hidden := w.Forward(sufTokens, sufPos, mask, combined)
 	combined.Release() // reclaim arena pages; no-op for contiguous storage
 
 	// Split the packed hidden rows back into per-item views (zero copy).
@@ -172,11 +191,64 @@ func prefixLen(parts []*model.KVCache) int {
 	return total
 }
 
-// resolvePrefix mirrors the per-request Execute prefix phase: reuse a cache
-// that covers the layout prefix, or recompute it (recording NewUserCache /
-// NewItemCaches for the caller to admit). Returns the ordered cache parts
-// whose concatenation is this item's prefix context.
-func resolvePrefix(w *model.Weights, l *Layout, caches CacheSet, run *Run) ([]*model.KVCache, error) {
+// missPlan is the batch-level shared-miss planner: prefix computations the
+// supplied caches could not cover, keyed by content so identical recomputes
+// anywhere in the batch collapse into one unit. Today's commit-side
+// first-admission-wins only drops duplicate caches after every slot has
+// already paid for its own forward; planning the dedup before execution is
+// what turns N identical in-batch misses into one recompute.
+type missPlan struct {
+	index map[string]*missUnit
+	units []*missUnit
+}
+
+// missUnit is one unique prefix computation plus every batch slot waiting on
+// it. The first destination adopts the computed cache itself; later
+// destinations receive bit-identical clones, so downstream commit paths
+// (cache pools, arenas) still own one distinct object per admission and can
+// evict or adopt them independently.
+type missUnit struct {
+	user     bool
+	tokens   []int
+	pos      []int // user-prefix position IDs (item units derive theirs from posStart)
+	posStart int
+	mask     model.Mask // user-prefix misses forward under their layout mask
+	// full marks a unit whose mask allows every causal pair inside the unit
+	// (item units always; user units when the layout prefix is one segment),
+	// letting the packed miss forward use the exact-range attention path.
+	full  bool
+	cache *model.KVCache
+	dests []missDest
+}
+
+// missDest routes one computed unit into a batch slot's bookkeeping.
+type missDest struct {
+	item int // batch slot index
+	part int // index into that slot's ordered prefix parts; -1 = user prefix
+	slot int // layout candidate slot for NewItemCaches (item units only)
+}
+
+func (p *missPlan) add(key string, unit missUnit, d missDest) {
+	if p.index == nil {
+		p.index = make(map[string]*missUnit)
+	}
+	if u, ok := p.index[key]; ok {
+		u.dests = append(u.dests, d)
+		return
+	}
+	u := &unit
+	u.dests = append(u.dests, d)
+	p.index[key] = u
+	p.units = append(p.units, u)
+}
+
+// classifyPrefix mirrors the per-request Execute prefix phase's cache
+// resolution without computing anything: cache hits fill the returned parts
+// directly, misses are registered with the planner and left as nil holes for
+// distribute to fill after the unique computations run. Validation happens
+// before any unit is registered, so a failed item never leaves dangling
+// destinations.
+func (p *missPlan) classifyPrefix(l *Layout, caches CacheSet, run *Run, item int) ([]*model.KVCache, error) {
 	switch l.Kind {
 	case UserPrefix:
 		if c := caches.User; c != nil {
@@ -189,11 +261,15 @@ func resolvePrefix(w *model.Weights, l *Layout, caches CacheSet, run *Run) ([]*m
 		if l.PrefixLen == 0 {
 			return nil, nil
 		}
-		c := model.NewKVCache(w.Config())
-		w.Forward(l.Tokens[:l.PrefixLen], l.Pos[:l.PrefixLen], l.Mask(), c)
-		run.ComputedTokens += l.PrefixLen
-		run.NewUserCache = c
-		return []*model.KVCache{c}, nil
+		// The layout mask restricted to the prefix region is a function of
+		// the user segment alone (prefix queries and keys share one segment),
+		// so content equality of (tokens, positions) implies an identical
+		// forward.
+		p.add(userMissKey(l), missUnit{
+			user: true, tokens: l.Tokens[:l.PrefixLen], pos: l.Pos[:l.PrefixLen], mask: l.Mask(),
+			full: l.SegmentOf(0).Len == l.PrefixLen,
+		}, missDest{item: item, part: -1})
+		return make([]*model.KVCache, 1), nil
 	case ItemPrefix:
 		segs := l.ItemSegments()
 		parts := make([]*model.KVCache, len(segs))
@@ -209,22 +285,181 @@ func resolvePrefix(w *model.Weights, l *Layout, caches CacheSet, run *Run) ([]*m
 			}
 			missIdx = append(missIdx, si)
 		}
-		tensor.Parallel(len(missIdx), func(m int) {
-			seg := segs[missIdx[m]]
-			parts[missIdx[m]] = ComputeItemCacheAt(w, l.Tokens[seg.Start:seg.Start+seg.Len], seg.PosStart)
-		})
 		for _, si := range missIdx {
 			seg := segs[si]
-			run.ComputedTokens += seg.Len
-			if run.NewItemCaches == nil {
-				run.NewItemCaches = make(map[int]*model.KVCache)
-			}
-			run.NewItemCaches[seg.Item] = parts[si]
+			toks := l.Tokens[seg.Start : seg.Start+seg.Len]
+			p.add(itemMissKey(seg.PosStart, toks), missUnit{tokens: toks, posStart: seg.PosStart, full: true},
+				missDest{item: item, part: si, slot: seg.Item})
 		}
 		return parts, nil
 	default:
 		return nil, fmt.Errorf("bipartite: unknown layout kind %d", int(l.Kind))
 	}
+}
+
+// compute runs one unit's forward — identical math to what the per-request
+// Execute prefix phase would have run for the same miss.
+func (u *missUnit) compute(w *model.Weights) *model.KVCache {
+	if u.user {
+		c := model.NewKVCache(w.Config())
+		w.Forward(u.tokens, u.pos, u.mask, c)
+		return c
+	}
+	return ComputeItemCacheAt(w, u.tokens, u.posStart)
+}
+
+// computeAll fills every unit's cache. Two or more units run as one packed
+// forward under a block-diagonal mask — each unit's queries see only its own
+// keys, and within a unit exactly what that unit's solo forward would allow —
+// then the combined K/V store is split back into the independent per-unit
+// caches the solo forwards would have produced. Row-independent ops plus
+// per-query attention confined to the unit's own ascending key order make the
+// packed pass bit-identical to computing each unit alone (the ExecuteBatch
+// suffix-packing argument, applied to the prefix side).
+func (p *missPlan) computeAll(w *model.Weights) {
+	if len(p.units) == 0 {
+		return
+	}
+	if len(p.units) == 1 {
+		p.units[0].cache = p.units[0].compute(w)
+		return
+	}
+	total := 0
+	for _, u := range p.units {
+		total += len(u.tokens)
+	}
+	tokens := make([]int, 0, total)
+	pos := make([]int, 0, total)
+	owner := make([]int32, 0, total)
+	local := make([]int32, 0, total)
+	ranges := make([][2]int, len(p.units))
+	for ui, u := range p.units {
+		start := len(tokens)
+		tokens = append(tokens, u.tokens...)
+		if u.user {
+			pos = append(pos, u.pos...)
+		} else {
+			for i := range u.tokens {
+				pos = append(pos, u.posStart+i)
+			}
+		}
+		for i := range u.tokens {
+			owner = append(owner, int32(ui))
+			local = append(local, int32(i))
+		}
+		ranges[ui] = [2]int{start, len(tokens)}
+	}
+	combined := model.NewKVCache(w.Config())
+	um := unitsMask{owner: owner, local: local, units: p.units, ranges: ranges}
+	var mask model.Mask = um
+	exact := true
+	for _, u := range p.units {
+		exact = exact && u.full
+	}
+	if exact {
+		mask = exactUnitsMask{um}
+	}
+	w.Forward(tokens, pos, mask, combined)
+	for ui := range p.units {
+		p.units[ui].cache = combined.CopyRange(ranges[ui][0], ranges[ui][1])
+	}
+}
+
+// unitsMask is the block-diagonal mask for the packed miss-unit forward. A
+// query sees a key only within its own unit; user units additionally apply
+// their layout mask over the unit's local (= layout prefix) indices, item
+// units are plain causal (the engine's k <= q rule, which in batched index
+// space restricted to one contiguous unit equals the unit's own causality).
+type unitsMask struct {
+	owner  []int32 // batched index -> unit index
+	local  []int32 // batched index -> index within the unit
+	units  []*missUnit
+	ranges [][2]int // per-unit contiguous batched-index blocks
+}
+
+func (m unitsMask) Allowed(q, k int) bool {
+	o := m.owner[q]
+	if m.owner[k] != o {
+		return false
+	}
+	if u := m.units[o]; u.user {
+		return u.mask.Allowed(int(m.local[q]), int(m.local[k]))
+	}
+	return true
+}
+
+// KeyRanges implements model.KeyRanger: a query's visible keys all live in
+// its own unit's block (which contains q itself).
+func (m unitsMask) KeyRanges(q int, dst [][2]int) [][2]int {
+	return append(dst, m.ranges[m.owner[q]])
+}
+
+// exactUnitsMask is unitsMask for batches whose units are all full (every
+// causal pair inside a unit allowed): a query's exact visible keys are then
+// precisely its own unit's block, so attention needs no per-key mask calls.
+type exactUnitsMask struct{ unitsMask }
+
+// ExactKeyRanges implements model.ExactKeyRanger.
+func (m exactUnitsMask) ExactKeyRanges(q int, dst [][2]int) [][2]int {
+	return append(dst, m.ranges[m.owner[q]])
+}
+
+// distribute hands each computed unit to its destinations. Every destination
+// accounts the tokens as computed — matching per-request Execute exactly, so
+// response payloads stay bit-identical — while destinations beyond the first
+// additionally count as deduped (the forward they did not have to run).
+func (p *missPlan) distribute(runs []*Run, parts [][]*model.KVCache) {
+	for _, u := range p.units {
+		for di, d := range u.dests {
+			run := runs[d.item]
+			c := u.cache
+			if di > 0 {
+				c = u.cache.Clone()
+				run.DedupedTokens += len(u.tokens)
+			}
+			run.ComputedTokens += len(u.tokens)
+			if d.part < 0 {
+				run.NewUserCache = c
+				parts[d.item][0] = c
+			} else {
+				if run.NewItemCaches == nil {
+					run.NewItemCaches = make(map[int]*model.KVCache)
+				}
+				run.NewItemCaches[d.slot] = c
+				parts[d.item][d.part] = c
+			}
+		}
+	}
+}
+
+// itemMissKey and userMissKey are the planner's content keys: equal keys
+// guarantee equal forwards (same tokens, same anchor positions, same
+// prefix-region mask behavior).
+func itemMissKey(posStart int, tokens []int) string {
+	var b strings.Builder
+	b.Grow(8 + 8*len(tokens))
+	b.WriteByte('i')
+	writeKeyInt(&b, posStart)
+	for _, t := range tokens {
+		writeKeyInt(&b, t)
+	}
+	return b.String()
+}
+
+func userMissKey(l *Layout) string {
+	var b strings.Builder
+	b.Grow(8 + 16*l.PrefixLen)
+	b.WriteByte('u')
+	for i := 0; i < l.PrefixLen; i++ {
+		writeKeyInt(&b, l.Tokens[i])
+		writeKeyInt(&b, l.Pos[i])
+	}
+	return b.String()
+}
+
+func writeKeyInt(b *strings.Builder, v int) {
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(v))
 }
 
 // batchMask is the block-diagonal cross-request mask: a query sees a key only
@@ -259,4 +494,59 @@ func (m batchMask) KeyRanges(q int, dst [][2]int) [][2]int {
 		dst = append(dst, r)
 	}
 	return append(dst, m.sufRange[o])
+}
+
+// exactBatchMask layers model.ExactKeyRanger on batchMask: every packed
+// suffix query's exact visible key set, pretranslated into batched index
+// space once per batch. Attention then walks only truly visible keys — no
+// per-key mask calls, and none of the in-block-but-masked keys (other
+// candidates' tokens) that the superset KeyRanges path still scores as
+// NegInf, at every layer and head.
+type exactBatchMask struct {
+	batchMask
+	base int     // batched index of the first suffix token (= total prefix)
+	off  []int32 // per-suffix-query offsets into flat
+	flat [][2]int
+}
+
+// ExactKeyRanges implements model.ExactKeyRanger.
+func (m exactBatchMask) ExactKeyRanges(q int, dst [][2]int) [][2]int {
+	qi := q - m.base
+	return append(dst, m.flat[m.off[qi]:m.off[qi+1]]...)
+}
+
+// buildExactBatchMask precomputes each packed suffix query's exact ranges by
+// translating its item's own exact ranges into batched index space: the
+// layout-local range is split at the item's prefix length, the prefix piece
+// lands in the item's packed prefix block, the suffix piece in its packed
+// suffix block. Both blocks are contiguous and items are packed in order, so
+// translated ranges stay disjoint and ascending. Returns nil when any item's
+// mask cannot enumerate exact ranges (the superset batchMask then applies).
+func buildExactBatchMask(items []BatchItem, alive []int, m batchMask, totalPrefix, totalSuffix int) model.Mask {
+	ekrs := make([]model.ExactKeyRanger, len(items))
+	for _, i := range alive {
+		e, ok := m.masks[i].(model.ExactKeyRanger)
+		if !ok {
+			return nil
+		}
+		ekrs[i] = e
+	}
+	off := make([]int32, totalSuffix+1)
+	flat := make([][2]int, 0, 3*totalSuffix)
+	var lr [][2]int
+	for b := totalPrefix; b < totalPrefix+totalSuffix; b++ {
+		i := int(m.owner[b])
+		p := items[i].Layout.PrefixLen
+		lr = ekrs[i].ExactKeyRanges(int(m.local[b]), lr[:0])
+		for _, r := range lr {
+			if lo, hi := r[0], min(r[1], p); lo < hi {
+				flat = append(flat, [2]int{m.prefRange[i][0] + lo, m.prefRange[i][0] + hi})
+			}
+			if lo, hi := max(r[0], p), r[1]; lo < hi {
+				flat = append(flat, [2]int{m.sufRange[i][0] + lo - p, m.sufRange[i][0] + hi - p})
+			}
+		}
+		off[b-totalPrefix+1] = int32(len(flat))
+	}
+	return exactBatchMask{batchMask: m, base: totalPrefix, off: off, flat: flat}
 }

@@ -184,6 +184,68 @@ func TestExecuteBatchCancelOne(t *testing.T) {
 	}
 }
 
+// TestExecuteBatchDedupIdenticalMisses: N in-batch requests missing the SAME
+// prefix trigger exactly one recompute — the first slot pays for the forward,
+// the other N-1 receive bit-identical clones and account the saved work as
+// DedupedTokens. Results stay bit-identical to solo Execute, and every slot
+// still owns a DISTINCT cache object so downstream pools can admit/evict each
+// admission independently. Covers both planes' layouts (user-prefix and
+// item-prefix misses).
+func TestExecuteBatchDedupIdenticalMisses(t *testing.T) {
+	w := testWeights()
+	for _, kind := range []PrefixKind{UserPrefix, ItemPrefix} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := randomPrompt(123)
+			l, err := Build(kind, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Execute(w, l, CacheSet{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 4
+			items := make([]BatchItem, n)
+			for i := range items {
+				items[i] = BatchItem{Layout: l} // no caches: every slot misses
+			}
+			runs, err := ExecuteBatch(w, items)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var deduped int
+			for i, run := range runs {
+				if d := tensor.MaxAbsDiff(run.Discriminant, ref.Discriminant); d != 0 {
+					t.Fatalf("slot %d deviates from solo Execute by %v", i, d)
+				}
+				if run.ComputedTokens != ref.ComputedTokens {
+					t.Fatalf("slot %d computed %d tokens, solo computed %d", i, run.ComputedTokens, ref.ComputedTokens)
+				}
+				deduped += run.DedupedTokens
+			}
+			if want := (n - 1) * l.PrefixLen; deduped != want {
+				t.Fatalf("batch deduped %d tokens, want %d — identical misses must collapse to one recompute", deduped, want)
+			}
+			// Distinct cache objects per slot: mutating one must not alias another.
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if kind == UserPrefix {
+						if runs[i].NewUserCache == runs[j].NewUserCache {
+							t.Fatalf("slots %d and %d share one user cache object", i, j)
+						}
+					} else {
+						for slot, ci := range runs[i].NewItemCaches {
+							if cj := runs[j].NewItemCaches[slot]; ci == cj {
+								t.Fatalf("slots %d and %d share item cache %d", i, j, slot)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestExecuteBatchEmptyAndNil: degenerate shapes don't panic.
 func TestExecuteBatchEmptyAndNil(t *testing.T) {
 	w := testWeights()

@@ -277,6 +277,61 @@ func (l *Layout) Mask() model.Mask {
 
 type layoutMask struct{ l *Layout }
 
+// ExactKeyRanges implements model.ExactKeyRanger: a layout query's visible
+// keys are the union of at most three contiguous segment spans, so the
+// attention loop can walk exactly them — no per-key Allowed calls, and no
+// scoring of the masked keys (other candidates' tokens) that sit between a
+// query's visible spans. The spans mirror Allowed case by case; the
+// TestLayoutMaskExactRangesMatchAllowed property pins the equivalence.
+func (m layoutMask) ExactKeyRanges(q int, dst [][2]int) [][2]int {
+	l := m.l
+	si := l.seg[q]
+	qs := l.Segments[si]
+	span := func(s Segment) [2]int { return [2]int{s.Start, s.Start + s.Len} }
+	switch qs.Kind {
+	case SegInstr:
+		// Instruction tokens read everything (causality clamps past q).
+		return append(dst, [2]int{0, len(l.Tokens)})
+	case SegDisc:
+		// Discriminant i reads the user, candidate i, and itself. Segment
+		// order is [user, items..., discs...] under UserPrefix and
+		// [items..., user, discs...] under ItemPrefix; disc i sits at segment
+		// index nItems+1+i either way.
+		nItems := si - 1 - qs.Item
+		if l.Kind == UserPrefix {
+			if user := l.Segments[0]; user.Len > 0 {
+				dst = append(dst, span(user))
+			}
+			return append(dst, span(l.Segments[1+qs.Item]), span(qs))
+		}
+		dst = append(dst, span(l.Segments[qs.Item]))
+		if user := l.Segments[nItems]; user.Len > 0 {
+			dst = append(dst, span(user))
+		}
+		return append(dst, span(qs))
+	case SegUser:
+		if l.Kind == ItemPrefix {
+			// The item block [0, PrefixLen) and the user segment are
+			// contiguous, and the user reads the whole item set.
+			return append(dst, [2]int{0, qs.Start + qs.Len})
+		}
+		return append(dst, span(qs))
+	case SegItem:
+		if l.Kind == UserPrefix {
+			if user := l.Segments[0]; user.Len > 0 {
+				if user.Start+user.Len == qs.Start {
+					// Item 0 follows the user directly; one merged span.
+					return append(dst, [2]int{user.Start, qs.Start + qs.Len})
+				}
+				return append(dst, span(user), span(qs))
+			}
+		}
+		return append(dst, span(qs))
+	default:
+		return append(dst, span(qs))
+	}
+}
+
 // Allowed implements model.Mask.
 func (m layoutMask) Allowed(q, k int) bool {
 	qs := m.l.Segments[m.l.seg[q]]

@@ -419,3 +419,79 @@ func TestSegmentOf(t *testing.T) {
 		t.Fatalf("token 4 in %v", s.Kind)
 	}
 }
+
+// TestLayoutMaskExactRangesMatchAllowed pins the exact-range fast path to the
+// Allowed predicate: for every layout shape (both prefix kinds, single- and
+// multi-discriminant, PIC-adjusted, empty user) and every query, the union of
+// ExactKeyRanges clamped to the causal horizon must equal exactly the set of
+// keys Allowed admits. Any divergence would silently change attention
+// results, so this is the contract the engine's no-mask-calls path rests on.
+func TestLayoutMaskExactRangesMatchAllowed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type tc struct {
+		name  string
+		build func(Prompt) (*Layout, error)
+		p     Prompt
+	}
+	var cases []tc
+	for _, kind := range []PrefixKind{UserPrefix, ItemPrefix} {
+		kind := kind
+		for _, userLen := range []int{0, 1, 5} {
+			p := testPrompt(rng, userLen, 3, 2, 2)
+			cases = append(cases, tc{
+				name:  kind.String() + "/single",
+				build: func(p Prompt) (*Layout, error) { return Build(kind, p) },
+				p:     p,
+			})
+			md := testPrompt(rng, userLen, 3, 2, 1)
+			cases = append(cases, tc{
+				name:  kind.String() + "/multidisc",
+				build: func(p Prompt) (*Layout, error) { return BuildMultiDisc(kind, p) },
+				p:     md,
+			})
+		}
+	}
+	pic := testPrompt(rng, 4, 2, 3, 2)
+	cases = append(cases, tc{
+		name: "ItemPrefix/pic",
+		build: func(p Prompt) (*Layout, error) {
+			l, err := Build(ItemPrefix, p)
+			if err == nil {
+				l.PICAdjust()
+			}
+			return l, err
+		},
+		p: pic,
+	})
+	for _, c := range cases {
+		l, err := c.build(c.p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		m := l.Mask().(model.ExactKeyRanger)
+		am := l.Mask()
+		for q := 0; q < l.Len(); q++ {
+			inRange := make([]bool, l.Len())
+			var last int = -1
+			for _, r := range m.ExactKeyRanges(q, nil) {
+				if r[0] < last {
+					t.Fatalf("%s q=%d: ranges not ascending/disjoint", c.name, q)
+				}
+				last = r[1]
+				for k := r[0]; k < min(r[1], q+1); k++ {
+					inRange[k] = true
+				}
+			}
+			if !inRange[q] {
+				t.Fatalf("%s q=%d: ranges must include q", c.name, q)
+			}
+			for k := 0; k <= q; k++ {
+				allowed := k == q || am.Allowed(q, k)
+				if inRange[k] != allowed {
+					t.Fatalf("%s q=%d k=%d: exact range says %v, Allowed says %v",
+						c.name, q, k, inRange[k], allowed)
+				}
+			}
+		}
+	}
+}

@@ -69,6 +69,12 @@ type Run struct {
 	// NewUserCache holds the user cache computed during a UserPrefix run
 	// that had no cache hit.
 	NewUserCache *model.KVCache
+	// DedupedTokens counts prefix tokens whose forward was shared from
+	// another identical in-batch miss (ExecuteBatch's plan-time dedup): the
+	// tokens are still accounted in ComputedTokens — so responses match
+	// per-request Execute exactly — but their transformer pass ran once for
+	// the whole batch and this run received a bit-identical clone.
+	DedupedTokens int
 }
 
 // Execute runs GR inference for a layout, reusing whatever caches contains.

@@ -66,10 +66,12 @@ type FrontendConfig struct {
 	// prediction is calibrated online against observed wall clock, so only
 	// its relative form matters.
 	GPU costmodel.GPU
-	// BatchWindow and MaxBatch tune the serving core's batch-forming loop
-	// (see serving.Config); zero values take the core defaults.
-	BatchWindow time.Duration
-	MaxBatch    int
+	// BatchWindow, WindowPolicy, and MaxBatch tune the serving core's
+	// batch-forming loop (see serving.Config); zero values take the core
+	// defaults (adaptive window).
+	BatchWindow  time.Duration
+	WindowPolicy string
+	MaxBatch     int
 	// TraceRing sizes the retained request-trace ring served at
 	// GET /debug/trace (default 128).
 	TraceRing int
@@ -106,6 +108,7 @@ type Frontend struct {
 	failovers        int64
 	staleUnregisters int64
 	coalescedFetches int64
+	prefetchedPlans  int64
 	workerPurges     int64
 	purgedBindings   int64
 	// calibRatio is the EWMA of observed-seconds / estimator-predicted
@@ -173,6 +176,7 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		DegradedMaxCandidates: cfg.DegradedMaxCandidates,
 		Admission:             cfg.Admission,
 		BatchWindow:           cfg.BatchWindow,
+		WindowPolicy:          cfg.WindowPolicy,
 		MaxBatch:              cfg.MaxBatch,
 		TraceRing:             cfg.TraceRing,
 		BatchHook:             cfg.BatchHook,
@@ -291,11 +295,54 @@ type distPlan struct {
 	userTokens, itemTokens int
 }
 
-// Plan is the serving core's scheduling callback: record hotness, decide the
-// prefix organization, and fetch whatever caches the pool holds. It runs
-// concurrently with the other plans of a batch; everything it touches is
-// either immutable, internally locked, or request-private.
+// prefetchState is one request's in-flight background plan: the goroutine
+// Prefetch spawned fills plan/err, then closes done.
+type prefetchState struct {
+	done chan struct{}
+	plan *serving.Plan
+	err  error
+}
+
+// Prefetch implements serving.Prefetcher: the request's meta round trips and
+// pool cache fetches start at enqueue time, on their own goroutine, so
+// network transfer hides under the queue/window residency and the previous
+// batch's compute instead of serializing at the head of the plan phase. The
+// work is identical to Plan's — only the clock it overlaps changes. The
+// calibration window therefore opens at enqueue, which is also the honest
+// budget for the deadline gate (a queued request's fetches consume its
+// deadline whether or not a batch has formed yet).
+func (f *Frontend) Prefetch(ctx context.Context, req serving.RankRequest) any {
+	ps := &prefetchState{done: make(chan struct{})}
+	go func() {
+		defer close(ps.done)
+		ps.plan, ps.err = f.plan(ctx, req)
+	}()
+	return ps
+}
+
+// Plan is the serving core's scheduling callback. When the core started a
+// prefetch for this request, Plan just awaits it (the transfer usually
+// finished during the batch window — the whole point); otherwise it runs the
+// same work inline. Everything touched is immutable, internally locked, or
+// request-private, so concurrent plans are safe.
 func (f *Frontend) Plan(ctx context.Context, req serving.RankRequest) (*serving.Plan, error) {
+	if ps, ok := serving.PrefetchHandle(ctx).(*prefetchState); ok {
+		select {
+		case <-ps.done:
+			f.mu.Lock()
+			f.prefetchedPlans++
+			f.mu.Unlock()
+			return ps.plan, ps.err
+		case <-ctx.Done():
+			return nil, fmt.Errorf("distserve: request canceled: %w", ctx.Err())
+		}
+	}
+	return f.plan(ctx, req)
+}
+
+// plan records hotness, decides the prefix organization, and fetches whatever
+// caches the pool holds.
+func (f *Frontend) plan(ctx context.Context, req serving.RankRequest) (*serving.Plan, error) {
 	ds := f.cfg.Dataset
 	started := time.Now()
 
@@ -344,6 +391,14 @@ func (f *Frontend) Plan(ctx context.Context, req serving.RankRequest) (*serving.
 // responses go out, so a caller that has its response can immediately locate
 // its caches.
 func (f *Frontend) Commit(entries []serving.CommitEntry) {
+	// A batch that carried the same miss in several requests computed one
+	// forward and handed out bit-identical clones; write each (kind, id)
+	// back to the pool once, not once per request.
+	type storeKey struct {
+		user bool
+		id   uint64
+	}
+	stored := make(map[storeKey]bool)
 	for _, e := range entries {
 		if aux, ok := e.Plan.Aux.(*distPlan); ok {
 			f.calibrate(aux.userTokens+aux.itemTokens+2, time.Since(aux.started).Seconds())
@@ -352,11 +407,19 @@ func (f *Frontend) Commit(entries []serving.CommitEntry) {
 			continue
 		}
 		if e.Run.NewUserCache != nil && e.Plan.AdmitUser {
-			f.storeCache(e.Ctx, f.userWorker(e.Req.UserID), "user", uint64(e.Req.UserID), e.Run.NewUserCache)
+			k := storeKey{user: true, id: uint64(e.Req.UserID)}
+			if !stored[k] {
+				stored[k] = true
+				f.storeCache(e.Ctx, f.userWorker(e.Req.UserID), "user", k.id, e.Run.NewUserCache)
+			}
 		}
 		for slot, c := range e.Run.NewItemCaches {
 			it := e.Req.CandidateIDs[slot]
-			f.storeCache(e.Ctx, f.itemWorker(it), "item", uint64(it), c)
+			k := storeKey{id: uint64(it)}
+			if !stored[k] {
+				stored[k] = true
+				f.storeCache(e.Ctx, f.itemWorker(it), "item", k.id, c)
+			}
 		}
 	}
 }
@@ -725,6 +788,11 @@ type FrontendStats struct {
 	// CoalescedFetches counts item-cache fetches answered by another
 	// request's in-flight GET instead of a fresh network round trip.
 	CoalescedFetches int64 `json:"coalesced_fetches"`
+	// DedupedTokens counts prefix tokens whose forward was shared from an
+	// identical in-batch miss; PrefetchedPlans counts plans served from a
+	// fetch that started at enqueue and overlapped the batch window.
+	DedupedTokens   int64 `json:"deduped_tokens"`
+	PrefetchedPlans int64 `json:"prefetched_plans"`
 	// Admission is the overload ladder's front door: in-flight/queue gauges
 	// plus admitted/queued/shed counters.
 	Admission admission.Stats `json:"admission"`
@@ -761,6 +829,7 @@ func (f *Frontend) Stats() FrontendStats {
 	st := FrontendStats{
 		Requests: cs.Requests, UserPrefix: cs.UserPrefix, ItemPrefix: cs.ItemPrefix,
 		ReusedTokens: cs.ReusedTokens, ComputedTokens: cs.ComputedTokens,
+		DedupedTokens: cs.DedupedTokens, PrefetchedPlans: f.prefetchedPlans,
 		FetchErrors: f.fetchErrors, Failovers: f.failovers,
 		StaleUnregisters: f.staleUnregisters, CoalescedFetches: f.coalescedFetches,
 		DegradedRequests: cs.DegradedRequests, DeadlineAborts: cs.DeadlineAborts,
@@ -824,6 +893,7 @@ func (f *Frontend) writePoolMetrics(w io.Writer) {
 	fmt.Fprintf(w, "bat_fetch_errors_total %d\n", st.FetchErrors)
 	fmt.Fprintf(w, "bat_fetch_failovers_total %d\n", st.Failovers)
 	fmt.Fprintf(w, "bat_coalesced_fetches_total %d\n", st.CoalescedFetches)
+	fmt.Fprintf(w, "bat_prefetched_plans_total %d\n", st.PrefetchedPlans)
 	fmt.Fprintf(w, "bat_stale_unregisters_total %d\n", st.StaleUnregisters)
 	fmt.Fprintf(w, "bat_worker_purges_total %d\n", st.WorkerPurges)
 	fmt.Fprintf(w, "bat_purged_bindings_total %d\n", st.PurgedBindings)

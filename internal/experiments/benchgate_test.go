@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestServingBenchGate is the CI throughput gate for continuous batching:
+// batched serving must beat the serialized (MaxBatch=1) baseline. It runs the
+// full serving bench sweep (best-of-reps, rep-major pairing), so it takes a
+// few seconds — opt in with BAT_BENCH_GATE=1; CI runs it on every push.
+func TestServingBenchGate(t *testing.T) {
+	if os.Getenv("BAT_BENCH_GATE") == "" {
+		t.Skip("set BAT_BENCH_GATE=1 to run the batching throughput gate")
+	}
+	res, err := RunServingBench(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores <= 0 {
+		t.Fatalf("cores not recorded: %d", res.Cores)
+	}
+	for _, p := range res.Points {
+		t.Logf("max-batch %2d: %8.1f req/s  avg batch %.2f  speedup %.3f  window %.3fms  deduped %d",
+			p.MaxBatch, p.RequestsPerSec, p.AvgBatchSize, p.Speedup, p.WindowAvgMs, p.DedupedTokens)
+	}
+	var mb4 *ServingBenchPoint
+	for i := range res.Points {
+		if res.Points[i].MaxBatch == 4 {
+			mb4 = &res.Points[i]
+		}
+	}
+	if mb4 == nil {
+		t.Fatal("sweep has no max-batch 4 point")
+	}
+	if mb4.Speedup < 1.0 {
+		t.Fatalf("batched serving at max-batch 4 is SLOWER than serialized: speedup %.3f < 1.0 (%.1f vs %.1f req/s on %d cores) — the continuous-batching regression is back",
+			mb4.Speedup, mb4.RequestsPerSec, res.Points[0].RequestsPerSec, res.Cores)
+	}
+	if mb4.AvgBatchSize <= 1.0 {
+		t.Fatalf("max-batch 4 formed no batches (avg batch %.2f); the speedup says nothing about batching", mb4.AvgBatchSize)
+	}
+}

@@ -93,6 +93,27 @@ func (c *KVCache) Release() {
 	c.n = 0
 }
 
+// CopyRange returns a new contiguous cache holding copies of tokens
+// [lo, hi). It is how a packed multi-segment forward is split back into the
+// independent per-segment caches the segments would have produced on their
+// own (the K/V bytes are identical either way; only the storage they landed
+// in differs).
+func (c *KVCache) CopyRange(lo, hi int) *KVCache {
+	if lo < 0 || hi < lo || hi > c.n {
+		panic(fmt.Sprintf("model: copy range [%d,%d) out of [0,%d]", lo, hi, c.n))
+	}
+	out := NewKVCache(c.cfg)
+	fs := out.store.(*flatStore)
+	st := c.stride()
+	for l := 0; l < c.cfg.Layers; l++ {
+		k, v := c.store.layerData(l, hi)
+		fs.k[l] = append(fs.k[l], k[lo*st:hi*st]...)
+		fs.v[l] = append(fs.v[l], v[lo*st:hi*st]...)
+	}
+	out.n = hi - lo
+	return out
+}
+
 // ConcatCaches builds a new cache whose token axis is the concatenation of
 // the inputs, in order. All inputs must share an architecture. This is the
 // operation that assembles an Item-as-prefix context from independently

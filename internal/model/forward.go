@@ -209,6 +209,13 @@ func getScores(n int) *scoreBuf {
 	return sb
 }
 
+// rangePool recycles key-range buffers the same way: the ranger interfaces
+// take the buffer through an interface call, which pins it to the heap, so
+// without pooling every attention task would re-allocate it.
+var rangePool = sync.Pool{New: func() any { return &rangeBuf{} }}
+
+type rangeBuf struct{ r [][2]int }
+
 // attend computes masked grouped-query attention for layer l over the n new
 // tokens, whose K/V (and the whole prefix) are already in the cache, and
 // writes mixed values into s.attnOut. Work is split across
@@ -221,6 +228,7 @@ func (w *Weights) attend(s *scratch, cache *KVCache, l, base, n int, mask Mask) 
 	scale := float32(1 / math.Sqrt(float64(cfg.HeadDim)))
 	qBlocks := (n + attnQueryBlock - 1) / attnQueryBlock
 	kr, _ := mask.(KeyRanger)
+	ekr, _ := mask.(ExactKeyRanger)
 	run := func(task int) {
 		hh := task / qBlocks
 		lo := (task % qBlocks) * attnQueryBlock
@@ -232,7 +240,9 @@ func (w *Weights) attend(s *scratch, cache *KVCache, l, base, n int, mask Mask) 
 		sb := getScores(base + hi)
 		defer scorePool.Put(sb)
 		scores := sb.s
-		var ranges [][2]int
+		rb := rangePool.Get().(*rangeBuf)
+		defer rangePool.Put(rb)
+		ranges := rb.r
 		for i := lo; i < hi; i++ {
 			abs := base + i
 			ctx := abs + 1 // keys available to this query
@@ -249,23 +259,40 @@ func (w *Weights) attend(s *scratch, cache *KVCache, l, base, n int, mask Mask) 
 					sc[t] = tensor.Dot(qh, cache.layerK(l, t, kvHead)) * scale
 				}
 			}
-			if kr != nil {
-				// Sparse fast path: everything outside the advertised
-				// ranges is masked by contract — same NegInf the Allowed
-				// check would produce, without the per-key interface call.
-				ranges = kr.KeyRanges(abs, ranges[:0])
-				for t := range sc {
-					sc[t] = tensor.NegInf
+			if ekr != nil {
+				// Exact fast path: every in-range key is allowed by contract,
+				// so there are no per-key mask calls and no NegInf entries to
+				// write, weight, or skip — per-query work is O(visible keys).
+				ranges = ekr.ExactKeyRanges(abs, ranges[:0])
+				rb.r = ranges
+				for _, r := range ranges {
+					if klo, khi := r[0], min(r[1], ctx); klo < khi {
+						for t := klo; t < khi; t++ {
+							sc[t] = tensor.Dot(qh, cache.layerK(l, t, kvHead)) * scale
+						}
+						visible += khi - klo
+					}
 				}
+				applyAttnWeightsRanges(cfg.Attn, sc, ranges, ctx, visible)
+			} else if kr != nil {
+				// Sparse fast path: everything outside the advertised
+				// ranges is masked by contract, and the weight pass below
+				// visits only the ranges, so out-of-range entries need no
+				// NegInf fill — they are never scored, weighted, or mixed.
+				// Total per-query work is O(own context), not O(packed
+				// batch context).
+				ranges = kr.KeyRanges(abs, ranges[:0])
+				rb.r = ranges
 				for _, r := range ranges {
 					if klo, khi := r[0], min(r[1], ctx); klo < khi {
 						score(klo, khi)
 					}
 				}
+				applyAttnWeightsRanges(cfg.Attn, sc, ranges, ctx, visible)
 			} else {
 				score(0, ctx)
+				applyAttnWeights(cfg.Attn, sc, visible)
 			}
-			applyAttnWeights(cfg.Attn, sc, visible)
 			out := s.attnOut.Row(i)[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
 			for d := range out {
 				out[d] = 0
@@ -282,7 +309,7 @@ func (w *Weights) attend(s *scratch, cache *KVCache, l, base, n int, mask Mask) 
 					}
 				}
 			}
-			if kr != nil {
+			if ekr != nil || kr != nil {
 				for _, r := range ranges {
 					if klo, khi := r[0], min(r[1], ctx); klo < khi {
 						mix(klo, khi)
@@ -302,4 +329,78 @@ func (w *Weights) attend(s *scratch, cache *KVCache, l, base, n int, mask Mask) 
 		return
 	}
 	tensor.Parallel(tasks, run)
+}
+
+// applyAttnWeightsRanges is applyAttnWeights restricted to a query's
+// advertised key ranges. Entries outside the ranges are masked by the
+// KeyRanger contract — exactly the NegInf entries the dense pass would write
+// and then skip — so visiting only the ranges, in the same ascending index
+// order, produces bit-identical weights. Out-of-range score entries are left
+// untouched: the value mix walks the same ranges and never reads them.
+func applyAttnWeightsRanges(kind AttnKind, scores []float32, ranges [][2]int, ctx, visible int) {
+	if kind == AttnSoftmax {
+		softmaxRanges(scores, ranges, ctx)
+		return
+	}
+	if visible <= 0 {
+		visible = 1
+	}
+	inv := 1 / float32(visible)
+	for _, r := range ranges {
+		for t, hi := r[0], min(r[1], ctx); t < hi; t++ {
+			s := scores[t]
+			if s == tensor.NegInf {
+				scores[t] = 0
+				continue
+			}
+			scores[t] = s / (1 + float32(math.Exp(float64(-s)))) * inv
+		}
+	}
+}
+
+// softmaxRanges mirrors tensor.Softmax over the in-range entries only.
+// Because ranges are disjoint and ascending (the KeyRanger contract), the
+// scalar visit order — and therefore every float32 accumulation — matches a
+// dense softmax whose out-of-range entries are all NegInf, bit for bit.
+func softmaxRanges(v []float32, ranges [][2]int, ctx int) {
+	maxv := float32(math.Inf(-1))
+	for _, r := range ranges {
+		for t, hi := r[0], min(r[1], ctx); t < hi; t++ {
+			if v[t] > maxv {
+				maxv = v[t]
+			}
+		}
+	}
+	if math.IsInf(float64(maxv), -1) {
+		for _, r := range ranges {
+			for t, hi := r[0], min(r[1], ctx); t < hi; t++ {
+				v[t] = 0
+			}
+		}
+		return
+	}
+	var sum float32
+	for _, r := range ranges {
+		for t, hi := r[0], min(r[1], ctx); t < hi; t++ {
+			x := v[t]
+			// Masked entries contribute exactly exp(-Inf) == 0; skipping the
+			// Exp call is bit-identical (same as tensor.Softmax).
+			if math.IsInf(float64(x), -1) {
+				v[t] = 0
+				continue
+			}
+			e := float32(math.Exp(float64(x - maxv)))
+			v[t] = e
+			sum += e
+		}
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / sum
+	for _, r := range ranges {
+		for t, hi := r[0], min(r[1], ctx); t < hi; t++ {
+			v[t] *= inv
+		}
+	}
 }

@@ -36,3 +36,24 @@ type KeyRanger interface {
 	// outside them must be disallowed for q (Allowed still filters inside).
 	KeyRanges(q int, dst [][2]int) [][2]int
 }
+
+// ExactKeyRanger strengthens KeyRanger: the advertised ranges hold exactly
+// the allowed keys (after the engine's causal clamp to k <= q), not merely a
+// superset. The attention loop then scores the ranges with no per-key
+// Allowed calls and no NegInf sentinels at all — every visited key is
+// visible by contract. Because a dense pass's masked entries contribute
+// exactly zero weight (exp(-Inf) == 0) in the same ascending accumulation
+// order, skipping them is bit-identical, so an exact mask changes only the
+// work done, never the result.
+type ExactKeyRanger interface {
+	// ExactKeyRanges appends to dst the half-open [lo, hi) ranges holding
+	// exactly query q's allowed keys, and returns the extended slice. Ranges
+	// must be disjoint and ascending, include q itself, and may extend past q
+	// (the engine clamps to the causal horizon).
+	ExactKeyRanges(q int, dst [][2]int) [][2]int
+}
+
+// ExactKeyRanges implements ExactKeyRanger: every causal key is allowed.
+func (CausalMask) ExactKeyRanges(q int, dst [][2]int) [][2]int {
+	return append(dst, [2]int{0, q + 1})
+}

@@ -63,10 +63,12 @@ type Config struct {
 	// DegradedMaxCandidates caps the candidate set served in degraded mode
 	// (default 16).
 	DegradedMaxCandidates int
-	// BatchWindow and MaxBatch tune the serving core's batch-forming loop
-	// (see serving.Config); zero values take the core defaults.
-	BatchWindow time.Duration
-	MaxBatch    int
+	// BatchWindow, WindowPolicy, and MaxBatch tune the serving core's
+	// batch-forming loop (see serving.Config); zero values take the core
+	// defaults (adaptive window).
+	BatchWindow  time.Duration
+	WindowPolicy string
+	MaxBatch     int
 	// TraceRing sizes the retained request-trace ring served at
 	// GET /debug/trace (default 128).
 	TraceRing int
@@ -148,6 +150,7 @@ func New(cfg Config) (*Server, error) {
 		DegradedMaxCandidates: cfg.DegradedMaxCandidates,
 		Admission:             cfg.Admission,
 		BatchWindow:           cfg.BatchWindow,
+		WindowPolicy:          cfg.WindowPolicy,
 		MaxBatch:              cfg.MaxBatch,
 		TraceRing:             cfg.TraceRing,
 		BatchHook:             cfg.BatchHook,
@@ -210,6 +213,7 @@ type StatsResponse struct {
 	ItemPrefix       int64   `json:"item_prefix_requests"`
 	ReusedTokens     int64   `json:"reused_tokens"`
 	ComputedTokens   int64   `json:"computed_tokens"`
+	DedupedTokens    int64   `json:"deduped_tokens"`
 	TokenHitRate     float64 `json:"token_hit_rate"`
 	ItemCacheEntries int     `json:"item_cache_entries"`
 	UserCacheEntries int     `json:"user_cache_entries"`
@@ -244,6 +248,7 @@ func (s *Server) Stats() StatsResponse {
 		ItemPrefix:       cs.ItemPrefix,
 		ReusedTokens:     cs.ReusedTokens,
 		ComputedTokens:   cs.ComputedTokens,
+		DedupedTokens:    cs.DedupedTokens,
 		ItemCacheEntries: len(state.items),
 		UserCacheEntries: len(state.users),
 		Admission:        cs.Admission,
@@ -348,6 +353,33 @@ func (b *localBackend) Plan(ctx context.Context, req serving.RankRequest) (*serv
 // visible, and the previous batch's readers are already done.
 func (b *localBackend) Commit(entries []serving.CommitEntry) {
 	cur := b.snap.Load()
+	// Steady-state batches (all cache hits, nothing to admit) are the common
+	// case; detect them against the current snapshot before paying for the
+	// full copy-on-write rebuild.
+	admits := false
+	for _, e := range entries {
+		if e.Plan.Recompute {
+			continue
+		}
+		if e.Run.NewUserCache != nil && e.Plan.AdmitUser {
+			if _, ok := cur.users[e.Req.UserID]; !ok {
+				admits = true
+				break
+			}
+		}
+		for slot := range e.Run.NewItemCaches {
+			if cur.items[e.Req.CandidateIDs[slot]] == nil {
+				admits = true
+				break
+			}
+		}
+		if admits {
+			break
+		}
+	}
+	if !admits {
+		return
+	}
 	next := &localState{
 		items:   make(map[int]*model.KVCache, len(cur.items)+len(entries)),
 		users:   make(map[int]*model.KVCache, len(cur.users)+1),

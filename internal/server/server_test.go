@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
+	"bat/internal/bipartite"
 	"bat/internal/ranking"
 	"bat/internal/scheduler"
+	"bat/internal/serving"
 	"bat/internal/tensor"
 )
 
@@ -474,5 +477,87 @@ func TestConcurrentRanking(t *testing.T) {
 	}
 	if st.Requests != workers*perWorker {
 		t.Fatalf("served %d requests, want %d", st.Requests, workers*perWorker)
+	}
+}
+
+// TestServerDedupSameColdUser: concurrent requests for the SAME cold user
+// landing in one batch recompute the user prefix once — the batch-level miss
+// planner collapses the identical misses into a single forward — and every
+// response carries the bit-identical ranking a solo serve produces.
+func TestServerDedupSameColdUser(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	s := newTestServer(t, func(c *Config) {
+		c.Policy = scheduler.StaticUser{}
+		c.WindowPolicy = serving.WindowFixed
+		c.BatchWindow = 100 * time.Millisecond
+		c.MaxBatch = 4
+		c.BatchHook = func(size int) { once.Do(func() { <-gate }) }
+	})
+	req := RankRequest{UserID: 3, CandidateIDs: []int{2, 6, 10, 14, 18}}
+
+	// Reference: a solo user-prefix serve on an independent ranker over the
+	// same deterministic dataset and weights.
+	r, err := ranking.NewRanker(testDataset(t), ranking.VariantBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, _, err := r.Rank(ranking.EvalRequest{User: req.UserID, Candidates: req.CandidateIDs},
+		bipartite.UserPrefix, ranking.RankOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, len(ranked))
+	for i, idx := range ranked {
+		want[i] = req.CandidateIDs[idx]
+	}
+
+	// Stall the batcher on a throwaway request so the identical ones queue up
+	// together, then release and let them form one batch.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Rank(RankRequest{UserID: 1, CandidateIDs: []int{3, 7}}); err != nil {
+			t.Errorf("stall request: %v", err)
+		}
+	}()
+	const n = 4
+	resps := make([]*RankResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Rank(req)
+			if err != nil {
+				t.Errorf("dedup request %d: %v", i, err)
+				return
+			}
+			resps[i] = resp
+		}(i)
+	}
+	time.Sleep(200 * time.Millisecond) // everything is enqueued behind the stall
+	close(gate)
+	wg.Wait()
+
+	for i, resp := range resps {
+		if resp == nil {
+			t.Fatalf("request %d got no response", i)
+		}
+		if len(resp.Ranking) < len(want) {
+			t.Fatalf("request %d ranking has %d entries, want >= %d", i, len(resp.Ranking), len(want))
+		}
+		for j := range want {
+			if resp.Ranking[j] != want[j] {
+				t.Fatalf("request %d ranking %v deviates from solo serve %v", i, resp.Ranking, want)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.DedupedTokens == 0 {
+		t.Fatal("identical in-batch cold-user misses recorded zero deduped tokens")
+	}
+	if st.MaxBatchSize < 2 {
+		t.Fatalf("max batch size %d; the identical requests never batched", st.MaxBatchSize)
 	}
 }

@@ -9,10 +9,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bat/internal/admission"
 	"bat/internal/bipartite"
+	"bat/internal/metrics"
 	"bat/internal/ranking"
 	"bat/internal/tensor"
 )
@@ -25,6 +27,30 @@ const (
 	ModeFull     = "full"
 	ModeDegraded = "degraded"
 	ModeShed     = "shed"
+)
+
+// Batch-window policies (Config.WindowPolicy).
+const (
+	WindowAdaptive = "adaptive"
+	WindowFixed    = "fixed"
+)
+
+// Adaptive-window tuning: with at least minGapSamples observed inter-arrival
+// gaps, the batcher waits per missing slot only gapWaitFactor × the EWMA gap
+// (floored at minAdaptiveWait to survive scheduler jitter) instead of the
+// full window — so when the queue drains and arrivals are sparse, the batch
+// closes as soon as the next arrival is statistically overdue.
+const (
+	minGapSamples   = 4
+	gapWaitFactor   = 4
+	minAdaptiveWait = 50 * time.Microsecond
+	gapEWMAAlpha    = 0.2 // weight of the newest inter-arrival sample
+	// idleExecFraction caps any single adaptive wait at this fraction of the
+	// observed mean execute stage: idle spent forming a batch is pure loss,
+	// so it must stay small against the compute it hopes to amortize. (The
+	// inter-arrival EWMA alone can overshoot — batch-boundary gaps pollute
+	// it when clients are fewer than MaxBatch.)
+	idleExecFraction = 0.25
 )
 
 // Plan is a backend's per-request scheduling outcome: the resolved prefix
@@ -63,6 +89,29 @@ type Backend interface {
 	Commit(entries []CommitEntry)
 }
 
+// Prefetcher is an optional Backend extension. When implemented, the core
+// calls Prefetch at enqueue time — before the request sits out its queue and
+// batch-window residency — so the backend can start cache fetches (network
+// round trips on the disaggregated plane) that overlap with the batch-forming
+// wait and the previous batch's compute instead of serializing inside Plan.
+// The returned handle rides the request to the plan phase and is recoverable
+// there via PrefetchHandle; Plan decides whether to await it. Prefetch must
+// not block and must only read snapshot state.
+type Prefetcher interface {
+	Prefetch(ctx context.Context, req RankRequest) any
+}
+
+// prefetchKey carries a Prefetcher's handle through the context given to
+// Backend.Plan.
+type prefetchKey struct{}
+
+// PrefetchHandle returns the handle the backend's Prefetch produced for this
+// request, or nil when none was started (backend is not a Prefetcher, or the
+// request bypassed the batch loop).
+func PrefetchHandle(ctx context.Context) any {
+	return ctx.Value(prefetchKey{})
+}
+
 // Config assembles a serving core.
 type Config struct {
 	Dataset   *ranking.Dataset
@@ -79,10 +128,16 @@ type Config struct {
 	DegradedMaxCandidates int
 	// Admission tunes the overload ladder. Zero value = defaults.
 	Admission admission.Config
-	// BatchWindow is how long the batcher waits for more requests after the
-	// first arrival before executing (default 2ms; negative = don't wait,
+	// BatchWindow bounds how long the batcher waits for more requests after
+	// the first arrival before executing (default 2ms; negative = don't wait,
 	// just drain whatever is already queued).
 	BatchWindow time.Duration
+	// WindowPolicy selects how the window inside that bound behaves:
+	// WindowAdaptive (default) closes early when the observed arrival rate
+	// says no further request is likely to show up in time — a lone request
+	// never eats the full window; WindowFixed always waits out BatchWindow
+	// (the pre-adaptive behavior, used by timing-sensitive tests).
+	WindowPolicy string
 	// MaxBatch caps requests packed into one batched forward (default 8;
 	// 1 = serialized execution).
 	MaxBatch int
@@ -114,6 +169,9 @@ type pending struct {
 	tb  *TraceBuilder
 	enq time.Time
 	deq time.Time
+	// prefetch is the backend's in-flight fetch handle (Prefetcher backends
+	// only), handed to Plan via its context.
+	prefetch any
 }
 
 // Core runs the shared request lifecycle for one serving plane.
@@ -127,10 +185,34 @@ type Core struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
+	// windowTimer is the batch loop's reused window timer. Owned exclusively
+	// by the loop goroutine; always left stopped-and-drained between windows
+	// so a stale expiry can never fire into a later window.
+	windowTimer *time.Timer
+
+	// windowClose counts window closes by cause (full batch, window timeout,
+	// adaptive idle close, drain-only pass, shutdown).
+	windowClose map[string]*metrics.Counter
+
+	// Arrival-rate state behind the adaptive window: an EWMA of enqueue
+	// inter-arrival gaps. Written by RankCtx callers, read by the batch loop.
+	arrMu       sync.Mutex
+	lastArrival time.Time
+	ewmaGap     time.Duration
+	gapSamples  int
+
+	// inflight counts requests between enqueue and response delivery. The
+	// adaptive window uses it as a causal arrival signal: when it exceeds the
+	// forming batch's size, requests beyond this batch are already live and
+	// will enqueue as soon as their goroutines get scheduled, so a drained
+	// queue is a scheduling artifact rather than a real lull.
+	inflight atomic.Int64
+
 	mu                           sync.Mutex
 	requests                     int64
 	userPrefix, itemPrefix       int64
 	reusedTokens, computedTokens int64
+	dedupedTokens                int64
 	degraded, deadlineAborts     int64
 	batches, batchedRequests     int64
 	maxBatch                     int64
@@ -156,19 +238,97 @@ func NewCore(cfg Config, backend Backend) (*Core, error) {
 	if cfg.BatchWindow == 0 {
 		cfg.BatchWindow = 2 * time.Millisecond
 	}
+	if cfg.WindowPolicy == "" {
+		cfg.WindowPolicy = WindowAdaptive
+	}
+	if cfg.WindowPolicy != WindowAdaptive && cfg.WindowPolicy != WindowFixed {
+		return nil, fmt.Errorf("serving: unknown window policy %q", cfg.WindowPolicy)
+	}
 	if cfg.TraceRing <= 0 {
 		cfg.TraceRing = 128
+	}
+	adm := admission.NewController(cfg.Admission)
+	// The intake queue must cover everything admission can let through at
+	// once (in-flight slots plus its wait queue): if it were smaller,
+	// admitted requests would block silently in the channel send instead of
+	// being shed 429 at the front door. The 4×MaxBatch floor keeps direct
+	// RankCtx callers (no admission trip) batching well.
+	queueCap := 4 * cfg.MaxBatch
+	if depth := adm.Config().MaxInFlight + adm.Config().MaxQueue; depth > queueCap {
+		queueCap = depth
 	}
 	c := &Core{
 		cfg:     cfg,
 		backend: backend,
-		adm:     admission.NewController(cfg.Admission),
+		adm:     adm,
 		obs:     newObserver(cfg.TraceRing),
-		queue:   make(chan *pending, 4*cfg.MaxBatch),
+		queue:   make(chan *pending, queueCap),
 		stop:    make(chan struct{}),
 	}
+	c.windowTimer = time.NewTimer(time.Hour)
+	if !c.windowTimer.Stop() {
+		<-c.windowTimer.C
+	}
+	c.windowClose = make(map[string]*metrics.Counter)
+	for _, reason := range []string{"full", "timeout", "idle", "drain", "stop"} {
+		c.windowClose[reason] = c.obs.reg.Counter(`bat_window_close_total{reason="` + reason + `"}`)
+	}
+	c.obs.reg.GaugeFunc("bat_arrival_ewma_gap_seconds", func() float64 {
+		c.arrMu.Lock()
+		defer c.arrMu.Unlock()
+		return c.ewmaGap.Seconds()
+	})
 	go c.loop()
 	return c, nil
+}
+
+// noteArrival folds one enqueue timestamp into the inter-arrival EWMA the
+// adaptive window policy keys off.
+func (c *Core) noteArrival(now time.Time) {
+	c.arrMu.Lock()
+	if !c.lastArrival.IsZero() {
+		gap := now.Sub(c.lastArrival)
+		if gap < 0 {
+			gap = 0
+		}
+		if c.gapSamples == 0 {
+			c.ewmaGap = gap
+		} else {
+			c.ewmaGap = time.Duration((1-gapEWMAAlpha)*float64(c.ewmaGap) + gapEWMAAlpha*float64(gap))
+		}
+		c.gapSamples++
+	}
+	c.lastArrival = now
+	c.arrMu.Unlock()
+}
+
+// arrivalOutlook returns the adaptive window's two ingredients: exp, how
+// long until the next arrival is statistically overdue (gapWaitFactor × the
+// EWMA gap), and budget, the most idle a wait is allowed to burn (a fraction
+// of the observed execute-stage mean — idling longer than the compute it
+// amortizes against can never pay for itself). ok is false until enough
+// samples exist to trust the estimate; budget falls back to the full window
+// while the execute histogram is still empty.
+func (c *Core) arrivalOutlook() (exp, budget time.Duration, ok bool) {
+	c.arrMu.Lock()
+	defer c.arrMu.Unlock()
+	if c.gapSamples < minGapSamples {
+		return 0, 0, false
+	}
+	exp = gapWaitFactor * c.ewmaGap
+	if exp < minAdaptiveWait {
+		exp = minAdaptiveWait
+	}
+	budget = c.cfg.BatchWindow
+	if mean := c.obs.StageMean(StageExecute); mean > 0 {
+		if b := time.Duration(idleExecFraction * mean * float64(time.Second)); b < budget {
+			budget = b
+		}
+	}
+	if budget < minAdaptiveWait {
+		budget = minAdaptiveWait
+	}
+	return exp, budget, true
 }
 
 // Close stops the batch loop; queued requests fail with ErrClosed.
@@ -200,37 +360,103 @@ func (c *Core) loop() {
 	}
 }
 
-// collect forms one batch starting from its first request.
+// collect forms one batch starting from its first request. Work already
+// queued is always taken immediately; only when the queue is empty does the
+// window wait, and under the adaptive policy that wait is bounded by the
+// observed arrival rate, so a lone request during a lull never sits out the
+// full BatchWindow.
 func (c *Core) collect(first *pending) []*pending {
 	batch := []*pending{first}
 	if c.cfg.MaxBatch <= 1 {
 		return batch
 	}
-	if c.cfg.BatchWindow < 0 {
-		for len(batch) < c.cfg.MaxBatch {
-			select {
-			case p := <-c.queue:
-				p.deq = time.Now()
-				batch = append(batch, p)
-			default:
-				return batch
-			}
-		}
-		return batch
-	}
-	timer := time.NewTimer(c.cfg.BatchWindow)
-	defer timer.Stop()
+	// Drain whatever is already waiting — never idle while work is ready.
 	for len(batch) < c.cfg.MaxBatch {
 		select {
 		case p := <-c.queue:
 			p.deq = time.Now()
 			batch = append(batch, p)
-		case <-timer.C:
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) == c.cfg.MaxBatch {
+		c.windowClose["full"].Inc()
+		return batch
+	}
+	if c.cfg.BatchWindow < 0 {
+		c.windowClose["drain"].Inc()
+		return batch
+	}
+
+	deadline := time.Now().Add(c.cfg.BatchWindow)
+	adaptive := c.cfg.WindowPolicy == WindowAdaptive
+	// disarm restores the reused timer to stopped-and-drained. Called on
+	// every exit from a wait (fired or not): a timer left armed — or fired
+	// with its channel undrained — would leak its expiry into a later
+	// window and close it at the wrong time.
+	disarm := func(fired bool) {
+		if fired {
+			return // the receive already drained the channel
+		}
+		if !c.windowTimer.Stop() {
+			select {
+			case <-c.windowTimer.C:
+			default:
+			}
+		}
+	}
+	for len(batch) < c.cfg.MaxBatch {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			c.windowClose["timeout"].Inc()
+			return batch
+		}
+		reason := "timeout"
+		if adaptive {
+			exp, budget, ok := c.arrivalOutlook()
+			if int(c.inflight.Load()) > len(batch) {
+				// Live requests beyond this batch exist: their clients are
+				// between enqueue and response and will reach the queue as
+				// soon as they get scheduled. Give each up to the expected
+				// gap — the wait is scheduling latency, not a real lull.
+				if ok && exp < wait {
+					wait, reason = exp, "idle"
+				}
+			} else if ok {
+				if exp > budget {
+					// The queue is drained, nobody else is live, and the next
+					// arrival is expected later than idling can pay for —
+					// close now instead of burning compute time waiting.
+					c.windowClose["idle"].Inc()
+					return batch
+				}
+				if exp < wait {
+					// A new arrival is imminent: wait just long enough for
+					// one; if it fails to show in gapWaitFactor× the typical
+					// gap, the lull is real.
+					wait, reason = exp, "idle"
+				}
+			}
+		}
+		c.windowTimer.Reset(wait)
+		select {
+		case p := <-c.queue:
+			disarm(false)
+			p.deq = time.Now()
+			batch = append(batch, p)
+		case <-c.windowTimer.C:
+			disarm(true)
+			c.windowClose[reason].Inc()
 			return batch
 		case <-c.stop:
+			disarm(false)
+			c.windowClose["stop"].Inc()
 			return batch
 		}
 	}
+	c.windowClose["full"].Inc()
 	return batch
 }
 
@@ -276,7 +502,11 @@ func (c *Core) serveBatch(batch []*pending) {
 		wg.Add(1)
 		go func(i int, p *pending) {
 			defer wg.Done()
-			plans[i], errs[i] = c.backend.Plan(p.ctx, p.req)
+			ctx := p.ctx
+			if p.prefetch != nil {
+				ctx = context.WithValue(ctx, prefetchKey{}, p.prefetch)
+			}
+			plans[i], errs[i] = c.backend.Plan(ctx, p.req)
 		}(i, p)
 	}
 	wg.Wait()
@@ -411,6 +641,7 @@ func (c *Core) fullResponse(req RankRequest, kind bipartite.PrefixKind, run *bip
 	}
 	c.reusedTokens += int64(run.ReusedTokens)
 	c.computedTokens += int64(run.ComputedTokens)
+	c.dedupedTokens += int64(run.DedupedTokens)
 	c.mu.Unlock()
 	k := c.cfg.TopK
 	if k > len(ranked) {
@@ -454,6 +685,12 @@ func (c *Core) RankCtx(ctx context.Context, req RankRequest) (*RankResponse, err
 		tb.AddSpan(StageAdmit, info.start, info.waited, nil)
 	}
 	p := &pending{ctx: withTrace(ctx, tb), req: req, tb: tb, enq: now, done: make(chan outcome, 1)}
+	if pf, ok := c.backend.(Prefetcher); ok {
+		// Start the backend's cache fetches now, so network transfer hides
+		// under queue/window residency and the previous batch's compute.
+		p.prefetch = pf.Prefetch(p.ctx, req)
+	}
+	c.noteArrival(now)
 	select {
 	case c.queue <- p:
 	case <-ctx.Done():
@@ -461,6 +698,8 @@ func (c *Core) RankCtx(ctx context.Context, req RankRequest) (*RankResponse, err
 	case <-c.stop:
 		return nil, ErrClosed
 	}
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
 	select {
 	case out := <-p.done:
 		return out.resp, out.err
@@ -581,6 +820,9 @@ type Stats struct {
 	ItemPrefix     int64 `json:"item_prefix_requests"`
 	ReusedTokens   int64 `json:"reused_tokens"`
 	ComputedTokens int64 `json:"computed_tokens"`
+	// DedupedTokens counts prefix tokens whose forward was shared from an
+	// identical in-batch miss instead of recomputed per request.
+	DedupedTokens int64 `json:"deduped_tokens"`
 	// DegradedRequests counts retrieval-fallback responses; DeadlineAborts
 	// counts serves canceled mid-batch by an expired deadline or
 	// disconnected client.
@@ -608,6 +850,7 @@ func (c *Core) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "bat_item_prefix_requests_total %d\n", st.ItemPrefix)
 	fmt.Fprintf(w, "bat_reused_tokens_total %d\n", st.ReusedTokens)
 	fmt.Fprintf(w, "bat_computed_tokens_total %d\n", st.ComputedTokens)
+	fmt.Fprintf(w, "bat_deduped_tokens_total %d\n", st.DedupedTokens)
 	fmt.Fprintf(w, "bat_degraded_requests_total %d\n", st.DegradedRequests)
 	fmt.Fprintf(w, "bat_deadline_aborts_total %d\n", st.DeadlineAborts)
 	fmt.Fprintf(w, "bat_batches_total %d\n", st.Batches)
@@ -662,6 +905,7 @@ func (c *Core) Stats() Stats {
 	st := Stats{
 		Requests: c.requests, UserPrefix: c.userPrefix, ItemPrefix: c.itemPrefix,
 		ReusedTokens: c.reusedTokens, ComputedTokens: c.computedTokens,
+		DedupedTokens:    c.dedupedTokens,
 		DegradedRequests: c.degraded, DeadlineAborts: c.deadlineAborts,
 		Batches: c.batches, BatchedRequests: c.batchedRequests, MaxBatchSize: c.maxBatch,
 	}

@@ -223,6 +223,18 @@ func (o *Observer) StageQuantile(stage string, q float64) float64 {
 	return 0
 }
 
+// StageMean returns one stage's mean latency in seconds (StageE2E for
+// end-to-end). Unknown stages return 0.
+func (o *Observer) StageMean(stage string) float64 {
+	if stage == StageE2E {
+		return o.e2e.Mean()
+	}
+	if h, ok := o.stage[stage]; ok {
+		return h.Mean()
+	}
+	return 0
+}
+
 // observeStage folds one span into its stage histogram (seconds).
 func (o *Observer) observeStage(stage string, d time.Duration) {
 	if h, ok := o.stage[stage]; ok {

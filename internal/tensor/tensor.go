@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Matrix is a dense row-major float32 matrix.
@@ -289,14 +290,27 @@ func SiLU(v []float32) {
 
 // RoPETable holds the precomputed inverse-frequency ladder for one
 // (head dimension, base) pair: invFreq[i] = base^(-2i/d). Building it once
-// removes the math.Pow from every rotated element; sin/cos are still
-// computed per position on demand, since positions are unbounded. Rotation
-// through a table is bit-identical to the direct formula — theta is the
-// same float64 product either way.
+// removes the math.Pow from every rotated element, and a lazily grown
+// per-position sin/cos memo removes the math.Sincos from every position the
+// engine has rotated before — serving traffic revisits the same few dozen
+// positions on every request, so in steady state rotation is pure
+// multiply-adds. Both are bit-identical to the direct formula: theta is the
+// same float64 product either way, and the memo stores exactly the float32
+// conversions the direct path would multiply with.
 type RoPETable struct {
 	dim     int
 	invFreq []float64
+
+	// memo is pos-major: row p holds float32(cos), float32(sin) per frequency
+	// pair for position p. Grown copy-on-write under memoMu; readers load the
+	// current snapshot atomically and never block.
+	memo   atomic.Pointer[[]float32]
+	memoMu sync.Mutex
 }
+
+// maxRoPEMemoPos bounds the memo (positions at or beyond it take the direct
+// Sincos path), capping worst-case memo memory at maxRoPEMemoPos*dim floats.
+const maxRoPEMemoPos = 1 << 14
 
 // NewRoPETable precomputes the frequency ladder for head vectors of even
 // length dim.
@@ -317,6 +331,16 @@ func (t *RoPETable) Rotate(v []float32, pos int) {
 	if len(v) != t.dim {
 		panic(fmt.Sprintf("tensor: RoPE head dim %d, table built for %d", len(v), t.dim))
 	}
+	if pos >= 0 && pos < maxRoPEMemoPos {
+		row := t.memoRow(pos)
+		for i := range t.invFreq {
+			cos, sin := row[2*i], row[2*i+1]
+			a, b := v[2*i], v[2*i+1]
+			v[2*i] = a*cos - b*sin
+			v[2*i+1] = a*sin + b*cos
+		}
+		return
+	}
 	fp := float64(pos)
 	for i, inv := range t.invFreq {
 		sin, cos := math.Sincos(fp * inv)
@@ -324,6 +348,44 @@ func (t *RoPETable) Rotate(v []float32, pos int) {
 		v[2*i] = a*float32(cos) - b*float32(sin)
 		v[2*i+1] = a*float32(sin) + b*float32(cos)
 	}
+}
+
+// memoRow returns position pos's cached sin/cos row, growing the memo when
+// pos is beyond the current snapshot.
+func (t *RoPETable) memoRow(pos int) []float32 {
+	if m := t.memo.Load(); m != nil && len(*m) >= (pos+1)*t.dim {
+		return (*m)[pos*t.dim : (pos+1)*t.dim]
+	}
+	return t.growMemo(pos)
+}
+
+func (t *RoPETable) growMemo(pos int) []float32 {
+	t.memoMu.Lock()
+	defer t.memoMu.Unlock()
+	if m := t.memo.Load(); m != nil && len(*m) >= (pos+1)*t.dim {
+		return (*m)[pos*t.dim : (pos+1)*t.dim]
+	}
+	n := 256
+	if old := t.memo.Load(); old != nil {
+		n = len(*old) / t.dim
+	}
+	for n <= pos {
+		n *= 2
+	}
+	if n > maxRoPEMemoPos {
+		n = maxRoPEMemoPos
+	}
+	m := make([]float32, n*t.dim)
+	for p := 0; p < n; p++ {
+		fp := float64(p)
+		for i, inv := range t.invFreq {
+			sin, cos := math.Sincos(fp * inv)
+			m[p*t.dim+2*i] = float32(cos)
+			m[p*t.dim+2*i+1] = float32(sin)
+		}
+	}
+	t.memo.Store(&m)
+	return m[pos*t.dim : (pos+1)*t.dim]
 }
 
 // ropeTables caches RoPETables by (dim, base) so ad-hoc callers share the
