@@ -27,9 +27,10 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink every experiment for a fast smoke run")
 	format := flag.String("format", "text", "output format: text | markdown | csv")
 	list := flag.Bool("list", false, "list artifact IDs and exit")
-	benchJSON := flag.Bool("bench-json", false, "run the engine and serving benchmarks and write -bench-out plus -serving-bench-out")
+	benchJSON := flag.Bool("bench-json", false, "run the engine, serving, and transfer benchmarks and write -bench-out, -serving-bench-out, and -transfer-bench-out")
 	benchOut := flag.String("bench-out", "BENCH_engine.json", "engine benchmark output path for -bench-json")
 	servingBenchOut := flag.String("serving-bench-out", "BENCH_serving.json", "serving benchmark output path for -bench-json")
+	transferBenchOut := flag.String("transfer-bench-out", "BENCH_transfer.json", "transfer benchmark output path for -bench-json")
 	flag.Parse()
 
 	if *list {
@@ -63,6 +64,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *servingBenchOut)
+		tres, err := experiments.RunTransferBench(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batbench: transfer bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(tres.Table().Format())
+		if err := experiments.WriteTransferBenchJSON(*transferBenchOut, tres); err != nil {
+			fmt.Fprintf(os.Stderr, "batbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *transferBenchOut)
 		return
 	}
 

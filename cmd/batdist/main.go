@@ -60,6 +60,8 @@ func main() {
 	windowPolicy := flag.String("window-policy", "adaptive", "batch-window policy: adaptive (close early when arrivals lull) or fixed (always wait out batch-window)")
 	traceRing := flag.Int("trace-ring", 128, "request traces retained for GET /debug/trace")
 	jitterSeed := flag.Int64("jitter-seed", 0, "retry-jitter RNG seed (0 = from the clock)")
+	storeQueue := flag.Int("store-queue", 256, "write-behind cache-store queue depth (negative = synchronous stores at the batch boundary)")
+	storeWorkers := flag.Int("store-workers", 2, "concurrent write-behind store uploads")
 	flag.Parse()
 
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
@@ -128,6 +130,8 @@ func main() {
 			BreakerCooldown:  *breakerCool,
 			FetchConcurrency: *fetchConc,
 			JitterSeed:       *jitterSeed,
+			StoreQueueDepth:  *storeQueue,
+			StoreWorkers:     *storeWorkers,
 		},
 		Admission: admission.Config{
 			MaxInFlight:       *maxInFlight,

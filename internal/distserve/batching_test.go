@@ -88,6 +88,7 @@ func TestPrefetchOverlapsBatchWindow(t *testing.T) {
 	if _, err := f.Rank(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
+	flushFrontend(t, f)
 	warm, err := f.Rank(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)

@@ -18,11 +18,14 @@ package distserve
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+
+	"bat/internal/model"
 )
 
 // CacheWorker stores opaque KV payloads at user/item granularity with LRU
@@ -36,6 +39,94 @@ type CacheWorker struct {
 	onEvict  func(key string)
 
 	hits, misses, puts, evictions int64
+	appends, appendRejects        int64
+}
+
+// Typed Append failures, mapped to HTTP statuses by the handler. A reject is
+// never an error for the client's data — it just means the delta protocol's
+// precondition failed and the caller should re-send the whole payload.
+var (
+	// errAppendMissing: the worker no longer holds the key (evicted or never
+	// stored) — there is nothing to append to.
+	errAppendMissing = errors.New("distserve: append target missing")
+	// errAppendConflict: the stored payload is not the prefix the client
+	// thinks it is (token count or checksum mismatch).
+	errAppendConflict = errors.New("distserve: append prefix mismatch")
+	// errAppendBadDelta: the delta payload itself is malformed (bad header,
+	// wrong architecture, truncated frames).
+	errAppendBadDelta = errors.New("distserve: malformed append delta")
+)
+
+// Append splices a suffix-token delta payload onto a stored entry, guarded by
+// the prefix token count and checksum the client believes the worker holds.
+// The merge happens at the wire level (model.AppendEncoded), so the result is
+// byte-identical to a full PUT of the grown cache. Eviction makes room as a
+// PUT of the merged size would, but never evicts the entry being appended to.
+func (w *CacheWorker) Append(key string, from int, checksum uint64, delta []byte) error {
+	dh, err := model.ParseWireHeader(delta)
+	if err != nil || len(delta) != dh.PayloadSize() {
+		w.mu.Lock()
+		w.appendRejects++
+		w.mu.Unlock()
+		return errAppendBadDelta
+	}
+	w.mu.Lock()
+	e, ok := w.entries[key]
+	if !ok {
+		w.misses++
+		w.appendRejects++
+		w.mu.Unlock()
+		return errAppendMissing
+	}
+	sh, err := model.ParseWireHeader(e.data)
+	if err != nil || sh.Tokens != from || model.ChecksumEncoded(e.data) != checksum {
+		w.appendRejects++
+		w.mu.Unlock()
+		return errAppendConflict
+	}
+	merged, err := model.AppendEncoded(e.data, delta)
+	if err != nil {
+		w.appendRejects++
+		w.mu.Unlock()
+		return fmt.Errorf("%w: %v", errAppendBadDelta, err)
+	}
+	if int64(len(merged)) > w.capacity {
+		w.appendRejects++
+		w.mu.Unlock()
+		return fmt.Errorf("distserve: merged payload %d bytes exceeds capacity %d", len(merged), w.capacity)
+	}
+	grow := int64(len(merged) - len(e.data))
+	var victims []string
+	for w.used+grow > w.capacity {
+		back := w.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cwEntry)
+		if victim == e {
+			// The append target is the coldest entry; refresh it instead of
+			// evicting the thing being grown.
+			w.lru.MoveToFront(e.elem)
+			continue
+		}
+		w.lru.Remove(back)
+		delete(w.entries, victim.key)
+		w.used -= int64(len(victim.data))
+		w.evictions++
+		victims = append(victims, victim.key)
+	}
+	e.data = merged
+	w.used += grow
+	w.lru.MoveToFront(e.elem)
+	w.appends++
+	hook := w.onEvict
+	w.mu.Unlock()
+	if hook != nil {
+		for _, k := range victims {
+			hook(k)
+		}
+	}
+	return nil
 }
 
 type cwEntry struct {
@@ -143,6 +234,11 @@ type WorkerStats struct {
 	Misses    int64 `json:"misses"`
 	Puts      int64 `json:"puts"`
 	Evictions int64 `json:"evictions"`
+	// Appends counts successful delta splices; AppendRejects counts PATCHes
+	// refused (missing key, prefix mismatch, malformed delta, over capacity) —
+	// each reject costs the client one full-PUT fallback.
+	Appends       int64 `json:"appends"`
+	AppendRejects int64 `json:"append_rejects"`
 }
 
 // Stats snapshots the worker.
@@ -152,13 +248,23 @@ func (w *CacheWorker) Stats() WorkerStats {
 	return WorkerStats{
 		Entries: len(w.entries), UsedBytes: w.used, Capacity: w.capacity,
 		Hits: w.hits, Misses: w.misses, Puts: w.puts, Evictions: w.evictions,
+		Appends: w.appends, AppendRejects: w.appendRejects,
 	}
+}
+
+// readPayload buffers an upload body, preallocating from Content-Length and
+// refusing anything past the worker's whole byte budget before it can balloon
+// the heap (such a payload could never be stored anyway).
+func (w *CacheWorker) readPayload(r *http.Request) ([]byte, error) {
+	return readBodyCapped(r.Body, r.ContentLength, w.capacity)
 }
 
 // Handler exposes the worker:
 //
-//	PUT    /kv/{key}   store payload (request body)
-//	GET    /kv/{key}   fetch payload (404 on miss)
+//	PUT    /kv/{key}                 store payload (request body)
+//	PATCH  /kv/{key}?from={tokens}   append suffix-token delta (X-KV-Checksum
+//	                                 guards the stored prefix; 409 = re-PUT)
+//	GET    /kv/{key}                 fetch payload (404 on miss)
 //	DELETE /kv/{key}
 //	GET    /stats
 func (w *CacheWorker) Handler() http.Handler {
@@ -171,7 +277,11 @@ func (w *CacheWorker) Handler() http.Handler {
 		}
 		switch r.Method {
 		case http.MethodPut:
-			data, err := io.ReadAll(r.Body)
+			data, err := w.readPayload(r)
+			if errors.Is(err, errBodyOverCap) {
+				http.Error(rw, err.Error(), http.StatusInsufficientStorage)
+				return
+			}
 			if err != nil {
 				http.Error(rw, err.Error(), http.StatusBadRequest)
 				return
@@ -181,6 +291,34 @@ func (w *CacheWorker) Handler() http.Handler {
 				return
 			}
 			rw.WriteHeader(http.StatusNoContent)
+		case http.MethodPatch:
+			from, err := strconv.Atoi(r.URL.Query().Get("from"))
+			if err != nil || from <= 0 {
+				http.Error(rw, "bad or missing from= token count", http.StatusBadRequest)
+				return
+			}
+			checksum, err := strconv.ParseUint(r.Header.Get("X-KV-Checksum"), 16, 64)
+			if err != nil {
+				http.Error(rw, "bad or missing X-KV-Checksum header", http.StatusBadRequest)
+				return
+			}
+			delta, err := w.readPayload(r)
+			if err != nil {
+				http.Error(rw, err.Error(), http.StatusBadRequest)
+				return
+			}
+			switch err := w.Append(key, from, checksum, delta); {
+			case err == nil:
+				rw.WriteHeader(http.StatusNoContent)
+			case errors.Is(err, errAppendMissing):
+				http.Error(rw, err.Error(), http.StatusNotFound)
+			case errors.Is(err, errAppendConflict):
+				http.Error(rw, err.Error(), http.StatusConflict)
+			case errors.Is(err, errAppendBadDelta):
+				http.Error(rw, err.Error(), http.StatusBadRequest)
+			default:
+				http.Error(rw, err.Error(), http.StatusInsufficientStorage)
+			}
 		case http.MethodGet:
 			data, ok := w.Get(key)
 			if !ok {

@@ -2,6 +2,7 @@ package distserve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -101,7 +102,27 @@ func (d *deployment) rank(t *testing.T, req RankRequest) *RankResponse {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
+	// Stores are write-behind; drain them so the pool deterministically
+	// reflects this request's commit before the test asserts on it.
+	d.flush(t)
 	return &out
+}
+
+// flush drains the frontend's write-behind store queue.
+func (d *deployment) flush(t *testing.T) {
+	t.Helper()
+	flushFrontend(t, d.frontend)
+}
+
+// flushFrontend drains a frontend's write-behind store queue so a test can
+// assert on the pool's post-commit state.
+func flushFrontend(t *testing.T, f *Frontend) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.FlushStores(ctx); err != nil {
+		t.Fatalf("FlushStores: %v", err)
+	}
 }
 
 func TestCacheWorkerPutGetEvict(t *testing.T) {
@@ -356,14 +377,24 @@ func TestCacheWorkerValidationAndMethods(t *testing.T) {
 		t.Fatalf("empty key status %d", resp.StatusCode)
 	}
 	// Unsupported method.
-	req, _ := http.NewRequest(http.MethodPatch, srv.URL+"/kv/x", nil)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/kv/x", nil)
 	r2, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	r2.Body.Close()
 	if r2.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("PATCH status %d", r2.StatusCode)
+		t.Fatalf("POST status %d", r2.StatusCode)
+	}
+	// PATCH without delta-protocol args is a bad request, not a 405.
+	patch, _ := http.NewRequest(http.MethodPatch, srv.URL+"/kv/x", nil)
+	r2b, err := http.DefaultClient.Do(patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2b.Body.Close()
+	if r2b.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bare PATCH status %d", r2b.StatusCode)
 	}
 	// Oversized PUT -> 507.
 	big, _ := http.NewRequest(http.MethodPut, srv.URL+"/kv/big", bytes.NewReader(make([]byte, 4096)))

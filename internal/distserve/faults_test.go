@@ -207,6 +207,7 @@ func TestEvictionLocateCoherence(t *testing.T) {
 	if _, err := d.frontend.Rank(context.Background(), RankRequest{UserID: 0, CandidateIDs: cands}); err != nil {
 		t.Fatal(err)
 	}
+	flushFrontend(t, d.frontend)
 	if locs := d.locate(t, "item", 1); len(locs) != 1 {
 		t.Fatalf("item 1 locations after store: %v", locs)
 	}
@@ -228,6 +229,7 @@ func TestEvictionLocateCoherence(t *testing.T) {
 	if _, err := d.frontend.Rank(context.Background(), RankRequest{UserID: 5, CandidateIDs: cands}); err != nil {
 		t.Fatal(err)
 	}
+	flushFrontend(t, d.frontend)
 	if locs := d.locate(t, "item", 1); len(locs) != 1 {
 		t.Fatalf("locations after recompute: %v", locs)
 	}
@@ -310,6 +312,7 @@ func TestReplicaFailover(t *testing.T) {
 	if _, err := d.frontend.Rank(context.Background(), RankRequest{UserID: user, CandidateIDs: []int{1, 2, 3}}); err != nil {
 		t.Fatal(err)
 	}
+	flushFrontend(t, d.frontend)
 	// Register a phantom replica on worker 0 (which has no payload).
 	body, _ := json.Marshal(RegisterRequest{EntryRef: EntryRef{Kind: "user", ID: uint64(user)}, Worker: 0})
 	resp, err := http.Post(d.metaSrv.URL+"/v1/register", "application/json", bytes.NewReader(body))

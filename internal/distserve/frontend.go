@@ -102,6 +102,36 @@ type Frontend struct {
 	// fetchCtr counts pool round trips by outcome under
 	// bat_fetch_total{outcome=...} in the core's metric registry.
 	fetchCtr map[string]*metrics.Counter
+	// bytesCtr counts transfer payload bytes under
+	// bat_transfer_bytes_total{dir,kind,mode}: rx = streaming fetches,
+	// tx = stores; mode "delta" marks suffix-only PATCH appends.
+	bytesCtr       map[string]*metrics.Counter
+	deltaStores    *metrics.Counter
+	deltaFallbacks *metrics.Counter
+	storeDrops     *metrics.Counter
+	storeCoalesced *metrics.Counter
+	streamFetches  *metrics.Counter
+
+	// stored remembers, per cache key, which worker last accepted the entry
+	// and at how many tokens — the prefix knowledge that lets the next store
+	// of the same key ship only the suffix as a PATCH delta.
+	storedMu sync.Mutex
+	stored   map[string]storedPrefix
+
+	// Write-behind store queue: Commit enqueues fresh caches here and the
+	// storeLoop workers upload them off the batch-serial critical path. The
+	// queue coalesces per key (latest cache wins) and drops on overflow
+	// (counted) rather than stalling a batch boundary. storeCtx is
+	// frontend-owned — request contexts are canceled the moment their
+	// response goes out, which is exactly when these stores run.
+	storeCtx     context.Context
+	storeCancel  context.CancelFunc
+	storeMu      sync.Mutex
+	storeCond    *sync.Cond
+	storePending map[string]*storeJob
+	storeActive  int
+	storeCh      chan string
+	storeWG      sync.WaitGroup
 
 	mu               sync.Mutex
 	fetchErrors      int64
@@ -122,6 +152,25 @@ type Frontend struct {
 	lastPurge []time.Time
 	guard     *PoolGuard
 }
+
+// storedPrefix is the frontend's record of a worker-resident entry: the delta
+// store path may PATCH-append to it instead of re-uploading the whole cache.
+type storedPrefix struct {
+	worker int
+	tokens int
+}
+
+// storeJob is one queued write-behind store.
+type storeJob struct {
+	worker int
+	kind   string
+	id     uint64
+	c      *model.KVCache
+}
+
+// maxStoredPrefixes bounds the delta-tracking map; when full it resets (the
+// only cost is full PUTs until it repopulates).
+const maxStoredPrefixes = 8192
 
 // NewFrontend builds a frontend.
 func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
@@ -191,6 +240,36 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	for _, o := range fetchOutcomes {
 		f.fetchCtr[o] = reg.Counter(`bat_fetch_total{outcome="` + o + `"}`)
 	}
+	f.bytesCtr = make(map[string]*metrics.Counter, 8)
+	for _, dir := range []string{"rx", "tx"} {
+		for _, kind := range []string{"user", "item"} {
+			for _, mode := range []string{"full", "delta"} {
+				f.bytesCtr[dir+"/"+kind+"/"+mode] = reg.Counter(
+					`bat_transfer_bytes_total{dir="` + dir + `",kind="` + kind + `",mode="` + mode + `"}`)
+			}
+		}
+	}
+	f.deltaStores = reg.Counter("bat_delta_stores_total")
+	f.deltaFallbacks = reg.Counter("bat_delta_fallbacks_total")
+	f.storeDrops = reg.Counter("bat_store_drops_total")
+	f.storeCoalesced = reg.Counter("bat_store_coalesced_total")
+	f.streamFetches = reg.Counter("bat_stream_fetches_total")
+	f.stored = make(map[string]storedPrefix)
+	f.storeCtx, f.storeCancel = context.WithCancel(context.Background())
+	if cfg.Transfer.StoreQueueDepth > 0 {
+		f.storePending = make(map[string]*storeJob)
+		f.storeCh = make(chan string, cfg.Transfer.StoreQueueDepth)
+		f.storeCond = sync.NewCond(&f.storeMu)
+		reg.GaugeFunc("bat_store_queue_depth", func() float64 {
+			f.storeMu.Lock()
+			defer f.storeMu.Unlock()
+			return float64(len(f.storePending) + f.storeActive)
+		})
+		for i := 0; i < cfg.Transfer.StoreWorkers; i++ {
+			f.storeWG.Add(1)
+			go f.storeLoop()
+		}
+	}
 	for i := range cfg.CacheWorkers {
 		ts := f.transfer.targets[i]
 		reg.GaugeFunc(`bat_worker_breaker_open{worker="`+strconv.Itoa(i)+`"}`, func() float64 {
@@ -236,8 +315,19 @@ func (f *Frontend) observeFetch(ctx context.Context, worker int, kind, outcome s
 	tb.AddSpan(serving.StageFetch, start, time.Since(start), attrs)
 }
 
-// Close stops the serving core's batch loop.
-func (f *Frontend) Close() { f.core.Close() }
+// Close stops the serving core's batch loop, then the write-behind store
+// workers. Queued stores not yet started are abandoned — the pool is a cache,
+// not a durability tier.
+func (f *Frontend) Close() {
+	f.core.Close()
+	f.storeCancel()
+	f.storeWG.Wait()
+	if f.storeCond != nil {
+		f.storeMu.Lock()
+		f.storeCond.Broadcast()
+		f.storeMu.Unlock()
+	}
+}
 
 // userWorker and itemWorker shard entries across cache workers, routing
 // around workers the poolguard marked dead.
@@ -270,7 +360,10 @@ func (f *Frontend) pickWorker(h uint64) int {
 
 // SetWorkerAlive marks a cache worker live or dead for write routing. The
 // poolguard flips it on death and rejoin; reads are unaffected (locations
-// come from the meta service, which the poolguard purges separately).
+// come from the meta service, which the poolguard purges separately). A death
+// also forgets the worker's delta prefixes — its content is presumed gone, so
+// the next store of each key ships a full PUT (the checksum guard would catch
+// a stale prefix anyway; this just skips the doomed PATCH round trip).
 func (f *Frontend) SetWorkerAlive(worker int, alive bool) {
 	if worker < 0 || worker >= len(f.cfg.CacheWorkers) {
 		return
@@ -278,6 +371,15 @@ func (f *Frontend) SetWorkerAlive(worker int, alive bool) {
 	f.mu.Lock()
 	f.alive[worker] = alive
 	f.mu.Unlock()
+	if !alive {
+		f.storedMu.Lock()
+		for k, p := range f.stored {
+			if p.worker == worker {
+				delete(f.stored, k)
+			}
+		}
+		f.storedMu.Unlock()
+	}
 }
 
 // Rank serves one request end to end through the serving core and the
@@ -386,10 +488,11 @@ func (f *Frontend) plan(ctx context.Context, req serving.RankRequest) (*serving.
 }
 
 // Commit runs serially at each batch boundary: fold every served request
-// into the cost-model calibration, then write freshly computed caches back
-// to the pool (the scheduler's cache write path). Stores complete before
-// responses go out, so a caller that has its response can immediately locate
-// its caches.
+// into the cost-model calibration, then hand freshly computed caches to the
+// write-behind store queue (the scheduler's cache write path). Uploads run
+// asynchronously so batch N+1's execute is not gated on batch N's stores;
+// FlushStores is the determinism hook for callers that need the pool in its
+// post-commit state.
 func (f *Frontend) Commit(entries []serving.CommitEntry) {
 	// A batch that carried the same miss in several requests computed one
 	// forward and handed out bit-identical clones; write each (kind, id)
@@ -410,7 +513,7 @@ func (f *Frontend) Commit(entries []serving.CommitEntry) {
 			k := storeKey{user: true, id: uint64(e.Req.UserID)}
 			if !stored[k] {
 				stored[k] = true
-				f.storeCache(e.Ctx, f.userWorker(e.Req.UserID), "user", k.id, e.Run.NewUserCache)
+				f.queueStore(f.userWorker(e.Req.UserID), "user", k.id, e.Run.NewUserCache)
 			}
 		}
 		for slot, c := range e.Run.NewItemCaches {
@@ -418,7 +521,7 @@ func (f *Frontend) Commit(entries []serving.CommitEntry) {
 			k := storeKey{id: uint64(it)}
 			if !stored[k] {
 				stored[k] = true
-				f.storeCache(e.Ctx, f.itemWorker(it), "item", k.id, c)
+				f.queueStore(f.itemWorker(it), "item", k.id, c)
 			}
 		}
 	}
@@ -700,7 +803,11 @@ func (f *Frontend) fetchItemCacheShared(ctx context.Context, it int) *model.KVCa
 }
 
 // fetchCache pulls and decodes one KV payload; any failure is a miss (the
-// request recomputes, never errors). A 404 means the worker evicted the
+// request recomputes, never errors). The response body streams straight into
+// the codec's frame decoder — decode cost hides under receive time, and the
+// full payload is never buffered separately. A truncated or corrupt stream is
+// a decode-error miss (the decoder installs nothing on failure, so a partial
+// body can never masquerade as a hit). A 404 means the worker evicted the
 // entry, so the stale meta binding is unregistered. Every round trip lands in
 // the request's trace as a StageFetch span plus an outcome counter.
 func (f *Frontend) fetchCache(ctx context.Context, worker int, kind string, id uint64) *model.KVCache {
@@ -709,7 +816,7 @@ func (f *Frontend) fetchCache(ctx context.Context, worker int, kind string, id u
 	}
 	start := time.Now()
 	u := fmt.Sprintf("%s/kv/%s/%d", f.cfg.CacheWorkers[worker], kind, id)
-	status, data, tries, err := f.transfer.get(ctx, worker, u)
+	status, _, body, tries, err := f.transfer.getStream(ctx, worker, u)
 	if err != nil {
 		f.noteFetchError()
 		outcome := "error"
@@ -722,28 +829,70 @@ func (f *Frontend) fetchCache(ctx context.Context, worker int, kind string, id u
 		}
 		return nil
 	}
+	defer body.Close()
 	if status == http.StatusNotFound {
+		io.Copy(io.Discard, body)
 		f.observeFetch(ctx, worker, kind, "miss", tries, start)
 		f.metaUnregister(ctx, kind, id, worker)
 		return nil
 	}
 	if status != http.StatusOK {
+		io.Copy(io.Discard, body)
 		f.observeFetch(ctx, worker, kind, "error", tries, start)
 		return nil
 	}
 	c := model.NewKVCache(f.ranker.W.Config())
-	if err := c.UnmarshalBinary(data); err != nil {
+	n, err := c.ReadFrom(body)
+	if err != nil {
 		f.noteFetchError()
 		f.observeFetch(ctx, worker, kind, "decode-error", tries, start)
 		return nil
 	}
+	f.countBytes("rx", kind, "full", n)
+	f.streamFetches.Inc()
 	f.observeFetch(ctx, worker, kind, "hit", tries, start)
 	return c
 }
 
-// storeCache writes a payload and registers its location; failures are
-// silent (the cache is an optimization).
+// countBytes folds one payload into bat_transfer_bytes_total{dir,kind,mode}.
+func (f *Frontend) countBytes(dir, kind, mode string, n int64) {
+	if c, ok := f.bytesCtr[dir+"/"+kind+"/"+mode]; ok {
+		c.Add(n)
+	}
+}
+
+func (f *Frontend) rememberStored(key string, worker, tokens int) {
+	f.storedMu.Lock()
+	if len(f.stored) >= maxStoredPrefixes {
+		f.stored = make(map[string]storedPrefix)
+	}
+	f.stored[key] = storedPrefix{worker: worker, tokens: tokens}
+	f.storedMu.Unlock()
+}
+
+func (f *Frontend) forgetStored(key string) {
+	f.storedMu.Lock()
+	delete(f.stored, key)
+	f.storedMu.Unlock()
+}
+
+// kvChecksumHeader carries the FNV-1a/64 checksum (hex) of the stored prefix
+// a delta PATCH expects the worker to still hold.
+const kvChecksumHeader = "X-KV-Checksum"
+
+// storeCache synchronously writes a payload — as a suffix-only delta append
+// when this worker already holds a verified prefix of the entry, else a full
+// PUT — and registers its location; failures are silent (the cache is an
+// optimization). The write-behind queue and the poolguard's repair path both
+// land here.
 func (f *Frontend) storeCache(ctx context.Context, worker int, kind string, id uint64, c *model.KVCache) {
+	if worker < 0 || worker >= len(f.cfg.CacheWorkers) {
+		return
+	}
+	key := kind + "/" + strconv.FormatUint(id, 10)
+	if f.tryDeltaStore(ctx, worker, kind, id, key, c) {
+		return
+	}
 	data, err := c.MarshalBinary()
 	if err != nil {
 		return
@@ -757,12 +906,138 @@ func (f *Frontend) storeCache(ctx context.Context, worker int, kind string, id u
 	if status != http.StatusNoContent {
 		return
 	}
+	f.countBytes("tx", kind, "full", int64(len(data)))
+	f.rememberStored(key, worker, c.Len())
+	f.registerLocation(ctx, kind, id, worker)
+}
+
+// tryDeltaStore ships only the tokens the worker doesn't have: when the
+// frontend last stored this key on the same worker at N ≤ Len tokens, it
+// PATCHes the [N, Len) suffix guarded by the prefix token count and checksum.
+// Any mismatch (evicted, restarted, content drift) falls back to a full PUT —
+// correctness never depends on the worker's state, only bytes moved do.
+func (f *Frontend) tryDeltaStore(ctx context.Context, worker int, kind string, id uint64, key string, c *model.KVCache) bool {
+	f.storedMu.Lock()
+	prev, ok := f.stored[key]
+	f.storedMu.Unlock()
+	if !ok || prev.worker != worker || prev.tokens <= 0 || prev.tokens > c.Len() {
+		return false
+	}
+	delta, err := c.MarshalRange(prev.tokens, c.Len())
+	if err != nil {
+		return false
+	}
+	sum, err := c.ChecksumRange(0, prev.tokens)
+	if err != nil {
+		return false
+	}
+	u := fmt.Sprintf("%s/kv/%s/%d?from=%d", f.cfg.CacheWorkers[worker], kind, id, prev.tokens)
+	hdr := http.Header{}
+	hdr.Set(kvChecksumHeader, strconv.FormatUint(sum, 16))
+	status, _, err := f.transfer.sendHeader(ctx, worker, http.MethodPatch, u, "application/octet-stream", hdr, delta)
+	if err != nil || status != http.StatusNoContent {
+		f.deltaFallbacks.Inc()
+		f.forgetStored(key)
+		return false
+	}
+	f.countBytes("tx", kind, "delta", int64(len(delta)))
+	f.deltaStores.Inc()
+	f.rememberStored(key, worker, c.Len())
+	f.registerLocation(ctx, kind, id, worker)
+	return true
+}
+
+// registerLocation binds (kind, id) → worker in the meta service.
+func (f *Frontend) registerLocation(ctx context.Context, kind string, id uint64, worker int) {
 	body, err := json.Marshal(RegisterRequest{EntryRef: EntryRef{Kind: kind, ID: id}, Worker: worker})
 	if err != nil {
 		return
 	}
 	f.transfer.send(ctx, f.transfer.metaTarget(), http.MethodPost,
 		f.cfg.MetaURL+"/v1/register", "application/json", body)
+}
+
+// queueStore hands a freshly computed cache to the write-behind queue; when
+// the queue is disabled (StoreQueueDepth < 0) the store runs inline, the
+// pre-write-behind behavior. A store for a key already waiting is coalesced
+// (the latest cache wins — it strictly supersedes the older bytes); a full
+// queue drops the store (counted) rather than stalling a batch boundary.
+func (f *Frontend) queueStore(worker int, kind string, id uint64, c *model.KVCache) {
+	if f.storeCh == nil {
+		f.storeCache(f.storeCtx, worker, kind, id, c)
+		return
+	}
+	key := kind + "/" + strconv.FormatUint(id, 10)
+	f.storeMu.Lock()
+	if j, ok := f.storePending[key]; ok {
+		j.worker, j.c = worker, c
+		f.storeMu.Unlock()
+		f.storeCoalesced.Inc()
+		return
+	}
+	select {
+	case f.storeCh <- key:
+		f.storePending[key] = &storeJob{worker: worker, kind: kind, id: id, c: c}
+		f.storeMu.Unlock()
+	default:
+		f.storeMu.Unlock()
+		f.storeDrops.Inc()
+	}
+}
+
+// storeLoop is one write-behind worker: it drains the queue, running each
+// store against the frontend-owned background context with a per-store
+// timeout (a request's context dies with its response; these must not).
+func (f *Frontend) storeLoop() {
+	defer f.storeWG.Done()
+	for {
+		select {
+		case <-f.storeCtx.Done():
+			return
+		case key := <-f.storeCh:
+			f.storeMu.Lock()
+			j := f.storePending[key]
+			delete(f.storePending, key)
+			f.storeActive++
+			f.storeMu.Unlock()
+			if j != nil {
+				start := time.Now()
+				ctx, cancel := context.WithTimeout(f.storeCtx, 4*f.cfg.Transfer.Timeout)
+				f.storeCache(ctx, j.worker, j.kind, j.id, j.c)
+				cancel()
+				f.core.Observer().ObserveStage(serving.StageStore, time.Since(start))
+			}
+			f.storeMu.Lock()
+			f.storeActive--
+			f.storeCond.Broadcast()
+			f.storeMu.Unlock()
+		}
+	}
+}
+
+// FlushStores blocks until every queued write-behind store has completed —
+// the determinism hook for tests, benchmarks, and shutdown paths that need
+// the pool to reflect all commits so far. Returns the context's error if it
+// expires first. A frontend with the queue disabled returns immediately.
+func (f *Frontend) FlushStores(ctx context.Context) error {
+	if f.storeCh == nil {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.storeMu.Lock()
+		defer f.storeMu.Unlock()
+		for (len(f.storePending) > 0 || f.storeActive > 0) && f.storeCtx.Err() == nil {
+			f.storeCond.Wait()
+		}
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (f *Frontend) noteFetchError() {
@@ -813,6 +1088,21 @@ type FrontendStats struct {
 	// CalibratedCostRatio is the EWMA of observed/predicted full-serve
 	// seconds; 0 means the deadline gate is still uncalibrated (never sheds).
 	CalibratedCostRatio float64 `json:"calibrated_cost_ratio"`
+	// Transfer-engine byte accounting: RxBytes counts streamed fetch payloads,
+	// TxBytes full-PUT store payloads, TxDeltaBytes suffix-only PATCH payloads.
+	RxBytes      int64 `json:"rx_bytes"`
+	TxBytes      int64 `json:"tx_bytes"`
+	TxDeltaBytes int64 `json:"tx_delta_bytes"`
+	// StreamFetches counts cache fetches decoded frame-by-frame as the body
+	// arrived; DeltaStores counts stores shipped as suffix-only appends;
+	// DeltaFallbacks counts delta attempts that fell back to a full PUT.
+	StreamFetches  int64 `json:"stream_fetches"`
+	DeltaStores    int64 `json:"delta_stores"`
+	DeltaFallbacks int64 `json:"delta_fallbacks"`
+	// Write-behind queue health: coalesced re-stores of a still-queued key and
+	// stores dropped on queue overflow.
+	StoreCoalesced int64 `json:"store_coalesced"`
+	StoreDrops     int64 `json:"store_drops"`
 	// Guard is the poolguard's view of the cache pool, when one is attached.
 	Guard *PoolGuardStats `json:"poolguard,omitempty"`
 	// Workers is per-target transfer health (workers in index order, then
@@ -839,6 +1129,21 @@ func (f *Frontend) Stats() FrontendStats {
 	}
 	guard := f.guard
 	f.mu.Unlock()
+	for key, c := range f.bytesCtr {
+		switch key {
+		case "rx/user/full", "rx/item/full", "rx/user/delta", "rx/item/delta":
+			st.RxBytes += c.Value()
+		case "tx/user/full", "tx/item/full":
+			st.TxBytes += c.Value()
+		case "tx/user/delta", "tx/item/delta":
+			st.TxDeltaBytes += c.Value()
+		}
+	}
+	st.StreamFetches = f.streamFetches.Value()
+	st.DeltaStores = f.deltaStores.Value()
+	st.DeltaFallbacks = f.deltaFallbacks.Value()
+	st.StoreCoalesced = f.storeCoalesced.Value()
+	st.StoreDrops = f.storeDrops.Value()
 	if total := st.ReusedTokens + st.ComputedTokens; total > 0 {
 		st.TokenHitRate = float64(st.ReusedTokens) / float64(total)
 	}

@@ -365,6 +365,7 @@ func TestBreakerOpenPurgesWorkerBindings(t *testing.T) {
 	if _, err := d.frontend.Rank(context.Background(), RankRequest{UserID: 0, CandidateIDs: []int{1, 2}}); err != nil {
 		t.Fatal(err)
 	}
+	flushFrontend(t, d.frontend)
 	if locs := d.locate(t, "user", 0); len(locs) != 1 {
 		t.Fatalf("user 0 locations after warm: %v", locs)
 	}

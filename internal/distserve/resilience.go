@@ -31,7 +31,16 @@ const (
 	defaultBreakerThreshold = 5
 	defaultBreakerCooldown  = 2 * time.Second
 	defaultFetchConcurrency = 16
+	defaultStoreQueueDepth  = 256
+	defaultStoreWorkers     = 2
 )
+
+// maxMetaResponse caps the buffered (non-streaming) endpoints' response
+// bodies — meta JSON and stats are a few KB; anything past 1MiB is a
+// misbehaving peer, rejected before it can balloon the frontend's heap. KV
+// payloads never pass through this path: they stream through getStream and
+// are bounded by the codec's own header caps.
+const maxMetaResponse = 1 << 20
 
 // TransferConfig tunes the frontend's transfer engine. The zero value means
 // "use defaults"; negative MaxRetries disables retries and negative
@@ -58,6 +67,12 @@ type TransferConfig struct {
 	// (0 = seed from the clock). Fault-injection tests set it so backoff
 	// sequences replay deterministically.
 	JitterSeed int64
+	// StoreQueueDepth bounds the frontend's write-behind store queue (0 =
+	// default 256; negative = synchronous stores at the batch boundary, the
+	// pre-write-behind behavior).
+	StoreQueueDepth int
+	// StoreWorkers is the write-behind store concurrency (default 2).
+	StoreWorkers int
 }
 
 func (c TransferConfig) withDefaults() TransferConfig {
@@ -84,6 +99,12 @@ func (c TransferConfig) withDefaults() TransferConfig {
 	}
 	if c.FetchConcurrency <= 0 {
 		c.FetchConcurrency = defaultFetchConcurrency
+	}
+	if c.StoreQueueDepth == 0 {
+		c.StoreQueueDepth = defaultStoreQueueDepth
+	}
+	if c.StoreWorkers <= 0 {
+		c.StoreWorkers = defaultStoreWorkers
 	}
 	return c
 }
@@ -238,7 +259,10 @@ func (t *transferClient) metaTarget() int { return len(t.targets) - 1 }
 // get issues an idempotent GET with retries, backoff, and breaker checks.
 // It returns the status code, the fully-read body, and how many attempts the
 // engine spent (for fetch-span tagging); non-2xx statuses below 500 are
-// returned to the caller (a 404 is information, not a fault).
+// returned to the caller (a 404 is information, not a fault). The body is
+// buffered with a Content-Length-sized preallocation and capped at
+// maxMetaResponse — this path serves only the small-JSON endpoints; KV
+// payloads go through getStream.
 func (t *transferClient) get(ctx context.Context, target int, url string) (int, []byte, int, error) {
 	return t.roundTrip(ctx, target, true, func() (*http.Request, error) {
 		return http.NewRequest(http.MethodGet, url, nil)
@@ -247,10 +271,21 @@ func (t *transferClient) get(ctx context.Context, target int, url string) (int, 
 
 // send issues a single-attempt (non-idempotent) request with a body.
 func (t *transferClient) send(ctx context.Context, target int, method, url, contentType string, payload []byte) (int, []byte, error) {
+	return t.sendHeader(ctx, target, method, url, contentType, nil, payload)
+}
+
+// sendHeader is send with extra request headers (the delta-store PATCH
+// carries its prefix checksum in one).
+func (t *transferClient) sendHeader(ctx context.Context, target int, method, url, contentType string, header http.Header, payload []byte) (int, []byte, error) {
 	status, body, _, err := t.roundTrip(ctx, target, false, func() (*http.Request, error) {
 		req, err := http.NewRequest(method, url, bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
+		}
+		for k, vs := range header {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
@@ -312,7 +347,7 @@ func (t *transferClient) attempt(ctx context.Context, probe bool, ts *targetStat
 	)
 	if err == nil {
 		status = resp.StatusCode
-		body, err = io.ReadAll(resp.Body)
+		body, err = readBodyCapped(resp.Body, resp.ContentLength, maxMetaResponse)
 		resp.Body.Close()
 	}
 	latency := t.now().Sub(start)
@@ -328,6 +363,128 @@ func (t *transferClient) attempt(ctx context.Context, probe bool, ts *targetStat
 		return 0, nil, err
 	}
 	return status, body, nil
+}
+
+// errBodyOverCap marks a body rejected for exceeding its endpoint's byte cap
+// (declared via Content-Length or discovered mid-read), so handlers can map
+// it to a storage-full status instead of a generic bad request.
+var errBodyOverCap = errors.New("distserve: body exceeds cap")
+
+// readBodyCapped buffers a request or response body, preallocating from
+// Content-Length instead of letting io.ReadAll grow geometrically, and
+// rejecting any body over the endpoint's cap (declared or discovered).
+func readBodyCapped(r io.Reader, contentLength, limit int64) ([]byte, error) {
+	if contentLength > limit {
+		return nil, fmt.Errorf("%w: declared %d bytes, cap %d", errBodyOverCap, contentLength, limit)
+	}
+	n := contentLength
+	if n < 0 {
+		n = 512
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, n))
+	read, err := io.Copy(buf, io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if read > limit {
+		return nil, fmt.Errorf("%w: cap %d", errBodyOverCap, limit)
+	}
+	return buf.Bytes(), nil
+}
+
+// getStream issues an idempotent GET whose body the caller consumes as a
+// stream — the receive-overlap fetch path: decode starts at the first layer
+// frame while later frames are still in flight. Retries (with backoff and
+// breaker checks) apply only until response headers arrive; once a body is
+// handed out the attempt's breaker outcome settles at Close, charging any
+// mid-stream read failure (truncation, reset, timeout) to the target. The
+// caller must Close the returned body exactly once, even on non-200 statuses.
+func (t *transferClient) getStream(ctx context.Context, target int, url string) (status int, contentLength int64, body io.ReadCloser, tries int, err error) {
+	ts := t.targets[target]
+	attempts := 1
+	if t.cfg.MaxRetries > 0 {
+		attempts += t.cfg.MaxRetries
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(t.backoff(i)):
+			case <-ctx.Done():
+				return 0, 0, nil, i, ctx.Err()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, 0, nil, i, err
+		}
+		probe, ok := ts.admit(t.cfg.BreakerThreshold, t.cfg.BreakerCooldown, t.now())
+		if !ok {
+			return 0, 0, nil, i, errBreakerOpen
+		}
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			ts.record(t.cfg.BreakerThreshold, t.now(), 0, probe, false, err.Error())
+			return 0, 0, nil, i + 1, err
+		}
+		actx, cancel := context.WithTimeout(ctx, t.cfg.Timeout)
+		start := t.now()
+		resp, err := t.http.Do(req.WithContext(actx))
+		if err != nil {
+			cancel()
+			ts.record(t.cfg.BreakerThreshold, t.now(), t.now().Sub(start), probe, false, err.Error())
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= http.StatusInternalServerError {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, maxMetaResponse))
+			resp.Body.Close()
+			cancel()
+			ts.record(t.cfg.BreakerThreshold, t.now(), t.now().Sub(start), probe, false, fmt.Sprintf("status %d", resp.StatusCode))
+			lastErr = fmt.Errorf("distserve: %s returned status %d", ts.name, resp.StatusCode)
+			continue
+		}
+		tb := &trackedBody{rc: resp.Body, cancel: cancel, t: t, ts: ts, probe: probe, start: start}
+		return resp.StatusCode, resp.ContentLength, tb, i + 1, nil
+	}
+	return 0, 0, nil, attempts, lastErr
+}
+
+// trackedBody wraps a streaming response body so the breaker attempt settles
+// exactly once, at Close, with the full receive latency and any read error
+// observed mid-stream.
+type trackedBody struct {
+	rc      io.ReadCloser
+	cancel  context.CancelFunc
+	t       *transferClient
+	ts      *targetState
+	probe   bool
+	start   time.Time
+	readErr error
+	closed  bool
+}
+
+func (b *trackedBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if err != nil && err != io.EOF && b.readErr == nil {
+		b.readErr = err
+	}
+	return n, err
+}
+
+func (b *trackedBody) Close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	err := b.rc.Close()
+	b.cancel()
+	success := b.readErr == nil
+	errText := ""
+	if b.readErr != nil {
+		errText = b.readErr.Error()
+	}
+	b.ts.record(b.t.cfg.BreakerThreshold, b.t.now(), b.t.now().Sub(b.start), b.probe, success, errText)
+	return err
 }
 
 // backoff returns the jittered exponential delay before retry attempt i (≥1).

@@ -1,0 +1,408 @@
+package distserve
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"bat/internal/model"
+	"bat/internal/scheduler"
+)
+
+// transferCache builds a tokens-long KV cache with real forward-pass rows
+// under the given config (any weights produce valid frames; only the dims
+// matter to the codec).
+func transferCache(tb testing.TB, cfg model.Config, tokens int, seed int64) *model.KVCache {
+	tb.Helper()
+	c := model.NewKVCache(cfg)
+	w := model.NewWeights(cfg, seed)
+	rng := rand.New(rand.NewSource(seed))
+	toks := make([]int, tokens)
+	pos := make([]int, tokens)
+	for i := range toks {
+		toks[i] = rng.Intn(cfg.Vocab)
+		pos[i] = i
+	}
+	w.Forward(toks, pos, nil, c)
+	return c
+}
+
+// TestWorkerAppendMatchesFullPut is the delta protocol's core correctness
+// property over real HTTP: PUT(prefix) + PATCH(suffix) leaves the worker
+// holding bytes identical to PUT(full).
+func TestWorkerAppendMatchesFullPut(t *testing.T) {
+	cfg := model.TinyGR(32)
+	c := transferCache(t, cfg, 12, 5)
+	full, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := c.MarshalRange(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := c.MarshalRange(8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cw, err := NewCacheWorker(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(cw.Handler())
+	defer srv.Close()
+
+	put, _ := http.NewRequest(http.MethodPut, srv.URL+"/kv/user/1", bytes.NewReader(prefix))
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT prefix status %d", resp.StatusCode)
+	}
+
+	patch, _ := http.NewRequest(http.MethodPatch, srv.URL+"/kv/user/1?from=8", bytes.NewReader(delta))
+	patch.Header.Set("X-KV-Checksum", strconv.FormatUint(model.ChecksumEncoded(prefix), 16))
+	resp, err = http.DefaultClient.Do(patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PATCH status %d", resp.StatusCode)
+	}
+
+	got, ok := cw.Get("user/1")
+	if !ok {
+		t.Fatal("entry missing after append")
+	}
+	if !bytes.Equal(got, full) {
+		t.Fatalf("appended bytes differ from full PUT (%d vs %d bytes)", len(got), len(full))
+	}
+	st := cw.Stats()
+	if st.Appends != 1 || st.AppendRejects != 0 {
+		t.Fatalf("appends=%d rejects=%d, want 1/0", st.Appends, st.AppendRejects)
+	}
+
+	// The guards: wrong checksum and wrong token count are 409 conflicts (the
+	// client should re-PUT), a malformed delta is a 400, a missing key a 404.
+	rejects := []struct {
+		url, checksum string
+		body          []byte
+		want          int
+	}{
+		{srv.URL + "/kv/user/1?from=12", "0", delta, http.StatusConflict},
+		{srv.URL + "/kv/user/1?from=8", "0", delta, http.StatusConflict},
+		{srv.URL + "/kv/user/1?from=12", strconv.FormatUint(model.ChecksumEncoded(full), 16), delta[:9], http.StatusBadRequest},
+		{srv.URL + "/kv/user/2?from=8", strconv.FormatUint(model.ChecksumEncoded(prefix), 16), delta, http.StatusNotFound},
+	}
+	for i, rej := range rejects {
+		req, _ := http.NewRequest(http.MethodPatch, rej.url, bytes.NewReader(rej.body))
+		req.Header.Set("X-KV-Checksum", rej.checksum)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != rej.want {
+			t.Fatalf("reject %d: status %d, want %d", i, resp.StatusCode, rej.want)
+		}
+	}
+	if got, _ := cw.Get("user/1"); !bytes.Equal(got, full) {
+		t.Fatal("rejected PATCHes corrupted the stored entry")
+	}
+}
+
+// TestFrontendDeltaStoreAndFallback drives the frontend's store path: the
+// second store of a grown cache ships a suffix-only PATCH; when the worker's
+// content drifts behind the frontend's back, the checksum guard rejects the
+// delta and the store falls back to a full PUT — the worker always ends up
+// with the exact full-marshal bytes.
+func TestFrontendDeltaStoreAndFallback(t *testing.T) {
+	d := newDeployment(t, 1, scheduler.StaticUser{})
+	f := d.frontend
+	cfg := f.ranker.W.Config()
+	ctx := context.Background()
+
+	grown := transferCache(t, cfg, 12, 9)
+	prefixBytes, err := grown.MarshalRange(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := model.NewKVCache(cfg)
+	if err := prefix.UnmarshalBinary(prefixBytes); err != nil {
+		t.Fatal(err)
+	}
+	full, err := grown.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Store prefix (full PUT), then the grown cache (delta PATCH).
+	f.storeCache(ctx, 0, "user", 1, prefix)
+	f.storeCache(ctx, 0, "user", 1, grown)
+	if got, _ := d.workers[0].Get("user/1"); !bytes.Equal(got, full) {
+		t.Fatal("delta store left the worker with different bytes than a full PUT")
+	}
+	st := f.Stats()
+	if st.DeltaStores != 1 || st.DeltaFallbacks != 0 {
+		t.Fatalf("delta_stores=%d fallbacks=%d, want 1/0", st.DeltaStores, st.DeltaFallbacks)
+	}
+	if st.TxDeltaBytes <= 0 || st.TxDeltaBytes >= int64(len(full)) {
+		t.Fatalf("tx_delta_bytes=%d, want in (0, %d)", st.TxDeltaBytes, len(full))
+	}
+
+	// Drift: replace the worker's content behind the frontend's back, then
+	// grow again. The PATCH 409s and the fallback full PUT restores truth.
+	if err := d.workers[0].Put("user/1", prefixBytes); err != nil {
+		t.Fatal(err)
+	}
+	grown2 := transferCache(t, cfg, 16, 9)
+	full2, err := grown2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.storeCache(ctx, 0, "user", 1, grown2)
+	if got, _ := d.workers[0].Get("user/1"); !bytes.Equal(got, full2) {
+		t.Fatal("fallback did not restore the full payload")
+	}
+	st = f.Stats()
+	if st.DeltaFallbacks != 1 {
+		t.Fatalf("delta_fallbacks=%d, want 1", st.DeltaFallbacks)
+	}
+	if d.workers[0].Stats().AppendRejects == 0 {
+		t.Fatal("worker never counted the rejected append")
+	}
+
+	// After the fallback the frontend re-learned the stored size; the next
+	// grow is a delta again.
+	grown3 := transferCache(t, cfg, 20, 9)
+	f.storeCache(ctx, 0, "user", 1, grown3)
+	if f.Stats().DeltaStores != 2 {
+		t.Fatalf("delta_stores=%d after recovery, want 2", f.Stats().DeltaStores)
+	}
+}
+
+// TestDeltaStoresReduceCommitBytes pins the acceptance number: on an
+// append-heavy workload (a cache growing in small steps, re-stored each
+// step), delta stores move less than half the bytes full PUTs would.
+func TestDeltaStoresReduceCommitBytes(t *testing.T) {
+	d := newDeployment(t, 1, scheduler.StaticUser{})
+	f := d.frontend
+	cfg := f.ranker.W.Config()
+	ctx := context.Background()
+
+	var fullEveryTime int64
+	for tokens := 16; tokens <= 48; tokens += 4 {
+		c := transferCache(t, cfg, tokens, 21)
+		data, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullEveryTime += int64(len(data))
+		f.storeCache(ctx, 0, "user", 7, c)
+	}
+	st := f.Stats()
+	moved := st.TxBytes + st.TxDeltaBytes
+	if st.DeltaStores == 0 {
+		t.Fatal("append-heavy workload never used a delta store")
+	}
+	if moved*2 > fullEveryTime {
+		t.Fatalf("delta stores moved %d bytes; full PUTs would move %d — want >=50%% reduction", moved, fullEveryTime)
+	}
+}
+
+// TestTruncatedStreamIsDecodeErrorMiss: a worker that dies mid-payload (full
+// Content-Length declared, body cut inside a layer frame) must surface as a
+// decode-error miss — never a panic, never a partial cache hit.
+func TestTruncatedStreamIsDecodeErrorMiss(t *testing.T) {
+	meta := NewMetaServer(300, func() time.Time { return time.Unix(0, 0) })
+	metaSrv := httptest.NewServer(meta.Handler())
+	defer metaSrv.Close()
+
+	var payload []byte
+	trunc := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		rw.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+		rw.Write(payload[:len(payload)-64]) // cut mid-frame; server resets the stream
+	}))
+	defer trunc.Close()
+
+	f, err := NewFrontend(FrontendConfig{
+		Dataset:      testDataset(t),
+		MetaURL:      metaSrv.URL,
+		CacheWorkers: []string{trunc.URL},
+		Policy:       scheduler.StaticUser{},
+		Transfer:     TransferConfig{MaxRetries: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	c := transferCache(t, f.ranker.W.Config(), 10, 3)
+	payload, err = c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := f.fetchCache(context.Background(), 0, "user", 1); got != nil {
+		t.Fatalf("truncated stream produced a cache with %d tokens", got.Len())
+	}
+	if n := f.fetchCtr["decode-error"].Value(); n != 1 {
+		t.Fatalf("decode-error count %d, want 1", n)
+	}
+	if f.Stats().StreamFetches != 0 {
+		t.Fatal("truncated fetch counted as a completed stream")
+	}
+}
+
+// TestWriteBehindCoalesceDropFlush exercises the queue's three behaviors with
+// a gated worker: a re-store of a still-queued key coalesces (latest cache
+// wins), overflow drops (counted, never blocks), and FlushStores drains
+// everything once the worker unblocks.
+func TestWriteBehindCoalesceDropFlush(t *testing.T) {
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	stored := make(map[string]int)
+	cw := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			<-gate // every PUT parks until the test opens the gate
+			mu.Lock()
+			stored[r.URL.Path]++
+			mu.Unlock()
+		}
+		rw.WriteHeader(http.StatusNoContent)
+	}))
+	defer cw.Close()
+	meta := NewMetaServer(300, func() time.Time { return time.Unix(0, 0) })
+	metaSrv := httptest.NewServer(meta.Handler())
+	defer metaSrv.Close()
+
+	f, err := NewFrontend(FrontendConfig{
+		Dataset:      testDataset(t),
+		MetaURL:      metaSrv.URL,
+		CacheWorkers: []string{cw.URL},
+		Policy:       scheduler.StaticUser{},
+		Transfer: TransferConfig{
+			StoreQueueDepth: 2, StoreWorkers: 1,
+			Timeout: 5 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	cfg := f.ranker.W.Config()
+	c := transferCache(t, cfg, 4, 1)
+
+	// One store occupies the single worker (parked on the gate); the queue
+	// holds two more; everything past that must drop without blocking.
+	f.queueStore(0, "user", 1, c)
+	waitFor(t, func() bool {
+		f.storeMu.Lock()
+		defer f.storeMu.Unlock()
+		return f.storeActive == 1
+	})
+	f.queueStore(0, "user", 2, c)
+	f.queueStore(0, "user", 3, c)
+	f.queueStore(0, "user", 2, c) // coalesces with the queued user/2
+	f.queueStore(0, "user", 4, c) // queue full: dropped
+	f.queueStore(0, "user", 5, c) // dropped
+
+	st := f.Stats()
+	if st.StoreCoalesced != 1 {
+		t.Fatalf("store_coalesced=%d, want 1", st.StoreCoalesced)
+	}
+	if st.StoreDrops != 2 {
+		t.Fatalf("store_drops=%d, want 2", st.StoreDrops)
+	}
+
+	close(gate)
+	flushFrontend(t, f)
+	mu.Lock()
+	defer mu.Unlock()
+	for _, key := range []string{"/kv/user/1", "/kv/user/2", "/kv/user/3"} {
+		if stored[key] != 1 {
+			t.Fatalf("%s stored %d times, want 1 (stores: %v)", key, stored[key], stored)
+		}
+	}
+	if stored["/kv/user/4"] != 0 || stored["/kv/user/5"] != 0 {
+		t.Fatalf("dropped stores reached the worker: %v", stored)
+	}
+}
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkStoreFullPut vs BenchmarkStoreDeltaAppend: the worker-side cost of
+// re-storing a grown cache whole versus splicing just the suffix.
+func BenchmarkStoreFullPut(b *testing.B) {
+	cfg := model.TinyGR(32)
+	grown := transferCache(b, cfg, 64, 2)
+	full, err := grown.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cw, err := NewCacheWorker(64 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(full)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cw.Put("user/1", full); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreDeltaAppend(b *testing.B) {
+	cfg := model.TinyGR(32)
+	grown := transferCache(b, cfg, 64, 2)
+	prefix, err := grown.MarshalRange(0, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta, err := grown.MarshalRange(60, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum := model.ChecksumEncoded(prefix)
+	cw, err := NewCacheWorker(64 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(delta)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := cw.Put("user/1", prefix); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := cw.Append("user/1", 60, sum, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

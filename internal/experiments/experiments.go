@@ -168,6 +168,9 @@ func Registry() []struct {
 		// Serving-core benchmark: end-to-end continuous-batching throughput
 		// versus the serialized pipeline (see servingbench.go).
 		{"servingbench", ServingBench},
+		// Transfer-engine benchmark: BKV2 codec MB/s, streamed fetch latency,
+		// and delta-vs-full store bytes (see transferbench.go).
+		{"transferbench", TransferBench},
 		// Beyond the paper's evaluation section: passing claims and design
 		// knobs (see extensions.go).
 		{"ext-candidates", ExtCandidateSweep},

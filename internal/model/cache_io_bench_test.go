@@ -1,0 +1,190 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+// codecBenchConfig is sized so one payload is a few MB — large enough that
+// MB/s reflects steady-state copy bandwidth, small enough for -benchtime=1x
+// CI smoke runs.
+func codecBenchConfig() Config {
+	return Config{
+		Name: "codec-bench", Layers: 4, Heads: 8, KVHeads: 4, HeadDim: 32,
+		Hidden: 64, FFNDim: 64, Vocab: 64,
+	}
+}
+
+// fillRandomKV loads tokens of synthetic K/V rows without running a forward
+// pass (the codec doesn't care where the floats came from).
+func fillRandomKV(c *KVCache, tokens int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	st := c.stride()
+	k := make([]float32, st)
+	v := make([]float32, st)
+	for t := 0; t < tokens; t++ {
+		for l := 0; l < c.cfg.Layers; l++ {
+			for i := range k {
+				k[i] = rng.Float32()*2 - 1
+				v[i] = rng.Float32()*2 - 1
+			}
+			c.appendToken(l, k, v)
+		}
+	}
+}
+
+// 256 tokens ≈ a 1MB payload: large enough to measure steady-state decode,
+// small enough to stay cache-resident like the per-layer frames the
+// streaming fetch path actually decodes (so the gate compares codecs, not
+// DRAM bandwidth).
+const codecBenchTokens = 256
+
+func codecBenchCache() *KVCache {
+	c := NewKVCache(codecBenchConfig())
+	fillRandomKV(c, codecBenchTokens, 11)
+	return c
+}
+
+func BenchmarkMarshalKV(b *testing.B) {
+	c := codecBenchCache()
+	b.SetBytes(int64(c.EncodedSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalKVScalar(b *testing.B) {
+	prev := ForceScalarCodec(true)
+	defer ForceScalarCodec(prev)
+	c := codecBenchCache()
+	b.SetBytes(int64(c.EncodedSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalKV(b *testing.B) {
+	c := codecBenchCache()
+	data, err := c.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := NewKVCache(c.Config())
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := out.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalKVScalar(b *testing.B) {
+	prev := ForceScalarCodec(true)
+	defer ForceScalarCodec(prev)
+	c := codecBenchCache()
+	data, err := c.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := NewKVCache(c.Config())
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := out.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamDecodeKV(b *testing.B) {
+	c := codecBenchCache()
+	data, err := c.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := NewKVCache(c.Config())
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := out.ReadFrom(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamEncodeKV(b *testing.B) {
+	c := codecBenchCache()
+	var buf bytes.Buffer
+	buf.Grow(c.EncodedSize())
+	b.SetBytes(int64(c.EncodedSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := c.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// measureUnmarshal returns the best-of-reps per-op duration for decoding data
+// into out, timing iters iterations per rep.
+func measureUnmarshal(tb testing.TB, out *KVCache, data []byte, iters, reps int) time.Duration {
+	best := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := out.UnmarshalBinary(data); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		d := time.Since(start) / time.Duration(iters)
+		if r == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestBulkCodecGate (env-gated, CI) fails if the bulk codec's unmarshal is
+// not ≥5x the scalar fallback's throughput on this host — the regression
+// guard for the whole point of the BKV2 rewrite.
+func TestBulkCodecGate(t *testing.T) {
+	if os.Getenv("BAT_TRANSFER_GATE") == "" {
+		t.Skip("set BAT_TRANSFER_GATE=1 to run the bulk-codec speedup gate")
+	}
+	if !hostLittleEndian {
+		t.Skip("bulk codec unavailable on big-endian hosts")
+	}
+	c := codecBenchCache()
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewKVCache(c.Config())
+	iters, reps := 20, 5
+	bulk := measureUnmarshal(t, out, data, iters, reps)
+	prev := ForceScalarCodec(true)
+	scalar := measureUnmarshal(t, out, data, iters, reps)
+	ForceScalarCodec(prev)
+	ratio := float64(scalar) / float64(bulk)
+	t.Logf("payload %d bytes: bulk %v/op, scalar %v/op, speedup %.1fx", len(data), bulk, scalar, ratio)
+	if ratio < 5 {
+		t.Fatalf("bulk unmarshal only %.1fx scalar (gate requires >=5x)", ratio)
+	}
+}

@@ -1,6 +1,9 @@
 package model
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 // FuzzKVCacheUnmarshal: arbitrary payloads must never panic the decoder,
 // and accepted payloads must leave the cache self-consistent.
@@ -16,6 +19,8 @@ func FuzzKVCacheUnmarshal(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("not a cache"))
 	f.Add(valid[:12])
+	f.Add(valid[:wireHeaderSize])
+	f.Add(valid[:wireHeaderSize+frameHeaderSize+3])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := NewKVCache(TinyGR(32))
 		if err := c.UnmarshalBinary(data); err != nil {
@@ -35,6 +40,80 @@ func FuzzKVCacheUnmarshal(f *testing.F) {
 		for i := range out {
 			if out[i] != data[i] {
 				t.Fatal("round trip changed bytes")
+			}
+		}
+	})
+}
+
+// FuzzKVCacheReadFrom fuzzes the BKV2 streaming decoder: never panic, never
+// install a partial cache, and an accepted stream must re-serialize to
+// exactly the bytes consumed.
+func FuzzKVCacheReadFrom(f *testing.F) {
+	w := NewWeights(TinyGR(32), 1)
+	cache := NewKVCache(w.Config())
+	w.Forward([]int{1, 2, 3}, []int{0, 1, 2}, nil, cache)
+	valid, err := cache.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(append(append([]byte{}, valid...), 0xde, 0xad)) // trailing junk after a full stream
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:wireHeaderSize+frameHeaderSize])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewKVCache(TinyGR(32))
+		n, err := c.ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			if c.Len() != 0 {
+				t.Fatalf("failed stream installed %d tokens", c.Len())
+			}
+			return
+		}
+		if n > int64(len(data)) {
+			t.Fatalf("read %d of %d bytes", n, len(data))
+		}
+		out, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, data[:n]) {
+			t.Fatal("stream round trip changed bytes")
+		}
+	})
+}
+
+// FuzzAppendEncoded fuzzes the wire-level delta splice: never panic, and any
+// accepted result must be a structurally valid payload that decodes.
+func FuzzAppendEncoded(f *testing.F) {
+	w := NewWeights(TinyGR(32), 1)
+	cache := NewKVCache(w.Config())
+	w.Forward([]int{1, 2, 3, 4}, []int{0, 1, 2, 3}, nil, cache)
+	full, err := cache.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	prefix, _ := cache.MarshalRange(0, 2)
+	suffix, _ := cache.MarshalRange(2, 4)
+	f.Add(prefix, suffix)
+	f.Add(full, full)
+	f.Add([]byte{}, full)
+	f.Add(full[:13], suffix)
+	f.Fuzz(func(t *testing.T, stored, delta []byte) {
+		merged, err := AppendEncoded(stored, delta)
+		if err != nil {
+			return
+		}
+		h, err := ParseWireHeader(merged)
+		if err != nil {
+			t.Fatalf("accepted splice has bad header: %v", err)
+		}
+		if len(merged) != h.PayloadSize() {
+			t.Fatalf("accepted splice is %d bytes, header says %d", len(merged), h.PayloadSize())
+		}
+		if h.Layers == TinyGR(32).Layers && h.KVHeads == TinyGR(32).KVHeads && h.HeadDim == TinyGR(32).HeadDim {
+			if err := NewKVCache(TinyGR(32)).UnmarshalBinary(merged); err != nil {
+				t.Fatalf("accepted splice does not decode: %v", err)
 			}
 		}
 	})

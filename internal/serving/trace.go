@@ -25,6 +25,10 @@ const (
 	StageCommit  = "commit"
 	StageE2E     = "e2e"
 	StageFetch   = "fetch"
+	// StageStore measures write-behind cache stores, which run off the
+	// request lifecycle (after the response went out) and therefore do not
+	// count toward the lifecycle sum.
+	StageStore = "store"
 )
 
 // LifecycleStages lists the stages whose spans tile a request's wall clock,
@@ -197,7 +201,7 @@ func newObserver(ringSize int) *Observer {
 		ring:  NewTraceRing(ringSize),
 		stage: make(map[string]*metrics.Histogram, len(LifecycleStages)),
 	}
-	for _, s := range LifecycleStages {
+	for _, s := range append(append([]string(nil), LifecycleStages...), StageStore) {
 		o.stage[s] = o.reg.LatencyHistogram(`bat_stage_latency_seconds{stage="` + s + `"}`)
 	}
 	o.e2e = o.reg.LatencyHistogram("bat_request_latency_seconds")
@@ -241,3 +245,7 @@ func (o *Observer) observeStage(stage string, d time.Duration) {
 		h.Add(d.Seconds())
 	}
 }
+
+// ObserveStage folds an off-lifecycle span (e.g. StageStore, recorded by a
+// backend's write-behind path) into its stage histogram.
+func (o *Observer) ObserveStage(stage string, d time.Duration) { o.observeStage(stage, d) }
