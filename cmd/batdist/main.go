@@ -62,6 +62,11 @@ func main() {
 	jitterSeed := flag.Int64("jitter-seed", 0, "retry-jitter RNG seed (0 = from the clock)")
 	storeQueue := flag.Int("store-queue", 256, "write-behind cache-store queue depth (negative = synchronous stores at the batch boundary)")
 	storeWorkers := flag.Int("store-workers", 2, "concurrent write-behind store uploads")
+	replication := flag.Int("replication", 2, "replicas per committed cache entry (1 = single copy)")
+	closeFlushTimeout := flag.Duration("close-flush-timeout", 2*time.Second, "bounded flush of queued write-behind stores at shutdown (negative = abandon)")
+	scrubInterval := flag.Duration("scrub-interval", 2*time.Second, "anti-entropy scrub cadence (negative disables)")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0.99, "fetch-stage latency quantile that arms hedged replica reads (negative disables)")
+	chaos := flag.Bool("chaos", false, "route each cache worker through a fault proxy controlled via POST /chaos?worker=N&mode=error|delay|none on the frontend port")
 	flag.Parse()
 
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
@@ -106,7 +111,11 @@ func main() {
 		}
 	}
 
+	// With -chaos each worker's public port serves a fault proxy in front of
+	// the real worker (listening workers positions further up), so faults can
+	// be injected into a live deployment without killing processes.
 	var workerURLs []string
+	var proxies []*distserve.FaultProxy
 	for i := 0; i < *workers; i++ {
 		cw, err := distserve.NewCacheWorker(*capacityMB << 20)
 		if err != nil {
@@ -114,7 +123,15 @@ func main() {
 		}
 		cw.SetEvictHook(unregister(i))
 		port := *basePort + 2 + i
-		serve(port, cw.Handler(), fmt.Sprintf("cache worker %d", i))
+		if *chaos {
+			backendPort := port + *workers
+			serve(backendPort, cw.Handler(), fmt.Sprintf("cache worker %d (backend)", i))
+			proxy := distserve.NewFaultProxy(fmt.Sprintf("http://127.0.0.1:%d", backendPort))
+			proxies = append(proxies, proxy)
+			serve(port, proxy.Handler(), fmt.Sprintf("cache worker %d (fault proxy)", i))
+		} else {
+			serve(port, cw.Handler(), fmt.Sprintf("cache worker %d", i))
+		}
 		workerURLs = append(workerURLs, fmt.Sprintf("http://127.0.0.1:%d", port))
 	}
 
@@ -132,7 +149,10 @@ func main() {
 			JitterSeed:       *jitterSeed,
 			StoreQueueDepth:  *storeQueue,
 			StoreWorkers:     *storeWorkers,
+			HedgeQuantile:    *hedgeQuantile,
 		},
+		Replication:       *replication,
+		CloseFlushTimeout: *closeFlushTimeout,
 		Admission: admission.Config{
 			MaxInFlight:       *maxInFlight,
 			MaxQueue:          *queueDepth,
@@ -150,11 +170,46 @@ func main() {
 	guard := distserve.NewPoolGuard(frontend, distserve.PoolGuardConfig{
 		ProbeInterval: *probeInterval,
 		RepairHot:     *repairHot,
+		ScrubInterval: *scrubInterval,
 	})
 	guard.Start()
-	serve(*basePort, frontend.Handler(), "inference frontend")
-	fmt.Printf("batdist: overload ladder max-inflight=%d queue=%d deadline=%v; poolguard probing every %v\n",
-		*maxInFlight, *queueDepth, *defaultDeadline, *probeInterval)
+	front := http.NewServeMux()
+	front.Handle("/", frontend.Handler())
+	if *chaos {
+		front.HandleFunc("/chaos", func(rw http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			var worker int
+			if _, err := fmt.Sscanf(r.URL.Query().Get("worker"), "%d", &worker); err != nil ||
+				worker < 0 || worker >= len(proxies) {
+				http.Error(rw, "bad worker", http.StatusBadRequest)
+				return
+			}
+			delay := 200 * time.Millisecond
+			if d, err := time.ParseDuration(r.URL.Query().Get("delay")); err == nil {
+				delay = d
+			}
+			switch r.URL.Query().Get("mode") {
+			case "none":
+				proxies[worker].SetMode(distserve.FaultNone, 0)
+			case "delay":
+				proxies[worker].SetMode(distserve.FaultDelay, delay)
+			case "error", "kill":
+				proxies[worker].SetMode(distserve.FaultError, 0)
+			case "drop":
+				proxies[worker].SetMode(distserve.FaultDrop, 0)
+			default:
+				http.Error(rw, "mode must be none|delay|error|kill|drop", http.StatusBadRequest)
+				return
+			}
+			rw.WriteHeader(http.StatusNoContent)
+		})
+	}
+	serve(*basePort, front, "inference frontend")
+	fmt.Printf("batdist: overload ladder max-inflight=%d queue=%d deadline=%v; poolguard probing every %v; replication=%d scrub=%v\n",
+		*maxInFlight, *queueDepth, *defaultDeadline, *probeInterval, *replication, *scrubInterval)
 
 	// Periodically surface the robustness counters so shedding and
 	// self-healing are visible without curling /v1/stats.

@@ -20,6 +20,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -128,6 +129,9 @@ func main() {
 		Variant:      ranking.VariantBase,
 		MetaURL:      metaURL,
 		CacheWorkers: workerURLs,
+		// Every committed cache lands on two workers, so acts two and three
+		// cost failovers, not recomputes, and act four can empty a worker.
+		Replication: 2,
 		Transfer: distserve.TransferConfig{
 			Timeout:          300 * time.Millisecond,
 			MaxRetries:       1,
@@ -241,4 +245,41 @@ func main() {
 	fmt.Printf("ladder totals: %d served, %d degraded, %d shed, calibrated cost ratio %.1f\n",
 		st.Requests, st.DegradedRequests, st.Admission.ShedQueueFull+st.Admission.ShedDeadline,
 		st.CalibratedCostRatio)
+
+	// Act four — graceful drain: worker 2 streams its entries to its peers
+	// (placed by the frontend's own replica walk), registers the moves in
+	// meta, and deregisters itself. A planned restart loses nothing: the next
+	// request still reuses the pool, now without worker 2.
+	fmt.Println("\n--- draining cache worker 2 (planned restart, zero loss) ---")
+	before := workers[2].Stats().Entries
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	dr, err := frontend.DrainWorker(ctx, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worker 2 drained: %d entries held, %d moved (%d replica copies, %d B), %d skipped\n",
+		before, dr.Moved, dr.Copies, dr.Bytes, dr.Skipped)
+	// Let the breakers tripped during the chaos acts cool down and half-open
+	// probe back to closed (each rank feeds the probes), then measure one
+	// steady-state request: full reuse from the moved replicas, no errors.
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(250 * time.Millisecond) {
+		rank(frontURL, 19, cands)
+		open := false
+		for _, w := range frontend.Stats().Workers {
+			if w.Breaker != "closed" {
+				open = true
+			}
+		}
+		if !open {
+			break
+		}
+	}
+	misses := frontend.Stats().FetchErrors
+	out2 := rank(frontURL, 19, cands)
+	fmt.Printf("user 19 after the drain: top-5 %v (reused %d tokens, %d new fetch errors)\n",
+		out2.Ranking[:5], out2.ReusedTokens, frontend.Stats().FetchErrors-misses)
+	for i, w := range workers {
+		fmt.Printf("worker %d now holds %d entries (draining=%v)\n", i, w.Stats().Entries, w.Stats().Draining)
+	}
 }

@@ -150,6 +150,44 @@ func (s *Service) UnregisterWorker(w WorkerID) []kvcache.EntryKey {
 	return keys
 }
 
+// Binding is one indexed entry with every worker bound to it.
+type Binding struct {
+	Key     kvcache.EntryKey
+	Workers []WorkerID
+}
+
+// Bindings returns shard `shard` of `of` of the index, sorted by kind then
+// ID, each entry's workers ascending. Sharding hashes the key (not insertion
+// order), so an anti-entropy scrubber sweeping shards round-robin visits
+// every entry exactly once per cycle regardless of churn between sweeps.
+func (s *Service) Bindings(shard, of int) []Binding {
+	if of <= 0 {
+		of = 1
+	}
+	if shard < 0 {
+		shard = 0
+	}
+	var out []Binding
+	for k, locs := range s.index {
+		if (k.ID*2+uint64(k.Kind))%uint64(of) != uint64(shard%of) {
+			continue
+		}
+		ws := make([]WorkerID, 0, len(locs))
+		for w := range locs {
+			ws = append(ws, w)
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		out = append(out, Binding{Key: k, Workers: ws})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Kind != out[j].Key.Kind {
+			return out[i].Key.Kind < out[j].Key.Kind
+		}
+		return out[i].Key.ID < out[j].Key.ID
+	})
+	return out
+}
+
 // HasEntry reports whether any worker holds k.
 func (s *Service) HasEntry(k kvcache.EntryKey) bool { return len(s.index[k]) > 0 }
 

@@ -38,8 +38,13 @@ type CacheWorker struct {
 	lru      *list.List // front = most recent
 	onEvict  func(key string)
 
+	// draining refuses new stores (PUT/PATCH/bulk → 503) while reads keep
+	// working, so a drain never chases a moving target.
+	draining bool
+
 	hits, misses, puts, evictions int64
 	appends, appendRejects        int64
+	drains, bulkStored            int64
 }
 
 // Typed Append failures, mapped to HTTP statuses by the handler. A reject is
@@ -211,6 +216,32 @@ func (w *CacheWorker) Get(key string) ([]byte, bool) {
 	return e.data, true
 }
 
+// Peek returns a payload without touching recency or hit/miss counters — the
+// anti-entropy scrubber's HEAD probes must not keep cold entries warm.
+func (w *CacheWorker) Peek(key string) ([]byte, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return e.data, true
+}
+
+// SetDraining flips the worker's drain state.
+func (w *CacheWorker) SetDraining(v bool) {
+	w.mu.Lock()
+	w.draining = v
+	w.mu.Unlock()
+}
+
+// Draining reports whether the worker is refusing stores.
+func (w *CacheWorker) Draining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
 // Delete removes a payload.
 func (w *CacheWorker) Delete(key string) bool {
 	w.mu.Lock()
@@ -239,6 +270,11 @@ type WorkerStats struct {
 	// each reject costs the client one full-PUT fallback.
 	Appends       int64 `json:"appends"`
 	AppendRejects int64 `json:"append_rejects"`
+	// Draining mirrors the worker's drain state; Drains counts completed
+	// drains and BulkStored entries accepted over /v1/bulk.
+	Draining   bool  `json:"draining"`
+	Drains     int64 `json:"drains"`
+	BulkStored int64 `json:"bulk_stored"`
 }
 
 // Stats snapshots the worker.
@@ -249,6 +285,7 @@ func (w *CacheWorker) Stats() WorkerStats {
 		Entries: len(w.entries), UsedBytes: w.used, Capacity: w.capacity,
 		Hits: w.hits, Misses: w.misses, Puts: w.puts, Evictions: w.evictions,
 		Appends: w.appends, AppendRejects: w.appendRejects,
+		Draining: w.draining, Drains: w.drains, BulkStored: w.bulkStored,
 	}
 }
 
@@ -265,7 +302,11 @@ func (w *CacheWorker) readPayload(r *http.Request) ([]byte, error) {
 //	PATCH  /kv/{key}?from={tokens}   append suffix-token delta (X-KV-Checksum
 //	                                 guards the stored prefix; 409 = re-PUT)
 //	GET    /kv/{key}                 fetch payload (404 on miss)
+//	HEAD   /kv/{key}                 token count + checksum probe (no LRU touch)
 //	DELETE /kv/{key}
+//	POST   /v1/bulk                  ingest a drain stream of framed entries
+//	POST   /v1/drain                 drain this worker to peers (drain.go)
+//	POST   /v1/resume                leave the draining state
 //	GET    /stats
 func (w *CacheWorker) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -277,6 +318,10 @@ func (w *CacheWorker) Handler() http.Handler {
 		}
 		switch r.Method {
 		case http.MethodPut:
+			if w.Draining() {
+				http.Error(rw, "draining", http.StatusServiceUnavailable)
+				return
+			}
 			data, err := w.readPayload(r)
 			if errors.Is(err, errBodyOverCap) {
 				http.Error(rw, err.Error(), http.StatusInsufficientStorage)
@@ -292,6 +337,10 @@ func (w *CacheWorker) Handler() http.Handler {
 			}
 			rw.WriteHeader(http.StatusNoContent)
 		case http.MethodPatch:
+			if w.Draining() {
+				http.Error(rw, "draining", http.StatusServiceUnavailable)
+				return
+			}
 			from, err := strconv.Atoi(r.URL.Query().Get("from"))
 			if err != nil || from <= 0 {
 				http.Error(rw, "bad or missing from= token count", http.StatusBadRequest)
@@ -329,6 +378,23 @@ func (w *CacheWorker) Handler() http.Handler {
 			if _, err := rw.Write(data); err != nil {
 				return // client went away
 			}
+		case http.MethodHead:
+			// Scrubber probe: token count + checksum without moving the body
+			// or touching LRU recency.
+			data, ok := w.Peek(key)
+			if !ok {
+				rw.WriteHeader(http.StatusNotFound)
+				return
+			}
+			hdr, err := model.ParseWireHeader(data)
+			if err != nil {
+				rw.WriteHeader(http.StatusInternalServerError)
+				return
+			}
+			rw.Header().Set(kvTokensHeader, strconv.Itoa(hdr.Tokens))
+			rw.Header().Set(kvChecksumHeader, strconv.FormatUint(model.ChecksumEncoded(data), 16))
+			rw.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			rw.WriteHeader(http.StatusOK)
 		case http.MethodDelete:
 			w.Delete(key)
 			rw.WriteHeader(http.StatusNoContent)
@@ -336,6 +402,9 @@ func (w *CacheWorker) Handler() http.Handler {
 			http.Error(rw, "unsupported method", http.StatusMethodNotAllowed)
 		}
 	})
+	mux.HandleFunc("/v1/bulk", w.handleBulk)
+	mux.HandleFunc("/v1/drain", w.handleDrain)
+	mux.HandleFunc("/v1/resume", w.handleResume)
 	mux.HandleFunc("/stats", func(rw http.ResponseWriter, r *http.Request) {
 		rw.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(rw).Encode(w.Stats()); err != nil {

@@ -75,6 +75,19 @@ type FrontendConfig struct {
 	// TraceRing sizes the retained request-trace ring served at
 	// GET /debug/trace (default 128).
 	TraceRing int
+	// Replication is how many distinct live workers each fresh cache is
+	// written to (clamped to the pool size; 0 or 1 = single copy, the
+	// pre-replication behavior). The first replica rides the write-behind
+	// queue as before; the extras are tagged secondary copies on the same
+	// queue, all registered in meta.
+	Replication int
+	// ReadRepairBudget caps background read-repair backfills per second
+	// (0 = default 16; negative disables read repair).
+	ReadRepairBudget int
+	// CloseFlushTimeout bounds Close()'s drain of queued write-behind stores
+	// (0 = default 2s; negative = abandon the queue immediately, the
+	// pre-flush behavior).
+	CloseFlushTimeout time.Duration
 	// BatchHook, when non-nil, runs before each batch executes (tests).
 	BatchHook func(size int)
 }
@@ -111,6 +124,21 @@ type Frontend struct {
 	storeDrops     *metrics.Counter
 	storeCoalesced *metrics.Counter
 	streamFetches  *metrics.Counter
+	readRepairs    *metrics.Counter
+	closeDrops     *metrics.Counter
+	drainsCtr      *metrics.Counter
+	// hedgedCtr counts issued hedge races by winner under
+	// bat_hedged_fetches_total{outcome="primary"|"hedged"|"miss"};
+	// replicaStores counts queued store copies by role under
+	// bat_replica_stores_total{role="primary"|"secondary"}.
+	hedgedCtr     map[string]*metrics.Counter
+	replicaStores map[string]*metrics.Counter
+
+	// repairMu guards the read-repair token window (repairs admitted in the
+	// current one-second window).
+	repairMu     sync.Mutex
+	repairWindow time.Time
+	repairCount  int
 
 	// stored remembers, per cache key, which worker last accepted the entry
 	// and at how many tokens — the prefix knowledge that lets the next store
@@ -146,8 +174,10 @@ type Frontend struct {
 	// deadline gate cold (never shed on an uncalibrated estimate).
 	calibRatio float64
 	// alive[w] routes cache writes away from workers the poolguard marked
-	// dead; all true at start.
-	alive []bool
+	// dead; all true at start. draining[w] does the same for workers mid
+	// graceful drain — they still serve reads but refuse stores.
+	alive    []bool
+	draining []bool
 	// lastPurge rate-limits breaker-open worker-granularity meta purges.
 	lastPurge []time.Time
 	guard     *PoolGuard
@@ -171,6 +201,22 @@ type storeJob struct {
 // maxStoredPrefixes bounds the delta-tracking map; when full it resets (the
 // only cost is full PUTs until it repopulates).
 const maxStoredPrefixes = 8192
+
+// Replication-layer defaults.
+const (
+	// defaultCloseFlushTimeout bounds how long Close waits for queued
+	// write-behind stores before dropping them.
+	defaultCloseFlushTimeout = 2 * time.Second
+	// defaultReadRepairBudget is the per-second cap on background replica
+	// backfills triggered by degraded reads.
+	defaultReadRepairBudget = 16
+	// defaultHedgeQuantile is the fetch-stage latency quantile whose observed
+	// value arms the hedged-read timer.
+	defaultHedgeQuantile = 0.99
+	// minHedgeDelay floors the hedge timer so a momentarily empty histogram
+	// bucket cannot make every fetch issue two RPCs.
+	minHedgeDelay = 500 * time.Microsecond
+)
 
 // NewFrontend builds a frontend.
 func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
@@ -215,6 +261,7 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	for i := range f.alive {
 		f.alive[i] = true
 	}
+	f.draining = make([]bool, len(cfg.CacheWorkers))
 	f.lastPurge = make([]time.Time, len(cfg.CacheWorkers))
 	f.transfer = newTransferClient(cfg.Client, cfg.Transfer, len(cfg.CacheWorkers))
 	core, err := serving.NewCore(serving.Config{
@@ -254,6 +301,17 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	f.storeDrops = reg.Counter("bat_store_drops_total")
 	f.storeCoalesced = reg.Counter("bat_store_coalesced_total")
 	f.streamFetches = reg.Counter("bat_stream_fetches_total")
+	f.readRepairs = reg.Counter("bat_read_repairs_total")
+	f.closeDrops = reg.Counter("bat_close_dropped_stores_total")
+	f.drainsCtr = reg.Counter("bat_drains_total")
+	f.hedgedCtr = make(map[string]*metrics.Counter, 3)
+	for _, o := range []string{"primary", "hedged", "miss"} {
+		f.hedgedCtr[o] = reg.Counter(`bat_hedged_fetches_total{outcome="` + o + `"}`)
+	}
+	f.replicaStores = make(map[string]*metrics.Counter, 2)
+	for _, role := range []string{"primary", "secondary"} {
+		f.replicaStores[role] = reg.Counter(`bat_replica_stores_total{role="` + role + `"}`)
+	}
 	f.stored = make(map[string]storedPrefix)
 	f.storeCtx, f.storeCancel = context.WithCancel(context.Background())
 	if cfg.Transfer.StoreQueueDepth > 0 {
@@ -300,6 +358,13 @@ func (f *Frontend) observeFetch(ctx context.Context, worker int, kind, outcome s
 	if c, ok := f.fetchCtr[outcome]; ok {
 		c.Inc()
 	}
+	// Completed round trips calibrate the fetch-stage histogram that arms
+	// hedged replica reads. Fed here (not from the trace fold, which skips
+	// nested fetch spans) so untraced requests calibrate too; breaker-open
+	// short-circuits and coalesced waits would skew the quantile.
+	if outcome == "hit" || outcome == "miss" {
+		f.core.Observer().ObserveStage(serving.StageFetch, time.Since(start))
+	}
 	tb := serving.TraceFromContext(ctx)
 	if tb == nil {
 		return
@@ -315,11 +380,29 @@ func (f *Frontend) observeFetch(ctx context.Context, worker int, kind, outcome s
 	tb.AddSpan(serving.StageFetch, start, time.Since(start), attrs)
 }
 
-// Close stops the serving core's batch loop, then the write-behind store
-// workers. Queued stores not yet started are abandoned — the pool is a cache,
-// not a durability tier.
+// Close stops the serving core's batch loop, then drains the write-behind
+// store queue for up to CloseFlushTimeout before stopping the store workers,
+// so caches committed just before shutdown reach the pool instead of being
+// silently abandoned. Stores still unfinished when the timeout expires are
+// dropped and counted under bat_close_dropped_stores_total.
 func (f *Frontend) Close() {
 	f.core.Close()
+	timeout := f.cfg.CloseFlushTimeout
+	if timeout == 0 {
+		timeout = defaultCloseFlushTimeout
+	}
+	if f.storeCh != nil {
+		if timeout > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			f.FlushStores(ctx)
+			cancel()
+		}
+		f.storeMu.Lock()
+		if rem := len(f.storePending) + f.storeActive; rem > 0 {
+			f.closeDrops.Add(int64(rem))
+		}
+		f.storeMu.Unlock()
+	}
 	f.storeCancel()
 	f.storeWG.Wait()
 	if f.storeCond != nil {
@@ -329,33 +412,82 @@ func (f *Frontend) Close() {
 	}
 }
 
+// replication is the effective replication factor: the configured RF clamped
+// to [1, pool size].
+func (f *Frontend) replication() int {
+	rf := f.cfg.Replication
+	if rf < 1 {
+		rf = 1
+	}
+	if n := len(f.cfg.CacheWorkers); rf > n {
+		rf = n
+	}
+	return rf
+}
+
 // userWorker and itemWorker shard entries across cache workers, routing
-// around workers the poolguard marked dead.
+// around workers the poolguard marked dead or an operator is draining; the
+// *Replicas variants return the full RF-wide replica set for the same hash.
 func (f *Frontend) userWorker(u int) int {
-	return f.pickWorker(mix(uint64(u)))
+	return f.replicaWorkers(routeHash("user", uint64(u)), 1)[0]
 }
 
 func (f *Frontend) itemWorker(i int) int {
-	return f.pickWorker(mix(uint64(i) ^ 0x1234))
+	return f.replicaWorkers(routeHash("item", uint64(i)), 1)[0]
 }
 
-// pickWorker maps a shard hash to its home worker, walking forward to the
-// next live worker when the home is marked dead (and staying home when the
-// whole pool is down — the store will fail harmlessly).
-func (f *Frontend) pickWorker(h uint64) int {
+func (f *Frontend) userReplicas(u int) []int {
+	return f.replicaWorkers(routeHash("user", uint64(u)), f.replication())
+}
+
+func (f *Frontend) itemReplicas(i int) []int {
+	return f.replicaWorkers(routeHash("item", uint64(i)), f.replication())
+}
+
+// replicaWorkers maps a shard hash to up to rf distinct live, non-draining
+// workers, walking forward from the home slot (and staying home when the
+// whole pool is unroutable — the store will fail harmlessly).
+func (f *Frontend) replicaWorkers(h uint64, rf int) []int {
 	n := len(f.cfg.CacheWorkers)
-	w := int(h % uint64(n))
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.alive[w] {
-		return w
+	return routeReplicas(h, n, rf, func(w int) bool { return f.alive[w] && !f.draining[w] })
+}
+
+// routeHash maps an entry to its shard hash: splitmix64 of the ID, with item
+// IDs salted so the user and item keyspaces interleave differently.
+func routeHash(kind string, id uint64) uint64 {
+	if kind == "item" {
+		return mix(id ^ 0x1234)
 	}
-	for i := 1; i < n; i++ {
-		if c := (w + i) % n; f.alive[c] {
-			return c
+	return mix(id)
+}
+
+// routeReplicas walks forward from h's home slot collecting up to rf distinct
+// workers that pass ok; an unroutable pool yields just the home slot. The
+// frontend's store routing and a draining worker's peer selection share this
+// walk, so drained entries land exactly where subsequent reads will look.
+func routeReplicas(h uint64, n, rf int, ok func(int) bool) []int {
+	if n <= 0 {
+		return nil
+	}
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > n {
+		rf = n
+	}
+	start := int(h % uint64(n))
+	out := make([]int, 0, rf)
+	for i := 0; i < n && len(out) < rf; i++ {
+		if c := (start + i) % n; ok(c) {
+			out = append(out, c)
 		}
 	}
-	return w
+	if len(out) == 0 {
+		out = append(out, start)
+	}
+	return out
 }
 
 // SetWorkerAlive marks a cache worker live or dead for write routing. The
@@ -372,13 +504,7 @@ func (f *Frontend) SetWorkerAlive(worker int, alive bool) {
 	f.alive[worker] = alive
 	f.mu.Unlock()
 	if !alive {
-		f.storedMu.Lock()
-		for k, p := range f.stored {
-			if p.worker == worker {
-				delete(f.stored, k)
-			}
-		}
-		f.storedMu.Unlock()
+		f.forgetWorkerPrefixes(worker)
 	}
 }
 
@@ -475,7 +601,7 @@ func (f *Frontend) plan(ctx context.Context, req serving.RankRequest) (*serving.
 	}
 	if !dec.Recompute {
 		if plan.Kind == bipartite.UserPrefix && len(userLocs) > 0 {
-			plan.Caches.User = f.fetchUserCache(ctx, req.UserID, userLocs)
+			plan.Caches.User = f.fetchReplicated(ctx, "user", uint64(req.UserID), userLocs)
 		}
 		if plan.Kind == bipartite.ItemPrefix {
 			plan.Caches.Items = f.fetchItemCaches(ctx, req.CandidateIDs)
@@ -513,7 +639,7 @@ func (f *Frontend) Commit(entries []serving.CommitEntry) {
 			k := storeKey{user: true, id: uint64(e.Req.UserID)}
 			if !stored[k] {
 				stored[k] = true
-				f.queueStore(f.userWorker(e.Req.UserID), "user", k.id, e.Run.NewUserCache)
+				f.queueStoreReplicas("user", k.id, e.Run.NewUserCache, f.userReplicas(e.Req.UserID))
 			}
 		}
 		for slot, c := range e.Run.NewItemCaches {
@@ -521,7 +647,7 @@ func (f *Frontend) Commit(entries []serving.CommitEntry) {
 			k := storeKey{id: uint64(it)}
 			if !stored[k] {
 				stored[k] = true
-				f.queueStore(f.itemWorker(it), "item", k.id, c)
+				f.queueStoreReplicas("item", k.id, c, f.itemReplicas(it))
 			}
 		}
 	}
@@ -717,21 +843,188 @@ func (f *Frontend) metaUnregister(ctx context.Context, kind string, id uint64, w
 	}
 }
 
-// fetchUserCache tries every replica location meta returned, in order, and
-// returns the first payload that decodes — a dead or evicted first replica
-// fails over to the next instead of forcing a recompute.
-func (f *Frontend) fetchUserCache(ctx context.Context, user int, locs []int) *model.KVCache {
+// fetchReplicated serves one entry from its replica set: with a single
+// location it is a plain fetch; with more it either races a hedged second
+// fetch against a slow first replica (when the fetch-stage histogram has
+// calibrated a delay) or walks the locations in order, failing over past
+// dead or evicted replicas. Degraded reads — a failover, or fewer locations
+// than the replication factor — queue a background read-repair backfill.
+func (f *Frontend) fetchReplicated(ctx context.Context, kind string, id uint64, locs []int) *model.KVCache {
+	if len(locs) == 0 {
+		return nil
+	}
+	if len(locs) > 1 {
+		if d := f.hedgeDelay(); d > 0 {
+			return f.fetchHedged(ctx, kind, id, locs, d)
+		}
+	}
 	for i, loc := range locs {
-		if c := f.fetchCache(ctx, loc, "user", uint64(user)); c != nil {
-			if i > 0 {
-				f.mu.Lock()
-				f.failovers++
-				f.mu.Unlock()
-			}
+		if c := f.fetchCache(ctx, loc, kind, id); c != nil {
+			f.settleReplicaFetch(kind, id, c, loc, i > 0, len(locs))
 			return c
 		}
 	}
 	return nil
+}
+
+// settleReplicaFetch accounts a successful replica fetch: a read that walked
+// past a failed replica is a failover, and any read that saw fewer locations
+// than the replication factor (or a failed one) triggers read repair.
+func (f *Frontend) settleReplicaFetch(kind string, id uint64, c *model.KVCache, src int, failedOver bool, locCount int) {
+	if failedOver {
+		f.mu.Lock()
+		f.failovers++
+		f.mu.Unlock()
+	}
+	if failedOver || locCount < f.replication() {
+		f.maybeReadRepair(kind, id, c, src)
+	}
+}
+
+// hedgeDelay derives the hedged-read trigger from the observed fetch-stage
+// latency quantile. 0 disables hedging for this fetch: the histogram is
+// still empty (cold start), hedging is configured off, or the pool has no
+// second replica to race.
+func (f *Frontend) hedgeDelay() time.Duration {
+	q := f.cfg.Transfer.HedgeQuantile
+	if q < 0 {
+		return 0
+	}
+	if q == 0 {
+		q = defaultHedgeQuantile
+	}
+	sec := f.core.Observer().StageQuantile(serving.StageFetch, q)
+	if sec <= 0 {
+		return 0
+	}
+	d := time.Duration(sec * float64(time.Second))
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	if lim := f.cfg.Transfer.Timeout / 2; d > lim {
+		d = lim
+	}
+	return d
+}
+
+// fetchHedged races the first two replicas: the primary fetch gets delay to
+// answer; past that a second fetch to the next replica is issued and the
+// first success wins. The loser is left to finish and is discarded (its
+// result channel is buffered) — canceling it would charge the breaker with a
+// failure the worker didn't commit. A primary that fails outright (not
+// slowly) degenerates to ordinary failover without burning a hedge.
+func (f *Frontend) fetchHedged(ctx context.Context, kind string, id uint64, locs []int, delay time.Duration) *model.KVCache {
+	type hedgeResult struct {
+		c   *model.KVCache
+		idx int
+	}
+	// The racing fetches ride a cancel-detached context: the caller stops
+	// waiting at its own deadline (the ctx.Done case below), but a loser left
+	// in flight finishes on the transfer engine's per-attempt timeout instead
+	// of being killed at request end — a mid-stream cancel would surface as a
+	// fetch error and charge the breaker with a failure the worker didn't
+	// commit.
+	fctx := context.WithoutCancel(ctx)
+	ch := make(chan hedgeResult, 2)
+	launch := func(idx int) {
+		go func() { ch <- hedgeResult{f.fetchCache(fctx, locs[idx], kind, id), idx} }()
+	}
+	launch(0)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.c != nil {
+			f.settleReplicaFetch(kind, id, r.c, locs[0], false, len(locs))
+			return r.c
+		}
+		for i := 1; i < len(locs); i++ {
+			if c := f.fetchCache(ctx, locs[i], kind, id); c != nil {
+				f.settleReplicaFetch(kind, id, c, locs[i], true, len(locs))
+				return c
+			}
+		}
+		return nil
+	case <-ctx.Done():
+		return nil
+	case <-timer.C:
+	}
+	launch(1)
+	primaryFailed := false
+	for i := 0; i < 2; i++ {
+		r := <-ch
+		if r.c != nil {
+			outcome := "primary"
+			if r.idx != 0 {
+				outcome = "hedged"
+			}
+			f.hedgedCtr[outcome].Inc()
+			f.settleReplicaFetch(kind, id, r.c, locs[r.idx], primaryFailed, len(locs))
+			if i == 0 {
+				// Reap the loser off the request path. A loser that failed
+				// outright (not just lost the race) is a replica that cannot
+				// serve the entry — without this, a dead replica hides behind
+				// hedge wins and never gets failover accounting or repair.
+				go func(winner hedgeResult) {
+					if loser := <-ch; loser.c == nil {
+						f.settleReplicaFetch(kind, id, winner.c, locs[winner.idx], true, len(locs))
+					}
+				}(r)
+			}
+			return r.c
+		}
+		if r.idx == 0 {
+			primaryFailed = true
+		}
+	}
+	f.hedgedCtr["miss"].Inc()
+	for i := 2; i < len(locs); i++ {
+		if c := f.fetchCache(ctx, locs[i], kind, id); c != nil {
+			f.settleReplicaFetch(kind, id, c, locs[i], true, len(locs))
+			return c
+		}
+	}
+	return nil
+}
+
+// maybeReadRepair queues background copies of a fetched cache onto the
+// replicas routing says should hold it, minus the one that served the read.
+// Repairs ride the write-behind store queue (coalescing with regular stores
+// of the same key) and a one-second token window bounds their rate.
+func (f *Frontend) maybeReadRepair(kind string, id uint64, c *model.KVCache, src int) {
+	if f.cfg.ReadRepairBudget < 0 || c == nil {
+		return
+	}
+	for _, w := range f.replicaWorkers(routeHash(kind, id), f.replication()) {
+		if w == src {
+			continue
+		}
+		if !f.repairAdmit() {
+			return
+		}
+		f.readRepairs.Inc()
+		f.queueStore(w, kind, id, c)
+	}
+}
+
+// repairAdmit spends one token from the per-second read-repair budget.
+func (f *Frontend) repairAdmit() bool {
+	budget := f.cfg.ReadRepairBudget
+	if budget == 0 {
+		budget = defaultReadRepairBudget
+	}
+	now := time.Now()
+	f.repairMu.Lock()
+	defer f.repairMu.Unlock()
+	if now.Sub(f.repairWindow) >= time.Second {
+		f.repairWindow = now
+		f.repairCount = 0
+	}
+	if f.repairCount >= budget {
+		return false
+	}
+	f.repairCount++
+	return true
 }
 
 // flightCall is one in-flight item-cache fetch other requests can wait on.
@@ -794,7 +1087,7 @@ func (f *Frontend) fetchItemCacheShared(ctx context.Context, it int) *model.KVCa
 	call := &flightCall{done: make(chan struct{})}
 	f.flight[id] = call
 	f.flightMu.Unlock()
-	call.c = f.fetchCache(ctx, f.itemWorker(it), "item", id)
+	call.c = f.fetchReplicated(ctx, "item", id, f.itemReplicas(it))
 	f.flightMu.Lock()
 	delete(f.flight, id)
 	f.flightMu.Unlock()
@@ -880,6 +1173,9 @@ func (f *Frontend) forgetStored(key string) {
 // a delta PATCH expects the worker to still hold.
 const kvChecksumHeader = "X-KV-Checksum"
 
+// kvTokensHeader carries an entry's token count on HEAD probe responses.
+const kvTokensHeader = "X-KV-Tokens"
+
 // storeCache synchronously writes a payload — as a suffix-only delta append
 // when this worker already holds a verified prefix of the entry, else a full
 // PUT — and registers its location; failures are silent (the cache is an
@@ -889,7 +1185,10 @@ func (f *Frontend) storeCache(ctx context.Context, worker int, kind string, id u
 	if worker < 0 || worker >= len(f.cfg.CacheWorkers) {
 		return
 	}
-	key := kind + "/" + strconv.FormatUint(id, 10)
+	// Delta prefixes are tracked per (worker, key): with replication each
+	// replica advances independently, so PATCH vs full PUT is decided per
+	// copy, not per entry.
+	key := kind + "/" + strconv.FormatUint(id, 10) + "@" + strconv.Itoa(worker)
 	if f.tryDeltaStore(ctx, worker, kind, id, key, c) {
 		return
 	}
@@ -967,7 +1266,10 @@ func (f *Frontend) queueStore(worker int, kind string, id uint64, c *model.KVCac
 		f.storeCache(f.storeCtx, worker, kind, id, c)
 		return
 	}
-	key := kind + "/" + strconv.FormatUint(id, 10)
+	// Pending jobs coalesce per (worker, key): replicated stores of one entry
+	// to two workers are distinct jobs, while a re-store of the same replica
+	// just refreshes the queued payload.
+	key := kind + "/" + strconv.FormatUint(id, 10) + "@" + strconv.Itoa(worker)
 	f.storeMu.Lock()
 	if j, ok := f.storePending[key]; ok {
 		j.worker, j.c = worker, c
@@ -982,6 +1284,21 @@ func (f *Frontend) queueStore(worker int, kind string, id uint64, c *model.KVCac
 	default:
 		f.storeMu.Unlock()
 		f.storeDrops.Inc()
+	}
+}
+
+// queueStoreReplicas fans one fresh cache out to its replica set: the first
+// worker is the primary (the pre-replication store), the rest are tagged
+// secondary copies; every copy rides the same write-behind queue and
+// registers its own meta binding on success.
+func (f *Frontend) queueStoreReplicas(kind string, id uint64, c *model.KVCache, workers []int) {
+	for ri, w := range workers {
+		if ri == 0 {
+			f.replicaStores["primary"].Inc()
+		} else {
+			f.replicaStores["secondary"].Inc()
+		}
+		f.queueStore(w, kind, id, c)
 	}
 }
 
@@ -1103,6 +1420,19 @@ type FrontendStats struct {
 	// stores dropped on queue overflow.
 	StoreCoalesced int64 `json:"store_coalesced"`
 	StoreDrops     int64 `json:"store_drops"`
+	// Replication health. Replication is the effective RF; ReplicaStores
+	// counts secondary copies queued by Commit; ReadRepairs counts background
+	// backfills triggered by degraded reads; HedgedFetches counts issued
+	// hedge races and HedgedWins the races the second replica won;
+	// CloseDroppedStores counts queued stores dropped at shutdown after the
+	// bounded flush; Drains counts completed graceful worker drains.
+	Replication        int   `json:"replication"`
+	ReplicaStores      int64 `json:"replica_stores"`
+	ReadRepairs        int64 `json:"read_repairs"`
+	HedgedFetches      int64 `json:"hedged_fetches"`
+	HedgedWins         int64 `json:"hedged_wins"`
+	CloseDroppedStores int64 `json:"close_dropped_stores"`
+	Drains             int64 `json:"drains"`
 	// Guard is the poolguard's view of the cache pool, when one is attached.
 	Guard *PoolGuardStats `json:"poolguard,omitempty"`
 	// Workers is per-target transfer health (workers in index order, then
@@ -1144,6 +1474,15 @@ func (f *Frontend) Stats() FrontendStats {
 	st.DeltaFallbacks = f.deltaFallbacks.Value()
 	st.StoreCoalesced = f.storeCoalesced.Value()
 	st.StoreDrops = f.storeDrops.Value()
+	st.Replication = f.replication()
+	st.ReplicaStores = f.replicaStores["secondary"].Value()
+	st.ReadRepairs = f.readRepairs.Value()
+	st.HedgedWins = f.hedgedCtr["hedged"].Value()
+	for _, c := range f.hedgedCtr {
+		st.HedgedFetches += c.Value()
+	}
+	st.CloseDroppedStores = f.closeDrops.Value()
+	st.Drains = f.drainsCtr.Value()
 	if total := st.ReusedTokens + st.ComputedTokens; total > 0 {
 		st.TokenHitRate = float64(st.ReusedTokens) / float64(total)
 	}
@@ -1156,6 +1495,13 @@ func (f *Frontend) Stats() FrontendStats {
 		st.Guard = &gs
 	}
 	st.Workers = f.transfer.health()
+	f.mu.Lock()
+	for i := range f.draining {
+		if i < len(st.Workers) {
+			st.Workers[i].Draining = f.draining[i]
+		}
+	}
+	f.mu.Unlock()
 	return st
 }
 
@@ -1184,6 +1530,8 @@ func (f *Frontend) Handler() http.Handler {
 		f.writePoolMetrics(rw)
 	})
 	mux.HandleFunc("/debug/trace", f.core.HandleTraces)
+	mux.HandleFunc("/v1/drain", f.handleDrain)
+	mux.HandleFunc("/v1/undrain", f.handleUndrain)
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(rw, "ok")
 	})
@@ -1208,11 +1556,28 @@ func (f *Frontend) writePoolMetrics(w io.Writer) {
 		fmt.Fprintf(w, "bat_transfer_errors_total{target=%q} %d\n", wh.Target, wh.Errors)
 		fmt.Fprintf(w, "bat_transfer_breaker_skips_total{target=%q} %d\n", wh.Target, wh.BreakerSkips)
 	}
+	for i, wh := range st.Workers {
+		if wh.Target == "meta" {
+			continue
+		}
+		v := 0
+		if wh.Draining {
+			v = 1
+		}
+		fmt.Fprintf(w, "bat_worker_draining{worker=\"%d\"} %d\n", i, v)
+	}
 	if st.Guard != nil {
 		fmt.Fprintf(w, "bat_poolguard_probes_total %d\n", st.Guard.Probes)
 		fmt.Fprintf(w, "bat_poolguard_deaths_total %d\n", st.Guard.Deaths)
 		fmt.Fprintf(w, "bat_poolguard_rejoins_total %d\n", st.Guard.Rejoins)
 		fmt.Fprintf(w, "bat_poolguard_repaired_total %d\n", st.Guard.Repaired)
+		fmt.Fprintf(w, "bat_scrub_sweeps_total %d\n", st.Guard.ScrubSweeps)
+		fmt.Fprintf(w, "bat_scrub_repairs_total %d\n", st.Guard.ScrubRepairs)
+		fmt.Fprintf(w, "bat_scrub_divergent_total %d\n", st.Guard.ScrubDivergent)
+		fmt.Fprintf(w, "bat_under_replicated_entries %d\n", st.Guard.UnderReplicated)
+		for _, kind := range []string{"user", "item"} {
+			fmt.Fprintf(w, "bat_replicas_gauge{kind=%q} %g\n", kind, st.Guard.ReplicaAvg[kind])
+		}
 	}
 }
 

@@ -101,6 +101,36 @@ type UnregisterWorkerResponse struct {
 	Hottest []HotEntry `json:"hottest,omitempty"`
 }
 
+// RegisterBatchRequest binds many entries in one round trip — the drain
+// protocol registers a whole worker's moved contents with it.
+type RegisterBatchRequest struct {
+	Entries []RegisterRequest `json:"entries"`
+}
+
+// BindingsRequest asks for one shard of the meta index (the anti-entropy
+// scrubber sweeps the shards round-robin).
+type BindingsRequest struct {
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Limit caps the entries returned (default 2048), keeping the response
+	// under the transfer engine's meta-response cap.
+	Limit int `json:"limit"`
+}
+
+// BoundEntry is one indexed entry with its full replica set.
+type BoundEntry struct {
+	Kind    string `json:"kind"`
+	ID      uint64 `json:"id"`
+	Workers []int  `json:"workers"`
+}
+
+// BindingsResponse is one shard of the index; Truncated reports that Limit
+// cut the listing short (the scrubber will catch the rest next cycle).
+type BindingsResponse struct {
+	Entries   []BoundEntry `json:"entries"`
+	Truncated bool         `json:"truncated,omitempty"`
+}
+
 // entryKindString reverses metaKey for response payloads.
 func entryKindString(k kvcache.EntryKind) string {
 	if k == kvcache.UserEntry {
@@ -116,6 +146,8 @@ func entryKindString(k kvcache.EntryKind) string {
 //	POST /v1/register          {kind,id,worker}
 //	POST /v1/unregister        {kind,id,worker}
 //	POST /v1/unregister_worker {worker,hot_limit} -> {removed,hottest:[...]}
+//	POST /v1/register_batch    {entries:[{kind,id,worker},...]}
+//	POST /v1/bindings          {shard,shards,limit} -> {entries:[...]}
 //	GET  /v1/locate?kind=user&id=5                -> {workers:[...]}
 func (m *MetaServer) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -212,6 +244,53 @@ func (m *MetaServer) Handler() http.Handler {
 			hot = hot[:limit]
 		}
 		writeJSON(rw, UnregisterWorkerResponse{Removed: len(keys), Hottest: hot})
+	})
+	mux.HandleFunc("/v1/register_batch", func(rw http.ResponseWriter, r *http.Request) {
+		var req RegisterBatchRequest
+		if !decodeJSON(rw, r, &req) {
+			return
+		}
+		keys := make([]kvcache.EntryKey, 0, len(req.Entries))
+		for _, e := range req.Entries {
+			key, err := metaKey(e.Kind, e.ID)
+			if err != nil || e.Worker < 0 {
+				http.Error(rw, "bad entry", http.StatusBadRequest)
+				return
+			}
+			keys = append(keys, key)
+		}
+		m.mu.Lock()
+		for i, e := range req.Entries {
+			m.svc.RegisterEntry(keys[i], cachemeta.WorkerID(e.Worker))
+		}
+		m.mu.Unlock()
+		rw.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/v1/bindings", func(rw http.ResponseWriter, r *http.Request) {
+		var req BindingsRequest
+		if !decodeJSON(rw, r, &req) {
+			return
+		}
+		limit := req.Limit
+		if limit <= 0 {
+			limit = 2048
+		}
+		m.mu.Lock()
+		bindings := m.svc.Bindings(req.Shard, req.Shards)
+		m.mu.Unlock()
+		resp := BindingsResponse{Truncated: len(bindings) > limit}
+		if resp.Truncated {
+			bindings = bindings[:limit]
+		}
+		resp.Entries = make([]BoundEntry, len(bindings))
+		for i, b := range bindings {
+			ws := make([]int, len(b.Workers))
+			for j, w := range b.Workers {
+				ws[j] = int(w)
+			}
+			resp.Entries[i] = BoundEntry{Kind: entryKindString(b.Key.Kind), ID: b.Key.ID, Workers: ws}
+		}
+		writeJSON(rw, resp)
 	})
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(rw, "ok")

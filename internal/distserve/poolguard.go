@@ -51,6 +51,15 @@ type PoolGuardConfig struct {
 	// PromotionSlack sizes the dynamic promotion area gating item repairs
 	// (default RepairHot).
 	PromotionSlack int
+	// ScrubInterval is the anti-entropy sweep cadence (scrub.go); 0 = the
+	// 2s default, negative disables scrubbing.
+	ScrubInterval time.Duration
+	// ScrubShards splits the meta index so each sweep walks 1/ScrubShards of
+	// the entries (default 8).
+	ScrubShards int
+	// ScrubMaxRepairs caps re-replications per sweep so a cold start cannot
+	// flood the pool with copy traffic (default 32).
+	ScrubMaxRepairs int
 }
 
 func (c PoolGuardConfig) withDefaults() PoolGuardConfig {
@@ -71,6 +80,15 @@ func (c PoolGuardConfig) withDefaults() PoolGuardConfig {
 	}
 	if c.PromotionSlack <= 0 {
 		c.PromotionSlack = c.RepairHot
+	}
+	if c.ScrubInterval == 0 {
+		c.ScrubInterval = defaultScrubInterval
+	}
+	if c.ScrubShards <= 0 {
+		c.ScrubShards = defaultScrubShards
+	}
+	if c.ScrubMaxRepairs <= 0 {
+		c.ScrubMaxRepairs = defaultScrubMaxRepairs
 	}
 	return c
 }
@@ -98,6 +116,14 @@ type PoolGuard struct {
 	rejoins     int64
 	repaired    int64
 	repairFails int64
+
+	// Anti-entropy scrub state (scrub.go): the next shard to sweep plus
+	// cumulative and last-sweep counters.
+	scrubShard     int
+	scrubSweeps    int64
+	scrubRepairs   int64
+	scrubDivergent int64
+	lastSweep      scrubSweep
 }
 
 // NewPoolGuard attaches a self-healing guard to a frontend. Call Start to
@@ -141,12 +167,20 @@ func (g *PoolGuard) run() {
 	defer close(g.done)
 	ticker := time.NewTicker(g.cfg.ProbeInterval)
 	defer ticker.Stop()
+	var scrubC <-chan time.Time
+	if g.cfg.ScrubInterval > 0 {
+		st := time.NewTicker(g.cfg.ScrubInterval)
+		defer st.Stop()
+		scrubC = st.C
+	}
 	for {
 		select {
 		case <-g.stop:
 			return
 		case <-ticker.C:
 			g.probeAll()
+		case <-scrubC:
+			g.scrubOnce()
 		}
 	}
 }
@@ -293,6 +327,18 @@ type PoolGuardStats struct {
 	// re-replicate (unknown kind or out-of-range ID).
 	RepairFailures int64             `json:"repair_failures"`
 	Workers        []PoolGuardWorker `json:"workers"`
+	// Anti-entropy scrubber: cumulative sweep/repair counters plus the last
+	// sweep's classification — entries checked, entries below the effective
+	// replication factor before repair, and entries with no live replica.
+	ScrubSweeps    int64 `json:"scrub_sweeps"`
+	ScrubRepairs   int64 `json:"scrub_repairs"`
+	ScrubDivergent int64 `json:"scrub_divergent_repairs"`
+	ScrubChecked   int   `json:"scrub_checked"`
+	UnderReplicated int  `json:"under_replicated_entries"`
+	LostEntries     int  `json:"lost_entries"`
+	// ReplicaAvg is the mean live replicas per entry by kind at the last
+	// sweep (0 when the sweep saw no entries of that kind).
+	ReplicaAvg map[string]float64 `json:"replicas_avg"`
 }
 
 // Stats snapshots the guard.
@@ -302,7 +348,19 @@ func (g *PoolGuard) Stats() PoolGuardStats {
 	st := PoolGuardStats{
 		Probes: g.probes, Deaths: g.deaths, Rejoins: g.rejoins,
 		Repaired: g.repaired, RepairFailures: g.repairFails,
-		Workers: make([]PoolGuardWorker, len(g.dead)),
+		Workers:     make([]PoolGuardWorker, len(g.dead)),
+		ScrubSweeps: g.scrubSweeps, ScrubRepairs: g.scrubRepairs,
+		ScrubDivergent:  g.scrubDivergent,
+		ScrubChecked:    g.lastSweep.checked,
+		UnderReplicated: g.lastSweep.under,
+		LostEntries:     g.lastSweep.lost,
+		ReplicaAvg:      map[string]float64{"user": 0, "item": 0},
+	}
+	if g.lastSweep.userEntries > 0 {
+		st.ReplicaAvg["user"] = float64(g.lastSweep.userReplicas) / float64(g.lastSweep.userEntries)
+	}
+	if g.lastSweep.itemEntries > 0 {
+		st.ReplicaAvg["item"] = float64(g.lastSweep.itemReplicas) / float64(g.lastSweep.itemEntries)
 	}
 	for w := range g.dead {
 		st.Workers[w] = PoolGuardWorker{

@@ -73,6 +73,13 @@ type TransferConfig struct {
 	StoreQueueDepth int
 	// StoreWorkers is the write-behind store concurrency (default 2).
 	StoreWorkers int
+	// HedgeQuantile picks the fetch-stage latency quantile whose observed
+	// value arms the hedged-read timer: when a replica fetch has at least one
+	// fallback location and the first attempt is still in flight after that
+	// long, a second fetch races it to the next replica. 0 = default 0.99;
+	// negative disables hedging. Hedging never fires while the fetch-stage
+	// histogram is empty (cold start has no signal to derive a delay from).
+	HedgeQuantile float64
 }
 
 func (c TransferConfig) withDefaults() TransferConfig {
@@ -216,6 +223,10 @@ type WorkerHealth struct {
 	AvgLatencyMs float64 `json:"avg_latency_ms"`
 	Breaker      string  `json:"breaker"`
 	LastError    string  `json:"last_error,omitempty"`
+	// Draining marks a cache worker mid graceful drain: it still serves
+	// reads but stores route elsewhere. Filled by the frontend; always false
+	// for the meta target.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // transferClient is the fault-tolerant transfer engine. Targets 0..N-1 are

@@ -606,7 +606,7 @@ func (c *Core) recordTrace(p *pending, tBatch, tPlanDone, execStart, execEnd, co
 	tr := tb.finish(end, result, batchSize)
 	for _, s := range tr.Spans {
 		if s.Stage == StageFetch {
-			continue // nested detail inside plan; not a lifecycle tile
+			continue // observed at the fetch site; folding here would double-count
 		}
 		c.obs.observeStage(s.Stage, time.Duration(s.DurMs*float64(time.Millisecond)))
 	}

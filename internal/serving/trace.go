@@ -201,7 +201,7 @@ func newObserver(ringSize int) *Observer {
 		ring:  NewTraceRing(ringSize),
 		stage: make(map[string]*metrics.Histogram, len(LifecycleStages)),
 	}
-	for _, s := range append(append([]string(nil), LifecycleStages...), StageStore) {
+	for _, s := range append(append([]string(nil), LifecycleStages...), StageFetch, StageStore) {
 		o.stage[s] = o.reg.LatencyHistogram(`bat_stage_latency_seconds{stage="` + s + `"}`)
 	}
 	o.e2e = o.reg.LatencyHistogram("bat_request_latency_seconds")
