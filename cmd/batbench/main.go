@@ -27,10 +27,11 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink every experiment for a fast smoke run")
 	format := flag.String("format", "text", "output format: text | markdown | csv")
 	list := flag.Bool("list", false, "list artifact IDs and exit")
-	benchJSON := flag.Bool("bench-json", false, "run the engine, serving, and transfer benchmarks and write -bench-out, -serving-bench-out, and -transfer-bench-out")
+	benchJSON := flag.Bool("bench-json", false, "run the engine, serving, transfer, and cluster benchmarks and write -bench-out, -serving-bench-out, -transfer-bench-out, and -cluster-bench-out")
 	benchOut := flag.String("bench-out", "BENCH_engine.json", "engine benchmark output path for -bench-json")
 	servingBenchOut := flag.String("serving-bench-out", "BENCH_serving.json", "serving benchmark output path for -bench-json")
 	transferBenchOut := flag.String("transfer-bench-out", "BENCH_transfer.json", "transfer benchmark output path for -bench-json")
+	clusterBenchOut := flag.String("cluster-bench-out", "BENCH_cluster.json", "cluster routing benchmark output path for -bench-json")
 	flag.Parse()
 
 	if *list {
@@ -75,6 +76,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *transferBenchOut)
+		cres, err := experiments.RunRouterBench(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batbench: router bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(cres.Table().Format())
+		if err := experiments.WriteRouterBenchJSON(*clusterBenchOut, cres); err != nil {
+			fmt.Fprintf(os.Stderr, "batbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *clusterBenchOut)
 		return
 	}
 

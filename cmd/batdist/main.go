@@ -13,6 +13,12 @@
 //
 //	batdist -base-port 9000 -workers 3 -transfer-timeout 2s
 //
+// Attach mode boots only a frontend against a cluster another batdist owns
+// (a second replica for the cmd/batrouter sharded frontend tier):
+//
+//	batdist -base-port 9100 -meta-url http://127.0.0.1:9001 \
+//	        -cache-workers http://127.0.0.1:9002,http://127.0.0.1:9003
+//
 // Then:
 //
 //	curl -s localhost:9000/v1/rank -d '{"user_id":3,"candidate_ids":[1,2,3,4,5,6,7,8,9,10]}'
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	"bat/internal/admission"
@@ -67,6 +74,8 @@ func main() {
 	scrubInterval := flag.Duration("scrub-interval", 2*time.Second, "anti-entropy scrub cadence (negative disables)")
 	hedgeQuantile := flag.Float64("hedge-quantile", 0.99, "fetch-stage latency quantile that arms hedged replica reads (negative disables)")
 	chaos := flag.Bool("chaos", false, "route each cache worker through a fault proxy controlled via POST /chaos?worker=N&mode=error|delay|none on the frontend port")
+	attachMeta := flag.String("meta-url", "", "attach mode: reuse an existing cache meta service instead of booting one (requires -cache-workers)")
+	attachWorkers := flag.String("cache-workers", "", "attach mode: comma-separated existing cache worker URLs (with -meta-url); this process boots only a frontend")
 	flag.Parse()
 
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
@@ -85,9 +94,22 @@ func main() {
 		go func() { errs <- fmt.Errorf("%s: %w", what, http.ListenAndServe(addr, h)) }()
 	}
 
-	meta := distserve.NewMetaServer(300, nil)
-	metaURL := fmt.Sprintf("http://127.0.0.1:%d", *basePort+1)
-	serve(*basePort+1, meta.Handler(), "cache meta service")
+	// Attach mode: -meta-url + -cache-workers boot only a frontend against a
+	// cluster another batdist already owns — the second replica of a sharded
+	// frontend tier (see cmd/batrouter). The attached frontend shares the
+	// meta service and KV pool, so either replica can serve any user.
+	attach := *attachMeta != ""
+	var metaURL string
+	if attach {
+		if *attachWorkers == "" {
+			log.Fatal("batdist: -meta-url requires -cache-workers")
+		}
+		metaURL = strings.TrimRight(*attachMeta, "/")
+	} else {
+		meta := distserve.NewMetaServer(300, nil)
+		metaURL = fmt.Sprintf("http://127.0.0.1:%d", *basePort+1)
+		serve(*basePort+1, meta.Handler(), "cache meta service")
+	}
 
 	// Evictions propagate to the meta service so /v1/locate never reports
 	// entries the pool already dropped.
@@ -116,7 +138,17 @@ func main() {
 	// be injected into a live deployment without killing processes.
 	var workerURLs []string
 	var proxies []*distserve.FaultProxy
-	for i := 0; i < *workers; i++ {
+	if attach {
+		for _, u := range strings.Split(*attachWorkers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workerURLs = append(workerURLs, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(workerURLs) == 0 {
+			log.Fatal("batdist: -cache-workers lists no URLs")
+		}
+	}
+	for i := 0; !attach && i < *workers; i++ {
 		cw, err := distserve.NewCacheWorker(*capacityMB << 20)
 		if err != nil {
 			log.Fatalf("batdist: %v", err)

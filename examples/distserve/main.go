@@ -15,6 +15,12 @@
 // budget then shows the overload ladder serving a degraded retrieval-only
 // response instead of blowing the deadline.
 //
+// Act five stands a second frontend over the same KV pool and puts the
+// routing tier in front of both: the router scores every request across the
+// replicas, then one frontend is killed mid-load — the router fails the
+// in-flight attempt over to the survivor, marks the dead replica, and shifts
+// all routing mass without a single failed rank.
+//
 //	go run ./examples/distserve
 package main
 
@@ -32,6 +38,7 @@ import (
 	"bat/internal/admission"
 	"bat/internal/distserve"
 	"bat/internal/ranking"
+	"bat/internal/routing"
 )
 
 func listen(h http.Handler, what string) string {
@@ -282,4 +289,74 @@ func main() {
 	for i, w := range workers {
 		fmt.Printf("worker %d now holds %d entries (draining=%v)\n", i, w.Stats().Entries, w.Stats().Draining)
 	}
+
+	// Act five — the sharded frontend tier. A second frontend replica attaches
+	// to the same meta service and KV pool, and the routing tier goes in
+	// front of both: cluster admission, scored routing (cache affinity,
+	// least-loaded, round-robin), failover on frontend death.
+	fmt.Println("\n--- routing tier over two frontends; killing one mid-load ---")
+	frontB, err := distserve.NewFrontend(distserve.FrontendConfig{
+		Dataset:      ds,
+		Variant:      ranking.VariantBase,
+		MetaURL:      metaURL,
+		CacheWorkers: workerURLs,
+		Replication:  2,
+		Transfer: distserve.TransferConfig{
+			Timeout:          300 * time.Millisecond,
+			MaxRetries:       1,
+			BreakerThreshold: 3,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvB := &http.Server{Handler: frontB.Handler()}
+	go srvB.Serve(lnB)
+	frontBURL := "http://" + lnB.Addr().String()
+	fmt.Printf("%-22s %s\n", "frontend replica B", frontBURL)
+
+	router, err := routing.NewRouter(routing.RouterConfig{
+		Frontends:    []string{frontURL, frontBURL},
+		PollInterval: 100 * time.Millisecond,
+		FailAfter:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer router.Close()
+	routerURL := listen(router.Handler(), "request router")
+
+	served, failed := 0, 0
+	for i := 0; i < 24; i++ {
+		if i == 8 {
+			// Kill replica B outright — listener and live connections both —
+			// so the next attempt routed there hits a transport error and
+			// must fail over to the survivor.
+			srvB.Close()
+			fmt.Println("frontend replica B killed after 8 requests")
+		}
+		out := rank(routerURL, 20+i%6, cands)
+		if len(out.Ranking) == 0 {
+			failed++
+			continue
+		}
+		served++
+	}
+	rst := router.Stats()
+	fmt.Printf("served %d/%d ranks across the kill (%d failed), %d failovers\n",
+		served, served+failed, failed, rst.Failovers)
+	for _, fs := range rst.Frontends {
+		fmt.Printf("  %-28s alive=%-5v load=%.2f resident_users=%d\n",
+			fs.URL, fs.Alive, fs.Load, fs.ResidentUsers)
+	}
+	fmt.Printf("scorer decisions: %v\n", rst.Decisions)
+	if failed > 0 {
+		log.Fatalf("%d ranks failed across the frontend kill", failed)
+	}
+	fmt.Println("\nthe dead replica cost zero failed ranks: the router retried the")
+	fmt.Println("in-flight attempt on the survivor and shifted all routing mass to it.")
 }

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+
+	"bat/internal/kvcache"
+	"bat/internal/routing"
+	"bat/internal/scheduler"
+	"bat/internal/workload"
+)
+
+// TestDefaultRoutingBitIdenticalToLegacyHash pins the refactor: with no
+// scorer pipeline configured, routeNode must reproduce the pre-refactor
+// nodeFor — splitmix64 of the salted user ID, mod nodes.
+func TestDefaultRoutingBitIdenticalToLegacyHash(t *testing.T) {
+	s, err := New(baseConfig(scheduler.StaticUser{}), tinyGen(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := func(u workload.UserID, nodes int) int {
+		x := uint64(u) + 0x9e37
+		x += 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+		return int(x % uint64(nodes))
+	}
+	for u := workload.UserID(0); u < 5000; u++ {
+		key := kvcache.EntryKey{Kind: kvcache.UserEntry, ID: u}
+		if got, want := s.routeNode(u, key, 0.5), legacy(u, s.cfg.Nodes); got != want {
+			t.Fatalf("routeNode(%d) = %d, legacy nodeFor = %d", u, got, want)
+		}
+	}
+}
+
+// TestScoredRoutingDeterministic: the same seed and trace produce the same
+// stats — the property that keeps scored simulations reproducible.
+func TestScoredRoutingDeterministic(t *testing.T) {
+	run := func() *Stats {
+		cfg := baseConfig(scheduler.StaticUser{})
+		cfg.RoutingScorers = "cache-affinity:2,least-loaded:1,round-robin:0.25"
+		cfg.RoutingSeed = 3
+		g := tinyGen(t)
+		s, err := New(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.RunThroughput(tinyTrace(t, g, 2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a.HitRate() != b.HitRate() || a.QPS != b.QPS || a.Requests != b.Requests {
+		t.Fatalf("scored sim not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestAffinityRoutingBeatsRoundRobinInSim drives the DES through the same
+// scorer pipeline the live router uses: keeping users on the node that
+// already holds their cache must beat spraying them round-robin on user-hit
+// rate (round-robin cold-misses on every node it lands a user's cache is
+// not on).
+func TestAffinityRoutingBeatsRoundRobinInSim(t *testing.T) {
+	run := func(spec string) *Stats {
+		cfg := baseConfig(scheduler.StaticUser{})
+		cfg.RoutingScorers = spec
+		g := tinyGen(t)
+		s, err := New(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.RunThroughput(tinyTrace(t, g, 4000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	userHit := func(st *Stats) float64 {
+		if st.UserLookups == 0 {
+			return 0
+		}
+		return float64(st.UserHits) / float64(st.UserLookups)
+	}
+	aff := run("cache-affinity:4,round-robin:0.25")
+	rr := run("round-robin")
+	if userHit(aff) <= userHit(rr) {
+		t.Fatalf("affinity user-hit rate %.3f not above round-robin %.3f", userHit(aff), userHit(rr))
+	}
+	if aff.HitRate() < rr.HitRate() {
+		t.Fatalf("affinity token hit rate %.3f below round-robin %.3f", aff.HitRate(), rr.HitRate())
+	}
+}
+
+// TestBadScorerSpecRejected: a typo'd routing spec fails construction.
+func TestBadScorerSpecRejected(t *testing.T) {
+	cfg := baseConfig(scheduler.StaticUser{})
+	cfg.RoutingScorers = "cache-afinity"
+	if _, err := New(cfg, tinyGen(t)); err == nil {
+		t.Fatal("bad scorer spec accepted")
+	}
+}
+
+// TestSimAndRouterShareScorerCode is the sim/live contract in one assertion:
+// the pipeline type the simulator builds is the very one the router package
+// exports — there is no simulator-private scorer implementation to drift.
+func TestSimAndRouterShareScorerCode(t *testing.T) {
+	cfg := baseConfig(scheduler.StaticUser{})
+	cfg.RoutingScorers = "cache-affinity"
+	s, err := New(cfg, tinyGen(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *routing.Pipeline = s.router
+	if s.router == nil {
+		t.Fatal("scored config built no pipeline")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"bat/internal/metrics"
 	"bat/internal/model"
 	"bat/internal/placement"
+	"bat/internal/routing"
 	"bat/internal/scheduler"
 	"bat/internal/workload"
 )
@@ -68,6 +69,18 @@ type Config struct {
 	// load bandwidth (default 3 GB/s, NVMe-class).
 	SlowTierBytes int64
 	SlowTierGBps  float64
+
+	// RoutingScorers, when non-empty, replaces the historical user-sticky
+	// hash with the live router's weighted scorer pipeline (see
+	// routing.ParseScorers; e.g. "cache-affinity:2,least-loaded:1"):
+	// requests are routed among nodes by cache residency, normalized busy
+	// time, hotness stickiness, and round-robin — the exact policy code
+	// cmd/batrouter runs, so simulated routing predicts live routing.
+	// Empty keeps the sticky hash (bit-identical to the pre-scorer
+	// simulator).
+	RoutingScorers string
+	// RoutingSeed seeds the scorer pipeline's decision sequence.
+	RoutingSeed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -215,6 +228,14 @@ type Sim struct {
 	cfg  Config
 	gen  *workload.Generator
 	meta *cachemeta.Service
+	// ring and router are the shared routing layer: ring for the sticky
+	// home slot, router (nil unless RoutingScorers is set) for scored
+	// policy routing — the same code the live frontend tier runs.
+	ring   routing.Ring
+	router *routing.Pipeline
+	// busySec is each node's accumulated service time within the current
+	// run; the least-loaded scorer reads it as relative load.
+	busySec []float64
 	// userPools[n] is node n's user cache area (host memory minus the item
 	// area). The item area is virtual: the placement plan answers residency.
 	userPools []*kvcache.Pool
@@ -238,7 +259,16 @@ func New(cfg Config, gen *workload.Generator) (*Sim, error) {
 		cfg:       cfg,
 		gen:       gen,
 		meta:      cachemeta.New(cfg.HotnessWindowSec),
+		ring:      routing.NewRing(cfg.Nodes),
+		busySec:   make([]float64, cfg.Nodes),
 		userPools: make([]*kvcache.Pool, cfg.Nodes),
+	}
+	if cfg.RoutingScorers != "" {
+		scorers, err := routing.ParseScorers(cfg.RoutingScorers)
+		if err != nil {
+			return nil, err
+		}
+		s.router = routing.NewPipeline(cfg.RoutingSeed, scorers...)
 	}
 	for n := range s.userPools {
 		pool, err := kvcache.NewPool(userBytes, cfg.PageBytes, cfg.Model.KVBytesPerToken(), cfg.UserEvict)
@@ -295,10 +325,45 @@ func (s *Sim) maybeRefresh(now float64) {
 // area is carved out.
 func (s *Sim) UserPoolBytes() int64 { return s.userPools[0].CapacityBytes() }
 
-// nodeFor routes a request: user-sticky hashing keeps a user's cache local
-// while spreading the population across nodes.
-func (s *Sim) nodeFor(u workload.UserID) int {
-	return int(mix64(u+0x9e37) % uint64(s.cfg.Nodes))
+// routeNode picks the serving node through the shared routing layer.
+// Without a scorer pipeline this is the historical sticky hash — the user's
+// home slot on the ring (bit-identical to the pre-refactor nodeFor). With
+// Config.RoutingScorers set, the live router's weighted pipeline picks
+// among nodes from simulated load (normalized busy time) and user-cache
+// residency, so the DES exercises exactly the policy code cmd/batrouter
+// serves with.
+func (s *Sim) routeNode(u workload.UserID, userKey kvcache.EntryKey, hotness float64) int {
+	h := routing.Mix64(uint64(u) + 0x9e37)
+	home := s.ring.Home(h)
+	if s.router == nil {
+		return home
+	}
+	var maxBusy float64
+	for _, b := range s.busySec {
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	cands := make([]routing.Candidate, s.cfg.Nodes)
+	for n := range cands {
+		load := 0.0
+		if maxBusy > 0 {
+			load = s.busySec[n] / maxBusy
+		}
+		pool := s.userPools[n]
+		cands[n] = routing.Candidate{
+			Index: n, Alive: true, Load: load,
+			// Pool.Contains is stat- and recency-free, so routing probes
+			// cannot perturb eviction order — the same Peek discipline the
+			// live /v1/load snapshot follows.
+			Resident: func(uint64) bool { return pool.Contains(userKey) },
+		}
+	}
+	dec, ok := s.router.Pick(routing.Request{Key: h, Home: home, Hotness: hotness / (1 + hotness)}, cands)
+	if !ok {
+		return home
+	}
+	return dec.Index
 }
 
 // requestOutcome is the per-request serving result.
@@ -318,10 +383,8 @@ type requestOutcome struct {
 // virtual time now.
 func (s *Sim) serve(req workload.Request, now float64) requestOutcome {
 	gen := s.gen
-	node := s.nodeFor(req.User)
 	rt, items := gen.TokensFor(req)
 	userKey := kvcache.EntryKey{Kind: kvcache.UserEntry, ID: req.User}
-	pool := s.userPools[node]
 
 	// Pool entries carry normalized hotness (count·e^(t/W)) per page:
 	//   - normalization keeps stored minima comparable against this
@@ -329,11 +392,15 @@ func (s *Sim) serve(req workload.Request, now float64) requestOutcome {
 	//     entries (the paper's asynchronous decay);
 	//   - dividing by the entry's page count implements §5.3's objective of
 	//     maximizing access frequency per unit of cache space.
-	pages := pool.PagesFor(rt.UserTokens)
+	// Computed before routing (page geometry is identical across nodes) so
+	// the hotness scorer can see it.
+	pages := s.userPools[0].PagesFor(rt.UserTokens)
 	if pages == 0 {
 		pages = 1
 	}
 	hotness := s.meta.Normalize(s.meta.RecordAccess(userKey, now), now) / float64(pages)
+	node := s.routeNode(req.User, userKey, hotness)
+	pool := s.userPools[node]
 	userCached := pool.Contains(userKey)
 	if s.tiered != nil {
 		userCached = s.tiered[node].Contains(userKey)
@@ -493,16 +560,16 @@ func (s *Sim) RunThroughput(trace *workload.Trace) (*Stats, error) {
 		return nil, fmt.Errorf("cluster: empty trace")
 	}
 	st := &Stats{}
-	busy := make([]float64, s.cfg.Nodes)
+	s.busySec = make([]float64, s.cfg.Nodes)
 	for _, req := range trace.Requests {
 		s.maybeRefresh(req.Time)
 		rt, _ := s.gen.TokensFor(req)
 		out := s.serve(req, req.Time)
-		busy[out.node] += s.serviceTime(out)
+		s.busySec[out.node] += s.serviceTime(out)
 		s.record(st, rt, out, req.Time)
 	}
-	st.NodeBusySec = busy
-	for _, b := range busy {
+	st.NodeBusySec = s.busySec
+	for _, b := range s.busySec {
 		if b > st.Makespan {
 			st.Makespan = b
 		}
@@ -536,12 +603,15 @@ func (s *Sim) RunOpenLoop(trace *workload.Trace, rate float64) (*Stats, error) {
 	}
 	perNode := make([][]job, s.cfg.Nodes)
 	st := &Stats{}
+	s.busySec = make([]float64, s.cfg.Nodes)
 	for _, req := range trace.Requests {
 		arrival := req.Time * scale
 		s.maybeRefresh(arrival)
 		rt, _ := s.gen.TokensFor(req)
 		out := s.serve(req, arrival)
-		perNode[out.node] = append(perNode[out.node], job{arrival, s.serviceTime(out), out.newTokens})
+		svc := s.serviceTime(out)
+		s.busySec[out.node] += svc
+		perNode[out.node] = append(perNode[out.node], job{arrival, svc, out.newTokens})
 		s.record(st, rt, out, arrival)
 	}
 
@@ -591,12 +661,4 @@ func (s *Sim) fillPoolStats(st *Stats) {
 		st.UserHits += p.Hits
 		st.UserLookups += p.Hits + p.Misses
 	}
-}
-
-// mix64 is splitmix64's finalizer (node routing hash).
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
 }

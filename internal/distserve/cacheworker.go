@@ -228,6 +228,34 @@ func (w *CacheWorker) Peek(key string) ([]byte, bool) {
 	return e.data, true
 }
 
+// maxResidentIDs bounds a /v1/keys listing; beyond it the summary is a
+// sample, which a bloom-hint consumer tolerates by design.
+const maxResidentIDs = 65536
+
+// ResidentIDs lists up to max resident entry IDs of the given kind
+// (""=any), mirroring Peek's discipline: a map iteration only — no recency
+// promotion, no hit/miss accounting — so a residency poll can never keep a
+// cold entry warm or reorder eviction. Keys that fail to parse are skipped.
+func (w *CacheWorker) ResidentIDs(kind string, max int) []uint64 {
+	if max <= 0 || max > maxResidentIDs {
+		max = maxResidentIDs
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]uint64, 0, len(w.entries))
+	for k := range w.entries {
+		ekind, id, err := ParseCacheKey(k)
+		if err != nil || (kind != "" && ekind != kind) {
+			continue
+		}
+		if len(out) >= max {
+			break
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
 // SetDraining flips the worker's drain state.
 func (w *CacheWorker) SetDraining(v bool) {
 	w.mu.Lock()
@@ -254,6 +282,13 @@ func (w *CacheWorker) Delete(key string) bool {
 	delete(w.entries, key)
 	w.used -= int64(len(e.data))
 	return true
+}
+
+// ResidentKeys is the GET /v1/keys payload: the worker's resident entry IDs
+// for one kind.
+type ResidentKeys struct {
+	Kind string   `json:"kind"`
+	IDs  []uint64 `json:"ids"`
 }
 
 // WorkerStats is the /stats payload.
@@ -307,6 +342,8 @@ func (w *CacheWorker) readPayload(r *http.Request) ([]byte, error) {
 //	POST   /v1/bulk                  ingest a drain stream of framed entries
 //	POST   /v1/drain                 drain this worker to peers (drain.go)
 //	POST   /v1/resume                leave the draining state
+//	GET    /v1/keys?kind=user        resident entry IDs (Peek discipline:
+//	                                 no LRU touch, no counters)
 //	GET    /stats
 func (w *CacheWorker) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -405,6 +442,18 @@ func (w *CacheWorker) Handler() http.Handler {
 	mux.HandleFunc("/v1/bulk", w.handleBulk)
 	mux.HandleFunc("/v1/drain", w.handleDrain)
 	mux.HandleFunc("/v1/resume", w.handleResume)
+	mux.HandleFunc("/v1/keys", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		max, _ := strconv.Atoi(r.URL.Query().Get("max"))
+		ids := w.ResidentIDs(r.URL.Query().Get("kind"), max)
+		rw.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(rw).Encode(ResidentKeys{Kind: r.URL.Query().Get("kind"), IDs: ids}); err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/stats", func(rw http.ResponseWriter, r *http.Request) {
 		rw.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(rw).Encode(w.Stats()); err != nil {

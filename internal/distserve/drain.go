@@ -3,10 +3,10 @@ package distserve
 // Graceful drain: POST /v1/drain tells a cache worker to stop accepting
 // stores, stream every entry it holds to surviving peers, register the moves
 // in the meta service, and deregister itself — so a planned restart loses
-// nothing. The worker replays the frontend's own replica walk
-// (routeReplicas over the peer list the drain request carries), which is
-// what guarantees drained entries land exactly where the frontend's routing
-// will look for them.
+// nothing. The worker replays the frontend's own replica walk (the shared
+// routing ring over the peer list the drain request carries), which is what
+// guarantees drained entries land exactly where the frontend's routing will
+// look for them.
 //
 // Entries move as a bulk stream of length-prefixed frames over one
 // POST /v1/bulk per target peer:
@@ -30,6 +30,8 @@ import (
 	"sync/atomic"
 
 	"bat/internal/model"
+
+	"bat/internal/routing"
 )
 
 // maxBulkKeyLen bounds bulk-frame keys; real keys are "user/123456" sized.
@@ -187,7 +189,7 @@ func (w *CacheWorker) drainTo(r *http.Request, req DrainRequest) DrainResponse {
 			continue
 		}
 		placed := false
-		for _, t := range routeReplicas(routeHash(kind, id), n, rf, routable) {
+		for _, t := range routing.NewRing(n).Replicas(routing.EntryHash(kind, id), rf, routable) {
 			if !routable(t) {
 				continue // the walk's unroutable-pool fallback slot
 			}

@@ -18,6 +18,7 @@ import (
 	"bat/internal/metrics"
 	"bat/internal/model"
 	"bat/internal/ranking"
+	"bat/internal/routing"
 	"bat/internal/scheduler"
 	"bat/internal/serving"
 )
@@ -88,6 +89,10 @@ type FrontendConfig struct {
 	// (0 = default 2s; negative = abandon the queue immediately, the
 	// pre-flush behavior).
 	CloseFlushTimeout time.Duration
+	// LoadSummaryTTL is how long /v1/load serves a cached user-residency
+	// summary before re-polling the workers (0 = default 1s; negative =
+	// refresh on every request, for tests).
+	LoadSummaryTTL time.Duration
 	// BatchHook, when non-nil, runs before each batch executes (tests).
 	BatchHook func(size int)
 }
@@ -105,6 +110,9 @@ type Frontend struct {
 	transfer *transferClient
 	est      *costmodel.Estimator
 	core     *serving.Core
+	// ring shards entries across the cache workers (the shared consistent
+	// walk from internal/routing; liveness comes from alive/draining).
+	ring routing.Ring
 
 	// flight coalesces concurrent fetches of the same item cache: the first
 	// request becomes the leader and issues the network fetch; followers wait
@@ -133,6 +141,12 @@ type Frontend struct {
 	// bat_replica_stores_total{role="primary"|"secondary"}.
 	hedgedCtr     map[string]*metrics.Counter
 	replicaStores map[string]*metrics.Counter
+
+	// loadMu guards the /v1/load residency summary cache (see load.go).
+	loadMu      sync.Mutex
+	loadSummary *routing.Summary
+	loadUsers   int
+	loadAt      time.Time
 
 	// repairMu guards the read-repair token window (repairs admitted in the
 	// current one-second window).
@@ -255,6 +269,7 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		cfg:    cfg,
 		ranker: r,
 		est:    est,
+		ring:   routing.NewRing(len(cfg.CacheWorkers)),
 		flight: make(map[uint64]*flightCall),
 		alive:  make([]bool, len(cfg.CacheWorkers)),
 	}
@@ -429,65 +444,28 @@ func (f *Frontend) replication() int {
 // around workers the poolguard marked dead or an operator is draining; the
 // *Replicas variants return the full RF-wide replica set for the same hash.
 func (f *Frontend) userWorker(u int) int {
-	return f.replicaWorkers(routeHash("user", uint64(u)), 1)[0]
+	return f.replicaWorkers(routing.EntryHash("user", uint64(u)), 1)[0]
 }
 
 func (f *Frontend) itemWorker(i int) int {
-	return f.replicaWorkers(routeHash("item", uint64(i)), 1)[0]
+	return f.replicaWorkers(routing.EntryHash("item", uint64(i)), 1)[0]
 }
 
 func (f *Frontend) userReplicas(u int) []int {
-	return f.replicaWorkers(routeHash("user", uint64(u)), f.replication())
+	return f.replicaWorkers(routing.EntryHash("user", uint64(u)), f.replication())
 }
 
 func (f *Frontend) itemReplicas(i int) []int {
-	return f.replicaWorkers(routeHash("item", uint64(i)), f.replication())
+	return f.replicaWorkers(routing.EntryHash("item", uint64(i)), f.replication())
 }
 
 // replicaWorkers maps a shard hash to up to rf distinct live, non-draining
-// workers, walking forward from the home slot (and staying home when the
-// whole pool is unroutable — the store will fail harmlessly).
+// workers via the shared routing ring's walk-forward selection (staying home
+// when the whole pool is unroutable — the store will fail harmlessly).
 func (f *Frontend) replicaWorkers(h uint64, rf int) []int {
-	n := len(f.cfg.CacheWorkers)
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return routeReplicas(h, n, rf, func(w int) bool { return f.alive[w] && !f.draining[w] })
-}
-
-// routeHash maps an entry to its shard hash: splitmix64 of the ID, with item
-// IDs salted so the user and item keyspaces interleave differently.
-func routeHash(kind string, id uint64) uint64 {
-	if kind == "item" {
-		return mix(id ^ 0x1234)
-	}
-	return mix(id)
-}
-
-// routeReplicas walks forward from h's home slot collecting up to rf distinct
-// workers that pass ok; an unroutable pool yields just the home slot. The
-// frontend's store routing and a draining worker's peer selection share this
-// walk, so drained entries land exactly where subsequent reads will look.
-func routeReplicas(h uint64, n, rf int, ok func(int) bool) []int {
-	if n <= 0 {
-		return nil
-	}
-	if rf < 1 {
-		rf = 1
-	}
-	if rf > n {
-		rf = n
-	}
-	start := int(h % uint64(n))
-	out := make([]int, 0, rf)
-	for i := 0; i < n && len(out) < rf; i++ {
-		if c := (start + i) % n; ok(c) {
-			out = append(out, c)
-		}
-	}
-	if len(out) == 0 {
-		out = append(out, start)
-	}
-	return out
+	return f.ring.Replicas(h, rf, func(w int) bool { return f.alive[w] && !f.draining[w] })
 }
 
 // SetWorkerAlive marks a cache worker live or dead for write routing. The
@@ -995,7 +973,7 @@ func (f *Frontend) maybeReadRepair(kind string, id uint64, c *model.KVCache, src
 	if f.cfg.ReadRepairBudget < 0 || c == nil {
 		return
 	}
-	for _, w := range f.replicaWorkers(routeHash(kind, id), f.replication()) {
+	for _, w := range f.replicaWorkers(routing.EntryHash(kind, id), f.replication()) {
 		if w == src {
 			continue
 		}
@@ -1508,7 +1486,8 @@ func (f *Frontend) Stats() FrontendStats {
 // Handler exposes the frontend API: POST /v1/rank, GET /v1/stats, GET
 // /metrics (plain-text exposition: the core's per-stage latency histograms
 // and counters plus the frontend's pool/fetch lines), GET /debug/trace (the
-// last-N request traces, fetch spans tagged with worker and outcome), and
+// last-N request traces, fetch spans tagged with worker and outcome), GET
+// /v1/load (the routing tier's load + cache-residency snapshot), and
 // /healthz. /v1/rank runs the serving core's overload ladder — admit (bounded
 // in-flight + wait queue), degrade (retrieval fallback under queue pressure,
 // pool ill-health, or a tight deadline via the frontend's ladder rungs), or
@@ -1530,6 +1509,7 @@ func (f *Frontend) Handler() http.Handler {
 		f.writePoolMetrics(rw)
 	})
 	mux.HandleFunc("/debug/trace", f.core.HandleTraces)
+	mux.HandleFunc("/v1/load", f.handleLoad)
 	mux.HandleFunc("/v1/drain", f.handleDrain)
 	mux.HandleFunc("/v1/undrain", f.handleUndrain)
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
@@ -1579,12 +1559,4 @@ func (f *Frontend) writePoolMetrics(w io.Writer) {
 			fmt.Fprintf(w, "bat_replicas_gauge{kind=%q} %g\n", kind, st.Guard.ReplicaAvg[kind])
 		}
 	}
-}
-
-// mix is splitmix64's finalizer.
-func mix(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
 }

@@ -330,12 +330,12 @@ type PoolGuardStats struct {
 	// Anti-entropy scrubber: cumulative sweep/repair counters plus the last
 	// sweep's classification — entries checked, entries below the effective
 	// replication factor before repair, and entries with no live replica.
-	ScrubSweeps    int64 `json:"scrub_sweeps"`
-	ScrubRepairs   int64 `json:"scrub_repairs"`
-	ScrubDivergent int64 `json:"scrub_divergent_repairs"`
-	ScrubChecked   int   `json:"scrub_checked"`
-	UnderReplicated int  `json:"under_replicated_entries"`
-	LostEntries     int  `json:"lost_entries"`
+	ScrubSweeps     int64 `json:"scrub_sweeps"`
+	ScrubRepairs    int64 `json:"scrub_repairs"`
+	ScrubDivergent  int64 `json:"scrub_divergent_repairs"`
+	ScrubChecked    int   `json:"scrub_checked"`
+	UnderReplicated int   `json:"under_replicated_entries"`
+	LostEntries     int   `json:"lost_entries"`
 	// ReplicaAvg is the mean live replicas per entry by kind at the last
 	// sweep (0 when the sweep saw no entries of that kind).
 	ReplicaAvg map[string]float64 `json:"replicas_avg"`

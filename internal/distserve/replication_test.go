@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bat/internal/model"
+	"bat/internal/routing"
 	"bat/internal/scheduler"
 )
 
@@ -31,23 +32,26 @@ func registerAt(t *testing.T, metaURL, kind string, id uint64, worker int) {
 	}
 }
 
-// TestRouteReplicasWalk pins the shared replica walk's contract: distinct
-// workers, forward order from the home slot, skip-unroutable, home fallback.
+// TestRouteReplicasWalk pins the shared replica walk's contract as the
+// frontend consumes it: distinct workers, forward order from the home slot,
+// skip-unroutable, home fallback. (Bit-level equivalence with the
+// pre-refactor routeReplicas lives in internal/routing's tests.)
 func TestRouteReplicasWalk(t *testing.T) {
 	all := func(int) bool { return true }
-	got := routeReplicas(8, 4, 2, all) // home = 8 % 4 = 0
+	ring := routing.NewRing(4)
+	got := ring.Replicas(8, 2, all) // home = 8 % 4 = 0
 	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
-		t.Fatalf("routeReplicas(8,4,2,all) = %v, want [0 1]", got)
+		t.Fatalf("Replicas(8,2,all) = %v, want [0 1]", got)
 	}
 	skip1 := func(w int) bool { return w != 1 }
-	if got := routeReplicas(9, 4, 2, skip1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+	if got := ring.Replicas(9, 2, skip1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
 		t.Fatalf("walk past unroutable worker = %v, want [2 3]", got)
 	}
 	none := func(int) bool { return false }
-	if got := routeReplicas(9, 4, 2, none); len(got) != 1 || got[0] != 1 {
+	if got := ring.Replicas(9, 2, none); len(got) != 1 || got[0] != 1 {
 		t.Fatalf("unroutable pool fallback = %v, want [1]", got)
 	}
-	if got := routeReplicas(0, 2, 5, all); len(got) != 2 {
+	if got := routing.NewRing(2).Replicas(0, 5, all); len(got) != 2 {
 		t.Fatalf("rf clamp to pool size = %v, want 2 workers", got)
 	}
 }

@@ -21,6 +21,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"bat/internal/routing"
 )
 
 // Scrubber defaults; overridable through PoolGuardConfig.
@@ -32,9 +34,9 @@ const (
 
 // scrubSweep is one sweep's classification summary.
 type scrubSweep struct {
-	checked, under, lost       int
-	userEntries, userReplicas  int
-	itemEntries, itemReplicas  int
+	checked, under, lost      int
+	userEntries, userReplicas int
+	itemEntries, itemReplicas int
 }
 
 // replicaProbe is one live replica's HEAD-probe result.
@@ -127,7 +129,7 @@ func (g *PoolGuard) scrubOnce() {
 			for _, p := range oks {
 				holders[p.worker] = true
 			}
-			for _, t := range g.f.replicaWorkers(routeHash(e.Kind, e.ID), rf) {
+			for _, t := range g.f.replicaWorkers(routing.EntryHash(e.Kind, e.ID), rf) {
 				if holders[t] || repairs >= g.cfg.ScrubMaxRepairs {
 					continue
 				}

@@ -171,6 +171,9 @@ func Registry() []struct {
 		// Transfer-engine benchmark: BKV2 codec MB/s, streamed fetch latency,
 		// and delta-vs-full store bytes (see transferbench.go).
 		{"transferbench", TransferBench},
+		// Routing-tier benchmark: cache-affinity versus round-robin routing
+		// across two serving cells behind a live router (see routerbench.go).
+		{"routerbench", RouterBench},
 		// Beyond the paper's evaluation section: passing claims and design
 		// knobs (see extensions.go).
 		{"ext-candidates", ExtCandidateSweep},

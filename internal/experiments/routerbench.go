@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"bat/internal/admission"
+	"bat/internal/distserve"
+	"bat/internal/ranking"
+	"bat/internal/routing"
+	"bat/internal/scheduler"
+	"bat/internal/workload"
+)
+
+// RouterBenchResult records the sharded-frontend routing tier's measured
+// performance — the BENCH_cluster.json artifact. Two independent serving
+// cells (each its own meta service, cache workers, and frontend) sit behind
+// one router; the same Zipf rank workload is replayed once with the
+// cache-affinity pipeline and once with pure round-robin. Affinity keeps a
+// user on the cell that already holds their KV cache, so its aggregate pool
+// hit rate must beat spraying users across cells.
+type RouterBenchResult struct {
+	Frontends      int     `json:"frontends"`
+	WorkersPerCell int     `json:"workers_per_cell"`
+	Requests       int     `json:"requests"`
+	Users          int     `json:"users"`
+	ZipfA          float64 `json:"zipf_a"`
+
+	Affinity   RouterBenchRun `json:"affinity"`
+	RoundRobin RouterBenchRun `json:"round_robin"`
+
+	// AffinityGain is affinity's pool hit rate minus round-robin's — the
+	// number the CI gate pins above zero.
+	AffinityGain float64 `json:"affinity_hit_rate_gain"`
+}
+
+// RouterBenchRun is one routing policy's side of the comparison.
+type RouterBenchRun struct {
+	Scorers        string           `json:"scorers"`
+	TokenHitRate   float64          `json:"token_hit_rate"`
+	ReusedTokens   int64            `json:"reused_tokens"`
+	ComputedTokens int64            `json:"computed_tokens"`
+	P50Ms          float64          `json:"p50_ms"`
+	P99Ms          float64          `json:"p99_ms"`
+	Decisions      map[string]int64 `json:"decisions"`
+	Failovers      int64            `json:"failovers"`
+}
+
+// routerBenchCell is one self-contained serving cell: meta + workers +
+// frontend, all over real HTTP.
+type routerBenchCell struct {
+	frontend *distserve.Frontend
+	front    *httptest.Server
+	servers  []*httptest.Server
+}
+
+func (c *routerBenchCell) close() {
+	c.frontend.Close()
+	for _, s := range c.servers {
+		s.Close()
+	}
+}
+
+func newRouterBenchCell(ds *ranking.Dataset, workers int) (*routerBenchCell, error) {
+	c := &routerBenchCell{}
+	meta := distserve.NewMetaServer(300, nil)
+	metaSrv := httptest.NewServer(meta.Handler())
+	c.servers = append(c.servers, metaSrv)
+	var urls []string
+	for i := 0; i < workers; i++ {
+		cw, err := distserve.NewCacheWorker(64 << 20)
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		srv := httptest.NewServer(cw.Handler())
+		c.servers = append(c.servers, srv)
+		urls = append(urls, srv.URL)
+	}
+	f, err := distserve.NewFrontend(distserve.FrontendConfig{
+		Dataset:      ds,
+		Variant:      ranking.VariantBase,
+		MetaURL:      metaSrv.URL,
+		CacheWorkers: urls,
+		Policy:       scheduler.StaticUser{},
+		Transfer: distserve.TransferConfig{
+			// Synchronous stores: a user's KV cache is resident before the
+			// response returns, so the very next request can hit it.
+			StoreQueueDepth: -1,
+		},
+		Admission:      admission.Config{MaxInFlight: 8},
+		LoadSummaryTTL: -1, // polls always see fresh residency
+	})
+	if err != nil {
+		for _, s := range c.servers {
+			s.Close()
+		}
+		return nil, err
+	}
+	c.frontend = f
+	c.front = httptest.NewServer(f.Handler())
+	c.servers = append(c.servers, c.front)
+	return c, nil
+}
+
+// runRouterBenchPolicy replays the same closed-loop Zipf workload through a
+// router configured with one scorer spec, over fresh cells.
+func runRouterBenchPolicy(opts Options, spec string, cells, workers, users int, zipfA float64) (*RouterBenchRun, error) {
+	ds, err := ranking.NewDataset(ranking.DatasetConfig{
+		Name: "routerbench", Items: 200, Users: users, Clusters: 4, LatentDim: 8,
+		HistoryMin: 16, HistoryMax: 48, ItemAttrTokens: 2,
+		ClusterNoise: 0.15, Candidates: 32, HardNegatives: 4, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cs []*routerBenchCell
+	defer func() {
+		for _, c := range cs {
+			c.close()
+		}
+	}()
+	var fronts []string
+	for i := 0; i < cells; i++ {
+		c, err := newRouterBenchCell(ds, workers)
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+		fronts = append(fronts, c.front.URL)
+	}
+	scorers, err := routing.ParseScorers(spec)
+	if err != nil {
+		return nil, err
+	}
+	router, err := routing.NewRouter(routing.RouterConfig{
+		Frontends:    fronts,
+		Scorers:      scorers,
+		Seed:         uint64(opts.Seed),
+		Admission:    admission.Config{MaxInFlight: 8},
+		PollInterval: -1, // bench drives the poll clock itself
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+	rsrv := httptest.NewServer(router.Handler())
+	defer rsrv.Close()
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	zipf := workload.NewZipf(users, zipfA)
+	lat := make([]time.Duration, 0, opts.Requests)
+	for i := 0; i < opts.Requests; i++ {
+		if i > 0 && i%200 == 0 {
+			router.PollNow()
+		}
+		user := zipf.Rank(rng.Float64()) - 1
+		cands := make([]int, 10)
+		for j := range cands {
+			cands[j] = rng.Intn(200)
+		}
+		body, err := json.Marshal(map[string]any{"user_id": user, "candidate_ids": cands})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		resp, err := http.Post(rsrv.URL+"/v1/rank", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("routerbench: rank status %d", resp.StatusCode)
+		}
+		lat = append(lat, time.Since(start))
+	}
+
+	run := &RouterBenchRun{Scorers: spec}
+	for _, c := range cs {
+		st := c.frontend.Stats()
+		run.ReusedTokens += st.ReusedTokens
+		run.ComputedTokens += st.ComputedTokens
+	}
+	if total := run.ReusedTokens + run.ComputedTokens; total > 0 {
+		run.TokenHitRate = float64(run.ReusedTokens) / float64(total)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	run.P50Ms = lat[len(lat)/2].Seconds() * 1e3
+	run.P99Ms = lat[len(lat)*99/100].Seconds() * 1e3
+	rst := router.Stats()
+	run.Decisions = rst.Decisions
+	run.Failovers = rst.Failovers
+	return run, nil
+}
+
+// RunRouterBench measures scored routing end to end: two serving cells
+// behind a live router, cache-affinity versus round-robin on the same Zipf
+// workload.
+func RunRouterBench(opts Options) (*RouterBenchResult, error) {
+	opts = opts.withDefaults()
+	requests, users := 600, 96
+	if opts.Quick {
+		requests, users = 200, 64
+	}
+	if opts.Requests > 0 && opts.Requests < requests {
+		requests = opts.Requests
+	}
+	opts.Requests = requests
+	const cells, workers, zipfA = 2, 2, 1.2
+
+	res := &RouterBenchResult{
+		Frontends: cells, WorkersPerCell: workers,
+		Requests: requests, Users: users, ZipfA: zipfA,
+	}
+	aff, err := runRouterBenchPolicy(opts, "cache-affinity:2,least-loaded:1,round-robin:0.25",
+		cells, workers, users, zipfA)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := runRouterBenchPolicy(opts, "round-robin", cells, workers, users, zipfA)
+	if err != nil {
+		return nil, err
+	}
+	res.Affinity, res.RoundRobin = *aff, *rr
+	res.AffinityGain = aff.TokenHitRate - rr.TokenHitRate
+	return res, nil
+}
+
+// RouterBench is the "routerbench" artifact.
+func RouterBench(opts Options) (*Table, error) {
+	res, err := RunRouterBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table(), nil
+}
+
+// Table renders an already-measured result as the "routerbench" artifact.
+func (res *RouterBenchResult) Table() *Table {
+	t := &Table{
+		ID: "routerbench",
+		Title: fmt.Sprintf("Sharded frontend routing (%d cells x %d workers, %d reqs, zipf %.2f)",
+			res.Frontends, res.WorkersPerCell, res.Requests, res.ZipfA),
+		Header: []string{"policy", "pool hit rate", "p50 ms", "p99 ms"},
+	}
+	t.AddRow("cache-affinity", pct(res.Affinity.TokenHitRate), f2(res.Affinity.P50Ms), f2(res.Affinity.P99Ms))
+	t.AddRow("round-robin", pct(res.RoundRobin.TokenHitRate), f2(res.RoundRobin.P50Ms), f2(res.RoundRobin.P99Ms))
+	t.Notes = append(t.Notes,
+		"each cell is an independent meta + cache workers + frontend; the router is the only shared tier",
+		fmt.Sprintf("affinity pool-hit-rate gain over round-robin: %+.1f pts", res.AffinityGain*100),
+		fmt.Sprintf("affinity scorer decisions: %v", res.Affinity.Decisions))
+	return t
+}
+
+// WriteRouterBenchJSON writes the result where the acceptance trajectory
+// expects it (BENCH_cluster.json at the repo root).
+func WriteRouterBenchJSON(path string, res *RouterBenchResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestRouterBenchAffinityBeatsRoundRobin is the routing-tier acceptance
+// gate: on a Zipf workload over two independent serving cells, cache-affinity
+// routing must land a strictly higher aggregate pool hit rate than spraying
+// users round-robin. Quick mode keeps it test-suite sized.
+func TestRouterBenchAffinityBeatsRoundRobin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routerbench boots two full serving cells")
+	}
+	res, err := RunRouterBench(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("affinity hit %.3f (p50 %.2fms p99 %.2fms) vs round-robin %.3f (p50 %.2fms p99 %.2fms)",
+		res.Affinity.TokenHitRate, res.Affinity.P50Ms, res.Affinity.P99Ms,
+		res.RoundRobin.TokenHitRate, res.RoundRobin.P50Ms, res.RoundRobin.P99Ms)
+	if res.Affinity.TokenHitRate <= res.RoundRobin.TokenHitRate {
+		t.Fatalf("cache-affinity hit rate %.3f not above round-robin %.3f",
+			res.Affinity.TokenHitRate, res.RoundRobin.TokenHitRate)
+	}
+	if res.Affinity.Failovers != 0 || res.RoundRobin.Failovers != 0 {
+		t.Fatalf("unexpected failovers with healthy cells: %d / %d",
+			res.Affinity.Failovers, res.RoundRobin.Failovers)
+	}
+	if res.Affinity.Decisions["cache-affinity"] == 0 {
+		t.Fatalf("no cache-affinity decisions recorded: %v", res.Affinity.Decisions)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"bat/internal/costmodel"
 	"bat/internal/model"
+	"bat/internal/routing"
 	"bat/internal/workload"
 )
 
@@ -116,9 +117,10 @@ func (p Plan) Lookup(it workload.ItemID, local int) Location {
 	}
 }
 
-// ShardWorker returns the worker holding a sharded item.
+// ShardWorker returns the worker holding a sharded item: the item's home
+// slot on the shared routing ring over the plan's workers.
 func (p Plan) ShardWorker(it workload.ItemID) int {
-	return int(mix64(uint64(it)) % uint64(p.Workers))
+	return routing.NewRing(p.Workers).Home(routing.Mix64(uint64(it)))
 }
 
 // ItemBytesPerWorker returns the per-worker memory the plan's item area
@@ -350,12 +352,4 @@ func (p Plan) ExpectedAccessSplit(z *workload.Zipf) (local, remote, miss float64
 	remote = shardMass * float64(p.Workers-1) / float64(p.Workers)
 	miss = 1 - cachedMass
 	return local, remote, miss
-}
-
-// mix64 is splitmix64's finalizer, used to shard items evenly.
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
 }

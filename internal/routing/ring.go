@@ -1,0 +1,91 @@
+// Package routing is the single home of request/entry placement policy.
+// Three subsystems used to carry private copies of the same splitmix64 ring:
+// the distserve frontend's cache-shard routing, the static placement plan's
+// item sharding, and the cluster DES's node routing. All of them now route
+// through this package, so a change to the hash or the walk is a change to
+// every plane at once — and the bit-level contract each copy relied on is
+// pinned by equivalence tests against the pre-refactor implementations.
+//
+// Two layers live here:
+//
+//   - Ring: deterministic consistent hashing — a home slot per key plus a
+//     walk-forward replica walk that skips dead or draining members.
+//   - Scorer / Pipeline: policy routing for the frontend tier — weighted
+//     cache-affinity, hotness, least-loaded, and round-robin scorers pick
+//     among live frontend replicas. The cluster simulator drives the same
+//     pipeline, so simulated routing IS live routing.
+package routing
+
+// Mix64 is splitmix64's finalizer, the shared routing hash. Every shard,
+// node, and replica decision in the system keys off this exact bit pattern;
+// changing it invalidates every placed cache entry.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// itemSalt keeps the user and item keyspaces from colliding on the same
+// slots: item IDs are salted before hashing so the two populations
+// interleave differently across the ring.
+const itemSalt = 0x1234
+
+// EntryHash maps a cache entry ("user"/"item" kind + ID) to its shard hash.
+func EntryHash(kind string, id uint64) uint64 {
+	if kind == "item" {
+		return Mix64(id ^ itemSalt)
+	}
+	return Mix64(id)
+}
+
+// Ring is a consistent hash ring over n member slots. It is a value type:
+// membership liveness is the caller's state, passed per-walk as a predicate,
+// so one Ring serves both the frontend (alive/draining arrays under its
+// lock) and the simulator (all members always live).
+type Ring struct {
+	n int
+}
+
+// NewRing builds a ring over n slots.
+func NewRing(n int) Ring { return Ring{n: n} }
+
+// Size returns the member count.
+func (r Ring) Size() int { return r.n }
+
+// Home is the key's primary slot: h mod n.
+func (r Ring) Home(h uint64) int {
+	if r.n <= 0 {
+		return 0
+	}
+	return int(h % uint64(r.n))
+}
+
+// Replicas walks forward from h's home slot collecting up to rf distinct
+// members that pass ok; an unroutable ring yields just the home slot (the
+// caller's operation fails harmlessly there). Store routing, drain peer
+// selection, and scrub targeting all share this walk, so relocated entries
+// land exactly where subsequent reads will look.
+func (r Ring) Replicas(h uint64, rf int, ok func(int) bool) []int {
+	n := r.n
+	if n <= 0 {
+		return nil
+	}
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > n {
+		rf = n
+	}
+	start := int(h % uint64(n))
+	out := make([]int, 0, rf)
+	for i := 0; i < n && len(out) < rf; i++ {
+		if c := (start + i) % n; ok(c) {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, start)
+	}
+	return out
+}

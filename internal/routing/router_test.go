@@ -1,0 +1,283 @@
+package routing
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bat/internal/admission"
+)
+
+// fakeFrontend is a minimal frontend: /v1/load reports a fixed residency
+// summary and zero load, /v1/rank answers 200 and counts.
+type fakeFrontend struct {
+	ranks atomic.Int64
+	users []uint64
+	block chan struct{} // non-nil: /v1/rank waits for a receive
+	srv   *httptest.Server
+}
+
+func newFakeFrontend(t *testing.T, users ...uint64) *fakeFrontend {
+	t.Helper()
+	f := &fakeFrontend{users: users}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/load", func(w http.ResponseWriter, r *http.Request) {
+		sum := NewSummary(0)
+		for _, u := range f.users {
+			sum.Add(EntryHash("user", u))
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"in_flight": 0, "queue_depth": 0,
+			"max_in_flight": 4, "max_queue": 8,
+			"requests": f.ranks.Load(), "resident_users": len(f.users),
+			"users": sum.Encode(),
+		})
+	})
+	mux.HandleFunc("/v1/rank", func(w http.ResponseWriter, r *http.Request) {
+		if f.block != nil {
+			<-f.block
+		}
+		f.ranks.Add(1)
+		fmt.Fprint(w, `{"items":[]}`)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func rankBody(user uint64) *bytes.Reader {
+	return bytes.NewReader([]byte(fmt.Sprintf(`{"user_id": %d, "candidate_ids": [1,2]}`, user)))
+}
+
+func mustScorers(t *testing.T, spec string) []Weighted {
+	t.Helper()
+	s, err := ParseScorers(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRouterRoutesByCacheAffinity: the router sends a user to the frontend
+// whose residency summary already holds that user's cache.
+func TestRouterRoutesByCacheAffinity(t *testing.T) {
+	a := newFakeFrontend(t)       // no caches
+	b := newFakeFrontend(t, 7, 9) // users 7 and 9 resident
+	r, err := NewRouter(RouterConfig{
+		Frontends:    []string{a.srv.URL, b.srv.URL},
+		Scorers:      mustScorers(t, "cache-affinity"),
+		PollInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(srv.URL+"/v1/rank", "application/json", rankBody(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("rank status %d", resp.StatusCode)
+		}
+	}
+	if got := b.ranks.Load(); got != 5 {
+		t.Fatalf("resident frontend served %d of 5", got)
+	}
+	if got := a.ranks.Load(); got != 0 {
+		t.Fatalf("cold frontend served %d, want 0", got)
+	}
+	st := r.Stats()
+	if st.Decisions["cache-affinity"] == 0 {
+		t.Fatalf("no cache-affinity decisions recorded: %+v", st.Decisions)
+	}
+}
+
+// TestRouterOptimisticResidency: after routing a cold user somewhere, the
+// router remembers the placement locally, so the next request for the same
+// user sticks to that frontend even before the next /v1/load poll.
+func TestRouterOptimisticResidency(t *testing.T) {
+	a := newFakeFrontend(t)
+	b := newFakeFrontend(t)
+	r, err := NewRouter(RouterConfig{
+		Frontends:    []string{a.srv.URL, b.srv.URL},
+		Scorers:      mustScorers(t, "cache-affinity:2,round-robin:0.25"),
+		PollInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 6; i++ {
+		resp, err := http.Post(srv.URL+"/v1/rank", "application/json", rankBody(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// First pick is round-robin (cold everywhere); the remaining five must
+	// all follow it via the optimistic summary.
+	if a.ranks.Load() != 0 && b.ranks.Load() != 0 {
+		t.Fatalf("user 42 split across frontends: a=%d b=%d", a.ranks.Load(), b.ranks.Load())
+	}
+	if a.ranks.Load()+b.ranks.Load() != 6 {
+		t.Fatalf("served %d of 6", a.ranks.Load()+b.ranks.Load())
+	}
+}
+
+// TestRouterFailsOverOnDeadFrontend: killing the affinity-preferred frontend
+// mid-run reroutes to the survivor with zero failed requests and a counted
+// failover.
+func TestRouterFailsOverOnDeadFrontend(t *testing.T) {
+	a := newFakeFrontend(t, 7)
+	b := newFakeFrontend(t)
+	r, err := NewRouter(RouterConfig{
+		Frontends:    []string{a.srv.URL, b.srv.URL},
+		Scorers:      mustScorers(t, "cache-affinity"),
+		PollInterval: -1,
+		FailAfter:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	a.srv.Close() // kill the preferred frontend
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(srv.URL+"/v1/rank", "application/json", rankBody(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d status %d, want failover to succeed", i, resp.StatusCode)
+		}
+	}
+	if got := b.ranks.Load(); got != 3 {
+		t.Fatalf("survivor served %d of 3", got)
+	}
+	st := r.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("no failovers counted")
+	}
+	if !strings.Contains(metricsText(t, srv.URL), "bat_route_failovers_total") {
+		t.Fatal("failover counter missing from /metrics")
+	}
+}
+
+// TestRouterAllDead502: with every frontend down the router answers 502,
+// not a hang or a 500.
+func TestRouterAllDead502(t *testing.T) {
+	a := newFakeFrontend(t)
+	r, err := NewRouter(RouterConfig{
+		Frontends:    []string{a.srv.URL},
+		PollInterval: -1,
+		FailAfter:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	a.srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/rank", "application/json", rankBody(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	if r.Stats().NoBackend == 0 {
+		t.Fatal("no_backend not counted")
+	}
+}
+
+// TestRouterShedsAtCapacity: cluster-level admission sheds with 429 +
+// Retry-After once in-flight is saturated and the queue is disabled.
+func TestRouterShedsAtCapacity(t *testing.T) {
+	a := newFakeFrontend(t)
+	a.block = make(chan struct{})
+	r, err := NewRouter(RouterConfig{
+		Frontends:    []string{a.srv.URL},
+		PollInterval: -1,
+		Admission:    admission.Config{MaxInFlight: 1, MaxQueue: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/rank", "application/json", rankBody(1))
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Wait for the first request to occupy the slot inside the backend.
+	deadline := time.After(5 * time.Second)
+	for r.ctl.Stats().InFlight == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("first request never admitted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/rank", "application/json", rankBody(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(a.block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func metricsText(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}

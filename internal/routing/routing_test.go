@@ -1,0 +1,313 @@
+package routing
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// Pre-refactor reference implementations, copied verbatim from the packages
+// that used to own them. These pin the extraction: Ring and the hash helpers
+// must stay bit-identical to every private copy they replaced, or every
+// placed cache entry and simulated routing decision silently moves.
+// ---------------------------------------------------------------------------
+
+// legacyDistserveMix is `mix` from internal/distserve/frontend.go.
+func legacyDistserveMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// legacyRouteHash is `routeHash` from internal/distserve/frontend.go.
+func legacyRouteHash(kind string, id uint64) uint64 {
+	if kind == "item" {
+		return legacyDistserveMix(id ^ 0x1234)
+	}
+	return legacyDistserveMix(id)
+}
+
+// legacyRouteReplicas is `routeReplicas` from internal/distserve/frontend.go.
+func legacyRouteReplicas(h uint64, n, rf int, ok func(int) bool) []int {
+	if n <= 0 {
+		return nil
+	}
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > n {
+		rf = n
+	}
+	start := int(h % uint64(n))
+	out := make([]int, 0, rf)
+	for i := 0; i < n && len(out) < rf; i++ {
+		if c := (start + i) % n; ok(c) {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, start)
+	}
+	return out
+}
+
+// legacyShardWorker is placement.Plan.ShardWorker's body (internal/placement).
+func legacyShardWorker(it uint64, workers int) int {
+	return int(legacyDistserveMix(it) % uint64(workers))
+}
+
+// legacyNodeFor is Sim.nodeFor's body (internal/cluster/sim.go), including
+// its user-ID salt.
+func legacyNodeFor(u uint64, nodes int) int {
+	return int(legacyDistserveMix(u+0x9e37) % uint64(nodes))
+}
+
+func TestMix64MatchesLegacyCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		x := rng.Uint64()
+		if got, want := Mix64(x), legacyDistserveMix(x); got != want {
+			t.Fatalf("Mix64(%#x) = %#x, legacy %#x", x, got, want)
+		}
+	}
+	// The placement and cluster copies were byte-for-byte the same function;
+	// one fixed probe documents that all three legacies agreed.
+	if legacyDistserveMix(42) != Mix64(42) {
+		t.Fatal("legacy finalizers diverged")
+	}
+}
+
+func TestEntryHashMatchesFrontendRouteHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100000; i++ {
+		id := rng.Uint64()
+		for _, kind := range []string{"user", "item"} {
+			if got, want := EntryHash(kind, id), legacyRouteHash(kind, id); got != want {
+				t.Fatalf("EntryHash(%q, %d) = %#x, legacy %#x", kind, id, got, want)
+			}
+		}
+	}
+	if EntryHash("user", 7) == EntryHash("item", 7) {
+		t.Fatal("item salt lost: user and item hashes collide on the same ID")
+	}
+}
+
+func TestRingReplicasMatchesFrontendRouteReplicas(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		n := 1 + rng.Intn(16)
+		rf := rng.Intn(n + 4) // exercise clamping both ways, incl. rf=0
+		h := rng.Uint64()
+		live := make([]bool, n)
+		for w := range live {
+			live[w] = rng.Intn(4) != 0 // ~25% dead, incl. sometimes all dead
+		}
+		ok := func(w int) bool { return live[w] }
+		got := NewRing(n).Replicas(h, rf, ok)
+		want := legacyRouteReplicas(h, n, rf, ok)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Replicas(h=%#x n=%d rf=%d live=%v) = %v, legacy %v", h, n, rf, live, got, want)
+		}
+	}
+	if got := NewRing(0).Replicas(1, 1, func(int) bool { return true }); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+}
+
+func TestRingHomeMatchesPlacementAndClusterHashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100000; i++ {
+		id := rng.Uint64()
+		workers := 1 + rng.Intn(12)
+		if got, want := NewRing(workers).Home(Mix64(id)), legacyShardWorker(id, workers); got != want {
+			t.Fatalf("placement shard: Home(Mix64(%d)) over %d = %d, legacy %d", id, workers, got, want)
+		}
+		nodes := 1 + rng.Intn(12)
+		if got, want := NewRing(nodes).Home(Mix64(id+0x9e37)), legacyNodeFor(id, nodes); got != want {
+			t.Fatalf("cluster node: %d over %d = %d, legacy %d", id, nodes, got, want)
+		}
+	}
+}
+
+func TestRingReplicasProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		n := 1 + rng.Intn(16)
+		rf := 1 + rng.Intn(n)
+		h := rng.Uint64()
+		live := make([]bool, n)
+		anyLive := false
+		for w := range live {
+			live[w] = rng.Intn(3) != 0
+			anyLive = anyLive || live[w]
+		}
+		got := NewRing(n).Replicas(h, rf, func(w int) bool { return live[w] })
+		if len(got) == 0 || len(got) > rf {
+			t.Fatalf("replica count %d outside [1,%d]", len(got), rf)
+		}
+		seen := map[int]bool{}
+		home := int(h % uint64(n))
+		prevOffset := -1
+		for _, w := range got {
+			if w < 0 || w >= n {
+				t.Fatalf("replica %d outside ring of %d", w, n)
+			}
+			if seen[w] {
+				t.Fatalf("duplicate replica %d in %v", w, got)
+			}
+			seen[w] = true
+			if anyLive && !live[w] {
+				t.Fatalf("dead member %d selected from %v (live=%v)", w, got, live)
+			}
+			// Walk order: offsets from home strictly increase.
+			off := (w - home + n) % n
+			if off <= prevOffset {
+				t.Fatalf("walk order violated: %v from home %d", got, home)
+			}
+			prevOffset = off
+		}
+		if !anyLive && (len(got) != 1 || got[0] != home) {
+			t.Fatalf("unroutable ring: got %v, want home [%d]", got, home)
+		}
+	}
+}
+
+// randomCandidates builds a fuzzed candidate snapshot; at least one member
+// is eligible when forceLive is set.
+func randomCandidates(rng *rand.Rand, n int, forceLive bool) []Candidate {
+	cands := make([]Candidate, n)
+	anyLive := false
+	for i := range cands {
+		resident := rng.Intn(2) == 0
+		cands[i] = Candidate{
+			Index:    i,
+			Alive:    rng.Intn(3) != 0,
+			Draining: rng.Intn(5) == 0,
+			Load:     rng.Float64(),
+			Resident: func(uint64) bool { return resident },
+		}
+		anyLive = anyLive || cands[i].eligible()
+	}
+	if forceLive && !anyLive {
+		i := rng.Intn(n)
+		cands[i].Alive = true
+		cands[i].Draining = false
+	}
+	return cands
+}
+
+func TestPipelineDeterministicUnderSeed(t *testing.T) {
+	spec := "cache-affinity:2,hotness:1,least-loaded:1,round-robin:0.5"
+	scorersA, err := ParseScorers(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorersB, _ := ParseScorers(spec)
+	a := NewPipeline(99, scorersA...)
+	b := NewPipeline(99, scorersB...)
+
+	// Identical seeds and identical Pick sequences must produce identical
+	// decisions — the property that makes simulated routing reproducible.
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 5000; i++ {
+		cands := randomCandidates(rng, 1+rng.Intn(8), false)
+		req := Request{Key: rng.Uint64(), Home: rng.Intn(len(cands)), Hotness: rng.Float64()}
+		da, oka := a.Pick(req, cands)
+		db, okb := b.Pick(req, cands)
+		if oka != okb || da != db {
+			t.Fatalf("iteration %d: same seed diverged: %+v/%v vs %+v/%v", i, da, oka, db, okb)
+		}
+	}
+}
+
+func TestPipelineNeverSelectsDeadOrDraining(t *testing.T) {
+	scorers, err := ParseScorers("cache-affinity,hotness,least-loaded,round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(7, scorers...)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20000; i++ {
+		cands := randomCandidates(rng, 1+rng.Intn(6), true)
+		dec, ok := p.Pick(Request{Key: rng.Uint64(), Home: rng.Intn(len(cands)), Hotness: rng.Float64()}, cands)
+		if !ok {
+			t.Fatalf("eligible member present but Pick failed: %+v", cands)
+		}
+		c := cands[dec.Index]
+		if !c.Alive || c.Draining {
+			t.Fatalf("picked ineligible member %d: alive=%v draining=%v", dec.Index, c.Alive, c.Draining)
+		}
+	}
+	// All dead: no decision, never a dead pick.
+	dead := []Candidate{{Index: 0}, {Index: 1, Alive: true, Draining: true}}
+	if dec, ok := p.Pick(Request{}, dead); ok {
+		t.Fatalf("all-dead pool produced decision %+v", dec)
+	}
+}
+
+func TestPipelineAffinityBeatsLoadAtDefaultWeights(t *testing.T) {
+	p := NewPipeline(0, DefaultScorers()...)
+	cands := []Candidate{
+		{Index: 0, Alive: true, Load: 0.9, Resident: func(uint64) bool { return true }},
+		{Index: 1, Alive: true, Load: 0.0, Resident: func(uint64) bool { return false }},
+	}
+	dec, ok := p.Pick(Request{Key: 1}, cands)
+	if !ok || dec.Index != 0 || dec.Scorer != "cache-affinity" {
+		t.Fatalf("warm loaded replica should win under defaults: %+v ok=%v", dec, ok)
+	}
+}
+
+func TestParseScorers(t *testing.T) {
+	ws, err := ParseScorers("cache-affinity:2, least-loaded , round-robin:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 || ws[0].Weight != 2 || ws[1].Weight != 1 || ws[2].Weight != 0.25 {
+		t.Fatalf("parsed %+v", ws)
+	}
+	for _, bad := range []string{"", "nope", "least-loaded:-1", "least-loaded:x"} {
+		if _, err := ParseScorers(bad); err == nil {
+			t.Fatalf("ParseScorers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	s := NewSummary(0)
+	keys := make([]uint64, 0, 2000)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64()
+		keys = append(keys, k)
+		s.Add(k)
+	}
+	dec, err := DecodeSummary(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != s.Len() {
+		t.Fatalf("count %d != %d", dec.Len(), s.Len())
+	}
+	for _, k := range keys {
+		if !dec.Contains(k) {
+			t.Fatalf("false negative on %#x after round trip", k)
+		}
+	}
+	// False-positive rate stays usable at this fill level.
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if dec.Contains(rng.Uint64()) {
+			fp++
+		}
+	}
+	if fp > 2000 { // generous: expected well under 10% at 2000/8192-bit fill
+		t.Fatalf("false positive rate too high: %d/10000", fp)
+	}
+	for _, bad := range []string{"!!!", "AAAA", ""} {
+		if _, err := DecodeSummary(bad); err == nil {
+			t.Fatalf("DecodeSummary(%q) accepted", bad)
+		}
+	}
+}

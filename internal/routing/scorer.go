@@ -1,0 +1,241 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Candidate is one routable member's state at decision time. The caller
+// snapshots whatever plane it runs in — the batrouter fills it from /v1/load
+// polls, the cluster simulator from its virtual-time node state — and the
+// scorers stay plane-agnostic.
+type Candidate struct {
+	Index int
+	// Alive and Draining gate eligibility: the pipeline never picks a dead
+	// or draining member, whatever the scorers say.
+	Alive    bool
+	Draining bool
+	// Load is the member's relative load in [0,1] (1 = the most loaded the
+	// caller can express): in-flight + queue depth against capacity for a
+	// live frontend, normalized busy time for a simulated node.
+	Load float64
+	// Resident reports whether the member's cache plausibly holds the
+	// routing key (bloom summaries may give false positives, never false
+	// negatives). Nil means residency is unknown; affinity scores zero.
+	Resident func(key uint64) bool
+}
+
+func (c Candidate) eligible() bool { return c.Alive && !c.Draining }
+
+// Request is one routing decision's input.
+type Request struct {
+	// Key is the request's routing hash (EntryHash of the user).
+	Key uint64
+	// Home is the key's ring home slot among the candidates, the sticky
+	// target the hotness scorer anchors to.
+	Home int
+	// Hotness is the requester's normalized access frequency in [0,1];
+	// zero when the caller does not track it.
+	Hotness float64
+	// Seq is the pipeline-assigned decision number (seeded), which makes
+	// round-robin deterministic for a fixed seed and call order.
+	Seq uint64
+}
+
+// Scorer rates one eligible candidate in [0,1]. pos is the candidate's
+// position within the eligible set of size n for this decision (the
+// post-filter index round-robin cycles over).
+type Scorer interface {
+	Name() string
+	Score(req Request, c Candidate, pos, n int) float64
+}
+
+// CacheAffinity prefers members whose cache already holds the key: routing
+// a user back to their warm replica turns pool lookups into hits instead of
+// recomputes (xGR's cache-locality placement argument).
+type CacheAffinity struct{}
+
+func (CacheAffinity) Name() string { return "cache-affinity" }
+func (CacheAffinity) Score(req Request, c Candidate, pos, n int) float64 {
+	if c.Resident != nil && c.Resident(req.Key) {
+		return 1
+	}
+	return 0
+}
+
+// Hotness pins hot requesters to their ring home slot: before residency is
+// known (or when summaries lag), a frequently-seen user keeps landing on a
+// stable member, so their cache accretes in one place instead of smearing.
+type Hotness struct{}
+
+func (Hotness) Name() string { return "hotness" }
+func (Hotness) Score(req Request, c Candidate, pos, n int) float64 {
+	if c.Index == req.Home {
+		return req.Hotness
+	}
+	return 0
+}
+
+// LeastLoaded prefers idle members.
+type LeastLoaded struct{}
+
+func (LeastLoaded) Name() string { return "least-loaded" }
+func (LeastLoaded) Score(req Request, c Candidate, pos, n int) float64 {
+	l := c.Load
+	if l < 0 {
+		l = 0
+	}
+	if l > 1 {
+		l = 1
+	}
+	return 1 - l
+}
+
+// RoundRobin cycles the eligible set in decision order — the baseline
+// spreader, and the deterministic tie-breaker of last resort when composed
+// with a small weight under the policy scorers.
+type RoundRobin struct{}
+
+func (RoundRobin) Name() string { return "round-robin" }
+func (RoundRobin) Score(req Request, c Candidate, pos, n int) float64 {
+	if n > 0 && pos == int(req.Seq%uint64(n)) {
+		return 1
+	}
+	return 0
+}
+
+// Weighted pairs a scorer with its blend weight.
+type Weighted struct {
+	Scorer Scorer
+	Weight float64
+}
+
+// scorerFactories maps spec names to constructors for ParseScorers.
+var scorerFactories = map[string]func() Scorer{
+	"cache-affinity": func() Scorer { return CacheAffinity{} },
+	"hotness":        func() Scorer { return Hotness{} },
+	"least-loaded":   func() Scorer { return LeastLoaded{} },
+	"round-robin":    func() Scorer { return RoundRobin{} },
+}
+
+// ScorerNames lists the known scorer spec names, sorted.
+func ScorerNames() []string {
+	names := make([]string, 0, len(scorerFactories))
+	for n := range scorerFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseScorers parses a pipeline spec like
+// "cache-affinity:2,least-loaded:1,round-robin:0.25" — comma-separated
+// name[:weight] terms, weight defaulting to 1.
+func ParseScorers(spec string) ([]Weighted, error) {
+	var out []Weighted
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		name, wstr, hasW := strings.Cut(term, ":")
+		mk, ok := scorerFactories[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("routing: unknown scorer %q (have %s)", name, strings.Join(ScorerNames(), ", "))
+		}
+		w := 1.0
+		if hasW {
+			v, err := strconv.ParseFloat(strings.TrimSpace(wstr), 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("routing: bad weight in %q", term)
+			}
+			w = v
+		}
+		out = append(out, Weighted{Scorer: mk(), Weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("routing: empty scorer spec")
+	}
+	return out, nil
+}
+
+// DefaultScorers is the router's default policy blend: warm-cache affinity
+// dominates, load breaks affinity ties, and a light round-robin term keeps
+// cold traffic spreading instead of piling on member 0.
+func DefaultScorers() []Weighted {
+	return []Weighted{
+		{Scorer: CacheAffinity{}, Weight: 2},
+		{Scorer: LeastLoaded{}, Weight: 1},
+		{Scorer: RoundRobin{}, Weight: 0.25},
+	}
+}
+
+// Decision is one pipeline pick.
+type Decision struct {
+	// Index is the chosen candidate.
+	Index int
+	// Scorer names the scorer whose weighted contribution dominated the
+	// winner's total ("tie" when every contribution was zero) — the label on
+	// bat_route_decisions_total{scorer=...}.
+	Scorer string
+	// Score is the winner's weighted total.
+	Score float64
+}
+
+// Pipeline composes weighted scorers into a deterministic picker: given the
+// same seed, the same sequence of Pick calls, and the same candidate
+// snapshots, it returns the same decisions.
+type Pipeline struct {
+	scorers []Weighted
+	seed    uint64
+	seq     atomic.Uint64
+}
+
+// NewPipeline builds a pipeline; an empty scorer list gets DefaultScorers.
+func NewPipeline(seed uint64, scorers ...Weighted) *Pipeline {
+	if len(scorers) == 0 {
+		scorers = DefaultScorers()
+	}
+	return &Pipeline{scorers: scorers, seed: seed}
+}
+
+// Scorers returns the pipeline's blend (for stats surfaces).
+func (p *Pipeline) Scorers() []Weighted { return p.scorers }
+
+// Pick routes one request among cands. Only live, non-draining candidates
+// are scored; ok is false when none are eligible. Ties break toward the
+// lowest candidate index, so decisions are total-ordered and reproducible.
+func (p *Pipeline) Pick(req Request, cands []Candidate) (Decision, bool) {
+	eligible := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		if c.eligible() {
+			eligible = append(eligible, c)
+		}
+	}
+	if len(eligible) == 0 {
+		return Decision{Index: -1}, false
+	}
+	req.Seq = p.seed + p.seq.Add(1) - 1
+
+	best := Decision{Index: -1, Score: -1}
+	for pos, c := range eligible {
+		total, topW, topName := 0.0, 0.0, ""
+		for _, ws := range p.scorers {
+			contrib := ws.Weight * ws.Scorer.Score(req, c, pos, len(eligible))
+			total += contrib
+			if contrib > topW {
+				topW, topName = contrib, ws.Scorer.Name()
+			}
+		}
+		if total > best.Score || (total == best.Score && best.Index >= 0 && c.Index < best.Index) {
+			if topName == "" {
+				topName = "tie"
+			}
+			best = Decision{Index: c.Index, Scorer: topName, Score: total}
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,107 @@
+package routing
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+)
+
+// summaryProbes is the bloom probe count. With the default 8192 bits and a
+// few thousand resident users, four probes keep the false-positive rate in
+// the low percents — plenty for a routing hint, where a false positive just
+// sends one request to a cache that turns out cold.
+const summaryProbes = 4
+
+// DefaultSummaryBits sizes /v1/load residency summaries: 8192 bits = 1 KiB
+// on the wire per poll.
+const DefaultSummaryBits = 8192
+
+// maxSummaryBits bounds decoded summaries so a hostile or corrupt /v1/load
+// body cannot balloon the router's heap.
+const maxSummaryBits = 1 << 22
+
+// Summary is a fixed-size bloom filter over routing keys — the per-frontend
+// cache-residency hint the affinity scorer consults. Add-only: entries
+// evicted from the cache linger until the summary is rebuilt from the
+// worker's resident set, which the frontend does on a short TTL.
+type Summary struct {
+	bits  []uint64
+	count int
+}
+
+// NewSummary builds a summary with at least nbits bits (rounded up to a
+// multiple of 64; nbits <= 0 takes DefaultSummaryBits).
+func NewSummary(nbits int) *Summary {
+	if nbits <= 0 {
+		nbits = DefaultSummaryBits
+	}
+	return &Summary{bits: make([]uint64, (nbits+63)/64)}
+}
+
+// probe derives the i-th bit index by double hashing: two independent
+// splitmix64 streams, the second forced odd so it cycles the whole table.
+func (s *Summary) probe(key uint64, i int) (word int, mask uint64) {
+	m := uint64(len(s.bits)) * 64
+	h1 := Mix64(key)
+	h2 := Mix64(key^0x9e3779b97f4a7c15) | 1
+	idx := (h1 + uint64(i)*h2) % m
+	return int(idx / 64), 1 << (idx % 64)
+}
+
+// Add folds a routing key into the summary.
+func (s *Summary) Add(key uint64) {
+	for i := 0; i < summaryProbes; i++ {
+		w, m := s.probe(key, i)
+		s.bits[w] |= m
+	}
+	s.count++
+}
+
+// Contains reports whether key was (probably) added. False positives are
+// possible; false negatives are not.
+func (s *Summary) Contains(key uint64) bool {
+	for i := 0; i < summaryProbes; i++ {
+		w, m := s.probe(key, i)
+		if s.bits[w]&m == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns how many keys were added (with multiplicity).
+func (s *Summary) Len() int { return s.count }
+
+// Encode serializes the summary for the /v1/load JSON body: an 8-byte
+// little-endian count header followed by the bit words, base64'd.
+func (s *Summary) Encode() string {
+	buf := make([]byte, 8+len(s.bits)*8)
+	binary.LittleEndian.PutUint64(buf, uint64(s.count))
+	for i, w := range s.bits {
+		binary.LittleEndian.PutUint64(buf[8+i*8:], w)
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// DecodeSummary parses Encode's output.
+func DecodeSummary(enc string) (*Summary, error) {
+	raw, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		return nil, fmt.Errorf("routing: bad summary encoding: %w", err)
+	}
+	if len(raw) < 8 || (len(raw)-8)%8 != 0 {
+		return nil, fmt.Errorf("routing: bad summary length %d", len(raw))
+	}
+	nbits := (len(raw) - 8) * 8
+	if nbits == 0 || nbits > maxSummaryBits {
+		return nil, fmt.Errorf("routing: summary size %d bits out of range", nbits)
+	}
+	s := &Summary{
+		bits:  make([]uint64, nbits/64),
+		count: int(binary.LittleEndian.Uint64(raw)),
+	}
+	for i := range s.bits {
+		s.bits[i] = binary.LittleEndian.Uint64(raw[8+i*8:])
+	}
+	return s, nil
+}

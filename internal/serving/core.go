@@ -339,6 +339,10 @@ func (c *Core) Close() {
 // Admission exposes the overload ladder's front door.
 func (c *Core) Admission() *admission.Controller { return c.adm }
 
+// InFlight reports requests currently between admission and response — the
+// live load gauge the routing tier's /v1/load snapshot exports.
+func (c *Core) InFlight() int { return int(c.inflight.Load()) }
+
 // Observer exposes the core's observability state: the metric registry and
 // the trace ring. Planes register their own metrics into its registry.
 func (c *Core) Observer() *Observer { return c.obs }
