@@ -27,11 +27,12 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink every experiment for a fast smoke run")
 	format := flag.String("format", "text", "output format: text | markdown | csv")
 	list := flag.Bool("list", false, "list artifact IDs and exit")
-	benchJSON := flag.Bool("bench-json", false, "run the engine, serving, transfer, and cluster benchmarks and write -bench-out, -serving-bench-out, -transfer-bench-out, and -cluster-bench-out")
+	benchJSON := flag.Bool("bench-json", false, "run the engine, serving, transfer, cluster, and partition benchmarks and write their -*-out JSON artifacts")
 	benchOut := flag.String("bench-out", "BENCH_engine.json", "engine benchmark output path for -bench-json")
 	servingBenchOut := flag.String("serving-bench-out", "BENCH_serving.json", "serving benchmark output path for -bench-json")
 	transferBenchOut := flag.String("transfer-bench-out", "BENCH_transfer.json", "transfer benchmark output path for -bench-json")
 	clusterBenchOut := flag.String("cluster-bench-out", "BENCH_cluster.json", "cluster routing benchmark output path for -bench-json")
+	partitionBenchOut := flag.String("partition-bench-out", "BENCH_partition.json", "capacity partition benchmark output path for -bench-json")
 	flag.Parse()
 
 	if *list {
@@ -87,6 +88,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *clusterBenchOut)
+		pres, err := experiments.RunPartitionBench(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batbench: partition bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(pres.Table().Format())
+		if err := experiments.WritePartitionBenchJSON(*partitionBenchOut, pres); err != nil {
+			fmt.Fprintf(os.Stderr, "batbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *partitionBenchOut)
 		return
 	}
 

@@ -41,6 +41,7 @@ import (
 
 	"bat/internal/admission"
 	"bat/internal/distserve"
+	"bat/internal/partition"
 	"bat/internal/ranking"
 )
 
@@ -74,10 +75,16 @@ func main() {
 	scrubInterval := flag.Duration("scrub-interval", 2*time.Second, "anti-entropy scrub cadence (negative disables)")
 	hedgeQuantile := flag.Float64("hedge-quantile", 0.99, "fetch-stage latency quantile that arms hedged replica reads (negative disables)")
 	chaos := flag.Bool("chaos", false, "route each cache worker through a fault proxy controlled via POST /chaos?worker=N&mode=error|delay|none on the frontend port")
+	partitionMode := flag.String("partition", "static", "worker cache capacity split between user and item classes: static or adaptive")
+	itemBudgetFraction := flag.Float64("item-budget-fraction", 0.7, "item class share of each worker's capacity when -partition adaptive")
 	attachMeta := flag.String("meta-url", "", "attach mode: reuse an existing cache meta service instead of booting one (requires -cache-workers)")
 	attachWorkers := flag.String("cache-workers", "", "attach mode: comma-separated existing cache worker URLs (with -meta-url); this process boots only a frontend")
 	flag.Parse()
 
+	mode, err := partition.ParseMode(*partitionMode)
+	if err != nil {
+		log.Fatalf("batdist: %v", err)
+	}
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
 		Name: "dist", Items: *items, Users: *users, Clusters: 8, LatentDim: 8,
 		HistoryMin: 8, HistoryMax: 40, ItemAttrTokens: 2,
@@ -154,15 +161,29 @@ func main() {
 			log.Fatalf("batdist: %v", err)
 		}
 		cw.SetEvictHook(unregister(i))
+		handler := cw.Handler()
+		if mode == partition.Adaptive {
+			// Each worker runs its own capacity partition controller: the
+			// user/item byte split starts at -item-budget-fraction and
+			// follows measured marginal utility; bat_partition_* gauges
+			// appear on the worker's /metrics.
+			ctrl, err := distserve.NewWorkerPartition(cw, *itemBudgetFraction, partition.Config{})
+			if err != nil {
+				log.Fatalf("batdist: worker %d partition: %v", i, err)
+			}
+			ctrl.Run()
+			defer ctrl.Stop()
+			handler = distserve.PartitionedWorkerHandler(cw, ctrl)
+		}
 		port := *basePort + 2 + i
 		if *chaos {
 			backendPort := port + *workers
-			serve(backendPort, cw.Handler(), fmt.Sprintf("cache worker %d (backend)", i))
+			serve(backendPort, handler, fmt.Sprintf("cache worker %d (backend)", i))
 			proxy := distserve.NewFaultProxy(fmt.Sprintf("http://127.0.0.1:%d", backendPort))
 			proxies = append(proxies, proxy)
 			serve(port, proxy.Handler(), fmt.Sprintf("cache worker %d (fault proxy)", i))
 		} else {
-			serve(port, cw.Handler(), fmt.Sprintf("cache worker %d", i))
+			serve(port, handler, fmt.Sprintf("cache worker %d", i))
 		}
 		workerURLs = append(workerURLs, fmt.Sprintf("http://127.0.0.1:%d", port))
 	}
@@ -240,8 +261,8 @@ func main() {
 		})
 	}
 	serve(*basePort, front, "inference frontend")
-	fmt.Printf("batdist: overload ladder max-inflight=%d queue=%d deadline=%v; poolguard probing every %v; replication=%d scrub=%v\n",
-		*maxInFlight, *queueDepth, *defaultDeadline, *probeInterval, *replication, *scrubInterval)
+	fmt.Printf("batdist: overload ladder max-inflight=%d queue=%d deadline=%v; poolguard probing every %v; replication=%d scrub=%v partition=%s\n",
+		*maxInFlight, *queueDepth, *defaultDeadline, *probeInterval, *replication, *scrubInterval, mode)
 
 	// Periodically surface the robustness counters so shedding and
 	// self-healing are visible without curling /v1/stats.

@@ -38,6 +38,9 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "most requests packed into one bipartite execution (1 = serialized)")
 	windowPolicy := flag.String("window-policy", "adaptive", "batch-window policy: adaptive (close early when arrivals lull) or fixed (always wait out batch-window)")
 	traceRing := flag.Int("trace-ring", 128, "request traces retained for GET /debug/trace")
+	partitionMode := flag.String("partition", "static", "user/item cache capacity split: static (fixed caps) or adaptive (marginal-utility controller)")
+	maxUserCaches := flag.Int("max-user-caches", 0, "user-cache entry cap (0 = default 256)")
+	maxItemCaches := flag.Int("max-item-caches", 0, "item-cache entry cap (0 = unbounded; adaptive defaults to 4096)")
 	flag.Parse()
 
 	ds, err := ranking.NewDataset(ranking.DatasetConfig{
@@ -62,11 +65,14 @@ func main() {
 		WindowPolicy:    *windowPolicy,
 		MaxBatch:        *maxBatch,
 		TraceRing:       *traceRing,
+		Partition:       *partitionMode,
+		MaxUserCaches:   *maxUserCaches,
+		MaxItemCaches:   *maxItemCaches,
 	})
 	if err != nil {
 		log.Fatalf("batserve: %v", err)
 	}
-	fmt.Printf("batserve: %d items, %d users, model %s, listening on %s\n",
-		*items, *users, variant.Name, *addr)
+	fmt.Printf("batserve: %d items, %d users, model %s, partition %s, listening on %s\n",
+		*items, *users, variant.Name, *partitionMode, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -437,11 +437,11 @@ func (s *Sim) serve(req workload.Request, now float64) requestOutcome {
 		case kvcache.TierFast:
 			out.localReuse = tokens
 			out.newTokens = rt.Total() - tokens
-			s.updateUserHotness(node, userKey, hotness)
+			s.refreshUser(node, userKey, rt.UserTokens, hotness)
 		case kvcache.TierSlow:
 			out.slowReuse = tokens
 			out.newTokens = rt.Total() - tokens
-			s.updateUserHotness(node, userKey, hotness)
+			s.refreshUser(node, userKey, rt.UserTokens, hotness)
 		default:
 			out.newTokens = rt.Total()
 			if dec.AdmitUser {
@@ -492,12 +492,17 @@ func (s *Sim) lookupUser(node int, k kvcache.EntryKey) (tokens int, level kvcach
 	return e.Tokens, kvcache.TierFast
 }
 
-func (s *Sim) updateUserHotness(node int, k kvcache.EntryKey, hotness float64) {
+// refreshUser re-Puts a hit user entry with the session's CURRENT token
+// count. When the user's prefix has grown since admission the pool charges
+// the page delta (evicting under pressure, or keeping the old extent when the
+// grown cache cannot fit) — previously hits only bumped hotness, so growing
+// user caches were never charged and simulated hit rates were inflated.
+func (s *Sim) refreshUser(node int, k kvcache.EntryKey, tokens int, hotness float64) {
 	if s.tiered != nil {
-		s.tiered[node].UpdateHotness(k, hotness)
+		s.tiered[node].Put(k, tokens, hotness)
 		return
 	}
-	s.userPools[node].UpdateHotness(k, hotness)
+	s.userPools[node].Put(k, tokens, hotness)
 }
 
 func (s *Sim) putUser(node int, k kvcache.EntryKey, tokens int, hotness float64) bool {

@@ -121,6 +121,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.ItemBudgetFraction == 0 {
 		o.ItemBudgetFraction = 0.7
 	}
+	if o.ItemBudgetFraction < 0 || o.ItemBudgetFraction > 1 {
+		return o, fmt.Errorf("core: ItemBudgetFraction %v out of range (0, 1]", o.ItemBudgetFraction)
+	}
 	if o.Alpha == 0 {
 		o.Alpha = 0.05
 	}

@@ -54,6 +54,21 @@ func TestBuildRejectsBadProfile(t *testing.T) {
 	}
 }
 
+func TestBuildRejectsBadItemBudgetFraction(t *testing.T) {
+	for _, frac := range []float64{-0.1, 1.5, 100} {
+		opt := testOptions(workload.Books)
+		opt.ItemBudgetFraction = frac
+		if _, err := Build(BAT, opt); err == nil {
+			t.Fatalf("ItemBudgetFraction %v accepted", frac)
+		}
+	}
+	opt := testOptions(workload.Books)
+	opt.ItemBudgetFraction = 1 // exactly all of host memory is legal
+	if _, err := Build(BAT, opt); err != nil {
+		t.Fatalf("ItemBudgetFraction 1 rejected: %v", err)
+	}
+}
+
 func TestSystemStrings(t *testing.T) {
 	want := map[System]string{
 		RE: "RE", UP: "UP", IP: "IP", BAT: "BAT",

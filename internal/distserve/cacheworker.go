@@ -42,9 +42,120 @@ type CacheWorker struct {
 	// working, so a drain never chases a moving target.
 	draining bool
 
+	// Soft per-class partition: when a class ("user"/"item") has a budget,
+	// victim selection prefers the LRU tail of an over-budget class before
+	// the global tail. With no budgets set, eviction is exactly the
+	// historical global LRU. Budgets are advisory (a class may sit over
+	// budget until space is needed), which only ever improves hit rate.
+	classBudget map[string]int64
+	classUsed   map[string]int64
+	classStats  map[string]*cwClassStats
+
 	hits, misses, puts, evictions int64
 	appends, appendRejects        int64
 	drains, bulkStored            int64
+}
+
+// cwClassStats accumulates one class's counters (bytes for hits so the
+// partition controller sees token-proportional weight; counts elsewhere).
+type cwClassStats struct {
+	Hits, Misses, Evictions int64
+	HitBytes                int64
+}
+
+// classOf buckets a cache key into a partition class.
+func classOf(key string) string {
+	kind, _, err := ParseCacheKey(key)
+	if err != nil {
+		return ""
+	}
+	return kind
+}
+
+// bumpClass adjusts a class's resident-byte accounting. Caller holds mu.
+func (w *CacheWorker) bumpClass(class string, delta int64) {
+	if class == "" {
+		return
+	}
+	w.classUsed[class] += delta
+}
+
+// statsFor returns (allocating) a class's counter block. Caller holds mu.
+func (w *CacheWorker) statsFor(class string) *cwClassStats {
+	st, ok := w.classStats[class]
+	if !ok {
+		st = &cwClassStats{}
+		w.classStats[class] = st
+	}
+	return st
+}
+
+// evictOneLocked removes one victim under the partition policy and returns
+// its key. exclude is never chosen (the entry being appended to). Caller
+// holds mu.
+func (w *CacheWorker) evictOneLocked(exclude *cwEntry) (string, bool) {
+	var victim *cwEntry
+	if len(w.classBudget) > 0 {
+		// Prefer the oldest entry of the most over-budget class.
+		worst := int64(0)
+		var worstClass string
+		for class, budget := range w.classBudget {
+			if over := w.classUsed[class] - budget; budget > 0 && over > worst {
+				worst, worstClass = over, class
+			}
+		}
+		if worstClass != "" {
+			for el := w.lru.Back(); el != nil; el = el.Prev() {
+				e := el.Value.(*cwEntry)
+				if e != exclude && e.class == worstClass {
+					victim = e
+					break
+				}
+			}
+		}
+	}
+	if victim == nil {
+		for el := w.lru.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*cwEntry); e != exclude {
+				victim = e
+				break
+			}
+		}
+	}
+	if victim == nil {
+		return "", false
+	}
+	w.lru.Remove(victim.elem)
+	delete(w.entries, victim.key)
+	w.used -= int64(len(victim.data))
+	w.bumpClass(victim.class, -int64(len(victim.data)))
+	w.evictions++
+	if victim.class != "" {
+		w.statsFor(victim.class).Evictions++
+	}
+	return victim.key, true
+}
+
+// SetClassBudget sets (or clears, with 0) one class's soft byte budget and
+// returns the applied budget. Shrinks apply lazily: the class drains toward
+// its new budget as stores need space, so no resident bytes are dropped
+// before the space is actually wanted.
+func (w *CacheWorker) SetClassBudget(class string, bytes int64) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if bytes <= 0 {
+		delete(w.classBudget, class)
+		return 0
+	}
+	w.classBudget[class] = bytes
+	return bytes
+}
+
+// ClassUsage reports one class's resident bytes and budget (0 = unset).
+func (w *CacheWorker) ClassUsage(class string) (used, budget int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.classUsed[class], w.classBudget[class]
 }
 
 // Typed Append failures, mapped to HTTP statuses by the handler. A reject is
@@ -103,25 +214,15 @@ func (w *CacheWorker) Append(key string, from int, checksum uint64, delta []byte
 	grow := int64(len(merged) - len(e.data))
 	var victims []string
 	for w.used+grow > w.capacity {
-		back := w.lru.Back()
-		if back == nil {
+		k, ok := w.evictOneLocked(e)
+		if !ok {
 			break
 		}
-		victim := back.Value.(*cwEntry)
-		if victim == e {
-			// The append target is the coldest entry; refresh it instead of
-			// evicting the thing being grown.
-			w.lru.MoveToFront(e.elem)
-			continue
-		}
-		w.lru.Remove(back)
-		delete(w.entries, victim.key)
-		w.used -= int64(len(victim.data))
-		w.evictions++
-		victims = append(victims, victim.key)
+		victims = append(victims, k)
 	}
 	e.data = merged
 	w.used += grow
+	w.bumpClass(e.class, grow)
 	w.lru.MoveToFront(e.elem)
 	w.appends++
 	hook := w.onEvict
@@ -135,9 +236,10 @@ func (w *CacheWorker) Append(key string, from int, checksum uint64, delta []byte
 }
 
 type cwEntry struct {
-	key  string
-	data []byte
-	elem *list.Element
+	key   string
+	class string // "user", "item", or "" (unparseable key)
+	data  []byte
+	elem  *list.Element
 }
 
 // NewCacheWorker builds a worker with the given byte budget.
@@ -146,9 +248,12 @@ func NewCacheWorker(capacityBytes int64) (*CacheWorker, error) {
 		return nil, fmt.Errorf("distserve: cache worker needs a positive capacity")
 	}
 	return &CacheWorker{
-		capacity: capacityBytes,
-		entries:  make(map[string]*cwEntry),
-		lru:      list.New(),
+		capacity:    capacityBytes,
+		entries:     make(map[string]*cwEntry),
+		lru:         list.New(),
+		classBudget: make(map[string]int64),
+		classUsed:   make(map[string]int64),
+		classStats:  make(map[string]*cwClassStats),
 	}, nil
 }
 
@@ -171,26 +276,23 @@ func (w *CacheWorker) Put(key string, data []byte) error {
 	}
 	if old, ok := w.entries[key]; ok {
 		w.used -= int64(len(old.data))
+		w.bumpClass(old.class, -int64(len(old.data)))
 		w.lru.Remove(old.elem)
 		delete(w.entries, key)
 	}
 	var victims []string
 	for w.used+int64(len(data)) > w.capacity {
-		back := w.lru.Back()
-		if back == nil {
+		k, ok := w.evictOneLocked(nil)
+		if !ok {
 			break
 		}
-		victim := back.Value.(*cwEntry)
-		w.lru.Remove(back)
-		delete(w.entries, victim.key)
-		w.used -= int64(len(victim.data))
-		w.evictions++
-		victims = append(victims, victim.key)
+		victims = append(victims, k)
 	}
-	e := &cwEntry{key: key, data: data}
+	e := &cwEntry{key: key, class: classOf(key), data: data}
 	e.elem = w.lru.PushFront(e)
 	w.entries[key] = e
 	w.used += int64(len(data))
+	w.bumpClass(e.class, int64(len(data)))
 	w.puts++
 	hook := w.onEvict
 	w.mu.Unlock()
@@ -209,10 +311,18 @@ func (w *CacheWorker) Get(key string) ([]byte, bool) {
 	e, ok := w.entries[key]
 	if !ok {
 		w.misses++
+		if class := classOf(key); class != "" {
+			w.statsFor(class).Misses++
+		}
 		return nil, false
 	}
 	w.lru.MoveToFront(e.elem)
 	w.hits++
+	if e.class != "" {
+		st := w.statsFor(e.class)
+		st.Hits++
+		st.HitBytes += int64(len(e.data))
+	}
 	return e.data, true
 }
 
@@ -281,6 +391,7 @@ func (w *CacheWorker) Delete(key string) bool {
 	w.lru.Remove(e.elem)
 	delete(w.entries, key)
 	w.used -= int64(len(e.data))
+	w.bumpClass(e.class, -int64(len(e.data)))
 	return true
 }
 
@@ -310,18 +421,47 @@ type WorkerStats struct {
 	Draining   bool  `json:"draining"`
 	Drains     int64 `json:"drains"`
 	BulkStored int64 `json:"bulk_stored"`
+	// Classes breaks residency and traffic down by cache class when the
+	// worker has seen classed keys (user/item), the partition controller's
+	// per-worker signal.
+	Classes map[string]WorkerClassStats `json:"classes,omitempty"`
+}
+
+// WorkerClassStats is one cache class's slice of WorkerStats.
+type WorkerClassStats struct {
+	UsedBytes   int64 `json:"used_bytes"`
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+	Hits        int64 `json:"hits"`
+	HitBytes    int64 `json:"hit_bytes"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
 }
 
 // Stats snapshots the worker.
 func (w *CacheWorker) Stats() WorkerStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return WorkerStats{
+	st := WorkerStats{
 		Entries: len(w.entries), UsedBytes: w.used, Capacity: w.capacity,
 		Hits: w.hits, Misses: w.misses, Puts: w.puts, Evictions: w.evictions,
 		Appends: w.appends, AppendRejects: w.appendRejects,
 		Draining: w.draining, Drains: w.drains, BulkStored: w.bulkStored,
 	}
+	if len(w.classStats) > 0 || len(w.classUsed) > 0 {
+		st.Classes = make(map[string]WorkerClassStats)
+		for class, cs := range w.classStats {
+			st.Classes[class] = WorkerClassStats{
+				UsedBytes: w.classUsed[class], BudgetBytes: w.classBudget[class],
+				Hits: cs.Hits, HitBytes: cs.HitBytes, Misses: cs.Misses, Evictions: cs.Evictions,
+			}
+		}
+		for class, used := range w.classUsed {
+			if _, ok := st.Classes[class]; !ok {
+				st.Classes[class] = WorkerClassStats{UsedBytes: used, BudgetBytes: w.classBudget[class]}
+			}
+		}
+	}
+	return st
 }
 
 // readPayload buffers an upload body, preallocating from Content-Length and

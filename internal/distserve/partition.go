@@ -1,0 +1,55 @@
+package distserve
+
+import (
+	"net/http"
+
+	"bat/internal/metrics"
+	"bat/internal/partition"
+)
+
+// NewWorkerPartition attaches an adaptive capacity partition controller to a
+// cache worker: the worker's byte budget is split between the "user" and
+// "item" cache classes (itemFraction to items, mirroring
+// core.Options.ItemBudgetFraction), and the controller re-divides the split
+// from the per-class hit/miss counters the worker already keeps. Hit bytes
+// stand in for token-weighted hits — payload size is proportional to token
+// count on the wire.
+//
+// The returned controller is not yet running; call Run (and Stop on
+// shutdown). Pass cfg zero-valued for the documented defaults.
+func NewWorkerPartition(w *CacheWorker, itemFraction float64, cfg partition.Config) (*partition.Controller, error) {
+	total := w.Stats().Capacity
+	itemBudget := int64(itemFraction * float64(total))
+	w.SetClassBudget("item", itemBudget)
+	w.SetClassBudget("user", total-itemBudget)
+	class := func(name string) partition.Class {
+		return partition.Class{
+			Name: name,
+			Stats: func() partition.ClassStats {
+				st := w.Stats().Classes[name]
+				return partition.ClassStats{Hits: st.HitBytes, Misses: st.Misses}
+			},
+			Capacity: func() int64 {
+				_, budget := w.ClassUsage(name)
+				return budget
+			},
+			SetCapacity: func(b int64) int64 { return w.SetClassBudget(name, b) },
+		}
+	}
+	return partition.New(cfg, class("user"), class("item"))
+}
+
+// PartitionedWorkerHandler wraps a worker's handler with the controller's
+// bat_partition_* metrics served at GET /metrics (text exposition), so a
+// partitioned worker exposes its split next to its /stats.
+func PartitionedWorkerHandler(w *CacheWorker, ctrl *partition.Controller) http.Handler {
+	reg := metrics.NewRegistry()
+	ctrl.RegisterMetrics(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/", w.Handler())
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WriteText(rw)
+	})
+	return mux
+}

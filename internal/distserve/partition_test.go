@@ -1,0 +1,164 @@
+package distserve
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bat/internal/partition"
+)
+
+func TestWorkerClassAccounting(t *testing.T) {
+	w, err := NewCacheWorker(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	if err := w.Put("user/1", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("item/1", payload[:500]); err != nil {
+		t.Fatal(err)
+	}
+	if used, _ := w.ClassUsage("user"); used != 1000 {
+		t.Fatalf("user bytes = %d", used)
+	}
+	if used, _ := w.ClassUsage("item"); used != 500 {
+		t.Fatalf("item bytes = %d", used)
+	}
+	w.Get("user/1")
+	w.Get("user/2") // miss
+	w.Delete("item/1")
+	st := w.Stats()
+	uc, ic := st.Classes["user"], st.Classes["item"]
+	if uc.Hits != 1 || uc.Misses != 1 || uc.HitBytes != 1000 {
+		t.Fatalf("user class stats: %+v", uc)
+	}
+	if ic.UsedBytes != 0 {
+		t.Fatalf("item bytes after delete: %d", ic.UsedBytes)
+	}
+	// Replacing a key moves the accounting, not duplicates it.
+	if err := w.Put("user/1", payload[:200]); err != nil {
+		t.Fatal(err)
+	}
+	if used, _ := w.ClassUsage("user"); used != 200 {
+		t.Fatalf("user bytes after replace = %d", used)
+	}
+}
+
+// TestWorkerBudgetSteersEviction fills the worker with both classes, sets an
+// item-squeezing budget, and checks new stores evict the over-budget class
+// first while the global-LRU fallback still works with no budgets.
+func TestWorkerBudgetSteersEviction(t *testing.T) {
+	w, err := NewCacheWorker(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]byte, 1000)
+	for i := 0; i < 5; i++ {
+		w.Put(fmt.Sprintf("item/%d", i), chunk)
+	}
+	for i := 0; i < 5; i++ {
+		w.Put(fmt.Sprintf("user/%d", i), chunk)
+	}
+	// Full. Items are the LRU tail; squeeze USERS via budget and verify the
+	// policy overrides recency.
+	w.SetClassBudget("user", 2000)
+	w.SetClassBudget("item", 8000)
+	for i := 5; i < 8; i++ {
+		if err := w.Put(fmt.Sprintf("item/%d", i), chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	usedU, _ := w.ClassUsage("user")
+	usedI, _ := w.ClassUsage("item")
+	if usedU != 2000 {
+		t.Fatalf("user bytes = %d, want squeezed to 2000", usedU)
+	}
+	if usedI != 8000 {
+		t.Fatalf("item bytes = %d", usedI)
+	}
+	if w.Stats().Classes["user"].Evictions != 3 {
+		t.Fatalf("user evictions: %+v", w.Stats().Classes["user"])
+	}
+	// Clearing budgets restores plain global LRU: the oldest resident is
+	// item/0, and with no user budget squeezing it is the next victim.
+	w.SetClassBudget("user", 0)
+	w.SetClassBudget("item", 0)
+	if err := w.Put("user/9", chunk); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Peek("item/0"); ok {
+		t.Fatal("global LRU tail survived with budgets cleared")
+	}
+	if _, ok := w.Peek("user/3"); !ok {
+		t.Fatal("newer entry evicted ahead of the global tail")
+	}
+}
+
+// TestWorkerPartitionControllerShiftsSplit drives one-sided miss traffic and
+// checks NewWorkerPartition's controller moves the worker's class budgets.
+func TestWorkerPartitionControllerShiftsSplit(t *testing.T) {
+	w, err := NewCacheWorker(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewWorkerPartition(w, 0.5, partition.Config{WindowTicks: 2, StepFraction: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, userBudget0 := w.ClassUsage("user")
+	_, itemBudget0 := w.ClassUsage("item")
+	if userBudget0 != 50_000 || itemBudget0 != 50_000 {
+		t.Fatalf("initial split %d/%d", userBudget0, itemBudget0)
+	}
+	chunk := make([]byte, 500)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 40; i++ {
+			key := fmt.Sprintf("item/%d", round*40+i)
+			if _, ok := w.Get(key); !ok {
+				w.Put(key, chunk)
+			}
+		}
+		w.Get("user/1") // miss, tiny user demand
+		ctrl.Tick()
+	}
+	_, userBudget := w.ClassUsage("user")
+	_, itemBudget := w.ClassUsage("item")
+	if itemBudget <= itemBudget0 {
+		t.Fatalf("item budget did not grow: %d", itemBudget)
+	}
+	if userBudget+itemBudget != 100_000 {
+		t.Fatalf("budgets overcommit the worker: %d + %d", userBudget, itemBudget)
+	}
+}
+
+func TestPartitionedWorkerHandlerServesMetrics(t *testing.T) {
+	w, err := NewCacheWorker(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewWorkerPartition(w, 0.7, partition.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(PartitionedWorkerHandler(w, ctrl))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "bat_partition_capacity_bytes") {
+		t.Fatalf("metrics missing partition gauges:\n%s", body)
+	}
+	// The worker's own routes still work through the wrapper.
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("wrapped /healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}

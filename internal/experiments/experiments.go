@@ -174,6 +174,10 @@ func Registry() []struct {
 		// Routing-tier benchmark: cache-affinity versus round-robin routing
 		// across two serving cells behind a live router (see routerbench.go).
 		{"routerbench", RouterBench},
+		// Capacity-partition benchmark: the adaptive user/item split
+		// controller versus static splits on a shifting workload (see
+		// partitionbench.go).
+		{"partitionbench", PartitionBench},
 		// Beyond the paper's evaluation section: passing claims and design
 		// knobs (see extensions.go).
 		{"ext-candidates", ExtCandidateSweep},

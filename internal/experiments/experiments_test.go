@@ -50,7 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig2a", "fig2b", "fig2c", "fig2d", "table1", "table2",
 		"fig4", "fig5", "fig6", "table3", "fig7", "fig8", "table4",
 		"fig9", "fig10", "fig11", "engine", "servingbench", "transferbench",
-		"routerbench",
+		"routerbench", "partitionbench",
 		"ext-candidates", "ext-alpha", "ext-burst", "ext-tier", "ext-gpu", "ext-oracle"}
 	got := IDs()
 	if len(got) != len(want) {

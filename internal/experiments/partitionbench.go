@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"bat/internal/kvcache"
+	"bat/internal/partition"
+	"bat/internal/workload"
+)
+
+// partitionbench validates the adaptive capacity partition controller on the
+// workload static splits handle worst: a trace whose demand shifts between
+// the user-prefix and HRCS item cache classes.
+//
+// Two kvcache.Pools (one per class) share a fixed byte total across three
+// phases:
+//
+//  1. item-heavy: a hot burst block dominates retrieval while users arrive
+//     uniformly from the full population (no profile reuse);
+//  2. user-heavy: a small active user set returns over and over while
+//     candidates fall back to the Zipf corpus;
+//  3. item-heavy again, with the hot block rotating mid-phase (ChurnSec) —
+//     the hot-item churn stress case.
+//
+// Every static split is wrong for at least one phase. The adaptive run wires
+// a partition.Controller to the pools' token-weighted hit/miss counters and
+// ghost lists (misses on recently evicted keys — the would-have-hit signal)
+// and must beat the best static on combined token hit rate.
+
+// partitionStaticFractions are the static item-fraction baselines the
+// acceptance gate compares against.
+var partitionStaticFractions = []float64{0.5, 0.7, 0.85}
+
+const (
+	partitionBytesPerToken = 256
+	partitionPageBytes     = 4096
+	partitionTotalBytes    = int64(12) << 20
+	partitionActiveUsers   = 30
+)
+
+// PartitionRun is one split policy's side of the comparison.
+type PartitionRun struct {
+	Name string `json:"name"`
+	// ItemFraction is the item class's share of the byte total at boot.
+	ItemFraction float64 `json:"item_fraction"`
+	// TokenHitRate is hit tokens over looked-up tokens across both classes.
+	TokenHitRate float64 `json:"token_hit_rate"`
+	UserHitRate  float64 `json:"user_token_hit_rate"`
+	ItemHitRate  float64 `json:"item_token_hit_rate"`
+	// PhaseHitRates is the combined token hit rate per workload phase.
+	PhaseHitRates []float64 `json:"phase_token_hit_rates"`
+	// FinalItemFraction is where the split ended (equals ItemFraction for
+	// statics; the controller moves it for adaptive).
+	FinalItemFraction float64 `json:"final_item_fraction"`
+	MovedBytes        int64   `json:"moved_bytes,omitempty"`
+	Moves             int64   `json:"moves,omitempty"`
+}
+
+// PartitionBenchResult records the adaptive-vs-static comparison for
+// BENCH_partition.json.
+type PartitionBenchResult struct {
+	Requests   int   `json:"requests"`
+	Seed       int64 `json:"seed"`
+	TotalBytes int64 `json:"total_bytes"`
+	// Adaptive is the controller-driven run; Statics the fixed splits.
+	Adaptive PartitionRun   `json:"adaptive"`
+	Statics  []PartitionRun `json:"statics"`
+	// BestStatic names the strongest static baseline; AdaptiveGain is the
+	// adaptive hit rate minus that baseline's (positive = adaptive wins).
+	BestStatic   string  `json:"best_static"`
+	AdaptiveGain float64 `json:"adaptive_gain"`
+}
+
+// partitionPhase binds one third of the trace to a candidate generator and a
+// user-arrival mode.
+type partitionPhase struct {
+	name string
+	gen  *workload.Generator
+	// activeUsers > 0 draws users from a small recurring set (user-heavy);
+	// 0 draws uniformly from the full population (user churn).
+	activeUsers int
+}
+
+// partitionPhases builds the three-phase shifting workload. The generators
+// share one seed, so token counts per user/item are identical across phases;
+// only the candidate mix shifts.
+func partitionPhases(seed int64) ([]partitionPhase, error) {
+	prof := workload.Games
+	always := func(b workload.Burst) *workload.Burst { b.StartSec, b.EndSec = 0, 1e9; return &b }
+
+	itemA := prof
+	itemA.Burst = always(workload.Burst{FirstItem: 4000, Items: 2000, Share: 0.95})
+	userHeavy := prof // no burst: Zipf + affinity candidates
+	itemB := prof
+	// Rotating hot block: three epochs within the 90-virtual-second phase.
+	itemB.Burst = always(workload.Burst{FirstItem: 1000, Items: 1200, Share: 0.95, ChurnSec: 30})
+
+	phases := make([]partitionPhase, 0, 3)
+	for _, spec := range []struct {
+		name   string
+		prof   workload.Profile
+		active int
+	}{
+		{"item-hot", itemA, 0},
+		{"user-heavy", userHeavy, partitionActiveUsers},
+		{"item-churn", itemB, 0},
+	} {
+		g, err := workload.NewGenerator(spec.prof, seed)
+		if err != nil {
+			return nil, err
+		}
+		phases = append(phases, partitionPhase{name: spec.name, gen: g, activeUsers: spec.active})
+	}
+	return phases, nil
+}
+
+// partitionClassCounters is one class's token-weighted traffic tally.
+type partitionClassCounters struct {
+	hitTokens, missTokens int64
+}
+
+func (c *partitionClassCounters) rate() float64 {
+	total := c.hitTokens + c.missTokens
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hitTokens) / float64(total)
+}
+
+// runPartitionSplit replays the shifting trace against a user/item pool pair
+// booted at itemFrac. With adaptive set, a partition controller re-divides
+// the split from the live counters; otherwise the split is frozen.
+func runPartitionSplit(opts Options, itemFrac float64, adaptive bool) (*PartitionRun, error) {
+	newPool := func(capacity int64) (*kvcache.Pool, error) {
+		return kvcache.NewPool(capacity, partitionPageBytes, partitionBytesPerToken, kvcache.EvictLRU)
+	}
+	itemBytes := int64(itemFrac * float64(partitionTotalBytes))
+	itemPool, err := newPool(itemBytes)
+	if err != nil {
+		return nil, err
+	}
+	userPool, err := newPool(partitionTotalBytes - itemBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	var userC, itemC partitionClassCounters
+	var ctrl *partition.Controller
+	if adaptive {
+		poolClass := func(name string, p *kvcache.Pool, c *partitionClassCounters) partition.Class {
+			return partition.Class{
+				Name: name,
+				Stats: func() partition.ClassStats {
+					return partition.ClassStats{
+						Hits:      c.hitTokens,
+						Misses:    c.missTokens,
+						GhostHits: p.GhostHitTokens,
+					}
+				},
+				Capacity:    p.CapacityBytes,
+				SetCapacity: p.SetCapacityBytes,
+			}
+		}
+		ctrl, err = partition.New(partition.Config{
+			StepFraction:    0.08,
+			FloorFraction:   0.10,
+			Hysteresis:      0.10,
+			WindowTicks:     4,
+			MinSampleTokens: 1000,
+		}, poolClass("user", userPool, &userC), poolClass("item", itemPool, &itemC))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	phases, err := partitionPhases(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x70617274))
+	active := make([]workload.UserID, partitionActiveUsers)
+	for i := range active {
+		// The active set skips rank 0..99 so it does not collide with the
+		// Zipf head the churn phases occasionally sample.
+		active[i] = workload.UserID(100 + i)
+	}
+
+	requests := opts.Requests
+	perPhase := requests / len(phases)
+	tickEvery := perPhase / 33
+	if tickEvery < 10 {
+		tickEvery = 10
+	}
+	phaseRates := make([]float64, len(phases))
+	run := &PartitionRun{Name: fmt.Sprintf("static-%.2f", itemFrac), ItemFraction: itemFrac}
+	if adaptive {
+		run.Name = "adaptive"
+	}
+
+	reqIdx := 0
+	for pi, ph := range phases {
+		startU, startI := userC, itemC
+		n := perPhase
+		if pi == len(phases)-1 {
+			n = requests - perPhase*(len(phases)-1)
+		}
+		for i := 0; i < n; i++ {
+			// Virtual time sweeps 0..90s across the phase so ChurnSec
+			// rotates the hot block mid-phase.
+			t := 90 * float64(i) / float64(n)
+			var u workload.UserID
+			if ph.activeUsers > 0 {
+				u = active[rng.Intn(ph.activeUsers)]
+			} else {
+				u = workload.UserID(rng.Intn(ph.gen.Profile().Users))
+			}
+
+			userKey := kvcache.EntryKey{Kind: kvcache.UserEntry, ID: u}
+			ut := ph.gen.UserTokens(u)
+			if _, ok := userPool.Lookup(userKey); ok {
+				userC.hitTokens += int64(ut)
+			} else {
+				userC.missTokens += int64(ut)
+				userPool.Put(userKey, ut, 1)
+			}
+
+			for _, it := range ph.gen.CandidatesAt(uint64(reqIdx), u, t) {
+				itKey := kvcache.EntryKey{Kind: kvcache.ItemEntry, ID: it}
+				itTok := ph.gen.ItemTokens(it)
+				if _, ok := itemPool.Lookup(itKey); ok {
+					itemC.hitTokens += int64(itTok)
+				} else {
+					itemC.missTokens += int64(itTok)
+					itemPool.Put(itKey, itTok, 1)
+				}
+			}
+			reqIdx++
+			if ctrl != nil && reqIdx%tickEvery == 0 {
+				ctrl.Tick()
+			}
+		}
+		du := partitionClassCounters{userC.hitTokens - startU.hitTokens, userC.missTokens - startU.missTokens}
+		di := partitionClassCounters{itemC.hitTokens - startI.hitTokens, itemC.missTokens - startI.missTokens}
+		both := partitionClassCounters{du.hitTokens + di.hitTokens, du.missTokens + di.missTokens}
+		phaseRates[pi] = both.rate()
+	}
+
+	combined := partitionClassCounters{userC.hitTokens + itemC.hitTokens, userC.missTokens + itemC.missTokens}
+	run.TokenHitRate = combined.rate()
+	run.UserHitRate = userC.rate()
+	run.ItemHitRate = itemC.rate()
+	run.PhaseHitRates = phaseRates
+	run.FinalItemFraction = float64(itemPool.CapacityBytes()) / float64(partitionTotalBytes)
+	if ctrl != nil {
+		st := ctrl.Status()
+		run.MovedBytes, run.Moves = st.MovedBytes, st.Moves
+	}
+	return run, nil
+}
+
+// RunPartitionBench measures the adaptive controller against every static
+// split on the same seeded shifting trace.
+func RunPartitionBench(opts Options) (*PartitionBenchResult, error) {
+	opts = opts.withDefaults()
+	res := &PartitionBenchResult{
+		Requests:   opts.Requests,
+		Seed:       opts.Seed,
+		TotalBytes: partitionTotalBytes,
+	}
+	adaptive, err := runPartitionSplit(opts, 0.5, true)
+	if err != nil {
+		return nil, err
+	}
+	res.Adaptive = *adaptive
+	best := -1.0
+	for _, frac := range partitionStaticFractions {
+		run, err := runPartitionSplit(opts, frac, false)
+		if err != nil {
+			return nil, err
+		}
+		res.Statics = append(res.Statics, *run)
+		if run.TokenHitRate > best {
+			best = run.TokenHitRate
+			res.BestStatic = run.Name
+		}
+	}
+	res.AdaptiveGain = res.Adaptive.TokenHitRate - best
+	return res, nil
+}
+
+// PartitionBench is the "partitionbench" artifact.
+func PartitionBench(opts Options) (*Table, error) {
+	res, err := RunPartitionBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table(), nil
+}
+
+// Table renders an already-measured result as the "partitionbench" artifact.
+func (res *PartitionBenchResult) Table() *Table {
+	t := &Table{
+		ID: "partitionbench",
+		Title: fmt.Sprintf("Adaptive capacity partition vs static splits (%d reqs, %d MiB shared)",
+			res.Requests, res.TotalBytes>>20),
+		Header: []string{"split", "token hit rate", "user", "item", "phase1", "phase2", "phase3", "final item frac"},
+	}
+	row := func(r PartitionRun) {
+		cells := []string{r.Name, pct(r.TokenHitRate), pct(r.UserHitRate), pct(r.ItemHitRate)}
+		for _, pr := range r.PhaseHitRates {
+			cells = append(cells, pct(pr))
+		}
+		cells = append(cells, f2(r.FinalItemFraction))
+		t.AddRow(cells...)
+	}
+	row(res.Adaptive)
+	for _, r := range res.Statics {
+		row(r)
+	}
+	t.Notes = append(t.Notes,
+		"phases: item-hot burst -> user-heavy active set -> item burst with hot-block churn",
+		fmt.Sprintf("adaptive gain over best static (%s): %+.1f pts, %d moves / %d MiB shifted",
+			res.BestStatic, res.AdaptiveGain*100, res.Adaptive.Moves, res.Adaptive.MovedBytes>>20))
+	return t
+}
+
+// WritePartitionBenchJSON writes the result where the acceptance trajectory
+// expects it (BENCH_partition.json at the repo root).
+func WritePartitionBenchJSON(path string, res *PartitionBenchResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPartitionBenchQuick smoke-tests the shifting-workload bench end to end
+// at Quick scale: the comparison runs, rates are sane, and the adaptive
+// controller actually moved capacity.
+func TestPartitionBenchQuick(t *testing.T) {
+	res, err := RunPartitionBench(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Statics) != 3 || res.BestStatic == "" {
+		t.Fatalf("static baselines incomplete: %+v", res)
+	}
+	for _, r := range append([]PartitionRun{res.Adaptive}, res.Statics...) {
+		if r.TokenHitRate <= 0 || r.TokenHitRate >= 1 {
+			t.Fatalf("%s: degenerate hit rate %v", r.Name, r.TokenHitRate)
+		}
+		if len(r.PhaseHitRates) != 3 {
+			t.Fatalf("%s: phase rates %v", r.Name, r.PhaseHitRates)
+		}
+	}
+	if res.Adaptive.Moves == 0 || res.Adaptive.MovedBytes == 0 {
+		t.Fatalf("controller never moved capacity: %+v", res.Adaptive)
+	}
+	for _, r := range res.Statics {
+		// Page-granularity rounding aside, a static split must not move.
+		if diff := r.FinalItemFraction - r.ItemFraction; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("static split drifted: %+v", r)
+		}
+		if r.Moves != 0 {
+			t.Fatalf("static run recorded controller moves: %+v", r)
+		}
+	}
+	if tbl := res.Table(); len(tbl.Rows) != 4 {
+		t.Fatalf("table rows: %d", len(tbl.Rows))
+	}
+}
+
+// TestPartitionGate is the CI acceptance gate for the adaptive capacity
+// partition: on the full seeded shifting trace the controller must beat every
+// static split {0.5, 0.7, 0.85} on combined token hit rate. Opt in with
+// BAT_PARTITION_GATE=1; CI runs it on every push.
+func TestPartitionGate(t *testing.T) {
+	if os.Getenv("BAT_PARTITION_GATE") == "" {
+		t.Skip("set BAT_PARTITION_GATE=1 to run the partition acceptance gate")
+	}
+	res, err := RunPartitionBench(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("adaptive: %.4f (final item frac %.2f, %d moves)",
+		res.Adaptive.TokenHitRate, res.Adaptive.FinalItemFraction, res.Adaptive.Moves)
+	for _, r := range res.Statics {
+		t.Logf("%s: %.4f (phases %v)", r.Name, r.TokenHitRate, r.PhaseHitRates)
+		if res.Adaptive.TokenHitRate <= r.TokenHitRate {
+			t.Errorf("adaptive %.4f does not beat %s %.4f — the controller is not earning its keep",
+				res.Adaptive.TokenHitRate, r.Name, r.TokenHitRate)
+		}
+	}
+	if res.AdaptiveGain <= 0 {
+		t.Fatalf("adaptive gain %+.4f over %s", res.AdaptiveGain, res.BestStatic)
+	}
+}

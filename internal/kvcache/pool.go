@@ -82,9 +82,32 @@ type Pool struct {
 	// hook a slower tier uses to absorb victims (see TieredPool).
 	OnEvict func(*Entry)
 
-	// Stats accumulate over the pool's lifetime.
+	// ghost remembers recently evicted keys (a bounded FIFO of "shadow"
+	// entries). A miss on a ghosted key is a hit the pool would have served
+	// with a little more capacity — the partition controller's direct
+	// Δhits-per-Δbyte evidence, robust where raw miss counts are not
+	// (scan-like traffic misses forever but ghosts never return).
+	ghost    map[EntryKey]*list.Element // key -> ghostLRU element (ghostRec)
+	ghostLRU *list.List                 // front = most recently evicted
+	ghostCap int
+
+	// Stats accumulate over the pool's lifetime. GhostHitTokens sums the
+	// token counts of misses that hit the ghost list.
 	Hits, Misses, Evictions, Rejections int64
+	GhostHits                           int64
+	GhostHitTokens                      int64
 }
+
+// Ghost-list sizing, ARC-style: the shadow list tracks about as many keys as
+// the pool holds residents, so a ghost hit means "roughly 2x capacity would
+// have served this" — the marginal question capacity partitioning asks. A
+// fixed large cap would instead credit scan-like traffic (uniform keys that
+// repeat only over a huge population) with hits no plausible grant converts.
+// maxGhostCap is the hard memory bound, minGhost the small-pool floor.
+const (
+	maxGhostCap = 4096
+	minGhost    = 64
+)
 
 // NewPool builds a pool of capacityBytes split into pageBytes pages, storing
 // entries whose size is tokens*bytesPerToken.
@@ -99,6 +122,9 @@ func NewPool(capacityBytes int64, pageBytes, bytesPerToken int, policy EvictPoli
 		policy:        policy,
 		entries:       make(map[EntryKey]*Entry),
 		lru:           list.New(),
+		ghost:         make(map[EntryKey]*list.Element),
+		ghostLRU:      list.New(),
+		ghostCap:      maxGhostCap,
 	}, nil
 }
 
@@ -111,6 +137,43 @@ func (p *Pool) PagesFor(tokens int) int {
 // CapacityBytes returns the pool's total size.
 func (p *Pool) CapacityBytes() int64 { return int64(p.capacityPages) * int64(p.pageBytes) }
 
+// SetCapacityBytes resizes the pool online — the partition controller's
+// lever. Growth takes effect immediately; shrinking evicts unpinned victims
+// under the pool's policy until the resident pages fit. When the evictable
+// set runs out (pinned pages alone exceed the request) the capacity clamps
+// to the resident footprint, so the invariant UsedBytes() <= CapacityBytes()
+// holds at every step. Returns the applied capacity in bytes, which the
+// caller must treat as authoritative (it may exceed the request after a
+// clamp, and is rounded down to whole pages otherwise).
+func (p *Pool) SetCapacityBytes(capacityBytes int64) int64 {
+	if capacityBytes < 0 {
+		capacityBytes = 0
+	}
+	pages := int(capacityBytes / int64(p.pageBytes))
+	for p.usedPages > pages {
+		if !p.evictOne() {
+			break
+		}
+	}
+	if p.usedPages > pages {
+		pages = p.usedPages
+	}
+	p.capacityPages = pages
+	return p.CapacityBytes()
+}
+
+// PinnedBytes returns the page-rounded bytes held by pinned entries — the
+// hard floor below which SetCapacityBytes cannot shrink the pool.
+func (p *Pool) PinnedBytes() int64 {
+	var pages int
+	for _, e := range p.entries {
+		if e.Pinned {
+			pages += e.Pages
+		}
+	}
+	return int64(pages) * int64(p.pageBytes)
+}
+
 // UsedBytes returns the bytes held by resident entries (page-rounded).
 func (p *Pool) UsedBytes() int64 { return int64(p.usedPages) * int64(p.pageBytes) }
 
@@ -121,10 +184,17 @@ func (p *Pool) FreeBytes() int64 { return p.CapacityBytes() - p.UsedBytes() }
 func (p *Pool) Len() int { return len(p.entries) }
 
 // Lookup finds an entry, recording a hit or miss and refreshing recency.
+// A miss whose key sits on the ghost list (recently evicted) additionally
+// counts as a ghost hit — the would-have-hit signal capacity partitioning
+// feeds on.
 func (p *Pool) Lookup(k EntryKey) (*Entry, bool) {
 	e, ok := p.entries[k]
 	if !ok {
 		p.Misses++
+		if el, ghosted := p.ghost[k]; ghosted {
+			p.GhostHits++
+			p.GhostHitTokens += int64(el.Value.(ghostRec).tokens)
+		}
 		return nil, false
 	}
 	p.Hits++
@@ -166,6 +236,13 @@ func (p *Pool) MinHotness() (float64, bool) {
 // It reports the entry and whether it is resident afterwards; insertion fails
 // (a rejection) when the entry cannot fit even after evicting everything
 // evictable, or when pinned space plus this entry exceeds capacity.
+//
+// Re-Putting a resident key refreshes recency and hotness AND re-sizes the
+// entry: page accounting follows the new token count, with the page delta
+// charged (evicting victims as needed) or released. When a grown entry
+// cannot fit even after evicting everything evictable, the old extent is
+// kept (the entry stays resident at its previous size) and the failed grow
+// counts as a rejection. A changed pinned flag takes effect on re-Put.
 func (p *Pool) Put(k EntryKey, tokens int, hotness float64) (*Entry, bool) {
 	return p.put(k, tokens, hotness, false)
 }
@@ -181,12 +258,7 @@ func (p *Pool) put(k EntryKey, tokens int, hotness float64, pinned bool) (*Entry
 		return nil, false
 	}
 	if old, ok := p.entries[k]; ok {
-		old.Hotness = hotness
-		p.fixHeap(old)
-		if old.lruElem != nil {
-			p.lru.MoveToFront(old.lruElem)
-		}
-		return old, true
+		return p.refresh(old, tokens, hotness, pinned)
 	}
 	need := p.PagesFor(tokens)
 	if need > p.capacityPages {
@@ -202,14 +274,77 @@ func (p *Pool) put(k EntryKey, tokens int, hotness float64, pinned bool) (*Entry
 	e := &Entry{Key: k, Tokens: tokens, Pages: need, Hotness: hotness, Pinned: pinned, resident: true, heapIdx: -1}
 	p.entries[k] = e
 	p.usedPages += need
-	if !pinned {
-		if p.policy == EvictMinHotness {
-			heap.Push(&p.hotHeap, e)
-		} else {
-			e.lruElem = p.lru.PushFront(e)
-		}
-	}
+	p.dropGhost(k)
+	p.attach(e)
 	return e, true
+}
+
+// refresh re-Puts a resident entry: recency, hotness, pinning, and — unlike
+// the historical code path, which silently kept the stale Tokens/Pages — the
+// page accounting all follow the caller's latest view of the entry. The
+// entry is detached from the eviction structures for the duration so a grow
+// can never evict the very entry being grown.
+func (p *Pool) refresh(e *Entry, tokens int, hotness float64, pinned bool) (*Entry, bool) {
+	e.Hotness = hotness
+	p.detach(e)
+	need := p.PagesFor(tokens)
+	switch {
+	case need > e.Pages:
+		grew := true
+		if need > p.capacityPages {
+			grew = false
+		}
+		for grew && p.usedPages-e.Pages+need > p.capacityPages {
+			if !p.evictOne() {
+				grew = false
+			}
+		}
+		if !grew {
+			// Reject-and-keep-old: the grown extent cannot fit, so the entry
+			// survives at its previous size and the grow is a rejection.
+			p.Rejections++
+			e.Pinned = pinned
+			p.attach(e)
+			return e, true
+		}
+		p.usedPages += need - e.Pages
+		e.Tokens, e.Pages = tokens, need
+	case need < e.Pages:
+		p.usedPages -= e.Pages - need
+		e.Tokens, e.Pages = tokens, need
+	default:
+		e.Tokens = tokens
+	}
+	e.Pinned = pinned
+	p.attach(e)
+	return e, true
+}
+
+// detach removes an entry from the eviction structures (LRU list or hotness
+// heap) without touching residency or accounting.
+func (p *Pool) detach(e *Entry) {
+	if e.lruElem != nil {
+		p.lru.Remove(e.lruElem)
+		e.lruElem = nil
+	}
+	if e.heapIdx >= 0 {
+		heap.Remove(&p.hotHeap, e.heapIdx)
+	}
+}
+
+// attach (re-)enters an unpinned entry into the pool's eviction structure at
+// most-recent position; pinned entries stay out of both structures.
+func (p *Pool) attach(e *Entry) {
+	if e.Pinned {
+		return
+	}
+	if p.policy == EvictMinHotness {
+		if e.heapIdx < 0 {
+			heap.Push(&p.hotHeap, e)
+		}
+	} else if e.lruElem == nil {
+		e.lruElem = p.lru.PushFront(e)
+	}
 }
 
 // evictOne removes one unpinned victim under the pool's policy.
@@ -230,10 +365,56 @@ func (p *Pool) evictOne() bool {
 	}
 	p.remove(victim)
 	p.Evictions++
+	p.addGhost(victim.Key, victim.Tokens)
 	if p.OnEvict != nil {
 		p.OnEvict(victim)
 	}
 	return true
+}
+
+// ghostRec is one shadow entry: an evicted key and the tokens it held.
+type ghostRec struct {
+	key    EntryKey
+	tokens int
+}
+
+// ghostLimit sizes the shadow list to the current resident count (clamped to
+// [minGhost, ghostCap]).
+func (p *Pool) ghostLimit() int {
+	n := len(p.entries)
+	if n < minGhost {
+		n = minGhost
+	}
+	if n > p.ghostCap {
+		n = p.ghostCap
+	}
+	return n
+}
+
+// addGhost records an evicted key on the bounded ghost FIFO.
+func (p *Pool) addGhost(k EntryKey, tokens int) {
+	if p.ghostCap <= 0 {
+		return
+	}
+	if el, ok := p.ghost[k]; ok {
+		el.Value = ghostRec{key: k, tokens: tokens}
+		p.ghostLRU.MoveToFront(el)
+		return
+	}
+	for limit := p.ghostLimit(); p.ghostLRU.Len() >= limit; {
+		oldest := p.ghostLRU.Back()
+		p.ghostLRU.Remove(oldest)
+		delete(p.ghost, oldest.Value.(ghostRec).key)
+	}
+	p.ghost[k] = p.ghostLRU.PushFront(ghostRec{key: k, tokens: tokens})
+}
+
+// dropGhost forgets a key that became resident again.
+func (p *Pool) dropGhost(k EntryKey) {
+	if el, ok := p.ghost[k]; ok {
+		p.ghostLRU.Remove(el)
+		delete(p.ghost, k)
+	}
 }
 
 // Remove deletes an entry regardless of pinning (placement refresh path).

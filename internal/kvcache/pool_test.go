@@ -266,3 +266,275 @@ func TestEntryKindString(t *testing.T) {
 		t.Fatal("EntryKind.String mismatch")
 	}
 }
+
+func TestPutGrowRechargesPages(t *testing.T) {
+	p := mustPool(t, 10*1024, EvictLRU)
+	p.Put(uk(1), 100, 1) // 1 page
+	if p.UsedBytes() != 1024 {
+		t.Fatalf("used = %d, want 1024", p.UsedBytes())
+	}
+	e, ok := p.Put(uk(1), 500, 2) // grown to 5 pages
+	if !ok || e.Tokens != 500 || e.Pages != 5 {
+		t.Fatalf("grown re-Put: tokens=%d pages=%d ok=%v", e.Tokens, e.Pages, ok)
+	}
+	if p.UsedBytes() != 5*1024 {
+		t.Fatalf("grow not charged: used = %d, want %d", p.UsedBytes(), 5*1024)
+	}
+	e, ok = p.Put(uk(1), 150, 3) // shrunk to 2 pages
+	if !ok || e.Tokens != 150 || e.Pages != 2 {
+		t.Fatalf("shrunk re-Put: tokens=%d pages=%d ok=%v", e.Tokens, e.Pages, ok)
+	}
+	if p.UsedBytes() != 2*1024 {
+		t.Fatalf("shrink not released: used = %d, want %d", p.UsedBytes(), 2*1024)
+	}
+}
+
+func TestPutGrowEvictsToFit(t *testing.T) {
+	p := mustPool(t, 3*1024, EvictLRU)
+	p.Put(uk(1), 100, 1)
+	p.Put(uk(2), 100, 1)
+	p.Put(uk(3), 100, 1) // full: 3 pages
+	// Growing 3 to 2 pages must evict the LRU entry (1), never 3 itself.
+	if _, ok := p.Put(uk(3), 200, 1); !ok {
+		t.Fatal("grow within capacity failed")
+	}
+	if p.Contains(uk(1)) {
+		t.Fatal("grow did not evict the LRU victim")
+	}
+	if !p.Contains(uk(3)) || !p.Contains(uk(2)) {
+		t.Fatal("wrong eviction victim for grow")
+	}
+	if p.UsedBytes() != 3*1024 {
+		t.Fatalf("used = %d after grow-evict", p.UsedBytes())
+	}
+}
+
+func TestPutGrowNeverEvictsSelf(t *testing.T) {
+	p := mustPool(t, 3*1024, EvictMinHotness)
+	p.Put(uk(1), 100, 0.1) // coldest: the heap root, and the grow target
+	p.Put(uk(2), 100, 5)
+	if _, ok := p.Put(uk(1), 300, 0.1); !ok {
+		t.Fatal("grow failed")
+	}
+	if !p.Contains(uk(1)) {
+		t.Fatal("grow evicted the entry being grown")
+	}
+	e, _ := p.Lookup(uk(1))
+	if e.Tokens != 300 || e.Pages != 3 {
+		t.Fatalf("grown entry tokens=%d pages=%d", e.Tokens, e.Pages)
+	}
+	if p.Contains(uk(2)) {
+		t.Fatal("grow should have evicted the other entry")
+	}
+}
+
+func TestPutGrowRejectKeepsOld(t *testing.T) {
+	p := mustPool(t, 3*1024, EvictLRU)
+	p.PutPinned(ik(1), 100, 0)
+	p.Put(uk(1), 100, 1)
+	rejBefore := p.Rejections
+	// Growing uk(1) to 3 pages cannot fit (pinned page + 3 > 3).
+	e, ok := p.Put(uk(1), 300, 2)
+	if !ok || e == nil {
+		t.Fatal("entry must stay resident after a rejected grow")
+	}
+	if e.Tokens != 100 || e.Pages != 1 {
+		t.Fatalf("rejected grow mutated the entry: tokens=%d pages=%d", e.Tokens, e.Pages)
+	}
+	if e.Hotness != 2 {
+		t.Fatalf("rejected grow should still refresh hotness: %v", e.Hotness)
+	}
+	if p.Rejections != rejBefore+1 {
+		t.Fatalf("rejections = %d, want %d", p.Rejections, rejBefore+1)
+	}
+	if p.UsedBytes() != 2*1024 {
+		t.Fatalf("used = %d after rejected grow", p.UsedBytes())
+	}
+	// Oversized beyond total capacity: same keep-old contract.
+	if e, ok := p.Put(uk(1), 10_000, 3); !ok || e.Tokens != 100 {
+		t.Fatalf("oversized re-Put dropped the entry: %v %v", e, ok)
+	}
+}
+
+func TestPutRefreshHonorsPinnedChange(t *testing.T) {
+	p := mustPool(t, 2*1024, EvictLRU)
+	p.Put(uk(1), 100, 0)
+	p.PutPinned(uk(1), 100, 0) // re-Put flips it to placement-managed
+	if _, ok := p.Put(uk(3), 200, 0); ok {
+		t.Fatal("put should fail: the only resident is now pinned, 2 pages cannot fit")
+	}
+	if !p.Contains(uk(1)) {
+		t.Fatal("re-pinned entry was evicted")
+	}
+	p.Put(uk(1), 100, 0) // re-Put flips it back to evictable
+	if _, ok := p.Put(uk(3), 200, 0); !ok {
+		t.Fatal("put should succeed by evicting the now-unpinned entry")
+	}
+	if p.Contains(uk(1)) || !p.Contains(uk(3)) || p.Len() != 1 {
+		t.Fatalf("unpin via re-Put not honored: len=%d", p.Len())
+	}
+}
+
+// TestGhostListCountsRecentEvictions pins the shadow-cache signal: a miss on
+// a recently evicted key counts as a ghost hit with the evicted token weight,
+// re-insertion clears the ghost, and keys evicted long ago (beyond the
+// ARC-style residents-sized window) stop counting.
+func TestGhostListCountsRecentEvictions(t *testing.T) {
+	p := mustPool(t, 2*1024, EvictLRU)
+	p.Put(uk(1), 150, 0)
+	p.Put(uk(2), 100, 0)
+	p.Put(uk(3), 100, 0) // evicts uk(1)
+	if p.Contains(uk(1)) {
+		t.Fatal("uk(1) should have been evicted")
+	}
+	if _, ok := p.Lookup(uk(1)); ok {
+		t.Fatal("ghosted key must still miss")
+	}
+	if p.GhostHits != 1 || p.GhostHitTokens != 150 {
+		t.Fatalf("ghost hit not counted: hits=%d tokens=%d", p.GhostHits, p.GhostHitTokens)
+	}
+	// Re-inserting the key clears its ghost: the next eviction+miss counts
+	// fresh, but a resident hit never does.
+	p.Put(uk(1), 150, 0) // evicts uk(2)
+	p.Lookup(uk(1))
+	if p.GhostHits != 1 {
+		t.Fatalf("resident hit counted as ghost hit: %d", p.GhostHits)
+	}
+	// Scan resistance: push far more evictions through than the ghost window
+	// (minGhost for this tiny pool) holds; the earliest victims age out.
+	for id := uint64(100); id < 100+2*minGhost; id++ {
+		p.Put(uk(id), 100, 0)
+	}
+	p.Lookup(uk(2))
+	if p.GhostHitTokens != 150 {
+		t.Fatalf("ancient eviction still ghosted: tokens=%d", p.GhostHitTokens)
+	}
+}
+
+func TestSetCapacityBytesGrowShrink(t *testing.T) {
+	p := mustPool(t, 4*1024, EvictLRU)
+	for id := uint64(1); id <= 4; id++ {
+		p.Put(uk(id), 100, 1)
+	}
+	if got := p.SetCapacityBytes(8 * 1024); got != 8*1024 {
+		t.Fatalf("grow applied %d", got)
+	}
+	if p.Len() != 4 {
+		t.Fatal("grow must not disturb residents")
+	}
+	p.Put(uk(5), 100, 1) // fits in the grown pool without eviction
+	if p.Evictions != 0 {
+		t.Fatalf("evictions = %d after grow", p.Evictions)
+	}
+	if got := p.SetCapacityBytes(2 * 1024); got != 2*1024 {
+		t.Fatalf("shrink applied %d", got)
+	}
+	if p.UsedBytes() > p.CapacityBytes() {
+		t.Fatalf("invariant broken: used %d > capacity %d", p.UsedBytes(), p.CapacityBytes())
+	}
+	if p.Len() != 2 || !p.Contains(uk(4)) || !p.Contains(uk(5)) {
+		t.Fatalf("shrink should keep the 2 most recent entries, len=%d", p.Len())
+	}
+}
+
+func TestSetCapacityBytesClampsAtPinned(t *testing.T) {
+	p := mustPool(t, 4*1024, EvictLRU)
+	p.PutPinned(ik(1), 100, 0)
+	p.PutPinned(ik(2), 100, 0)
+	p.Put(uk(1), 100, 0)
+	got := p.SetCapacityBytes(1024) // below the 2 pinned pages
+	if got != 2*1024 {
+		t.Fatalf("clamp applied %d, want %d", got, 2*1024)
+	}
+	if p.Contains(uk(1)) {
+		t.Fatal("unpinned entry should have been evicted by the shrink")
+	}
+	if !p.Contains(ik(1)) || !p.Contains(ik(2)) {
+		t.Fatal("pinned entries must survive any shrink")
+	}
+	if p.UsedBytes() > p.CapacityBytes() {
+		t.Fatalf("invariant broken: used %d > capacity %d", p.UsedBytes(), p.CapacityBytes())
+	}
+	if p.PinnedBytes() != 2*1024 {
+		t.Fatalf("pinned bytes %d", p.PinnedBytes())
+	}
+	if got := p.SetCapacityBytes(-5); got != 2*1024 {
+		t.Fatalf("negative capacity applied %d", got)
+	}
+}
+
+// TestPoolResizeAccountingProperty drives a randomized grow/shrink/evict/
+// resize sequence and asserts UsedBytes() <= CapacityBytes() plus exact page
+// accounting after every single operation — the acceptance property for the
+// refresh-accounting fix and SetCapacityBytes.
+func TestPoolResizeAccountingProperty(t *testing.T) {
+	for _, policy := range []EvictPolicy{EvictLRU, EvictMinHotness} {
+		f := func(ops []uint32) bool {
+			p, err := NewPool(8*1024, 1024, 10, policy)
+			if err != nil {
+				return false
+			}
+			for _, op := range ops {
+				id := uint64(op % 23)
+				tokens := int(op%700) + 1
+				switch op % 8 {
+				case 0, 1, 2:
+					p.Put(uk(id), tokens, float64(op%7))
+				case 3:
+					p.PutPinned(ik(id%5), int(op%150)+1, float64(op%7))
+				case 4:
+					p.Lookup(uk(id))
+				case 5:
+					p.Remove(uk(id))
+				case 6:
+					p.Remove(ik(id % 5))
+				case 7:
+					p.SetCapacityBytes(int64(op%16) * 1024)
+				}
+				if p.UsedBytes() > p.CapacityBytes() {
+					t.Logf("policy %d: used %d > capacity %d", policy, p.UsedBytes(), p.CapacityBytes())
+					return false
+				}
+				var pages, lruLen int
+				for _, e := range p.entries {
+					pages += e.Pages
+					if e.Tokens <= 0 || e.Pages != p.PagesFor(e.Tokens) {
+						t.Logf("entry %v: tokens %d pages %d", e.Key, e.Tokens, e.Pages)
+						return false
+					}
+					if !e.Pinned && policy == EvictLRU && e.lruElem == nil {
+						t.Log("unpinned entry missing from LRU")
+						return false
+					}
+					if !e.Pinned && policy == EvictMinHotness && e.heapIdx < 0 {
+						t.Log("unpinned entry missing from heap")
+						return false
+					}
+					if e.Pinned && (e.lruElem != nil || e.heapIdx >= 0) {
+						t.Log("pinned entry still in an eviction structure")
+						return false
+					}
+					if !e.Pinned {
+						lruLen++
+					}
+				}
+				if pages != p.usedPages {
+					t.Logf("page sum %d != usedPages %d", pages, p.usedPages)
+					return false
+				}
+				if policy == EvictLRU && p.lru.Len() != lruLen {
+					t.Logf("lru len %d != unpinned %d", p.lru.Len(), lruLen)
+					return false
+				}
+				if policy == EvictMinHotness && len(p.hotHeap) != lruLen {
+					t.Logf("heap len %d != unpinned %d", len(p.hotHeap), lruLen)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("policy %d: %v", policy, err)
+		}
+	}
+}

@@ -52,6 +52,14 @@ func NewTieredPool(fast, slow *Pool) *TieredPool {
 
 // Lookup checks the fast tier, then the slow tier. A slow hit is promoted
 // back to the fast tier (possibly spilling someone else down).
+//
+// Promotion runs BEFORE the entry leaves the slow tier: the historical
+// remove-first ordering meant a failed promotion followed by a failed
+// restoring re-Put dropped the entry from both tiers while still reporting a
+// TierSlow hit. With promote-then-remove, a failed promotion leaves the
+// entry where it was; only when spill traffic from the failed attempt
+// displaced it does the restore path run, and if even that fails the lookup
+// reports an honest miss instead of a phantom hit.
 func (t *TieredPool) Lookup(k EntryKey) (*Entry, TierLevel) {
 	if e, ok := t.Fast.Lookup(k); ok {
 		return e, TierFast
@@ -60,16 +68,29 @@ func (t *TieredPool) Lookup(k EntryKey) (*Entry, TierLevel) {
 	if !ok {
 		return nil, TierMiss
 	}
-	t.SlowHits++
-	t.Slow.Remove(k)
-	if promoted, ok := t.Fast.Put(k, e.Tokens, e.Hotness); ok {
+	tokens, hotness := e.Tokens, e.Hotness
+	if promoted, ok := t.Fast.Put(k, tokens, hotness); ok {
+		t.SlowHits++
+		t.Slow.Remove(k)
 		return promoted, TierSlow
 	}
 	// Promotion failed (pinned-full fast tier): serve from slow in place.
-	if back, ok := t.Slow.Put(k, e.Tokens, e.Hotness); ok {
+	// The entry normally never left the slow tier, but the failed promotion
+	// may have spilled victims down hard enough to displace it — restore it
+	// so a reported hit always leaves the entry resident somewhere.
+	if t.Slow.Contains(k) {
+		t.SlowHits++
+		return e, TierSlow
+	}
+	if back, ok := t.Slow.Put(k, tokens, hotness); ok {
+		t.SlowHits++
 		return back, TierSlow
 	}
-	return e, TierSlow
+	// Nowhere to keep the entry resident: correct the slow tier's counters
+	// (its Lookup above recorded a hit) and report the truth.
+	t.Slow.Hits--
+	t.Slow.Misses++
+	return nil, TierMiss
 }
 
 // Contains reports residency in either tier without touching stats.

@@ -98,3 +98,61 @@ func TestTierLevelString(t *testing.T) {
 		t.Fatal("TierLevel strings")
 	}
 }
+
+// TestTieredLookupNoSilentDrop pins the double-failure bug: when promotion to
+// the fast tier fails (pinned-full) and the entry cannot return to the slow
+// tier either, the historical remove-first ordering dropped the entry from
+// both tiers while still reporting a TierSlow hit. A reported hit must always
+// leave the entry resident somewhere; when it truly cannot stay resident the
+// lookup must report a miss.
+func TestTieredLookupNoSilentDrop(t *testing.T) {
+	tp := mustTiered(t, 2*1024, 4*1024)
+	// Fill the fast tier with pinned entries so promotion can never succeed.
+	tp.Fast.PutPinned(ik(1), 100, 0)
+	tp.Fast.PutPinned(ik(2), 100, 0)
+	if _, ok := tp.Slow.Put(uk(7), 100, 1); !ok {
+		t.Fatal("seeding slow tier failed")
+	}
+	for i := 0; i < 5; i++ {
+		e, lvl := tp.Lookup(uk(7))
+		if lvl != TierSlow || e == nil {
+			t.Fatalf("iter %d: lookup = %v, want TierSlow", i, lvl)
+		}
+		if !tp.Slow.Contains(uk(7)) {
+			t.Fatalf("iter %d: reported hit but entry resident in neither tier", i)
+		}
+	}
+	if tp.SlowHits != 5 {
+		t.Fatalf("slow hits = %d, want 5", tp.SlowHits)
+	}
+}
+
+// TestTieredLookupRestoresDisplacedEntry exercises the nastiest reachable
+// path: the failed promotion itself spills a fast-tier victim into the slow
+// tier, and that spill displaces the very entry being looked up. The restore
+// re-Put must re-home it so the reported TierSlow hit is truthful.
+func TestTieredLookupRestoresDisplacedEntry(t *testing.T) {
+	tp := mustTiered(t, 3*1024, 4*1024)
+	tp.Fast.PutPinned(ik(1), 100, 0) // 1 page, immovable
+	tp.Fast.Put(ik(2), 100, 0.5)     // 1 page, the spill victim
+	tp.Slow.PutPinned(ik(9), 100, 0) // 1 page, immovable
+	if _, ok := tp.Slow.Put(uk(7), 300, 1); !ok {
+		t.Fatal("seeding slow tier failed") // 3 pages: slow now full
+	}
+	// Lookup uk(7): promotion needs 3 fast pages; evicting ik(2) spills it
+	// into the full slow tier, displacing uk(7); promotion then fails on the
+	// pinned remainder. The restore must put uk(7) back (re-evicting ik(2)).
+	e, lvl := tp.Lookup(uk(7))
+	if lvl != TierSlow || e == nil {
+		t.Fatalf("lookup = %v, want TierSlow", lvl)
+	}
+	if !tp.Slow.Contains(uk(7)) {
+		t.Fatal("reported hit but displaced entry was not restored")
+	}
+	if e.Tokens != 300 {
+		t.Fatalf("restored entry tokens = %d, want 300", e.Tokens)
+	}
+	if tp.Fast.Contains(uk(7)) {
+		t.Fatal("promotion should have failed")
+	}
+}

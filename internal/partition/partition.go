@@ -1,0 +1,387 @@
+// Package partition implements the online capacity partition controller from
+// the ROADMAP's "one pool, two caches" item: one byte budget split between
+// the user-prefix cache class and the HRCS item cache class, re-divided at
+// runtime by marginal hit-rate utility instead of a static fraction.
+//
+// The controller observes each class through cumulative hit/miss counters
+// (token-weighted where the caller can supply them) and a capacity
+// get/set pair. Every tick it estimates marginal utility per class over a
+// sliding window and moves a bounded step of capacity toward the
+// higher-utility class, with hysteresis and a per-class floor so neither
+// class starves or thrashes. Shrinks are applied to the losing class FIRST
+// and only the bytes actually released (the pool may clamp at its pinned
+// footprint) are granted to the winner, so the combined budget never
+// overcommits.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"bat/internal/metrics"
+)
+
+// Mode selects between the adaptive controller and the legacy static split.
+type Mode int
+
+const (
+	// Static keeps the boot-time split (e.g. core.Options.ItemBudgetFraction).
+	Static Mode = iota
+	// Adaptive runs the marginal-utility controller.
+	Adaptive
+)
+
+// ParseMode parses the -partition flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "static":
+		return Static, nil
+	case "adaptive":
+		return Adaptive, nil
+	default:
+		return Static, fmt.Errorf("partition: unknown mode %q (want adaptive|static)", s)
+	}
+}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Adaptive {
+		return "adaptive"
+	}
+	return "static"
+}
+
+// ClassStats is a cumulative counter snapshot for one cache class. Hits and
+// Misses should be monotonically non-decreasing; token-weighted counts make
+// the utility estimate proportional to recompute work saved, but raw lookup
+// counts work too.
+type ClassStats struct {
+	Hits   int64
+	Misses int64
+	// GhostHits, when the class can supply it (kvcache.Pool's ghost list),
+	// counts misses on recently evicted entries — direct would-have-hit
+	// evidence. When any class reports ghost hits in the window the
+	// controller uses this signal instead of raw misses, which makes the
+	// estimate robust to scan-like traffic (endless misses that extra
+	// capacity could never convert).
+	GhostHits int64
+}
+
+// Class adapts one cache class (user-prefix or item/HRCS) to the controller.
+// All three funcs must be safe for concurrent use with the cache's own
+// operations; they are called from the controller's tick.
+type Class struct {
+	// Name labels metrics and Status output (e.g. "user", "item").
+	Name string
+	// Stats returns the cumulative hit/miss counters for the class.
+	Stats func() ClassStats
+	// Capacity returns the class's current byte budget.
+	Capacity func() int64
+	// SetCapacity requests a new byte budget and returns the budget actually
+	// applied — a shrink may clamp above the request (e.g. kvcache.Pool
+	// clamps at its pinned footprint).
+	SetCapacity func(int64) int64
+}
+
+// Config tunes the controller. Zero values take the documented defaults.
+type Config struct {
+	// StepFraction bounds how much of the combined budget one tick may move
+	// (default 0.05 = 5%).
+	StepFraction float64
+	// FloorFraction is the minimum share of the combined budget each class
+	// keeps (default 0.10 = 10%), the starvation guard.
+	FloorFraction float64
+	// Hysteresis is the relative utility advantage the winning class must
+	// show before any capacity moves (default 0.10 = 10%), the thrash guard.
+	Hysteresis float64
+	// WindowTicks is the sliding-window length for the utility estimate
+	// (default 4 ticks).
+	WindowTicks int
+	// Interval is the tick period for Run (default 2s). Tick can also be
+	// driven manually (the DES and benches do).
+	Interval time.Duration
+	// MinSampleTokens is the minimum combined hit+miss delta across both
+	// classes in the window before the controller acts (default 1); below
+	// it the signal is noise.
+	MinSampleTokens int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.StepFraction <= 0 {
+		c.StepFraction = 0.05
+	}
+	if c.FloorFraction <= 0 {
+		c.FloorFraction = 0.10
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 0.10
+	}
+	if c.WindowTicks <= 0 {
+		c.WindowTicks = 4
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.MinSampleTokens <= 0 {
+		c.MinSampleTokens = 1
+	}
+	return c
+}
+
+// classState is the controller's per-class bookkeeping.
+type classState struct {
+	cls     Class
+	window  []ClassStats // ring of cumulative snapshots, len WindowTicks+1
+	filled  int
+	utility float64
+}
+
+// delta returns the hit/miss growth across the sliding window.
+func (s *classState) delta() ClassStats {
+	if s.filled < 2 {
+		return ClassStats{}
+	}
+	newest := s.window[0]
+	oldest := s.window[s.filled-1]
+	return ClassStats{
+		Hits:      newest.Hits - oldest.Hits,
+		Misses:    newest.Misses - oldest.Misses,
+		GhostHits: newest.GhostHits - oldest.GhostHits,
+	}
+}
+
+func (s *classState) observe(st ClassStats, window int) {
+	if len(s.window) < window+1 {
+		s.window = append([]ClassStats{st}, s.window...)
+		s.filled = len(s.window)
+		return
+	}
+	copy(s.window[1:], s.window)
+	s.window[0] = st
+	if s.filled < len(s.window) {
+		s.filled++
+	}
+}
+
+// Controller shifts capacity between two cache classes by marginal utility.
+type Controller struct {
+	cfg Config
+
+	mu      sync.Mutex
+	classes [2]*classState
+
+	// move accounting (under mu; metrics counters are their own sync).
+	ticks      int64
+	moves      int64
+	movedBytes int64
+
+	movedCounter *metrics.Counter
+	tickCounter  *metrics.Counter
+	utilGauges   [2]*metrics.Gauge
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+// New builds a controller over exactly two classes. Capacity starts wherever
+// the classes currently are; the controller only ever re-divides their
+// combined budget, it never grows or shrinks the total.
+func New(cfg Config, a, b Class) (*Controller, error) {
+	for _, c := range []Class{a, b} {
+		if c.Name == "" || c.Stats == nil || c.Capacity == nil || c.SetCapacity == nil {
+			return nil, fmt.Errorf("partition: class %q missing hooks", c.Name)
+		}
+	}
+	if a.Name == b.Name {
+		return nil, fmt.Errorf("partition: classes must have distinct names, both %q", a.Name)
+	}
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg:     cfg,
+		classes: [2]*classState{{cls: a}, {cls: b}},
+		stopCh:  make(chan struct{}),
+	}, nil
+}
+
+// Tick runs one controller step: snapshot counters, update the sliding
+// window, estimate per-class marginal utility, and move at most one bounded
+// capacity step toward the higher-utility class. It returns the number of
+// bytes moved (0 when hysteresis, floors, or thin samples hold it still).
+func (c *Controller) Tick() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	c.ticks++
+	if c.tickCounter != nil {
+		c.tickCounter.Inc()
+	}
+
+	total := int64(0)
+	caps := [2]int64{}
+	for i, s := range c.classes {
+		s.observe(s.cls.Stats(), c.cfg.WindowTicks)
+		caps[i] = s.cls.Capacity()
+		total += caps[i]
+	}
+	if total <= 0 {
+		return 0
+	}
+
+	var sample, ghostSample int64
+	deltas := [2]ClassStats{}
+	for i, s := range c.classes {
+		deltas[i] = s.delta()
+		sample += deltas[i].Hits + deltas[i].Misses
+		ghostSample += deltas[i].GhostHits
+	}
+	for i, s := range c.classes {
+		s.utility = marginalUtility(deltas[i], caps[i], ghostSample > 0)
+		if c.utilGauges[i] != nil {
+			c.utilGauges[i].Set(s.utility)
+		}
+	}
+	// Need a full window and a non-trivial sample before trusting the signal.
+	if c.classes[0].filled < 2 || c.classes[1].filled < 2 || sample < c.cfg.MinSampleTokens {
+		return 0
+	}
+
+	win, lose := 0, 1
+	if c.classes[lose].utility > c.classes[win].utility {
+		win, lose = lose, win
+	}
+	// Hysteresis: the winner must beat the loser by a relative margin.
+	if c.classes[win].utility <= c.classes[lose].utility*(1+c.cfg.Hysteresis) {
+		return 0
+	}
+
+	step := int64(c.cfg.StepFraction * float64(total))
+	floor := int64(c.cfg.FloorFraction * float64(total))
+	if maxStep := caps[lose] - floor; step > maxStep {
+		step = maxStep
+	}
+	if step <= 0 {
+		return 0
+	}
+
+	// Shrink the loser first; grant the winner only what was actually
+	// released so a pinned-clamped shrink can never overcommit the total.
+	applied := c.classes[lose].cls.SetCapacity(caps[lose] - step)
+	released := caps[lose] - applied
+	if released <= 0 {
+		return 0
+	}
+	c.classes[win].cls.SetCapacity(caps[win] + released)
+
+	c.moves++
+	c.movedBytes += released
+	if c.movedCounter != nil {
+		c.movedCounter.Add(released)
+	}
+	return released
+}
+
+// marginalUtility estimates Δhits per Δbyte: how many additional hits the
+// class would gain per byte granted. With ghost evidence available (useGhost),
+// the signal is windowed ghost hits — misses on recently evicted entries,
+// i.e. hits a slightly larger class WOULD have served. Otherwise windowed raw
+// misses stand in as the demand proxy. Either is normalized by the class's
+// current bytes, so a small class with heavy unmet demand outranks a large
+// class coasting on its existing residents.
+func marginalUtility(d ClassStats, capacity int64, useGhost bool) float64 {
+	demand := d.Misses
+	if useGhost {
+		demand = d.GhostHits
+	}
+	if capacity <= 0 {
+		// An empty class with any demand has effectively infinite marginal
+		// utility; cap it so comparisons stay finite.
+		if demand > 0 {
+			return math.MaxFloat64 / 2
+		}
+		return 0
+	}
+	return float64(demand) / float64(capacity)
+}
+
+// Run ticks the controller every cfg.Interval until Stop. Call at most once.
+func (c *Controller) Run() {
+	c.doneCh = make(chan struct{})
+	go func() {
+		defer close(c.doneCh)
+		t := time.NewTicker(c.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stopCh:
+				return
+			case <-t.C:
+				c.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts a running controller and waits for its goroutine to exit.
+// Safe to call multiple times and without a prior Run.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	if c.doneCh != nil {
+		<-c.doneCh
+	}
+}
+
+// RegisterMetrics exports the controller's state on reg:
+//
+//	bat_partition_capacity_bytes{class="..."}  current per-class budget
+//	bat_partition_utility{class="..."}         per-class marginal utility
+//	bat_partition_moved_bytes_total            cumulative bytes re-assigned
+//	bat_partition_ticks_total                  controller ticks
+func (c *Controller) RegisterMetrics(reg *metrics.Registry) {
+	for i, s := range c.classes {
+		cls := s.cls
+		reg.GaugeFunc(fmt.Sprintf("bat_partition_capacity_bytes{class=%q}", cls.Name), func() float64 {
+			return float64(cls.Capacity())
+		})
+		c.utilGauges[i] = reg.Gauge(fmt.Sprintf("bat_partition_utility{class=%q}", cls.Name))
+	}
+	c.movedCounter = reg.Counter("bat_partition_moved_bytes_total")
+	c.tickCounter = reg.Counter("bat_partition_ticks_total")
+}
+
+// ClassStatus is one class's view in Status.
+type ClassStatus struct {
+	Name          string  `json:"name"`
+	CapacityBytes int64   `json:"capacity_bytes"`
+	Utility       float64 `json:"utility"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+}
+
+// Status is a point-in-time controller snapshot for debug endpoints/benches.
+type Status struct {
+	Ticks      int64         `json:"ticks"`
+	Moves      int64         `json:"moves"`
+	MovedBytes int64         `json:"moved_bytes"`
+	Classes    []ClassStatus `json:"classes"`
+}
+
+// Status reports the controller's current split and move totals.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{Ticks: c.ticks, Moves: c.moves, MovedBytes: c.movedBytes}
+	for _, s := range c.classes {
+		cur := s.cls.Stats()
+		st.Classes = append(st.Classes, ClassStatus{
+			Name:          s.cls.Name,
+			CapacityBytes: s.cls.Capacity(),
+			Utility:       s.utility,
+			Hits:          cur.Hits,
+			Misses:        cur.Misses,
+		})
+	}
+	return st
+}

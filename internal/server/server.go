@@ -21,6 +21,7 @@ import (
 	"bat/internal/cachemeta"
 	"bat/internal/kvcache"
 	"bat/internal/model"
+	"bat/internal/partition"
 	"bat/internal/ranking"
 	"bat/internal/scheduler"
 	"bat/internal/serving"
@@ -40,6 +41,18 @@ type Config struct {
 	Variant ranking.ModelVariant
 	// MaxUserCaches caps the user-cache entries held in memory (default 256).
 	MaxUserCaches int
+	// MaxItemCaches caps the item-cache entries held in memory (0 =
+	// unbounded, the historical behavior). Items beyond the cap are evicted
+	// in admission order at batch boundaries.
+	MaxItemCaches int
+	// Partition selects the capacity split between the user and item cache
+	// classes: "static" (default) keeps MaxUserCaches/MaxItemCaches fixed;
+	// "adaptive" runs a partition.Controller that re-divides the combined
+	// entry budget by marginal hit-rate utility. Adaptive requires a bounded
+	// MaxItemCaches (defaulted to 4096 when unset).
+	Partition string
+	// PartitionInterval is the adaptive controller's tick period (default 2s).
+	PartitionInterval time.Duration
 	// HotnessWindowSec configures the frequency estimator (default 300).
 	HotnessWindowSec float64
 	// PrecomputeItems builds every item's KV cache at startup (the paper's
@@ -84,6 +97,7 @@ type Server struct {
 	core  *serving.Core
 	be    *localBackend
 	arena *model.BlockArena // nil unless cfg.PageTokens > 0 (be.arena)
+	part  *partition.Controller
 }
 
 // New builds a server.
@@ -103,6 +117,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	mode := partition.Static
+	if cfg.Partition != "" {
+		var err error
+		if mode, err = partition.ParseMode(cfg.Partition); err != nil {
+			return nil, err
+		}
+	}
+	if mode == partition.Adaptive && cfg.MaxItemCaches == 0 {
+		// Adaptive re-division needs a bounded item class to trade against.
+		cfg.MaxItemCaches = 4096
+	}
+	if cfg.PartitionInterval == 0 {
+		cfg.PartitionInterval = 2 * time.Second
+	}
 	r, err := ranking.NewRanker(cfg.Dataset, cfg.Variant)
 	if err != nil {
 		return nil, err
@@ -116,6 +144,8 @@ func New(cfg Config) (*Server, error) {
 		meta:  cachemeta.New(cfg.HotnessWindowSec),
 		start: cfg.Now(),
 	}
+	be.userBudget.Store(int64(cfg.MaxUserCaches))
+	be.itemBudget.Store(int64(cfg.MaxItemCaches))
 	if cfg.PageTokens > 0 {
 		arena, err := model.NewBlockArena(r.W.Config(), cfg.PageTokens)
 		if err != nil {
@@ -138,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 		})
 		for i, c := range flat {
 			state.items[i] = be.adoptCache(c)
+			state.itemLRU = append(state.itemLRU, i)
 		}
 	}
 	be.snap.Store(state)
@@ -162,11 +193,48 @@ func New(cfg Config) (*Server, error) {
 	reg := core.Observer().Registry()
 	reg.GaugeFunc("bat_item_cache_entries", func() float64 { return float64(len(be.snap.Load().items)) })
 	reg.GaugeFunc("bat_user_cache_entries", func() float64 { return float64(len(be.snap.Load().users)) })
-	return &Server{cfg: cfg, core: core, be: be, arena: be.arena}, nil
+	srv := &Server{cfg: cfg, core: core, be: be, arena: be.arena}
+	if mode == partition.Adaptive {
+		ctrl, err := partition.New(partition.Config{Interval: cfg.PartitionInterval},
+			partition.Class{
+				Name:        "user",
+				Stats:       be.userClassStats,
+				Capacity:    be.userBudget.Load,
+				SetCapacity: func(n int64) int64 { return be.setBudget(&be.userBudget, n) },
+			},
+			partition.Class{
+				Name:        "item",
+				Stats:       be.itemClassStats,
+				Capacity:    be.itemBudget.Load,
+				SetCapacity: func(n int64) int64 { return be.setBudget(&be.itemBudget, n) },
+			})
+		if err != nil {
+			core.Close()
+			return nil, err
+		}
+		ctrl.RegisterMetrics(reg)
+		ctrl.Run()
+		srv.part = ctrl
+	}
+	return srv, nil
 }
 
-// Close stops the serving core's batch loop.
-func (s *Server) Close() { s.core.Close() }
+// Close stops the serving core's batch loop and the partition controller.
+func (s *Server) Close() {
+	if s.part != nil {
+		s.part.Stop()
+	}
+	s.core.Close()
+}
+
+// PartitionStatus reports the adaptive controller's split; the second return
+// is false when the server runs a static partition.
+func (s *Server) PartitionStatus() (partition.Status, bool) {
+	if s.part == nil {
+		return partition.Status{}, false
+	}
+	return s.part.Status(), true
+}
 
 // Handler returns the HTTP API:
 //
@@ -276,6 +344,7 @@ type localState struct {
 	items   map[int]*model.KVCache
 	users   map[int]*model.KVCache
 	userLRU []int // oldest first; small cap keeps O(n) fine
+	itemLRU []int // admission order, oldest first (used when items are capped)
 }
 
 // localBackend is the in-process cache pool behind the serving core.
@@ -285,10 +354,42 @@ type localBackend struct {
 	start time.Time
 	snap  atomic.Pointer[localState]
 
+	// Per-class entry budgets. Static mode pins them at the configured
+	// Max*Caches; adaptive mode re-divides them from the controller's tick
+	// goroutine, so Plan/Commit read them atomically.
+	userBudget atomic.Int64
+	itemBudget atomic.Int64 // 0 = unbounded (static only)
+
+	// Token-weighted per-class hit/miss counters: the marginal-utility
+	// signal. Counted at plan time against the snapshot the plan used.
+	userHitTokens  atomic.Int64
+	userMissTokens atomic.Int64
+	itemHitTokens  atomic.Int64
+	itemMissTokens atomic.Int64
+
 	// metaMu guards the hotness estimator (cachemeta.Service is not safe for
 	// concurrent use; concurrent Plan calls serialize only this small part).
 	metaMu sync.Mutex
 	meta   *cachemeta.Service
+}
+
+func (b *localBackend) userClassStats() partition.ClassStats {
+	return partition.ClassStats{Hits: b.userHitTokens.Load(), Misses: b.userMissTokens.Load()}
+}
+
+func (b *localBackend) itemClassStats() partition.ClassStats {
+	return partition.ClassStats{Hits: b.itemHitTokens.Load(), Misses: b.itemMissTokens.Load()}
+}
+
+// setBudget applies a controller resize. Entry budgets have no pinned
+// footprint, so any request >= 1 applies fully; eviction down to a shrunken
+// budget happens at the next Commit.
+func (b *localBackend) setBudget(budget *atomic.Int64, n int64) int64 {
+	if n < 1 {
+		n = 1
+	}
+	budget.Store(n)
+	return n
 }
 
 // adoptCache re-homes a freshly computed cache into the arena when paging is
@@ -325,7 +426,7 @@ func (b *localBackend) Plan(ctx context.Context, req serving.RankRequest) (*serv
 		ItemTokens:           itemTokens,
 		UserHotness:          hotness,
 		UserCached:           cached,
-		UserPoolHasSpace:     len(state.users) < b.cfg.MaxUserCaches,
+		UserPoolHasSpace:     int64(len(state.users)) < b.userBudget.Load(),
 		MinCachedHotness:     minHot,
 		HaveMinCachedHotness: len(state.users) > 0,
 	})
@@ -335,11 +436,19 @@ func (b *localBackend) Plan(ctx context.Context, req serving.RankRequest) (*serv
 		plan.Kind = bipartite.UserPrefix
 	} else if plan.Kind == bipartite.UserPrefix {
 		plan.Caches.User = state.users[req.UserID]
+		if plan.Caches.User != nil {
+			b.userHitTokens.Add(int64(userTokens))
+		} else {
+			b.userMissTokens.Add(int64(userTokens))
+		}
 	} else {
 		plan.Caches.Items = make(map[int]*model.KVCache, len(req.CandidateIDs))
 		for slot, it := range req.CandidateIDs {
 			if c, ok := state.items[it]; ok {
 				plan.Caches.Items[slot] = c
+				b.itemHitTokens.Add(int64(len(ds.ItemTokens[it])))
+			} else {
+				b.itemMissTokens.Add(int64(len(ds.ItemTokens[it])))
 			}
 		}
 	}
@@ -353,11 +462,17 @@ func (b *localBackend) Plan(ctx context.Context, req serving.RankRequest) (*serv
 // visible, and the previous batch's readers are already done.
 func (b *localBackend) Commit(entries []serving.CommitEntry) {
 	cur := b.snap.Load()
+	userBudget, itemBudget := b.userBudget.Load(), b.itemBudget.Load()
 	// Steady-state batches (all cache hits, nothing to admit) are the common
 	// case; detect them against the current snapshot before paying for the
-	// full copy-on-write rebuild.
-	admits := false
+	// full copy-on-write rebuild. A partition shrink since the last commit
+	// also forces a rebuild so the new budgets take effect.
+	admits := int64(len(cur.users)) > userBudget ||
+		(itemBudget > 0 && int64(len(cur.items)) > itemBudget)
 	for _, e := range entries {
+		if admits {
+			break
+		}
 		if e.Plan.Recompute {
 			continue
 		}
@@ -373,9 +488,6 @@ func (b *localBackend) Commit(entries []serving.CommitEntry) {
 				break
 			}
 		}
-		if admits {
-			break
-		}
 	}
 	if !admits {
 		return
@@ -384,6 +496,7 @@ func (b *localBackend) Commit(entries []serving.CommitEntry) {
 		items:   make(map[int]*model.KVCache, len(cur.items)+len(entries)),
 		users:   make(map[int]*model.KVCache, len(cur.users)+1),
 		userLRU: append([]int(nil), cur.userLRU...),
+		itemLRU: append([]int(nil), cur.itemLRU...),
 	}
 	for k, v := range cur.items {
 		next.items[k] = v
@@ -406,22 +519,34 @@ func (b *localBackend) Commit(entries []serving.CommitEntry) {
 				next.userLRU = append(next.userLRU, u)
 				next.users[u] = b.adoptCache(e.Run.NewUserCache)
 				changed = true
-				for len(next.users) > b.cfg.MaxUserCaches && len(next.userLRU) > 0 {
-					victim := next.userLRU[0]
-					next.userLRU = next.userLRU[1:]
-					if old, ok := next.users[victim]; ok {
-						evicted = append(evicted, old)
-					}
-					delete(next.users, victim)
-				}
 			}
 		}
 		for slot, c := range e.Run.NewItemCaches {
 			if id := e.Req.CandidateIDs[slot]; next.items[id] == nil {
 				next.items[id] = b.adoptCache(c)
+				next.itemLRU = append(next.itemLRU, id)
 				changed = true
 			}
 		}
+	}
+	// Enforce the (possibly freshly re-divided) per-class budgets.
+	for int64(len(next.users)) > userBudget && len(next.userLRU) > 0 {
+		victim := next.userLRU[0]
+		next.userLRU = next.userLRU[1:]
+		if old, ok := next.users[victim]; ok {
+			evicted = append(evicted, old)
+			changed = true
+		}
+		delete(next.users, victim)
+	}
+	for itemBudget > 0 && int64(len(next.items)) > itemBudget && len(next.itemLRU) > 0 {
+		victim := next.itemLRU[0]
+		next.itemLRU = next.itemLRU[1:]
+		if old, ok := next.items[victim]; ok {
+			evicted = append(evicted, old)
+			changed = true
+		}
+		delete(next.items, victim)
 	}
 	if !changed {
 		return

@@ -114,7 +114,11 @@ func (g *Generator) CandidatesAt(reqIdx uint64, u UserID, t float64) []ItemID {
 		hb := hash3(g.seed^saltCandidateB, reqIdx, uint64(slot))
 		switch {
 		case burst.Active(t) && uniform01(hash3(g.seed^saltGroundTruth, reqIdx, uint64(slot))) < burst.Share:
-			it = burst.FirstItem + ItemID(hb%uint64(burst.Items))
+			base := burst.BlockStart(t, g.prof.Items)
+			it = base + ItemID(hb%uint64(burst.Items))
+			if int64(it) >= int64(g.prof.Items) {
+				it -= ItemID(int64(g.prof.Items) - int64(burst.FirstItem))
+			}
 		case uniform01(h) < g.prof.AffinityShare:
 			it = g.AffinityItem(u, int(hb%uint64(g.prof.AffinitySetSize)))
 		default:

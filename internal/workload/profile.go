@@ -61,6 +61,23 @@ type Burst struct {
 	FirstItem        ItemID
 	Items            int
 	Share            float64
+	// ChurnSec, when positive, rotates the hot block every ChurnSec seconds:
+	// epoch k (counted from StartSec) shifts the block start by k*Items
+	// within [FirstItem, corpus), wrapping around. This models hot-item
+	// churn — the previous epoch's hot block goes cold and a fresh block
+	// heats up, the stress case for any static cache split.
+	ChurnSec float64
+}
+
+// BlockStart returns the first item of the hot block active at time t,
+// applying ChurnSec epoch rotation. Call only while Active(t).
+func (b *Burst) BlockStart(t float64, corpus int) ItemID {
+	if b.ChurnSec <= 0 {
+		return b.FirstItem
+	}
+	epoch := uint64((t - b.StartSec) / b.ChurnSec)
+	span := uint64(corpus) - uint64(b.FirstItem)
+	return b.FirstItem + ItemID((epoch*uint64(b.Items))%span)
 }
 
 // Active reports whether the burst covers time t.
@@ -80,6 +97,8 @@ func (b *Burst) validate(corpus int) error {
 		return fmt.Errorf("workload: burst interval empty")
 	case int64(b.FirstItem)+int64(b.Items) > int64(corpus):
 		return fmt.Errorf("workload: burst items outside corpus")
+	case b.ChurnSec < 0:
+		return fmt.Errorf("workload: burst churn must be non-negative")
 	}
 	return nil
 }

@@ -393,3 +393,61 @@ func TestLazyStateScalesToHugeCorpus(t *testing.T) {
 		t.Fatalf("%d candidates", len(c))
 	}
 }
+
+func TestBurstChurnRotatesHotBlock(t *testing.T) {
+	prof := Games
+	prof.Burst = &Burst{
+		StartSec: 0, EndSec: 300,
+		FirstItem: 1000, Items: 100, Share: 0.9, ChurnSec: 60,
+	}
+	if err := prof.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(prof, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hitsIn counts candidates landing in [lo, hi) at time t0.
+	hitsIn := func(t0 float64, lo, hi ItemID) int {
+		n := 0
+		for req := uint64(0); req < 200; req++ {
+			for _, it := range g.CandidatesAt(req, UserID(req%50), t0) {
+				if it >= lo && it < hi {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	// Epoch 0 (t=10) heats [1000,1100); epoch 1 (t=70) heats [1100,1200).
+	e0InBlock0, e0InBlock1 := hitsIn(10, 1000, 1100), hitsIn(10, 1100, 1200)
+	e1InBlock0, e1InBlock1 := hitsIn(70, 1000, 1100), hitsIn(70, 1100, 1200)
+	if e0InBlock0 < 10*e0InBlock1+1 {
+		t.Fatalf("epoch 0 not concentrated in its block: %d vs %d", e0InBlock0, e0InBlock1)
+	}
+	if e1InBlock1 < 10*e1InBlock0+1 {
+		t.Fatalf("epoch 1 did not rotate to the next block: %d vs %d", e1InBlock1, e1InBlock0)
+	}
+	// Same epoch is deterministic.
+	if again := hitsIn(10, 1000, 1100); again != e0InBlock0 {
+		t.Fatalf("same-epoch candidates not deterministic: %d vs %d", again, e0InBlock0)
+	}
+	// ChurnSec = 0 keeps the legacy fixed block.
+	prof.Burst.ChurnSec = 0
+	if got := prof.Burst.BlockStart(250, prof.Items); got != 1000 {
+		t.Fatalf("static burst block moved: %d", got)
+	}
+	// Rotation wraps within [FirstItem, corpus).
+	prof.Burst.ChurnSec = 1
+	for ts := 0.0; ts < 299; ts += 7 {
+		start := prof.Burst.BlockStart(ts, prof.Items)
+		if start < 1000 || int64(start) >= int64(prof.Items) {
+			t.Fatalf("block start %d escaped [1000, %d)", start, prof.Items)
+		}
+	}
+	// Negative churn is rejected.
+	prof.Burst.ChurnSec = -1
+	if err := prof.Validate(); err == nil {
+		t.Fatal("negative churn accepted")
+	}
+}
